@@ -1,0 +1,1 @@
+bench/ablation.ml: Exp Grover_memsim Grover_suite Printf

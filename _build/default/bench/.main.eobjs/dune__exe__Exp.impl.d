@@ -1,0 +1,1 @@
+bench/exp.ml: Grover_core Grover_ir Grover_memsim Grover_passes Grover_suite List Printf String

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Analyze Array Bechamel Benchmark Exp Grover_suite Hashtbl Instance List Measure Predictor Printf Staged Sys Test Time Toolkit

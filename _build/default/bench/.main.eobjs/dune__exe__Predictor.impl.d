@@ -1,0 +1,1 @@
+bench/predictor.ml: Exp Float Grover_memsim Grover_suite List Printf

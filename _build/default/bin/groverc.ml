@@ -1,0 +1,213 @@
+(* groverc — the Grover compiler driver.
+
+   Reads an OpenCL C kernel file, disables local memory usage (paper Fig. 9
+   pipeline) and prints the analysis report and the transformed IR.
+
+     groverc transform kernel.cl
+     groverc transform kernel.cl --only As --define S=16
+     groverc report kernel.cl
+     groverc autotune kernel.cl --platform SNB ... (needs embedded workloads,
+       so autotune runs the bundled benchmark suite by id instead)
+     groverc autotune NVD-MT --platform SNB
+*)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse_defines defs =
+  List.map
+    (fun d ->
+      match String.index_opt d '=' with
+      | Some i ->
+          (String.sub d 0 i, String.sub d (i + 1) (String.length d - i - 1))
+      | None -> (d, "1"))
+    defs
+
+(* -- transform ---------------------------------------------------------------- *)
+
+let transform_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"KERNEL.cl")
+  in
+  let only =
+    Arg.(
+      value & opt_all string []
+      & info [ "only" ] ~docv:"NAME"
+          ~doc:"Restrict the transformation to the named local buffer(s).")
+  in
+  let defines =
+    Arg.(
+      value & opt_all string []
+      & info [ "define"; "D" ] ~docv:"NAME=VALUE"
+          ~doc:"Preprocessor definition.")
+  in
+  let show_before =
+    Arg.(
+      value & flag
+      & info [ "show-before" ] ~doc:"Also print the IR before the pass.")
+  in
+  let emit_c =
+    Arg.(
+      value & flag
+      & info [ "emit-c" ]
+          ~doc:
+            "Print the transformed kernel as OpenCL C source (for a vendor \
+             runtime) instead of IR.")
+  in
+  let run file only defines show_before emit_c =
+    let src = read_file file in
+    let defines = parse_defines defines in
+    let only = if only = [] then None else Some only in
+    try
+      let fns = Grover_ir.Lower.compile ~defines src in
+      List.iter
+        (fun fn ->
+          Grover_passes.Pipeline.normalize fn;
+          if show_before then begin
+            Printf.printf "; === %s (with local memory) ===\n"
+              fn.Grover_ir.Ssa.f_name;
+            print_string (Grover_ir.Printer.func_to_string fn)
+          end;
+          let o = Grover_core.Grover.run ?only fn in
+          List.iter
+            (fun e ->
+              print_endline (Grover_core.Report.to_string e))
+            o.Grover_core.Grover.reports;
+          List.iter
+            (fun (n, r) -> Printf.printf "; rejected %s: %s\n" n r)
+            o.Grover_core.Grover.rejected;
+          Printf.printf "; === %s (local memory disabled: %s) ===\n"
+            fn.Grover_ir.Ssa.f_name
+            (if o.Grover_core.Grover.transformed = [] then "nothing to do"
+             else String.concat ", " o.Grover_core.Grover.transformed);
+          if emit_c then print_string (Grover_ir.Emit_c.kernel_to_c fn)
+          else print_string (Grover_ir.Printer.func_to_string fn))
+        fns;
+      `Ok ()
+    with
+    | Grover_clc.Loc.Error (l, m) ->
+        `Error (false, Format.asprintf "%s:%a: %s" file Grover_clc.Loc.pp l m)
+    | Grover_ir.Verify.Invalid_ir m -> `Error (false, "internal: " ^ m)
+    | Grover_ir.Emit_c.Unstructured m ->
+        `Error (false, "cannot emit OpenCL C: " ^ m)
+  in
+  Cmd.v
+    (Cmd.info "transform"
+       ~doc:"Disable local memory usage in an OpenCL kernel file.")
+    Term.(ret (const run $ file $ only $ defines $ show_before $ emit_c))
+
+(* -- report -------------------------------------------------------------------- *)
+
+let report_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"KERNEL.cl")
+  in
+  let defines =
+    Arg.(
+      value & opt_all string []
+      & info [ "define"; "D" ] ~docv:"NAME=VALUE"
+          ~doc:"Preprocessor definition.")
+  in
+  let run file defines =
+    let src = read_file file in
+    let defines = parse_defines defines in
+    try
+      List.iter
+        (fun (fn, o) ->
+          Printf.printf "kernel %s:\n" fn.Grover_ir.Ssa.f_name;
+          List.iter
+            (fun e -> print_endline (Grover_core.Report.to_string e))
+            o.Grover_core.Grover.reports;
+          List.iter
+            (fun (n, r) -> Printf.printf "  rejected %s: %s\n" n r)
+            o.Grover_core.Grover.rejected)
+        (Grover_core.Grover.run_on_source ~defines src);
+      `Ok ()
+    with Grover_clc.Loc.Error (l, m) ->
+      `Error (false, Format.asprintf "%s:%a: %s" file Grover_clc.Loc.pp l m)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Print the GL/LS/LL/nGL index analysis without transforming.")
+    Term.(ret (const run $ file $ defines))
+
+(* -- autotune ------------------------------------------------------------------- *)
+
+let autotune_cmd =
+  let bench =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"BENCHMARK"
+          ~doc:"A bundled benchmark id (e.g. NVD-MT; see groverc list).")
+  in
+  let platform =
+    Arg.(
+      value & opt string "SNB"
+      & info [ "platform" ] ~docv:"NAME"
+          ~doc:"Simulated platform: Fermi, Kepler, Tahiti, SNB, Nehalem, MIC.")
+  in
+  let scale =
+    Arg.(value & opt int 2 & info [ "scale" ] ~doc:"Problem-size divisor.")
+  in
+  let run bench platform scale =
+    match
+      ( Grover_suite.Suite.by_id bench,
+        Grover_memsim.Platform.by_name platform )
+    with
+    | None, _ ->
+        `Error
+          ( false,
+            Printf.sprintf "unknown benchmark %s; try: %s" bench
+              (String.concat ", "
+                 (List.map
+                    (fun c -> c.Grover_suite.Kit.id)
+                    Grover_suite.Suite.all)) )
+    | _, None -> `Error (false, "unknown platform " ^ platform)
+    | Some case, Some plat ->
+        let cmp = Grover_suite.Harness.compare case ~platform:plat ~scale in
+        Printf.printf "%s on %s:\n" cmp.Grover_suite.Harness.case_id platform;
+        Printf.printf "  with local memory:    %.3f ms\n"
+          (cmp.Grover_suite.Harness.with_lm.Grover_suite.Harness.seconds *. 1e3);
+        Printf.printf "  without local memory: %.3f ms\n"
+          (cmp.Grover_suite.Harness.without_lm.Grover_suite.Harness.seconds *. 1e3);
+        Printf.printf "  normalized perf:      %.2f -> keep the version %s\n"
+          cmp.Grover_suite.Harness.normalized
+          (if cmp.Grover_suite.Harness.normalized > 1.0 then
+             "WITHOUT local memory"
+           else "WITH local memory");
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "autotune"
+       ~doc:
+         "Run a bundled benchmark with and without local memory on a \
+          simulated platform and pick the faster version.")
+    Term.(ret (const run $ bench $ platform $ scale))
+
+(* -- list ----------------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (c : Grover_suite.Kit.case) ->
+        Printf.printf "%-11s %-30s %s\n" c.Grover_suite.Kit.id
+          c.Grover_suite.Kit.origin c.Grover_suite.Kit.description)
+      Grover_suite.Suite.all;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the bundled benchmarks.")
+    Term.(ret (const run $ const ()))
+
+let () =
+  let info =
+    Cmd.info "groverc" ~version:"1.0.0"
+      ~doc:"Disable local memory usage in OpenCL kernels (Grover, ICPP 2014)."
+  in
+  exit (Cmd.eval (Cmd.group info [ transform_cmd; report_cmd; autotune_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/autotune.ml: Grover_memsim Grover_suite List Printf

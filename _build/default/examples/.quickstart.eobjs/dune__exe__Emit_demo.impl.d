@@ -1,0 +1,1 @@
+examples/emit_demo.ml: Array Grover_ir Grover_suite List Sys

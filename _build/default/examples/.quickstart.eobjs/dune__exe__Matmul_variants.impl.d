@@ -1,0 +1,1 @@
+examples/matmul_variants.ml: Grover_core Grover_memsim Grover_suite List Printf String

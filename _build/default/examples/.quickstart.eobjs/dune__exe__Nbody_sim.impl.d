@@ -1,0 +1,1 @@
+examples/nbody_sim.ml: Array Float Grover_core Grover_ir Grover_ocl Grover_passes Grover_suite Interp Lower Memory Printf Runtime Ssa

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Grover_core Grover_ir Grover_passes List Printf

@@ -1,0 +1,14 @@
+(* Emit demo: show the OpenCL C source Grover produces for a kernel.
+   Run with: dune exec examples/emit_demo.exe -- [CASE-ID] [--with-lm] *)
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let id = match List.filter (fun a -> a <> "--with-lm") args with
+    | x :: _ -> x | [] -> "NVD-MT" in
+  let version =
+    if List.mem "--with-lm" args then Grover_suite.Harness.With_lm
+    else Grover_suite.Harness.Without_lm in
+  match Grover_suite.Suite.by_id id with
+  | None -> prerr_endline ("unknown case " ^ id); exit 2
+  | Some case ->
+    let fn, _ = Grover_suite.Harness.compile_version case version in
+    print_string (Grover_ir.Emit_c.kernel_to_c fn)

@@ -1,0 +1,1 @@
+lib/clc/ast.ml: Loc Printf

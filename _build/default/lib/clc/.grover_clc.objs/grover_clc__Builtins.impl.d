@@ -1,0 +1,1 @@
+lib/clc/builtins.ml: List

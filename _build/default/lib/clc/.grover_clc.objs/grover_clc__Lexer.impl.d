@@ -1,0 +1,1 @@
+lib/clc/lexer.ml: Hashtbl List Loc String Token

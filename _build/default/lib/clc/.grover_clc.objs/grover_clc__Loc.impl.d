@@ -1,0 +1,1 @@
+lib/clc/loc.ml: Format

@@ -1,0 +1,1 @@
+lib/clc/parser.ml: Array Ast Lexer List Loc String Token

@@ -1,0 +1,1 @@
+lib/clc/sema.ml: Ast Builtins Char List Loc String

@@ -1,0 +1,1 @@
+lib/clc/token.ml: Format List String

@@ -1,0 +1,125 @@
+(** Abstract syntax for the OpenCL C subset.
+
+    The subset covers everything the eleven benchmark kernels need: scalar
+    and vector arithmetic, pointers qualified with OpenCL address spaces,
+    [__local] array declarations, structured control flow, and calls to
+    OpenCL builtins (work-item functions, [barrier], math functions). *)
+
+type addr_space = Global | Local | Constant | Private
+
+type scalar =
+  | Bool
+  | Char
+  | UChar
+  | Short
+  | UShort
+  | Int
+  | UInt
+  | Long
+  | ULong
+  | Float
+
+type ty =
+  | Void
+  | Scalar of scalar
+  | Vector of scalar * int  (** e.g. [float4] = [Vector (Float, 4)] *)
+  | Ptr of addr_space * ty
+  | Array of ty * int  (** fixed-size array; nested for multi-dim *)
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Shl | Shr
+  | Lt | Gt | Le | Ge | Eq | Ne
+  | BAnd | BOr | BXor
+  | LAnd | LOr
+
+type unop = Neg | Not | BNot
+
+type expr = { desc : expr_desc; loc : Loc.t }
+
+and expr_desc =
+  | Int_lit of int
+  | Float_lit of float
+  | Ident of string
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Assign of expr * expr  (** lvalue = rvalue; compound ops are desugared *)
+  | Index of expr * expr  (** a[i] *)
+  | Member of expr * string  (** vector component access: v.x, v.s3 *)
+  | Call of string * expr list
+  | Cast of ty * expr
+  | Vec_lit of ty * expr list  (** (float4)(a, b, c, d) *)
+  | Cond of expr * expr * expr  (** c ? a : b *)
+  | Pre_incr of bool * expr  (** true = increment, false = decrement *)
+  | Post_incr of bool * expr
+
+type decl = {
+  d_name : string;
+  d_ty : ty;
+  d_space : addr_space;
+  d_init : expr option;
+  d_loc : Loc.t;
+}
+
+type stmt = { s_desc : stmt_desc; s_loc : Loc.t }
+
+and stmt_desc =
+  | Sdecl of decl
+  | Sexpr of expr
+  | Sblock of stmt list
+  | Sif of expr * stmt * stmt option
+  | Sfor of stmt option * expr option * expr option * stmt
+  | Swhile of expr * stmt
+  | Sdo of stmt * expr
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+
+type param = {
+  p_name : string;
+  p_ty : ty;
+  p_loc : Loc.t;
+}
+
+type kernel = {
+  k_name : string;
+  k_params : param list;
+  k_body : stmt list;
+  k_loc : Loc.t;
+}
+
+type program = { kernels : kernel list }
+
+(* -- Pretty-printing (used by diagnostics and tests) ------------------- *)
+
+let scalar_name = function
+  | Bool -> "bool"
+  | Char -> "char"
+  | UChar -> "uchar"
+  | Short -> "short"
+  | UShort -> "ushort"
+  | Int -> "int"
+  | UInt -> "uint"
+  | Long -> "long"
+  | ULong -> "ulong"
+  | Float -> "float"
+
+let space_name = function
+  | Global -> "__global"
+  | Local -> "__local"
+  | Constant -> "__constant"
+  | Private -> "__private"
+
+let rec ty_name = function
+  | Void -> "void"
+  | Scalar s -> scalar_name s
+  | Vector (s, n) -> Printf.sprintf "%s%d" (scalar_name s) n
+  | Ptr (sp, t) -> Printf.sprintf "%s %s*" (space_name sp) (ty_name t)
+  | Array (t, n) -> Printf.sprintf "%s[%d]" (ty_name t) n
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Rem -> "%"
+  | Shl -> "<<" | Shr -> ">>"
+  | Lt -> "<" | Gt -> ">" | Le -> "<=" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | BAnd -> "&" | BOr -> "|" | BXor -> "^"
+  | LAnd -> "&&" | LOr -> "||"

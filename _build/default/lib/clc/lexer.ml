@@ -1,0 +1,262 @@
+(** Hand-written lexer with an integrated object-like macro preprocessor.
+
+    The benchmark kernels only need [#define NAME replacement-tokens] (tile
+    sizes, problem dimensions), comment stripping, and external [-D]-style
+    definitions, so the full C preprocessor is intentionally out of scope. *)
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (** offset of the beginning of the current line *)
+  macros : (string, Token.t list) Hashtbl.t;
+}
+
+let loc st = { Loc.line = st.line; col = st.pos - st.bol + 1 }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.bol <- st.pos + 1
+  | _ -> ());
+  st.pos <- st.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_ident_start c || is_digit c
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let rec skip_space_and_comments st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_space_and_comments st
+  | Some '/' when peek2 st = Some '/' ->
+      while peek st <> None && peek st <> Some '\n' do
+        advance st
+      done;
+      skip_space_and_comments st
+  | Some '/' when peek2 st = Some '*' ->
+      let l = loc st in
+      advance st;
+      advance st;
+      let rec close () =
+        match (peek st, peek2 st) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | Some _, _ ->
+            advance st;
+            close ()
+        | None, _ -> Loc.errorf l "unterminated comment"
+      in
+      close ();
+      skip_space_and_comments st
+  | _ -> ()
+
+(* Multi-character punctuation, longest first. *)
+let puncts =
+  [ "<<="; ">>="; "..."; "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||";
+    "+="; "-="; "*="; "/="; "%="; "&="; "|="; "^="; "++"; "--"; "->";
+    "+"; "-"; "*"; "/"; "%"; "<"; ">"; "="; "!"; "&"; "|"; "^"; "~";
+    "("; ")"; "["; "]"; "{"; "}"; ";"; ","; "."; "?"; ":" ]
+
+let lex_number st =
+  let l = loc st in
+  let start = st.pos in
+  let seen_dot = ref false and seen_exp = ref false and is_hexn = ref false in
+  if peek st = Some '0' && (peek2 st = Some 'x' || peek2 st = Some 'X') then begin
+    is_hexn := true;
+    advance st;
+    advance st;
+    while (match peek st with Some c -> is_hex c | None -> false) do
+      advance st
+    done
+  end
+  else begin
+    while
+      match peek st with
+      | Some c when is_digit c -> true
+      | Some '.' when not !seen_dot && not !seen_exp -> (
+          (* Only a digit after '.' continues the number ('a[i].x' stays
+             member access because we only call lex_number on a digit). *)
+          seen_dot := true;
+          true)
+      | Some ('e' | 'E') when not !seen_exp -> (
+          match peek2 st with
+          | Some c when is_digit c || c = '+' || c = '-' ->
+              seen_exp := true;
+              advance st;
+              (* consume sign if present; the digit loop takes the rest *)
+              (match peek st with Some ('+' | '-') -> () | _ -> st.pos <- st.pos - 1);
+              true
+          | _ -> false)
+      | _ -> false
+    do
+      advance st
+    done
+  end;
+  let body = String.sub st.src start (st.pos - start) in
+  (* Swallow C numeric suffixes. *)
+  let rec suffix () =
+    match peek st with
+    | Some ('f' | 'F' | 'u' | 'U' | 'l' | 'L') when not !is_hexn ->
+        advance st;
+        suffix ()
+    | Some ('u' | 'U' | 'l' | 'L') ->
+        advance st;
+        suffix ()
+    | _ -> ()
+  in
+  let is_float_suffix =
+    (not !is_hexn) && (match peek st with Some ('f' | 'F') -> true | _ -> false)
+  in
+  suffix ();
+  if !seen_dot || !seen_exp || is_float_suffix then
+    match float_of_string_opt body with
+    | Some f -> Token.Float_lit f
+    | None -> Loc.errorf l "bad float literal %S" body
+  else
+    match int_of_string_opt body with
+    | Some n -> Token.Int_lit n
+    | None -> Loc.errorf l "bad integer literal %S" body
+
+let lex_raw st : Token.t * Loc.t =
+  skip_space_and_comments st;
+  let l = loc st in
+  match peek st with
+  | None -> (Token.Eof, l)
+  | Some c when is_digit c -> (lex_number st, l)
+  | Some c when is_ident_start c ->
+      let start = st.pos in
+      while (match peek st with Some c -> is_ident_char c | None -> false) do
+        advance st
+      done;
+      let name = String.sub st.src start (st.pos - start) in
+      let tok =
+        match Token.canonical_keyword name with
+        | Some kw -> Token.Kw kw
+        | None -> Token.Ident name
+      in
+      (tok, l)
+  | Some '#' ->
+      advance st;
+      (Token.Punct "#", l)
+  | Some _ ->
+      let matching =
+        List.find_opt
+          (fun p ->
+            let n = String.length p in
+            st.pos + n <= String.length st.src
+            && String.sub st.src st.pos n = p)
+          puncts
+      in
+      (match matching with
+      | Some p ->
+          for _ = 1 to String.length p do
+            advance st
+          done;
+          (Token.Punct p, l)
+      | None -> Loc.errorf l "unexpected character %C" st.src.[st.pos])
+
+(* Read raw tokens until the end of the current line (for directives). *)
+let rec raw_tokens_until_eol st acc =
+  skip_space_and_comments_same_line st;
+  match peek st with
+  | None | Some '\n' -> List.rev acc
+  | Some _ ->
+      let tok, _ = lex_raw st in
+      raw_tokens_until_eol st (tok :: acc)
+
+and skip_space_and_comments_same_line st =
+  match peek st with
+  | Some (' ' | '\t' | '\r') ->
+      advance st;
+      skip_space_and_comments_same_line st
+  | Some '/' when peek2 st = Some '/' ->
+      while peek st <> None && peek st <> Some '\n' do
+        advance st
+      done
+  | Some '/' when peek2 st = Some '*' ->
+      advance st;
+      advance st;
+      let rec close () =
+        match (peek st, peek2 st) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | Some _, _ ->
+            advance st;
+            close ()
+        | None, _ -> ()
+      in
+      close ();
+      skip_space_and_comments_same_line st
+  | _ -> ()
+
+let handle_directive st l =
+  match lex_raw st with
+  | Token.Ident "define", _ -> (
+      match lex_raw st with
+      | Token.Ident name, _ ->
+          let replacement = raw_tokens_until_eol st [] in
+          Hashtbl.replace st.macros name replacement
+      | tok, dl -> Loc.errorf dl "#define expects a name, got %a" Token.pp tok)
+  | Token.Ident "undef", _ -> (
+      match lex_raw st with
+      | Token.Ident name, _ ->
+          ignore (raw_tokens_until_eol st []);
+          Hashtbl.remove st.macros name
+      | tok, dl -> Loc.errorf dl "#undef expects a name, got %a" Token.pp tok)
+  | Token.Ident ("pragma" | "include"), _ ->
+      (* Pragmas and includes are ignored: the subset is self-contained. *)
+      ignore (raw_tokens_until_eol st [])
+  | tok, _ -> Loc.errorf l "unsupported preprocessor directive %a" Token.pp tok
+
+let max_expansion_depth = 64
+
+let tokenize ?(defines = []) src : (Token.t * Loc.t) list =
+  let st = { src; pos = 0; line = 1; bol = 0; macros = Hashtbl.create 16 } in
+  List.iter
+    (fun (name, text) ->
+      let sub = { src = text; pos = 0; line = 1; bol = 0; macros = Hashtbl.create 0 } in
+      let toks = raw_tokens_until_eol sub [] in
+      Hashtbl.replace st.macros name toks)
+    defines;
+  let out = ref [] in
+  (* Pending macro-expanded tokens carry the location of the use site. *)
+  let pending : (Token.t * Loc.t * int) list ref = ref [] in
+  let rec next () =
+    match !pending with
+    | (tok, l, depth) :: rest ->
+        pending := rest;
+        emit tok l depth
+    | [] -> (
+        let tok, l = lex_raw st in
+        match tok with
+        | Token.Punct "#" -> handle_directive st l
+        | _ -> emit tok l 0)
+  and emit tok l depth =
+    match tok with
+    | Token.Ident name when Hashtbl.mem st.macros name ->
+        if depth >= max_expansion_depth then
+          Loc.errorf l "macro expansion too deep at %s" name;
+        let toks = Hashtbl.find st.macros name in
+        pending :=
+          List.map (fun t -> (t, l, depth + 1)) toks @ !pending
+    | _ -> out := (tok, l) :: !out
+  in
+  let rec loop () =
+    next ();
+    match !out with
+    | (Token.Eof, _) :: _ when !pending = [] -> ()
+    | _ -> loop ()
+  in
+  loop ();
+  List.rev !out

@@ -1,0 +1,12 @@
+(** Source locations for diagnostics. *)
+
+type t = { line : int; col : int }
+
+let dummy = { line = 0; col = 0 }
+let pp ppf { line; col } = Format.fprintf ppf "%d:%d" line col
+
+exception Error of t * string
+(** The front-end's single error channel: lexing, parsing and semantic
+    errors all carry a location and a human-readable message. *)
+
+let errorf loc fmt = Format.kasprintf (fun msg -> raise (Error (loc, msg))) fmt

@@ -1,0 +1,186 @@
+(** Type algebra of the OpenCL C subset: classification, usual arithmetic
+    conversions, operator result types and implicit-conversion legality.
+
+    The AST-to-IR lowering ([Grover_ir.Lower]) performs the actual checking
+    pass; this module holds the pure typing rules so they can be tested in
+    isolation. *)
+
+open Ast
+
+let is_integer_scalar = function
+  | Bool | Char | UChar | Short | UShort | Int | UInt | Long | ULong -> true
+  | Float -> false
+
+let is_signed = function
+  | Char | Short | Int | Long -> true
+  | Bool | UChar | UShort | UInt | ULong | Float -> false
+
+let scalar_rank = function
+  | Bool -> 0
+  | Char | UChar -> 1
+  | Short | UShort -> 2
+  | Int | UInt -> 3
+  | Long | ULong -> 4
+  | Float -> 5
+
+let scalar_bits = function
+  | Bool -> 1
+  | Char | UChar -> 8
+  | Short | UShort -> 16
+  | Int | UInt | Float -> 32
+  | Long | ULong -> 64
+
+let sizeof_scalar s = max 1 (scalar_bits s / 8)
+
+let rec sizeof = function
+  | Void -> 0
+  | Scalar s -> sizeof_scalar s
+  | Vector (s, n) ->
+      (* OpenCL: a 3-vector occupies the space of a 4-vector. *)
+      let n = if n = 3 then 4 else n in
+      sizeof_scalar s * n
+  | Ptr _ -> 8
+  | Array (t, n) -> sizeof t * n
+
+let rec elem_type = function
+  | Array (t, _) -> elem_type t
+  | t -> t
+
+(** Total number of scalar/vector elements in a (possibly nested) array. *)
+let rec array_length = function
+  | Array (t, n) -> n * array_length t
+  | _ -> 1
+
+let is_arith = function Scalar _ | Vector _ -> true | _ -> false
+let is_integer_ty = function Scalar s -> is_integer_scalar s | _ -> false
+
+let is_float_based = function
+  | Scalar Float | Vector (Float, _) -> true
+  | _ -> false
+
+(** Usual arithmetic conversions, restricted to OpenCL's rules: vectors only
+    combine with their own scalar base type (which is then splatted) or with
+    an identical vector type. Returns the common type. *)
+let usual_conversions loc t1 t2 =
+  match (t1, t2) with
+  | Scalar s1, Scalar s2 ->
+      if s1 = s2 then t1
+      else
+        let r1 = scalar_rank s1 and r2 = scalar_rank s2 in
+        if r1 > r2 then t1
+        else if r2 > r1 then t2
+        else begin
+          (* Same rank, mixed signedness: unsigned wins, as in C. *)
+          match (is_signed s1, is_signed s2) with
+          | true, false -> t2
+          | false, true -> t1
+          | _ -> t1
+        end
+  | Vector (s1, n1), Vector (s2, n2) ->
+      if s1 = s2 && n1 = n2 then t1
+      else
+        Loc.errorf loc "cannot combine %s and %s" (ty_name t1) (ty_name t2)
+  | Vector (s, _), Scalar s' when scalar_rank s' <= scalar_rank s -> t1
+  | Scalar s', Vector (s, _) when scalar_rank s' <= scalar_rank s -> t2
+  | _ ->
+      Loc.errorf loc "cannot combine %s and %s in arithmetic" (ty_name t1)
+        (ty_name t2)
+
+(** Result type of a binary operator applied to already-converted operands
+    of common type [t]. *)
+let binop_result loc op t =
+  match op with
+  | Add | Sub | Mul | Div ->
+      if is_arith t then t
+      else Loc.errorf loc "operator %s needs arithmetic operands" (binop_name op)
+  | Rem | Shl | Shr | BAnd | BOr | BXor ->
+      if is_integer_ty t || (match t with Vector (s, _) -> is_integer_scalar s | _ -> false)
+      then t
+      else Loc.errorf loc "operator %s needs integer operands" (binop_name op)
+  | Lt | Gt | Le | Ge | Eq | Ne -> (
+      match t with
+      | Scalar _ -> Scalar Int (* comparisons yield int 0/1, as in C *)
+      | Vector (_, n) -> Vector (Int, n)
+      | _ -> Loc.errorf loc "cannot compare values of type %s" (ty_name t))
+  | LAnd | LOr -> Scalar Int
+
+(** Can a value of type [src] be implicitly converted to [dst]? OpenCL C
+    allows the scalar conversions of C plus scalar->vector splat. *)
+let implicit_ok ~src ~dst =
+  match (src, dst) with
+  | t1, t2 when t1 = t2 -> true
+  | Scalar _, Scalar _ -> true
+  | Scalar s, Vector (v, _) -> scalar_rank s <= scalar_rank v
+  | Ptr (sp1, t1), Ptr (sp2, t2) -> sp1 = sp2 && t1 = t2
+  | Array (t1, _), Ptr (_, t2) -> t1 = t2 (* array decay *)
+  | _ -> false
+
+(** Result type of a builtin call given argument types. *)
+let builtin_result loc name (args : ty list) : ty =
+  let gentype_of = function
+    | [] -> Loc.errorf loc "%s expects at least one argument" name
+    | t :: rest ->
+        List.iter
+          (fun t' ->
+            if t' <> t && not (implicit_ok ~src:t' ~dst:t) then
+              Loc.errorf loc "%s: mismatched argument types %s vs %s" name
+                (ty_name t) (ty_name t'))
+          rest;
+        t
+  in
+  match Builtins.category name with
+  | None -> Loc.errorf loc "unknown function %s" name
+  | Some cat -> (
+      match cat with
+      | Builtins.Work_item -> (
+          match args with
+          | [ t ] when is_integer_ty t -> Scalar Int
+          | _ -> Loc.errorf loc "%s expects one integer argument" name)
+      | Builtins.Work_dim ->
+          if args = [] then Scalar Int
+          else Loc.errorf loc "get_work_dim takes no arguments"
+      | Builtins.Barrier -> (
+          match args with
+          | [ t ] when is_integer_ty t -> Void
+          | _ -> Loc.errorf loc "barrier expects one integer flag argument")
+      | Builtins.Math_1 -> (
+          match args with
+          | [ t ] when is_arith t -> t
+          | _ -> Loc.errorf loc "%s expects one arithmetic argument" name)
+      | Builtins.Math_2 | Builtins.Any_2 | Builtins.Int_2 -> (
+          match args with
+          | [ _; _ ] -> gentype_of args
+          | _ -> Loc.errorf loc "%s expects two arguments" name)
+      | Builtins.Math_3 | Builtins.Int_3 -> (
+          match args with
+          | [ _; _; _ ] -> gentype_of args
+          | _ -> Loc.errorf loc "%s expects three arguments" name)
+      | Builtins.Dot -> (
+          match args with
+          | [ Vector (Float, n); Vector (Float, m) ] when n = m -> Scalar Float
+          | [ Scalar Float; Scalar Float ] -> Scalar Float
+          | _ -> Loc.errorf loc "dot expects two float vectors"))
+
+(** Vector component letters -> lane index. Supports .x/.y/.z/.w and
+    .s0-.s9/.sa-.sf single-component selections. *)
+let component_index loc ~width field =
+  let idx =
+    match field with
+    | "x" -> Some 0
+    | "y" -> Some 1
+    | "z" -> Some 2
+    | "w" -> Some 3
+    | _ ->
+        if String.length field = 2 && field.[0] = 's' then
+          let c = Char.lowercase_ascii field.[1] in
+          if c >= '0' && c <= '9' then Some (Char.code c - Char.code '0')
+          else if c >= 'a' && c <= 'f' then Some (Char.code c - Char.code 'a' + 10)
+          else None
+        else None
+  in
+  match idx with
+  | Some i when i < width -> i
+  | Some i ->
+      Loc.errorf loc "component .%s (lane %d) out of range for width %d" field
+        i width
+  | None -> Loc.errorf loc "unsupported vector component .%s" field

@@ -1,0 +1,1 @@
+lib/core/access.ml: Grover_ir List Ssa

@@ -1,0 +1,1 @@
+lib/core/affine_index.ml: Atom Grover_ir Grover_support List Option Ssa

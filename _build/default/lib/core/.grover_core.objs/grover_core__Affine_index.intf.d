@@ -1,0 +1,1 @@
+lib/core/affine_index.mli: Atom Grover_ir Ssa

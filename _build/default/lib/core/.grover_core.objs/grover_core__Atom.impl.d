@@ -1,0 +1,1 @@
+lib/core/atom.ml: Format Grover_ir Grover_support Hashtbl List Printf Ssa Stdlib

@@ -1,0 +1,1 @@
+lib/core/expr_tree.ml: Atom Grover_ir List Printf Ssa

@@ -1,0 +1,1 @@
+lib/core/grover.ml: Access Atom Grover_ir Grover_passes List Lower Report Rewrite Ssa Verify

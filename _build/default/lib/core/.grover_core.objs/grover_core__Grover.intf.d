@@ -1,0 +1,1 @@
+lib/core/grover.mli: Grover_ir Report

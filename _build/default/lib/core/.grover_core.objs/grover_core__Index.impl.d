@@ -1,0 +1,1 @@
+lib/core/index.ml: Array Atom Grover_support List

@@ -1,0 +1,1 @@
+lib/core/report.ml: Access Atom Expr_tree Format Grover_ir List Printf Rewrite Ssa String

@@ -1,0 +1,1 @@
+lib/core/rewrite.ml: Access Affine_index Atom Dom Expr_tree Grover_ir Grover_support Index List Option Solve Ssa

@@ -1,0 +1,1 @@
+lib/core/solve.ml: Affine_index Array Atom Grover_ir Grover_support List Option Printf Ssa

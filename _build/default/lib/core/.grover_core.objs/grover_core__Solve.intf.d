@@ -1,0 +1,1 @@
+lib/core/solve.mli: Atom Grover_ir Ssa

@@ -1,0 +1,106 @@
+(** Candidate selection (paper §IV-A): find the local data structures used
+    as software caches and classify their accesses into GL (global load),
+    LS (local store) and LL (local load) operations. *)
+
+open Grover_ir
+open Ssa
+
+type candidate = {
+  base : value;  (** the local alloca (or __local pointer argument) *)
+  cand_name : string;
+  dims : int list;  (** declared shape; [count] when unknown *)
+  elem : ty;
+  pairs : (instr * instr) list;  (** (GL load, LS store) pairs, in program order *)
+  lls : instr list;  (** local loads from this structure *)
+}
+
+type rejection = { rej_name : string; reason : string }
+
+let base_info (v : value) : (string * int list * ty) option =
+  match v with
+  | Vinstr { op = Alloca { aspace = Local; elem; dims; count; aname }; _ } ->
+      let dims = if dims = [] then [ count ] else dims in
+      Some ((if aname = "" then "local" else aname), dims, elem)
+  | Arg a -> (
+      match a.a_ty with
+      | Ptr (Local, elem) -> Some (a.a_name, [], elem)
+      | _ -> None)
+  | _ -> None
+
+(* Unwrap value-preserving casts: a staged element may travel through a
+   bitcast between the global load and the local store. *)
+let rec unwrap (v : value) : value =
+  match v with
+  | Vinstr { op = Cast (Bitcast, x, _); _ } -> unwrap x
+  | _ -> v
+
+let is_global_load (v : value) : instr option =
+  match unwrap v with
+  | Vinstr ({ op = Load { ptr; _ }; _ } as i) -> (
+      match type_of ptr with
+      | Ptr ((Global | Constant), _) -> Some i
+      | _ -> None)
+  | _ -> None
+
+(** All local bases in the function, in definition order. *)
+let local_bases (fn : func) : value list =
+  let allocas =
+    fold_instrs
+      (fun acc i ->
+        match i.op with
+        | Alloca { aspace = Local; _ } -> Vinstr i :: acc
+        | _ -> acc)
+      [] fn
+    |> List.rev
+  in
+  let args =
+    List.filter_map
+      (fun a ->
+        match a.a_ty with Ptr (Local, _) -> Some (Arg a) | _ -> None)
+      fn.f_args
+  in
+  allocas @ args
+
+(** Classify every access to [base]. Returns either a candidate fitting the
+    software-cache pattern, or the reason it does not fit. *)
+let classify (fn : func) (base : value) : (candidate, rejection) result =
+  match base_info base with
+  | None -> invalid_arg "classify: not a local base"
+  | Some (cand_name, dims, elem) ->
+      let pairs = ref [] and lls = ref [] in
+      let bad = ref None in
+      let reject reason = if !bad = None then bad := Some reason in
+      iter_instrs
+        (fun i ->
+          match i.op with
+          | Load { ptr; _ } when value_equal ptr base -> lls := i :: !lls
+          | Store { ptr; v; _ } when value_equal ptr base -> (
+              match is_global_load v with
+              | Some gl -> pairs := (gl, i) :: !pairs
+              | None ->
+                  reject
+                    "local memory is written with computed values (used as \
+                     scratch storage, not as a software cache)")
+          | _ ->
+              if List.exists (fun o -> value_equal o base) (operands i.op) then
+                reject "the local buffer escapes into a non-memory operation")
+        fn;
+      (match (!pairs, !lls) with
+      | [], _ -> reject "no (GL, LS) staging pair found"
+      | _, [] -> reject "the staged data is never read from local memory"
+      | _ -> ());
+      (match !bad with
+      | Some reason -> Error { rej_name = cand_name; reason }
+      | None ->
+          Ok
+            {
+              base;
+              cand_name;
+              dims;
+              elem;
+              pairs = List.rev !pairs;
+              lls = List.rev !lls;
+            })
+
+let candidates (fn : func) : (candidate, rejection) result list =
+  List.map (classify fn) (local_bases fn)

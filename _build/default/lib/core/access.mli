@@ -1,0 +1,30 @@
+(** Candidate selection (paper §IV-A): finding the local data structures
+    used as software caches and classifying their accesses into GL (global
+    load), LS (local store) and LL (local load) operations. *)
+
+open Grover_ir
+
+type candidate = {
+  base : Ssa.value;  (** the local alloca (or [__local] pointer argument) *)
+  cand_name : string;
+  dims : int list;  (** declared shape; [[]] when unknown (pointer arg) *)
+  elem : Ssa.ty;
+  pairs : (Ssa.instr * Ssa.instr) list;
+      (** (GL load, LS store) staging pairs, in program order. Multi-pass
+          staging (paper's convolution case) yields several pairs; any of
+          them determines the same correspondence. *)
+  lls : Ssa.instr list;  (** local loads from this structure *)
+}
+
+type rejection = { rej_name : string; reason : string }
+
+val local_bases : Ssa.func -> Ssa.value list
+(** All local buffers of the kernel, in definition order. *)
+
+val classify : Ssa.func -> Ssa.value -> (candidate, rejection) result
+(** Classify every access to one local buffer. [Error] when the buffer does
+    not fit the software-cache pattern (scratch usage, escapes, no staging
+    pair, staged data never read). *)
+
+val candidates : Ssa.func -> (candidate, rejection) result list
+(** [classify] applied to every local buffer. *)

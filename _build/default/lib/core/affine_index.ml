@@ -1,0 +1,63 @@
+(** Extraction of affine forms from IR index expressions.
+
+    Walks the def-use chain of an index value — the same traversal that
+    builds the paper's index expression trees — and folds it into an affine
+    form over atoms. Integer casts are width changes on indexes and are
+    treated as transparent (indexes are assumed in range, as the paper does
+    implicitly by working on the source-level index expressions). *)
+
+open Grover_ir
+open Ssa
+module Form = Atom.Form
+module Q = Grover_support.Rational
+
+(* A non-affine construct (e.g. lx * W with W an argument) stops the
+   analysis; the caller then rejects the candidate. *)
+let rec form_of (v : value) : Form.t option =
+  match v with
+  | Cint (_, n) -> Some (Form.of_int n)
+  | Cfloat _ -> None
+  | Arg _ -> Some (Form.atom v)
+  | Vinstr i -> (
+      match i.op with
+      | Call _ | Phi _ -> Some (Form.atom v)
+      | Binop (Add, a, b) -> map2 Form.add a b
+      | Binop (Sub, a, b) -> map2 Form.sub a b
+      | Binop (Mul, a, b) -> (
+          match (form_of a, form_of b) with
+          | Some fa, Some fb -> Form.mul fa fb
+          | _ -> None)
+      | Binop (Shl, a, Cint (_, s)) when s >= 0 && s < 62 ->
+          Option.map (Form.scale (Q.of_int (1 lsl s))) (form_of a)
+      | Binop ((Sdiv | Udiv), a, Cint (_, d)) when d > 0 -> (
+          (* Exact only when every coefficient divides; used by kernels that
+             recover a row index as (flat / width). *)
+          match form_of a with
+          | Some fa ->
+              let q = Q.make 1 d in
+              let scaled = Form.scale q fa in
+              (* Accept only if the division is exact on all coefficients. *)
+              let exact = ref (Q.is_integer (Form.constant scaled)) in
+              Form.fold
+                (fun _ c () -> if not (Q.is_integer c) then exact := false)
+                scaled ();
+              if !exact then Some scaled else None
+          | None -> None)
+      | Cast ((Sext | Zext | Trunc | Bitcast), x, t) when ty_is_integer t ->
+          form_of x
+      | _ -> None)
+
+and map2 f a b =
+  match (form_of a, form_of b) with
+  | Some fa, Some fb -> Some (f fa fb)
+  | _ -> None
+
+(** Atoms of a form that are [get_local_id] calls, ordered by dimension. *)
+let lid_atoms (f : Form.t) : value list =
+  Form.atoms f
+  |> List.filter Atom.is_lid
+  |> List.sort (fun a b ->
+         compare (Option.get (Atom.lid_dim a)) (Option.get (Atom.lid_dim b)))
+
+(** Split a form into (thread-id terms, everything else). *)
+let split_lid (f : Form.t) : Form.t * Form.t = Form.split ~on:Atom.is_lid f

@@ -1,0 +1,17 @@
+(** Extraction of affine forms from IR index expressions (paper §IV-B/C).
+
+    Walks the def-use chain of an index value and folds it into an affine
+    form over atoms (calls, arguments, phis). Returns [None] for non-affine
+    constructs (e.g. a product of two atoms), which rejects the candidate —
+    exactly the paper's linearity assumption (Eq. 2). *)
+
+open Grover_ir
+
+val form_of : Ssa.value -> Atom.Form.t option
+(** Affine form of an index value; [None] when not affine in the atoms. *)
+
+val lid_atoms : Atom.Form.t -> Ssa.value list
+(** The [get_local_id] atoms of a form, ordered by dimension. *)
+
+val split_lid : Atom.Form.t -> Atom.Form.t * Atom.Form.t
+(** Separate the thread-id terms from the rest (remainder + constant). *)

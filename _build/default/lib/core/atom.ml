@@ -1,0 +1,103 @@
+(** Atoms: the IR values Grover's index analysis treats as opaque symbols.
+
+    Per paper §IV-B, index expression trees bottom out at four leaf kinds —
+    call instructions, constants, function arguments, and phi nodes.
+    Constants fold into affine coefficients; the other three become atoms.
+    The thread-index coordinates ([get_local_id(d)] calls) are the special
+    atoms that act as unknowns of the linear system. *)
+
+open Grover_ir
+open Ssa
+
+type t = value
+(** Invariant: an [Arg _], or a [Vinstr] whose opcode is [Call _] or
+    [Phi _]. *)
+
+let is_atom_value (v : value) : bool =
+  match v with
+  | Arg _ -> true
+  | Vinstr { op = Call _ | Phi _; _ } -> true
+  | Cint _ | Cfloat _ | Vinstr _ -> false
+
+let compare (a : t) (b : t) : int =
+  let key = function
+    | Arg x -> (0, x.a_index)
+    | Vinstr i -> (1, i.iid)
+    | Cint _ | Cfloat _ -> invalid_arg "Atom.compare: constant is not an atom"
+  in
+  Stdlib.compare (key a) (key b)
+
+(** Which [get_local_id] dimension an atom is, if any. *)
+let lid_dim (v : t) : int option =
+  match v with
+  | Vinstr { op = Call { callee = "get_local_id"; args = [ Cint (_, d) ]; _ }; _ }
+    ->
+      Some d
+  | _ -> None
+
+let is_lid (v : t) : bool = lid_dim v <> None
+
+(* Human-readable loop-variable names for phi atoms, assigned per kernel by
+   [assign_phi_names]; reports then print "i"/"j" like the paper's Table III
+   rather than internal instruction ids. *)
+let phi_names : (int, string) Hashtbl.t = Hashtbl.create 16
+
+let assign_phi_names (fn : func) : unit =
+  Hashtbl.reset phi_names;
+  let pool = [ "i"; "j"; "k"; "m"; "n2"; "p"; "q" ] in
+  let next = ref 0 in
+  iter_instrs
+    (fun i ->
+      match i.op with
+      | Phi { p_ty; _ } when ty_is_integer p_ty ->
+          let nm =
+            if !next < List.length pool then List.nth pool !next
+            else Printf.sprintf "i%d" !next
+          in
+          incr next;
+          Hashtbl.replace phi_names i.iid nm
+      | _ -> ())
+    fn
+
+(** Canonical short names matching the paper's notation: lx/ly/lz for local
+    thread ids, wx/wy/wz for work-group ids, gx/gy/gz for global ids. *)
+let name (v : t) : string =
+  let dim_letter d = match d with 0 -> "x" | 1 -> "y" | 2 -> "z" | _ -> string_of_int d in
+  match v with
+  | Arg a -> a.a_name
+  | Vinstr { op = Call { callee; args = [ Cint (_, d) ]; _ }; _ } -> (
+      match callee with
+      | "get_local_id" -> "l" ^ dim_letter d
+      | "get_group_id" -> "w" ^ dim_letter d
+      | "get_global_id" -> "g" ^ dim_letter d
+      | "get_local_size" -> "ls" ^ dim_letter d
+      | "get_global_size" -> "gs" ^ dim_letter d
+      | "get_num_groups" -> "ng" ^ dim_letter d
+      | c -> Printf.sprintf "%s(%d)" c d)
+  | Vinstr ({ op = Phi _; _ } as i) -> (
+      match Hashtbl.find_opt phi_names i.iid with
+      | Some n -> n
+      | None -> Printf.sprintf "phi%d" i.iid)
+  | Vinstr ({ op = Call { callee; _ }; _ } as i) ->
+      Printf.sprintf "%s.%d" callee i.iid
+  | Vinstr i -> Printf.sprintf "v%d" i.iid
+  | Cint _ | Cfloat _ -> "<const>"
+
+let pp ppf v = Format.pp_print_string ppf (name v)
+
+module Form = Grover_support.Affine.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+  let pp = pp
+end)
+
+module Form_space = struct
+  type t = Form.t
+
+  let zero = Form.zero
+  let add = Form.add
+  let scale = Form.scale
+end
+
+module Solver = Grover_support.Linsolve.Make (Form_space)

@@ -1,0 +1,151 @@
+(** Index expression trees (paper §IV-B, Fig. 6) and the instruction
+    duplication algorithm (paper Algorithm 1).
+
+    A tree node mirrors the paper's [ExprNode]: a value, a [state] flag
+    marking whether the node must be updated (i.e. its subtree contains a
+    thread-index leaf being substituted), child pointers and a parent
+    pointer. Building recurses through operand chains and stops at the four
+    leaf kinds: call instructions, constants, arguments and phi nodes.
+
+    [duplicate] re-creates the marked spine of the tree as fresh
+    instructions inserted before a given point, re-using the unmarked shared
+    subexpressions exactly as the paper describes, and splicing substitution
+    values at the substituted leaves. *)
+
+open Grover_ir
+open Ssa
+
+type node = {
+  value : value;
+  mutable state : bool;  (** needs update during duplication *)
+  children : node list;
+  mutable parent : node option;
+}
+
+let is_leaf_value (v : value) : bool =
+  match v with
+  | Cint _ | Cfloat _ | Arg _ -> true
+  | Vinstr { op = Call _ | Phi _; _ } -> true
+  | Vinstr _ -> false
+
+(** Build the expression tree rooted at [v]. *)
+let rec build (v : value) : node =
+  let children =
+    if is_leaf_value v then []
+    else
+      match v with
+      | Vinstr i -> List.map build (operands i.op)
+      | _ -> []
+  in
+  let n = { value = v; state = false; children; parent = None } in
+  List.iter (fun c -> c.parent <- Some n) children;
+  n
+
+(** Mark every node whose value satisfies [p], and backtrack the [state]
+    flag up to the root (paper §IV-E). Returns true if anything matched. *)
+let mark (root : node) ~(p : value -> bool) : bool =
+  let any = ref false in
+  let rec go n =
+    if p n.value then begin
+      any := true;
+      let rec up m =
+        if not m.state then begin
+          m.state <- true;
+          match m.parent with Some par -> up par | None -> ()
+        end
+      in
+      up n
+    end;
+    List.iter go n.children
+  in
+  go root;
+  !any
+
+let leaves (root : node) : node list =
+  let acc = ref [] in
+  let rec go n =
+    if n.children = [] then acc := n :: !acc else List.iter go n.children
+  in
+  go root;
+  List.rev !acc
+
+(** Paper Algorithm 1. [subst v] supplies the replacement for substituted
+    leaves (returning [None] leaves the value as-is). New instructions are
+    inserted into [block] before instruction [pos], in post-order, so every
+    operand is defined before its user. *)
+let duplicate (root : node) ~(subst : value -> value option)
+    ~(block : block) ~(pos : instr) : value =
+  let rec dup (n : node) : value =
+    match subst n.value with
+    | Some replacement -> replacement
+    | None ->
+        if not n.state || n.children = [] then n.value
+        else begin
+          match n.value with
+          | Vinstr old ->
+              let new_ops = List.map dup n.children in
+              (* Rebuild the opcode with the duplicated operands, in order. *)
+              let remaining = ref new_ops in
+              let next _ =
+                match !remaining with
+                | v :: rest ->
+                    remaining := rest;
+                    v
+                | [] -> invalid_arg "duplicate: operand arity mismatch"
+              in
+              let op' = map_operands ~f:next old.op in
+              let fresh = fresh_instr op' in
+              insert_before block ~before:pos fresh;
+              Vinstr fresh
+          | v ->
+              (* A marked leaf with no substitution: constants and arguments
+                 are immutable values, reuse them. *)
+              v
+        end
+  in
+  dup root
+
+(* -- Rendering (used by reports and the CLI) ------------------------------ *)
+
+let rec render_value ?(depth = 12) (v : value) : string =
+  if depth = 0 then "..."
+  else
+    match v with
+    | Cint (_, n) -> string_of_int n
+    | Cfloat f -> Printf.sprintf "%g" f
+    | Arg _ -> Atom.name v
+    | Vinstr i -> (
+        match i.op with
+        | Call _ | Phi _ -> Atom.name v
+        | Binop (b, x, y) ->
+            let sym =
+              match b with
+              | Add | Fadd -> "+"
+              | Sub | Fsub -> "-"
+              | Mul | Fmul -> "*"
+              | Sdiv | Udiv | Fdiv -> "/"
+              | Srem | Urem | Frem -> "%"
+              | Shl -> "<<"
+              | Ashr | Lshr -> ">>"
+              | And -> "&"
+              | Or -> "|"
+              | Xor -> "^"
+            in
+            Printf.sprintf "(%s %s %s)"
+              (render_value ~depth:(depth - 1) x)
+              sym
+              (render_value ~depth:(depth - 1) y)
+        | Cast (_, x, _) -> render_value ~depth:(depth - 1) x
+        | Load { ptr; index } ->
+            Printf.sprintf "%s[%s]"
+              (render_value ~depth:(depth - 1) ptr)
+              (render_value ~depth:(depth - 1) index)
+        | Alloca { aname; _ } -> aname
+        | Select (c, a, b) ->
+            Printf.sprintf "(%s ? %s : %s)"
+              (render_value ~depth:(depth - 1) c)
+              (render_value ~depth:(depth - 1) a)
+              (render_value ~depth:(depth - 1) b)
+        | _ -> Printf.sprintf "v%d" i.iid)
+
+let render (root : node) : string = render_value root.value

@@ -1,0 +1,91 @@
+(** Grover — the compiler pass that disables local memory usage in OpenCL
+    kernels (Fang, Sips, Jääskeläinen, Varbanescu; ICPP 2014).
+
+    [run] takes a normalised kernel (see {!Grover_passes.Pipeline.normalize})
+    and rewrites every selected software-cache use of local memory into
+    direct global loads:
+
+    + select candidates and classify GL/LS/LL operations ({!Access});
+    + determine per-dimension data indexes ({!Affine_index}, {!Index});
+    + create and solve the linear system for the thread-index
+      correspondence ({!Solve});
+    + duplicate the GL index chain with the solution substituted, insert
+      the nGL, and replace the LL's uses ({!Rewrite});
+    + clean up: DCE removes the dead staging code, and redundant local
+      barriers are removed.
+
+    Candidates that do not fit the software-cache pattern are left intact
+    and reported with the reason, mirroring the paper's §VI-D limitations. *)
+
+open Grover_ir
+module Pass = Grover_passes
+
+type outcome = {
+  transformed : string list;  (** candidate names rewritten *)
+  rejected : (string * string) list;  (** candidate name, reason *)
+  reports : Report.entry list;
+  barriers_removed : int;
+}
+
+let no_candidates = { transformed = []; rejected = []; reports = []; barriers_removed = 0 }
+
+(** Transform [fn] in place.
+
+    @param only restrict the rewrite to local buffers with these source
+    names (e.g. [["As"]] to reproduce NVD-MM-A). Buffers not selected are
+    preserved untouched and do not appear in [rejected]. *)
+let run ?(only : string list option) (fn : Ssa.func) : outcome =
+  Atom.assign_phi_names fn;
+  let selected name =
+    match only with None -> true | Some names -> List.mem name names
+  in
+  let classified = Access.candidates fn in
+  let plans, rejected =
+    List.fold_left
+      (fun (plans, rejected) c ->
+        match c with
+        | Error r ->
+            if selected r.Access.rej_name then
+              (plans, (r.Access.rej_name, r.Access.reason) :: rejected)
+            else (plans, rejected)
+        | Ok cand ->
+            if not (selected cand.Access.cand_name) then (plans, rejected)
+            else (
+              match Rewrite.analyse fn cand with
+              | Ok plan -> (plan :: plans, rejected)
+              | Error e ->
+                  (plans, (e.Rewrite.err_candidate, e.Rewrite.err_reason) :: rejected)))
+      ([], []) classified
+  in
+  let plans = List.rev plans and rejected = List.rev rejected in
+  if plans = [] then { no_candidates with rejected }
+  else begin
+    let applied = List.map (fun plan -> (plan, Rewrite.apply fn plan)) plans in
+    (* The staging code is now dead; remove it, then the barriers that only
+       guarded it. *)
+    Pass.Pipeline.cleanup fn;
+    let barriers_removed = Rewrite.remove_local_barriers fn in
+    Pass.Pipeline.cleanup fn;
+    Verify.run fn;
+    let reports =
+      List.map
+        (fun (plan, ngls) ->
+          Report.of_plan ~kernel:fn.Ssa.f_name ~barriers_removed plan ~ngls)
+        applied
+    in
+    {
+      transformed = List.map (fun (p, _) -> p.Rewrite.cand.Access.cand_name) applied;
+      rejected;
+      reports;
+      barriers_removed;
+    }
+  end
+
+(** Compile + normalise + transform: the whole Fig. 9 pipeline on source.
+    Returns one (function, outcome) per kernel in the source. *)
+let run_on_source ?defines ?only (src : string) : (Ssa.func * outcome) list =
+  Lower.compile ?defines src
+  |> List.map (fun fn ->
+         Pass.Pipeline.normalize fn;
+         let o = run ?only fn in
+         (fn, o))

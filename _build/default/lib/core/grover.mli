@@ -1,0 +1,30 @@
+(** Grover — the compiler pass that disables local memory usage in OpenCL
+    kernels (Fang, Sips, Jääskeläinen, Varbanescu; ICPP 2014).
+
+    The input function must be in normal form
+    (see {!Grover_passes.Pipeline.normalize}): index chains bottoming out at
+    calls, constants, arguments and phi nodes. The pass mutates the function
+    in place; candidates that do not fit the software-cache pattern are left
+    intact and reported with a reason. *)
+
+type outcome = {
+  transformed : string list;  (** local buffers whose usage was disabled *)
+  rejected : (string * string) list;  (** (buffer, reason) for the rest *)
+  reports : Report.entry list;  (** one Table-III-style entry per buffer *)
+  barriers_removed : int;
+}
+
+val run : ?only:string list -> Grover_ir.Ssa.func -> outcome
+(** [run ?only fn] disables local memory usage in [fn].
+
+    @param only restrict the rewrite to local buffers with these source
+    names (e.g. [["As"]] reproduces the paper's NVD-MM-A case). Unselected
+    buffers are preserved untouched and do not appear in [rejected]. *)
+
+val run_on_source :
+  ?defines:(string * string) list ->
+  ?only:string list ->
+  string ->
+  (Grover_ir.Ssa.func * outcome) list
+(** The whole paper-Fig.-9 pipeline: compile OpenCL C, normalise, transform.
+    Returns one (function, outcome) pair per kernel in the source. *)

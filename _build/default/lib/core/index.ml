@@ -1,0 +1,77 @@
+(** Data-index determination (paper §IV-C, Fig. 7).
+
+    The IR linearises multi-dimensional local accesses into a flat element
+    index, so the '+ -> *' tree pattern of the paper becomes an exact
+    arithmetic decomposition here: given the declared shape of the local
+    array, each affine term of the flat index is split across dimensions by
+    Euclidean division by the dimension strides. On the benchmark kernels
+    this computes exactly the (x, y, z) tuples of the paper's Table III,
+    and it additionally handles the 'derived pattern' of Fig. 7(b) (a
+    loop-dependent term folded into the low dimension) with no special
+    case. *)
+
+module Form = Atom.Form
+module Q = Grover_support.Rational
+
+(** Strides for a shape: [dims = [d0; d1; d2]] gives [ [d1*d2; d2; 1] ]. *)
+let strides (dims : int list) : int list =
+  let rec go = function
+    | [] -> []
+    | [ _ ] -> [ 1 ]
+    | _ :: rest as l ->
+        ignore l;
+        let tail = go rest in
+        (List.hd rest * List.hd tail) :: tail
+  in
+  go dims
+
+(* Truncated division: the sign of the remainder follows the coefficient.
+   This matches the syntactic structure of flipped indexes such as
+   [lm[7 - ly][7 - lx]], whose flat form is [63 - 8*ly - lx]: the [-lx]
+   term must stay whole in the low dimension ([q = 0, r = -1]), not wrap
+   into the high dimension as Euclidean division would. *)
+let trunc_div_mod (c : int) (s : int) : int * int =
+  let q = c / s in
+  (q, c - (q * s))
+
+(** Split a flat affine index into per-dimension affine indexes.
+
+    Returns [None] when a coefficient is non-integral (the decomposition
+    would not be exact). The result has one form per dimension, highest
+    dimension first, and recombining with the strides yields the input. *)
+let split_dims ~(dims : int list) (f : Form.t) : Form.t list option =
+  let n = List.length dims in
+  if n <= 1 then Some [ f ]
+  else
+    let ss = strides dims in
+    let out = Array.make n Form.zero in
+    let exception Not_integral in
+    let scatter coeff mk =
+      match Q.to_int coeff with
+      | None -> raise Not_integral
+      | Some c ->
+          let rem = ref c in
+          List.iteri
+            (fun i s ->
+              let q, r = trunc_div_mod !rem s in
+              out.(i) <- Form.add out.(i) (mk q);
+              rem := r)
+            ss;
+          assert (!rem = 0)
+    in
+    match
+      Form.fold
+        (fun atom coeff () ->
+          scatter coeff (fun q -> Form.scale (Q.of_int q) (Form.atom atom)))
+        f
+        (scatter (Form.constant f) (fun q -> Form.const (Q.of_int q)))
+    with
+    | () -> Some (Array.to_list out)
+    | exception Not_integral -> None
+
+(** Recombine per-dimension indexes into the flat index (for checking). *)
+let flatten ~(dims : int list) (parts : Form.t list) : Form.t =
+  let ss = strides dims in
+  List.fold_left2
+    (fun acc s p -> Form.add acc (Form.scale (Q.of_int s) p))
+    Form.zero ss parts

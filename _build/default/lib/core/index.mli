@@ -1,0 +1,21 @@
+(** Data-index determination (paper §IV-C, Fig. 7): decomposing a flat
+    local-array element index into per-dimension indexes.
+
+    The IR linearises multi-dimensional accesses, so the paper's
+    ['+ -> *' ] tree pattern becomes exact arithmetic here: each affine
+    term splits across dimensions by truncated division by the dimension
+    strides. The derived pattern of Fig. 7(b) (loop-dependent low-dimension
+    terms) needs no special case. *)
+
+module Form := Atom.Form
+
+val strides : int list -> int list
+(** [strides [d0; d1; d2]] is [[d1*d2; d2; 1]]. *)
+
+val split_dims : dims:int list -> Form.t -> Form.t list option
+(** Per-dimension indexes, highest dimension first; [None] when a
+    coefficient is non-integral. Recombining with {!flatten} restores the
+    input. *)
+
+val flatten : dims:int list -> Form.t list -> Form.t
+(** Inverse of {!split_dims}. *)

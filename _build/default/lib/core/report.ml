@@ -1,0 +1,63 @@
+(** Human-readable summaries of Grover's analysis, in the shape of the
+    paper's Table III: the GL, LS, LL and nGL data indexes per candidate. *)
+
+open Grover_ir
+open Ssa
+module Form = Atom.Form
+
+type entry = {
+  kernel : string;
+  candidate : string;
+  gl_index : string;  (** rendered flat global-load index expression *)
+  ls_index : string list;  (** per-dimension LS index, highest dim first *)
+  ll_index : string list;  (** per-dimension LL index of the first local load *)
+  ngl_index : string;  (** rendered flat new-global-load index expression *)
+  solution : (string * string) list;  (** lx' = ..., ly' = ... *)
+  barriers_removed : int;
+}
+
+let form_to_string (f : Form.t) : string = Format.asprintf "%a" Form.pp f
+
+let dims_to_string (fs : string list) : string =
+  "(" ^ String.concat ", " fs ^ ")"
+
+let of_plan ~(kernel : string) ~(barriers_removed : int)
+    (plan : Rewrite.plan) ~(ngls : (instr * instr) list) : entry =
+  match (plan.Rewrite.lls, ngls) with
+  | first :: _, (_, first_ngl) :: _ ->
+      let gl_index =
+        match first.Rewrite.gl.op with
+        | Load { index; _ } -> Expr_tree.render_value index
+        | _ -> "?"
+      in
+      let ngl_index =
+        match first_ngl.op with
+        | Load { index; _ } -> Expr_tree.render_value index
+        | _ -> "?"
+      in
+      {
+        kernel;
+        candidate = plan.Rewrite.cand.Access.cand_name;
+        gl_index;
+        ls_index = List.map form_to_string first.Rewrite.ls_dims;
+        ll_index = List.map form_to_string first.Rewrite.ll_dims;
+        ngl_index;
+        solution =
+          List.map
+            (fun (lid, f) -> (Atom.name lid ^ "'", form_to_string f))
+            first.Rewrite.solution;
+        barriers_removed;
+      }
+  | _ -> invalid_arg "Report.of_plan: empty plan"
+
+let pp_entry ppf (e : entry) =
+  Format.fprintf ppf "@[<v 2>%s / %s:@,GL  index: %s@,LS  index: %s@,LL  index: %s@,nGL index: %s@,solution : %s@,barriers removed: %d@]"
+    e.kernel e.candidate e.gl_index
+    (dims_to_string e.ls_index)
+    (dims_to_string e.ll_index)
+    e.ngl_index
+    (String.concat ", "
+       (List.map (fun (l, r) -> Printf.sprintf "%s = %s" l r) e.solution))
+    e.barriers_removed
+
+let to_string (e : entry) : string = Format.asprintf "%a" pp_entry e

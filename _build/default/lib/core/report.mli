@@ -1,0 +1,29 @@
+(** Human-readable summaries of Grover's analysis — the shape of the
+    paper's Table III: the GL, LS, LL and nGL data indexes per candidate. *)
+
+open Grover_ir
+
+type entry = {
+  kernel : string;
+  candidate : string;  (** source name of the local buffer *)
+  gl_index : string;  (** rendered flat global-load index expression *)
+  ls_index : string list;  (** per-dimension LS index, highest dim first *)
+  ll_index : string list;  (** per-dimension LL index of the first local load *)
+  ngl_index : string;  (** rendered flat new-global-load index expression *)
+  solution : (string * string) list;  (** e.g. [("lx'", "ly"); ("ly'", "lx")] *)
+  barriers_removed : int;
+}
+
+val form_to_string : Atom.Form.t -> string
+val dims_to_string : string list -> string
+
+val of_plan :
+  kernel:string ->
+  barriers_removed:int ->
+  Rewrite.plan ->
+  ngls:(Ssa.instr * Ssa.instr) list ->
+  entry
+(** Build an entry from an applied rewrite plan and its (LL, nGL) pairs. *)
+
+val pp_entry : Format.formatter -> entry -> unit
+val to_string : entry -> string

@@ -1,0 +1,263 @@
+(** The transformation engine (paper §IV-E/F): given a candidate and the
+    solved thread-index correspondence, create the new global load (nGL)
+    and its index instructions before each local load (LL), and replace the
+    LL's uses.
+
+    The engine is plan/apply: every LL of a candidate is analysed first
+    (pure); IR is only mutated once the whole candidate is known to be
+    transformable, so a failing kernel is never left half-rewritten. *)
+
+open Grover_ir
+open Ssa
+module Form = Atom.Form
+module Q = Grover_support.Rational
+
+type ll_plan = {
+  ll : instr;
+  gl : instr;
+  ls : instr;
+  solution : Solve.solution;
+  ls_dims : Form.t list;
+  ll_dims : Form.t list;
+}
+
+type plan = { cand : Access.candidate; lls : ll_plan list }
+
+type error = { err_candidate : string; err_reason : string }
+
+let fail c reason = Error { err_candidate = c.Access.cand_name; err_reason = reason }
+
+let effective_dims (c : Access.candidate) : int list =
+  if c.Access.dims = [] then [ 1 ] else c.Access.dims
+
+(* -- Analysis -------------------------------------------------------------- *)
+
+let instr_of = function Vinstr i -> Some i | _ -> None
+
+(* Values the rewrite will reference at the LL insertion point: solution
+   atoms plus the re-used (unmarked) parts of the GL chain. All must
+   dominate the LL. *)
+let dominance_ok (dom : Dom.t) (ll : instr) (vs : value list) : bool =
+  List.for_all
+    (fun v ->
+      match instr_of v with
+      | None -> true
+      | Some def -> Dom.def_dominates_use dom ~def ~use:ll)
+    vs
+
+(* Collect the values [duplicate] would reuse: unmarked children of marked
+   nodes, and the root itself if unmarked. *)
+let reused_values (root : Expr_tree.node) : value list =
+  let acc = ref [] in
+  let rec go (n : Expr_tree.node) =
+    if not n.Expr_tree.state then acc := n.Expr_tree.value :: !acc
+    else List.iter go n.Expr_tree.children
+  in
+  go root;
+  !acc
+
+let analyse_ll (dom : Dom.t) (c : Access.candidate) (ll : instr) :
+    (ll_plan, error) result =
+  let dims = effective_dims c in
+  let ll_index = match ll.op with Load { index; _ } -> index | _ -> assert false in
+  match Affine_index.form_of ll_index with
+  | None -> fail c "the local-load index is not an affine expression"
+  | Some ll_flat -> (
+      match Index.split_dims ~dims ll_flat with
+      | None -> fail c "the local-load index does not decompose over the array shape"
+      | Some ll_dims ->
+          (* Try each (GL, LS) pair until one yields a usable solution
+             (paper §IV-A: any pair gives the same correspondence; trying
+             all of them is strictly more robust). *)
+          let rec try_pairs last_err = function
+            | [] ->
+                Error
+                  (Option.value last_err
+                     ~default:
+                       { err_candidate = c.Access.cand_name;
+                         err_reason = "no usable (GL, LS) pair" })
+            | (gl, ls) :: rest -> (
+                let attempt =
+                  let ls_index =
+                    match ls.op with Store { index; _ } -> index | _ -> assert false
+                  in
+                  match Affine_index.form_of ls_index with
+                  | None -> fail c "the local-store index is not affine"
+                  | Some ls_flat -> (
+                      match Index.split_dims ~dims ls_flat with
+                      | None ->
+                          fail c
+                            "the local-store index does not decompose over \
+                             the array shape"
+                      | Some ls_dims -> (
+                          match Solve.solve ~ls_dims ~ll_dims with
+                          | Error f -> fail c (Solve.failure_message f)
+                          | Ok solution -> (
+                              (* The GL index may only depend on thread ids
+                                 that the solution covers. *)
+                              let gl_index =
+                                match gl.op with
+                                | Load { index; _ } -> index
+                                | _ -> assert false
+                              in
+                              let tree = Expr_tree.build gl_index in
+                              let solved_lids = List.map fst solution in
+                              let is_solved v =
+                                List.exists (value_equal v) solved_lids
+                              in
+                              let unsolved_lid = ref false in
+                              ignore
+                                (Expr_tree.mark tree ~p:(fun v ->
+                                     if Atom.is_lid v && not (is_solved v) then
+                                       unsolved_lid := true;
+                                     is_solved v));
+                              if !unsolved_lid then
+                                fail c
+                                  "the global-load index depends on a thread \
+                                   id the store-index map does not determine"
+                              else
+                                let needed =
+                                  reused_values tree
+                                  @ List.concat_map
+                                      (fun (_, f) -> Form.atoms f)
+                                      solution
+                                in
+                                if not (dominance_ok dom ll needed) then
+                                  fail c
+                                    "a value needed by the new index does \
+                                     not dominate the local load"
+                                else Ok { ll; gl; ls; solution; ls_dims; ll_dims })))
+                in
+                match attempt with
+                | Ok p -> Ok p
+                | Error e -> try_pairs (Some e) rest)
+          in
+          try_pairs None c.Access.pairs)
+
+let analyse (fn : func) (c : Access.candidate) : (plan, error) result =
+  let dom = Dom.compute fn in
+  (* Element types must match: the LL reads what the GL staged. *)
+  let gl_elem_ok =
+    List.for_all
+      (fun (gl, _) ->
+        match gl.op with
+        | Load { ptr; _ } -> elem_of_ptr (type_of ptr) = c.Access.elem
+        | _ -> false)
+      c.Access.pairs
+  in
+  if not gl_elem_ok then
+    fail c "the staged global data has a different element type"
+  else
+    let rec go acc = function
+      | [] -> Ok { cand = c; lls = List.rev acc }
+      | ll :: rest -> (
+          match analyse_ll dom c ll with
+          | Ok p -> go (p :: acc) rest
+          | Error e -> Error e)
+    in
+    go [] c.Access.lls
+
+(* -- Application ------------------------------------------------------------ *)
+
+let to_i32 ~emit (v : value) : value =
+  match type_of v with
+  | I32 -> v
+  | I1 | I8 | I16 -> emit (Cast (Sext, v, I32))
+  | I64 -> emit (Cast (Trunc, v, I32))
+  | _ -> invalid_arg "to_i32: non-integer index component"
+
+(* Materialise an affine form as i32 arithmetic before the LL. *)
+let materialise ~emit (f : Form.t) : value =
+  match Form.to_atom f with
+  | Some a -> to_i32 ~emit a
+  | None ->
+      let const = Option.get (Q.to_int (Form.constant f)) in
+      Form.fold
+        (fun atom coeff acc ->
+          let c = Option.get (Q.to_int coeff) in
+          let base = to_i32 ~emit atom in
+          let term =
+            if c = 1 then base else emit (Binop (Mul, base, Cint (I32, c)))
+          in
+          match acc with
+          | Cint (I32, 0) -> term
+          | _ -> emit (Binop (Add, acc, term)))
+        f
+        (Cint (I32, const))
+
+let apply_ll (p : ll_plan) : instr =
+  let block =
+    match p.ll.parent with Some b -> b | None -> invalid_arg "detached LL"
+  in
+  let emit op =
+    let i = fresh_instr op in
+    insert_before block ~before:p.ll i;
+    Vinstr i
+  in
+  (* Materialise the solution (paper §IV-D result), then duplicate the GL
+     index chain substituting the thread-id leaves (paper §IV-E/F). *)
+  let subst_tbl =
+    List.map (fun (lid, f) -> (lid, materialise ~emit f)) p.solution
+  in
+  let gl_index = match p.gl.op with Load { index; _ } -> index | _ -> assert false in
+  let tree = Expr_tree.build gl_index in
+  let solved_lids = List.map fst subst_tbl in
+  ignore
+    (Expr_tree.mark tree ~p:(fun v -> List.exists (value_equal v) solved_lids));
+  let subst v =
+    List.find_map
+      (fun (lid, repl) -> if value_equal v lid then Some repl else None)
+      subst_tbl
+  in
+  let new_index = Expr_tree.duplicate tree ~subst ~block ~pos:p.ll in
+  let gl_ptr = match p.gl.op with Load { ptr; _ } -> ptr | _ -> assert false in
+  let ngl = fresh_instr (Load { ptr = gl_ptr; index = new_index }) in
+  insert_before block ~before:p.ll ngl;
+  ngl
+
+let apply (fn : func) (plan : plan) : (instr * instr) list =
+  (* Returns (LL, nGL) pairs; the caller builds reports from them. *)
+  List.map
+    (fun p ->
+      let ngl = apply_ll p in
+      replace_uses fn ~target:(Vinstr p.ll) ~by:(Vinstr ngl);
+      (p.ll, ngl))
+    plan.lls
+
+(* -- Barrier cleanup (paper Fig. 1(b): barriers become redundant) ----------- *)
+
+let has_local_memory_ops (fn : func) : bool =
+  fold_instrs
+    (fun acc i ->
+      acc
+      ||
+      match i.op with
+      | Load { ptr; _ } | Store { ptr; _ } -> (
+          match type_of ptr with Ptr (Local, _) -> true | _ -> false)
+      | Alloca { aspace = Local; _ } -> true
+      | _ -> false)
+    false fn
+
+(** Remove local-fence barriers once no local memory operation remains.
+    Mixed-fence barriers are narrowed to their global fence. *)
+let remove_local_barriers (fn : func) : int =
+  if has_local_memory_ops fn then 0
+  else begin
+    let removed = ref 0 in
+    List.iter
+      (fun b ->
+        b.instrs <-
+          List.filter_map
+            (fun i ->
+              match i.op with
+              | Barrier { blocal = true; bglobal = false } ->
+                  incr removed;
+                  None
+              | Barrier { blocal = true; bglobal = true } ->
+                  i.op <- Barrier { blocal = false; bglobal = true };
+                  Some i
+              | _ -> Some i)
+            b.instrs)
+      fn.blocks;
+    !removed
+  end

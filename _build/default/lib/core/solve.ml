@@ -1,0 +1,102 @@
+(** Creating and solving the linear system (paper §III-B S2, §IV-D).
+
+    Unknowns are the [get_local_id] atoms appearing in the LS index; the
+    coefficient matrix comes from the per-dimension LS indexes; the
+    right-hand sides are the per-dimension LL indexes minus the LS
+    remainder terms. The system must have a unique solution, and the
+    solution must have integer coefficients so it can be materialised as
+    integer index arithmetic. *)
+
+open Grover_ir
+open Ssa
+module Form = Atom.Form
+module Q = Grover_support.Rational
+
+type solution = (value * Form.t) list
+(** Mapping: thread-index atom -> affine replacement. *)
+
+type failure =
+  | Not_affine  (** an index expression is not affine in the analysed atoms *)
+  | Singular  (** the LS index map is not invertible (paper S2) *)
+  | Inconsistent_dim of int
+      (** a dimension without unknowns differs between LS and LL *)
+  | Non_integral  (** the solution needs fractional coefficients *)
+
+let failure_message = function
+  | Not_affine -> "index expression is not affine"
+  | Singular -> "the store-index map is not uniquely invertible"
+  | Inconsistent_dim d ->
+      Printf.sprintf "dimension %d of the load never matches the store" d
+  | Non_integral -> "the solution has non-integral coefficients"
+
+(** [solve ~ls_dims ~ll_dims] determines which thread [lx', ly', lz')] wrote
+    the element the LL reads, as affine forms over the LL's atoms. *)
+let solve ~(ls_dims : Form.t list) ~(ll_dims : Form.t list) :
+    (solution, failure) result =
+  (* Unknowns: lid atoms across all LS dimensions, ordered by dimension. *)
+  let unknowns =
+    List.concat_map Affine_index.lid_atoms ls_dims
+    |> List.sort_uniq Atom.compare
+    |> List.sort (fun a b ->
+           compare (Option.get (Atom.lid_dim a)) (Option.get (Atom.lid_dim b)))
+  in
+  let n = List.length unknowns in
+  if n = 0 then
+    (* Nothing to invert: every thread stores the same element(s); the LL
+       index directly selects the element, so the empty solution works iff
+       every dimension is consistent. The caller still substitutes nothing.
+       Consistency: LS remainder must be able to equal the LL index; since
+       work-items share the block, accept and let the LL index stand. *)
+    Ok []
+  else begin
+    (* Build equations only from dimensions that mention unknowns; other
+       dimensions are consistency checks. *)
+    let eqs = ref [] and checks = ref [] in
+    List.iteri
+      (fun i (ls_d, ll_d) ->
+        let lid_part, rest = Affine_index.split_lid ls_d in
+        if Form.atoms lid_part = [] then checks := (i, rest, ll_d) :: !checks
+        else eqs := (lid_part, Form.sub ll_d rest) :: !eqs)
+      (List.combine ls_dims ll_dims);
+    let eqs = List.rev !eqs in
+    if List.length eqs <> n then Error Singular
+    else begin
+      let a =
+        Array.of_list
+          (List.map
+             (fun (lid_part, _) ->
+               Array.of_list
+                 (List.map (fun u -> Form.coeff u lid_part) unknowns))
+             eqs)
+      in
+      let b = Array.of_list (List.map snd eqs) in
+      match Atom.Solver.solve a b with
+      | Atom.Solver.Singular -> Error Singular
+      | Atom.Solver.Unique sol ->
+          (* Integer-coefficient requirement for materialisation. *)
+          let integral f =
+            Q.is_integer (Form.constant f)
+            && Form.fold (fun _ c acc -> acc && Q.is_integer c) f true
+          in
+          if not (Array.for_all integral sol) then Error Non_integral
+          else begin
+            (* Check dimensions without unknowns: after substituting the
+               solution, LS remainder must equal the LL dimension. *)
+            let subst_all f =
+              List.fold_left2
+                (fun acc u s -> Form.subst u s acc)
+                f unknowns (Array.to_list sol)
+            in
+            let bad =
+              List.find_opt
+                (fun (_, rest, ll_d) ->
+                  not (Form.equal (subst_all rest) ll_d))
+                !checks
+            in
+            match bad with
+            | Some (i, _, _) -> Error (Inconsistent_dim i)
+            | None ->
+                Ok (List.combine unknowns (Array.to_list sol))
+          end
+    end
+  end

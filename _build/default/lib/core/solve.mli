@@ -1,0 +1,27 @@
+(** Creating and solving the linear system of paper §III-B S2 / §IV-D.
+
+    Unknowns are the [get_local_id] atoms of the local-store (LS) index;
+    equations come from the per-dimension LS and LL indexes. Grover only
+    proceeds on a unique, integral solution. *)
+
+open Grover_ir
+
+type solution = (Ssa.value * Atom.Form.t) list
+(** Thread-index atom -> affine replacement (e.g. [lx' = ly]). *)
+
+type failure =
+  | Not_affine
+  | Singular  (** the store-index map is not uniquely invertible *)
+  | Inconsistent_dim of int
+      (** a dimension without unknowns never matches between LS and LL *)
+  | Non_integral  (** the solution needs fractional coefficients *)
+
+val failure_message : failure -> string
+
+val solve :
+  ls_dims:Atom.Form.t list ->
+  ll_dims:Atom.Form.t list ->
+  (solution, failure) result
+(** [solve ~ls_dims ~ll_dims] determines which thread wrote the element the
+    local load reads. Dimension lists must have equal length (one form per
+    local-array dimension, highest dimension first). *)

@@ -1,0 +1,1 @@
+lib/ir/emit_c.ml: Buffer Cfg Dom Hashtbl List Postdom Printf Ssa String

@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Ast Builder Builtins Cfg Grover_clc Hashtbl List Loc Option Parser Sema Ssa Verify

@@ -1,0 +1,1 @@
+lib/ir/postdom.ml: Array Cfg List Ssa

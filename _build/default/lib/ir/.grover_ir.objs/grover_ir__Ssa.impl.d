@@ -1,0 +1,1 @@
+lib/ir/ssa.ml: Float List Option

@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Cfg Dom Format List Printer Ssa

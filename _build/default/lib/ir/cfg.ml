@@ -1,0 +1,59 @@
+(** Control-flow-graph views: numbering, reverse postorder, predecessors. *)
+
+open Ssa
+
+type t = {
+  fn : func;
+  order : block array;  (** blocks in reverse postorder; index 0 = entry *)
+  index : (int, int) Hashtbl.t;  (** block id -> rpo index *)
+  preds : block list array;  (** predecessors per rpo index *)
+}
+
+let compute (fn : func) : t =
+  let visited = Hashtbl.create 16 in
+  let post = ref [] in
+  let rec dfs b =
+    if not (Hashtbl.mem visited b.bid) then begin
+      Hashtbl.add visited b.bid ();
+      List.iter dfs (successors b);
+      post := b :: !post
+    end
+  in
+  dfs (entry fn);
+  let order = Array.of_list !post in
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i b -> Hashtbl.add index b.bid i) order;
+  let preds = Array.make (Array.length order) [] in
+  Array.iter
+    (fun b ->
+      List.iter
+        (fun s ->
+          match Hashtbl.find_opt index s.bid with
+          | Some i -> preds.(i) <- b :: preds.(i)
+          | None -> ())
+        (successors b))
+    order;
+  { fn; order; index; preds }
+
+let rpo_index (t : t) (b : block) : int =
+  match Hashtbl.find_opt t.index b.bid with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "block %s.%d unreachable" b.b_name b.bid)
+
+let is_reachable (t : t) (b : block) : bool = Hashtbl.mem t.index b.bid
+
+let preds (t : t) (b : block) : block list = t.preds.(rpo_index t b)
+
+let n_blocks (t : t) : int = Array.length t.order
+
+(** Drop blocks unreachable from the entry (keeps phi lists consistent). *)
+let prune_unreachable (fn : func) : unit =
+  let t = compute fn in
+  let reachable b = is_reachable t b in
+  fn.blocks <- List.filter reachable fn.blocks;
+  iter_instrs
+    (fun i ->
+      match i.op with
+      | Phi p -> p.incoming <- List.filter (fun (b, _) -> reachable b) p.incoming
+      | _ -> ())
+    fn

@@ -1,0 +1,105 @@
+(** Dominator tree and dominance frontiers.
+
+    Implements the Cooper–Harvey–Kennedy iterative algorithm over the
+    reverse postorder from {!Cfg}. Needed by mem2reg (phi placement) and by
+    the verifier (SSA def-dominates-use check). *)
+
+open Ssa
+
+type t = {
+  cfg : Cfg.t;
+  idom : int array;  (** immediate dominator, as rpo index; entry maps to itself *)
+  children : int list array;  (** dominator-tree children *)
+  frontier : int list array;  (** dominance frontier per rpo index *)
+}
+
+let compute_idom (cfg : Cfg.t) : int array =
+  let n = Cfg.n_blocks cfg in
+  let idom = Array.make n (-1) in
+  idom.(0) <- 0;
+  let intersect b1 b2 =
+    let f1 = ref b1 and f2 = ref b2 in
+    while !f1 <> !f2 do
+      while !f1 > !f2 do
+        f1 := idom.(!f1)
+      done;
+      while !f2 > !f1 do
+        f2 := idom.(!f2)
+      done
+    done;
+    !f1
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 1 to n - 1 do
+      let preds =
+        List.filter_map
+          (fun p ->
+            let j = Cfg.rpo_index cfg p in
+            if idom.(j) >= 0 then Some j else None)
+          cfg.preds.(i)
+      in
+      match preds with
+      | [] -> ()
+      | first :: rest ->
+          let new_idom = List.fold_left intersect first rest in
+          if idom.(i) <> new_idom then begin
+            idom.(i) <- new_idom;
+            changed := true
+          end
+    done
+  done;
+  idom
+
+let compute (fn : func) : t =
+  let cfg = Cfg.compute fn in
+  let n = Cfg.n_blocks cfg in
+  let idom = compute_idom cfg in
+  let children = Array.make n [] in
+  for i = 1 to n - 1 do
+    if idom.(i) >= 0 then children.(idom.(i)) <- i :: children.(idom.(i))
+  done;
+  let frontier = Array.make n [] in
+  for i = 0 to n - 1 do
+    let preds = cfg.preds.(i) in
+    if List.length preds >= 2 then
+      List.iter
+        (fun p ->
+          let runner = ref (Cfg.rpo_index cfg p) in
+          while !runner <> idom.(i) do
+            if not (List.mem i frontier.(!runner)) then
+              frontier.(!runner) <- i :: frontier.(!runner);
+            runner := idom.(!runner)
+          done)
+        preds
+  done;
+  { cfg; idom; children; frontier }
+
+(** Does block [a] dominate block [b]? (Reflexive.) *)
+let dominates (t : t) (a : block) (b : block) : bool =
+  let ia = Cfg.rpo_index t.cfg a and ib = Cfg.rpo_index t.cfg b in
+  let rec up i = if i = ia then true else if i = 0 then ia = 0 else up t.idom.(i) in
+  up ib
+
+(** Does the definition site of instruction [def] dominate the use of one of
+    its values at instruction [use]? Instructions within a block are ordered
+    by position; a phi use is attributed to the end of the incoming block by
+    the caller. *)
+let def_dominates_use (t : t) ~(def : instr) ~(use : instr) : bool =
+  match (def.parent, use.parent) with
+  | Some db, Some ub ->
+      if db.bid <> ub.bid then dominates t db ub
+      else begin
+        (* Same block: def must appear strictly before use. *)
+        let pos i =
+          let rec go k = function
+            | [] -> if Option.fold ~none:false ~some:(fun t -> t.iid = i.iid) db.term then k else -1
+            | x :: _ when x.iid = i.iid -> k
+            | _ :: rest -> go (k + 1) rest
+          in
+          go 0 db.instrs
+        in
+        pos def < pos use
+      end
+  | _ -> false

@@ -1,0 +1,396 @@
+(** OpenCL C source emission.
+
+    Turns a (possibly Grover-transformed) kernel back into compilable
+    OpenCL C, so the tool's output can be handed to a real vendor runtime —
+    the role SPIR export plays in the paper's Fig. 9 pipeline.
+
+    The CFGs produced by this pipeline are reducible and structured
+    (diamonds and natural loops), so emission is a structural walk:
+    conditionals re-join at the branch block's immediate post-dominator and
+    natural loops become [for (;;)] with an exit [break]. Phi nodes are
+    destructed into assignments on the incoming edges. Instructions are
+    emitted in three-address form ([v12 = v10 + v11;]), which is ugly but
+    unambiguous; a round-trip through the front-end validates it.
+
+    @raise Unstructured when the CFG does not fit (e.g. hand-built IR with
+    irreducible flow). *)
+
+open Ssa
+
+exception Unstructured of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Unstructured m)) fmt
+
+(* -- Names and types -------------------------------------------------------- *)
+
+let var (i : instr) = Printf.sprintf "v%d" i.iid
+
+let rec c_type (t : ty) : string =
+  match t with
+  | Void -> "void"
+  | I1 -> "int"
+  | I8 -> "uchar"
+  | I16 -> "ushort"
+  | I32 -> "int"
+  | I64 -> "long"
+  | F32 -> "float"
+  | Vec (e, n) -> Printf.sprintf "%s%d" (c_type e) n
+  | Ptr (_, e) -> c_type e ^ "*"
+
+let space_qual = function
+  | Global -> "__global "
+  | Constant -> "__constant "
+  | Local -> "__local "
+  | Private -> ""
+
+let float_lit (f : float) : string =
+  let s = Printf.sprintf "%.9g" f in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'n' || c = 'i') s then
+    s ^ "f"
+  else s ^ ".0f"
+
+let alloca_name (i : instr) : string =
+  match i.op with
+  | Alloca { aname; _ } when aname <> "" -> Printf.sprintf "%s_%d" aname i.iid
+  | _ -> Printf.sprintf "arr%d" i.iid
+
+let rv (v : value) : string =
+  match v with
+  | Cint (I1, n) -> if n <> 0 then "1" else "0"
+  | Cint (_, n) -> string_of_int n
+  | Cfloat f -> float_lit f
+  | Arg a -> a.a_name
+  | Vinstr ({ op = Alloca _; _ } as i) -> alloca_name i
+  | Vinstr i -> var i
+
+let unsigned_cast (t : ty) : string =
+  match t with
+  | I8 -> "(uchar)"
+  | I16 -> "(ushort)"
+  | I32 -> "(uint)"
+  | I64 -> "(ulong)"
+  | _ -> ""
+
+(* -- Per-instruction statements ---------------------------------------------- *)
+
+let lane_suffix (lane : value) : string =
+  match lane with
+  | Cint (_, n) when n >= 0 && n < 16 -> Printf.sprintf ".s%x" n
+  | _ -> fail "dynamic vector lane indexes cannot be emitted as OpenCL C"
+
+let icmp_c (c : icmp) (a : value) (b : value) : string =
+  let u = unsigned_cast (type_of a) in
+  match c with
+  | Ieq -> Printf.sprintf "%s == %s" (rv a) (rv b)
+  | Ine -> Printf.sprintf "%s != %s" (rv a) (rv b)
+  | Islt -> Printf.sprintf "%s < %s" (rv a) (rv b)
+  | Isle -> Printf.sprintf "%s <= %s" (rv a) (rv b)
+  | Isgt -> Printf.sprintf "%s > %s" (rv a) (rv b)
+  | Isge -> Printf.sprintf "%s >= %s" (rv a) (rv b)
+  | Iult -> Printf.sprintf "%s%s < %s%s" u (rv a) u (rv b)
+  | Iule -> Printf.sprintf "%s%s <= %s%s" u (rv a) u (rv b)
+  | Iugt -> Printf.sprintf "%s%s > %s%s" u (rv a) u (rv b)
+  | Iuge -> Printf.sprintf "%s%s >= %s%s" u (rv a) u (rv b)
+
+let fcmp_c (c : fcmp) (a : value) (b : value) : string =
+  let op =
+    match c with
+    | Foeq -> "==" | Fone -> "!=" | Folt -> "<" | Fole -> "<="
+    | Fogt -> ">" | Foge -> ">="
+  in
+  Printf.sprintf "%s %s %s" (rv a) op (rv b)
+
+let binop_c (b : binop) (x : value) (y : value) : string =
+  let u = unsigned_cast (type_of x) in
+  match b with
+  | Add | Fadd -> Printf.sprintf "%s + %s" (rv x) (rv y)
+  | Sub | Fsub -> Printf.sprintf "%s - %s" (rv x) (rv y)
+  | Mul | Fmul -> Printf.sprintf "%s * %s" (rv x) (rv y)
+  | Sdiv | Fdiv -> Printf.sprintf "%s / %s" (rv x) (rv y)
+  | Udiv -> Printf.sprintf "%s%s / %s%s" u (rv x) u (rv y)
+  | Srem | Frem -> Printf.sprintf "%s %% %s" (rv x) (rv y)
+  | Urem -> Printf.sprintf "%s%s %% %s%s" u (rv x) u (rv y)
+  | Shl -> Printf.sprintf "%s << %s" (rv x) (rv y)
+  | Ashr -> Printf.sprintf "%s >> %s" (rv x) (rv y)
+  | Lshr -> Printf.sprintf "%s%s >> %s" u (rv x) (rv y)
+  | And -> Printf.sprintf "%s & %s" (rv x) (rv y)
+  | Or -> Printf.sprintf "%s | %s" (rv x) (rv y)
+  | Xor -> Printf.sprintf "%s ^ %s" (rv x) (rv y)
+
+(* Instruction -> statement lines (empty for phis and allocas). *)
+let instr_stmts (i : instr) : string list =
+  match i.op with
+  | Phi _ | Alloca _ -> []
+  | Binop (b, x, y) -> [ Printf.sprintf "%s = %s;" (var i) (binop_c b x y) ]
+  | Icmp (c, x, y) -> [ Printf.sprintf "%s = %s;" (var i) (icmp_c c x y) ]
+  | Fcmp (c, x, y) -> [ Printf.sprintf "%s = %s;" (var i) (fcmp_c c x y) ]
+  | Select (c, x, y) ->
+      [ Printf.sprintf "%s = %s ? %s : %s;" (var i) (rv c) (rv x) (rv y) ]
+  | Cast (k, v, t) ->
+      let cast =
+        match k with
+        | Sext | Trunc | Bitcast | Fp_to_si -> Printf.sprintf "(%s)" (c_type t)
+        | Zext -> Printf.sprintf "(%s)%s" (c_type t) (unsigned_cast (type_of v))
+        | Si_to_fp -> "(float)"
+        | Ui_to_fp -> Printf.sprintf "(float)%s" (unsigned_cast (type_of v))
+      in
+      [ Printf.sprintf "%s = %s%s;" (var i) cast (rv v) ]
+  | Call { callee; args; ret } ->
+      let call =
+        Printf.sprintf "%s(%s)" callee (String.concat ", " (List.map rv args))
+      in
+      if ret = Void then [ call ^ ";" ]
+      else [ Printf.sprintf "%s = %s;" (var i) call ]
+  | Load { ptr; index } ->
+      [ Printf.sprintf "%s = %s[%s];" (var i) (rv ptr) (rv index) ]
+  | Store { ptr; index; v } ->
+      [ Printf.sprintf "%s[%s] = %s;" (rv ptr) (rv index) (rv v) ]
+  | Extract (v, lane) ->
+      [ Printf.sprintf "%s = %s%s;" (var i) (rv v) (lane_suffix lane) ]
+  | Insert (v, lane, s) ->
+      [ Printf.sprintf "%s = %s;" (var i) (rv v);
+        Printf.sprintf "%s%s = %s;" (var i) (lane_suffix lane) (rv s) ]
+  | Vecbuild (t, vs) ->
+      [ Printf.sprintf "%s = (%s)(%s);" (var i) (c_type t)
+          (String.concat ", " (List.map rv vs)) ]
+  | Barrier { blocal; bglobal } ->
+      let flags =
+        match (blocal, bglobal) with
+        | true, true -> "CLK_LOCAL_MEM_FENCE | CLK_GLOBAL_MEM_FENCE"
+        | true, false -> "CLK_LOCAL_MEM_FENCE"
+        | false, true -> "CLK_GLOBAL_MEM_FENCE"
+        | false, false -> "CLK_LOCAL_MEM_FENCE"
+      in
+      [ Printf.sprintf "barrier(%s);" flags ]
+  | Br _ | Cond_br _ | Ret -> []
+
+(* -- Structured emission ------------------------------------------------------- *)
+
+type context = {
+  fn : func;
+  dom : Dom.t;
+  pdom : Postdom.t;
+  headers : (int, unit) Hashtbl.t;  (** loop-header block ids *)
+  bodies : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+      (** header bid -> block ids of the natural loop *)
+  buf : Buffer.t;
+  mutable indent : int;
+}
+
+let line ctx fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string ctx.buf (String.make (2 * ctx.indent) ' ');
+      Buffer.add_string ctx.buf s;
+      Buffer.add_char ctx.buf '\n')
+    fmt
+
+(* Copies for the phis of [target] along the edge [src -> target].
+   Two-phase (through per-phi temporaries) so that parallel-copy semantics
+   survive swaps and chains among the phis. *)
+let phi_copies ctx ~(src : block) ~(target : block) : unit =
+  let phis =
+    List.filter_map
+      (fun i ->
+        match i.op with
+        | Phi { incoming; _ } -> (
+            match List.find_opt (fun (b, _) -> b.bid = src.bid) incoming with
+            | Some (_, v) -> Some (i, v)
+            | None -> fail "phi without incoming for emitted edge")
+        | _ -> None)
+      target.instrs
+  in
+  match phis with
+  | [] -> ()
+  | [ (i, v) ] -> line ctx "%s = %s;" (var i) (rv v)
+  | _ ->
+      List.iter (fun (i, v) -> line ctx "%s_t = %s;" (var i) (rv v)) phis;
+      List.iter (fun (i, _) -> line ctx "%s = %s_t;" (var i) (var i)) phis
+
+let is_back_edge ctx ~(src : block) ~(target : block) : bool =
+  Hashtbl.mem ctx.headers target.bid && Dom.dominates ctx.dom target src
+
+(* Emit the region starting at [b] and stopping (exclusive) at [stop].
+   [loop] is the innermost enclosing (header, exit) pair. *)
+let rec emit_region ctx (b : block) ~(stop : block option)
+    ~(loop : (block * block option) option) : unit =
+  match stop with
+  | Some s when s.bid = b.bid -> ()
+  | _ ->
+      if Hashtbl.mem ctx.headers b.bid then emit_loop ctx b ~stop ~loop
+      else emit_straight ctx b ~stop ~loop
+
+and emit_body ctx (b : block) : unit =
+  List.iter (fun i -> List.iter (fun s -> line ctx "%s" s) (instr_stmts i)) b.instrs
+
+and goto ctx (src : block) (target : block) ~(stop : block option)
+    ~(loop : (block * block option) option) : unit =
+  phi_copies ctx ~src ~target;
+  if is_back_edge ctx ~src ~target then begin
+    match loop with
+    | Some (h, _) when h.bid = target.bid -> () (* end of iteration *)
+    | _ -> fail "back edge to a non-enclosing loop header"
+  end
+  else
+    match loop with
+    | Some (_, Some ex) when ex.bid = target.bid -> line ctx "break;"
+    | _ -> emit_region ctx target ~stop ~loop
+
+and emit_straight ctx (b : block) ~stop ~loop : unit =
+  emit_body ctx b;
+  match b.term with
+  | Some { op = Ret; _ } -> line ctx "return;"
+  | Some { op = Br t; _ } -> goto ctx b t ~stop ~loop
+  | Some { op = Cond_br (c, t, e); _ } -> (
+      let join = Postdom.immediate ctx.pdom b in
+      let emit_branch target =
+        ctx.indent <- ctx.indent + 1;
+        goto ctx b target ~stop:join ~loop;
+        ctx.indent <- ctx.indent - 1
+      in
+      line ctx "if (%s) {" (rv c);
+      emit_branch t;
+      line ctx "} else {";
+      emit_branch e;
+      line ctx "}";
+      match join with
+      | Some j ->
+          (* Continue after the join unless (a) it is the outer stop, or
+             (b) it is the enclosing loop's exit or header — in those cases
+             every branch already emitted its own transfer (break / end of
+             iteration) and nothing falls through to here. *)
+          let is_loop_boundary =
+            match loop with
+            | Some (h, ex) ->
+                h.bid = j.bid
+                || (match ex with Some e -> e.bid = j.bid | None -> false)
+            | None -> false
+          in
+          if
+            (not is_loop_boundary)
+            && (match stop with Some s -> s.bid <> j.bid | None -> true)
+          then emit_region ctx j ~stop ~loop
+      | None -> ())
+  | _ -> fail "missing terminator"
+
+and emit_loop ctx (header : block) ~stop ~loop : unit =
+  (* Determine the loop exit: the header's cond_br arm that leaves the
+     natural loop body. *)
+  let body =
+    match Hashtbl.find_opt ctx.bodies header.bid with
+    | Some b -> b
+    | None -> fail "loop body missing for %s.%d" header.b_name header.bid
+  in
+  let exit_block, body_entry, negate =
+    match header.term with
+    | Some { op = Cond_br (_, t, e); _ } ->
+        let in_loop x = Hashtbl.mem body x.bid in
+        if not (in_loop t) then (Some t, e, false)
+        else if not (in_loop e) then (Some e, t, true)
+        else fail "cannot identify the loop exit of %s.%d" header.b_name header.bid
+    | Some { op = Br t; _ } -> (None, t, true)
+    | _ -> fail "loop header without branch"
+  in
+  line ctx "for (;;) {";
+  ctx.indent <- ctx.indent + 1;
+  emit_body ctx header;
+  (match (header.term, exit_block) with
+  | Some { op = Cond_br (c, _, _); _ }, Some ex ->
+      line ctx "if (%s%s%s) {" (if negate then "!(" else "") (rv c)
+        (if negate then ")" else "");
+      ctx.indent <- ctx.indent + 1;
+      phi_copies ctx ~src:header ~target:ex;
+      line ctx "break;";
+      ctx.indent <- ctx.indent - 1;
+      line ctx "}";
+      phi_copies ctx ~src:header ~target:body_entry;
+      emit_region ctx body_entry ~stop:(Some header)
+        ~loop:(Some (header, exit_block))
+  | Some { op = Br _; _ }, None ->
+      phi_copies ctx ~src:header ~target:body_entry;
+      emit_region ctx body_entry ~stop:(Some header)
+        ~loop:(Some (header, exit_block))
+  | _ -> fail "unsupported loop shape");
+  ctx.indent <- ctx.indent - 1;
+  line ctx "}";
+  match exit_block with
+  | Some ex -> emit_region ctx ex ~stop ~loop
+  | None -> ()
+
+(* -- Top level -------------------------------------------------------------------- *)
+
+let kernel_to_c (fn : func) : string =
+  let dom = Dom.compute fn in
+  let pdom = Postdom.compute fn in
+  let cfg = dom.Dom.cfg in
+  let headers = Hashtbl.create 4 in
+  let bodies = Hashtbl.create 4 in
+  (* Natural loops from back edges: body = header + everything reaching the
+     latch without passing the header. *)
+  let add_loop (latch : block) (header : block) =
+    Hashtbl.replace headers header.bid ();
+    let body =
+      match Hashtbl.find_opt bodies header.bid with
+      | Some b -> b
+      | None ->
+          let b = Hashtbl.create 8 in
+          Hashtbl.replace b header.bid ();
+          Hashtbl.replace bodies header.bid b;
+          b
+    in
+    let rec pull (x : block) =
+      if not (Hashtbl.mem body x.bid) then begin
+        Hashtbl.replace body x.bid ();
+        List.iter pull (Cfg.preds cfg x)
+      end
+    in
+    pull latch
+  in
+  iter_instrs
+    (fun i ->
+      match (i.op, i.parent) with
+      | Br t, Some src when Dom.dominates dom t src -> add_loop src t
+      | Cond_br (_, t, e), Some src ->
+          if Dom.dominates dom t src then add_loop src t;
+          if Dom.dominates dom e src then add_loop src e
+      | _ -> ())
+    fn;
+  let buf = Buffer.create 1024 in
+  let ctx = { fn; dom; pdom; headers; bodies; buf; indent = 1 } in
+  (* Signature. *)
+  let param (a : arg) =
+    match a.a_ty with
+    | Ptr (sp, e) -> Printf.sprintf "%s%s *%s" (space_qual sp) (c_type e) a.a_name
+    | t -> Printf.sprintf "%s %s" (c_type t) a.a_name
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "__kernel void %s(%s) {\n" fn.f_name
+       (String.concat ", " (List.map param fn.f_args)));
+  (* Declarations: arrays first (multi-dimensional local arrays are
+     accessed flat in the IR, so they are declared flat), then scalar
+     temporaries. *)
+  iter_instrs
+    (fun i ->
+      match i.op with
+      | Alloca { aspace; elem; count; _ } ->
+          line ctx "%s%s %s[%d];"
+            (match aspace with Local -> "__local " | _ -> "")
+            (c_type elem) (alloca_name i) count
+      | _ -> ())
+    fn;
+  iter_instrs
+    (fun i ->
+      match i.op with
+      | Alloca _ -> ()
+      | Phi _ ->
+          let t = type_of_opcode i.op in
+          line ctx "%s %s;" (c_type t) (var i);
+          line ctx "%s %s_t;" (c_type t) (var i)
+      | _ -> (
+          match type_of_opcode i.op with
+          | Void -> ()
+          | t -> line ctx "%s %s;" (c_type t) (var i)))
+    fn;
+  emit_region ctx (entry fn) ~stop:None ~loop:None;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,81 @@
+(** Post-dominator analysis: the Cooper–Harvey–Kennedy algorithm run on the
+    reversed CFG, with a virtual exit joining all [Ret] blocks. Needed by
+    the OpenCL C emitter to find the join block of a conditional. *)
+
+open Ssa
+
+type t = {
+  cfg : Cfg.t;
+  ipdom : int array;
+      (** immediate post-dominator as an rpo index; [-1] means the virtual
+          exit is the immediate post-dominator *)
+}
+
+let compute (fn : func) : t =
+  let cfg = Cfg.compute fn in
+  let n = Cfg.n_blocks cfg in
+  (* Reverse postorder of the reversed graph = postorder of the forward
+     graph; iterate in that order. Virtual exit = index n. *)
+  let order =
+    (* Postorder over the forward graph, exits first when iterating
+       backwards; we simply iterate indices from high rpo to low, which is
+       a reverse topological-ish order good enough for convergence. *)
+    Array.init n (fun i -> n - 1 - i)
+  in
+  let ipdom = Array.make (n + 1) (-2) in
+  (* -2 = undefined; exit (n) post-dominates itself. *)
+  ipdom.(n) <- n;
+  let succs i =
+    let b = cfg.Cfg.order.(i) in
+    match successors b with
+    | [] -> [ n ] (* Ret: flows to the virtual exit *)
+    | ss -> List.map (Cfg.rpo_index cfg) ss
+  in
+  let intersect a b =
+    if a = b then a
+    else if a = -2 then b
+    else if b = -2 then a
+    else begin
+      (* Walk up the ipdom chain; indices compare by "closer to exit":
+         larger rpo index is later in the function. Use chain walking with
+         a depth map instead: compute by repeated parent steps. *)
+      let rec ancestors x acc =
+        if x = n || ipdom.(x) = -2 then x :: acc
+        else if List.mem x acc then acc
+        else ancestors ipdom.(x) (x :: acc)
+      in
+      let pa = ancestors a [] in
+      let rec first_common x =
+        if List.mem x pa then x
+        else if x = n || ipdom.(x) = -2 then n
+        else first_common ipdom.(x)
+      in
+      first_common b
+    end
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun i ->
+        let processed = List.filter (fun s -> ipdom.(s) <> -2) (succs i) in
+        match processed with
+        | [] -> ()
+        | first :: rest ->
+            let new_ipdom = List.fold_left intersect first rest in
+            if ipdom.(i) <> new_ipdom then begin
+              ipdom.(i) <- new_ipdom;
+              changed := true
+            end)
+      order
+  done;
+  (* ipdom currently stores, for each node, the representative of its
+     post-dominator set head. Convert the self-reference at exit. *)
+  { cfg; ipdom = Array.init n (fun i -> if ipdom.(i) = n then -1 else ipdom.(i)) }
+
+(** Immediate post-dominator block of [b]; [None] when it is the virtual
+    exit. *)
+let immediate (t : t) (b : block) : block option =
+  let i = Cfg.rpo_index t.cfg b in
+  let p = t.ipdom.(i) in
+  if p < 0 then None else Some t.cfg.Cfg.order.(p)

@@ -1,0 +1,132 @@
+(** Textual rendering of the IR, LLVM-flavoured. Stable enough to assert on
+    in tests and to show users in the examples and the [groverc] CLI. *)
+
+open Ssa
+
+let rec pp_ty ppf = function
+  | Void -> Format.pp_print_string ppf "void"
+  | I1 -> Format.pp_print_string ppf "i1"
+  | I8 -> Format.pp_print_string ppf "i8"
+  | I16 -> Format.pp_print_string ppf "i16"
+  | I32 -> Format.pp_print_string ppf "i32"
+  | I64 -> Format.pp_print_string ppf "i64"
+  | F32 -> Format.pp_print_string ppf "f32"
+  | Vec (t, n) -> Format.fprintf ppf "<%d x %a>" n pp_ty t
+  | Ptr (sp, t) -> Format.fprintf ppf "%a %s*" pp_ty t (space_name sp)
+
+and space_name = function
+  | Global -> "global"
+  | Local -> "local"
+  | Constant -> "constant"
+  | Private -> "private"
+
+let binop_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul"
+  | Sdiv -> "sdiv" | Udiv -> "udiv" | Srem -> "srem" | Urem -> "urem"
+  | Shl -> "shl" | Ashr -> "ashr" | Lshr -> "lshr"
+  | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv"
+  | Frem -> "frem"
+
+let icmp_name = function
+  | Ieq -> "eq" | Ine -> "ne"
+  | Islt -> "slt" | Isle -> "sle" | Isgt -> "sgt" | Isge -> "sge"
+  | Iult -> "ult" | Iule -> "ule" | Iugt -> "ugt" | Iuge -> "uge"
+
+let fcmp_name = function
+  | Foeq -> "oeq" | Fone -> "one"
+  | Folt -> "olt" | Fole -> "ole" | Fogt -> "ogt" | Foge -> "oge"
+
+let cast_name = function
+  | Sext -> "sext" | Zext -> "zext" | Trunc -> "trunc"
+  | Si_to_fp -> "sitofp" | Ui_to_fp -> "uitofp" | Fp_to_si -> "fptosi"
+  | Bitcast -> "bitcast"
+
+let pp_value ppf (v : value) =
+  match v with
+  | Cint (I1, n) -> Format.fprintf ppf "%s" (if n <> 0 then "true" else "false")
+  | Cint (_, n) -> Format.fprintf ppf "%d" n
+  | Cfloat f -> Format.fprintf ppf "%h" f
+  | Arg a -> Format.fprintf ppf "%%%s" a.a_name
+  | Vinstr i -> Format.fprintf ppf "%%v%d" i.iid
+
+let pp_typed ppf v = Format.fprintf ppf "%a %a" pp_ty (type_of v) pp_value v
+
+let pp_block_ref ppf (b : block) = Format.fprintf ppf "%%%s.%d" b.b_name b.bid
+
+let pp_opcode ppf (op : opcode) =
+  match op with
+  | Binop (b, x, y) ->
+      Format.fprintf ppf "%s %a, %a" (binop_name b) pp_typed x pp_value y
+  | Icmp (c, x, y) ->
+      Format.fprintf ppf "icmp %s %a, %a" (icmp_name c) pp_typed x pp_value y
+  | Fcmp (c, x, y) ->
+      Format.fprintf ppf "fcmp %s %a, %a" (fcmp_name c) pp_typed x pp_value y
+  | Select (c, x, y) ->
+      Format.fprintf ppf "select %a, %a, %a" pp_typed c pp_typed x pp_typed y
+  | Cast (k, v, t) ->
+      Format.fprintf ppf "%s %a to %a" (cast_name k) pp_typed v pp_ty t
+  | Call { callee; args; ret } ->
+      Format.fprintf ppf "call %a @%s(%a)" pp_ty ret callee
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp_typed)
+        args
+  | Alloca { aspace; elem; count; dims; aname } ->
+      Format.fprintf ppf "alloca %s %a x %d [%s] ; %s" (space_name aspace)
+        pp_ty elem count
+        (String.concat "x" (List.map string_of_int dims))
+        aname
+  | Load { ptr; index } ->
+      Format.fprintf ppf "load %a[%a]" pp_typed ptr pp_value index
+  | Store { ptr; index; v } ->
+      Format.fprintf ppf "store %a, %a[%a]" pp_typed v pp_typed ptr pp_value index
+  | Extract (v, lane) ->
+      Format.fprintf ppf "extractelement %a, %a" pp_typed v pp_value lane
+  | Insert (v, lane, s) ->
+      Format.fprintf ppf "insertelement %a, %a, %a" pp_typed v pp_value lane
+        pp_typed s
+  | Vecbuild (t, vs) ->
+      Format.fprintf ppf "vecbuild %a (%a)" pp_ty t
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp_value)
+        vs
+  | Phi { incoming; p_ty } ->
+      Format.fprintf ppf "phi %a %a" pp_ty p_ty
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           (fun ppf (b, v) ->
+             Format.fprintf ppf "[%a, %a]" pp_value v pp_block_ref b))
+        incoming
+  | Br b -> Format.fprintf ppf "br %a" pp_block_ref b
+  | Cond_br (c, t, e) ->
+      Format.fprintf ppf "br %a, %a, %a" pp_typed c pp_block_ref t pp_block_ref e
+  | Ret -> Format.pp_print_string ppf "ret void"
+  | Barrier { blocal; bglobal } ->
+      Format.fprintf ppf "barrier%s%s"
+        (if blocal then " local" else "")
+        (if bglobal then " global" else "")
+
+let pp_instr ppf (i : instr) =
+  match type_of_opcode i.op with
+  | Void -> Format.fprintf ppf "  %a" pp_opcode i.op
+  | _ -> Format.fprintf ppf "  %%v%d = %a" i.iid pp_opcode i.op
+
+let pp_block ppf (b : block) =
+  Format.fprintf ppf "%s.%d:@." b.b_name b.bid;
+  List.iter (fun i -> Format.fprintf ppf "%a@." pp_instr i) b.instrs;
+  match b.term with
+  | Some t -> Format.fprintf ppf "%a@." pp_instr t
+  | None -> Format.fprintf ppf "  <missing terminator>@."
+
+let pp_func ppf (fn : func) =
+  Format.fprintf ppf "kernel @%s(%a) {@." fn.f_name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf a -> Format.fprintf ppf "%a %%%s" pp_ty a.a_ty a.a_name))
+    fn.f_args;
+  List.iter (fun b -> pp_block ppf b) fn.blocks;
+  Format.fprintf ppf "}@."
+
+let func_to_string fn = Format.asprintf "%a" pp_func fn

@@ -1,0 +1,1 @@
+lib/memsim/platform.ml: Cache List String

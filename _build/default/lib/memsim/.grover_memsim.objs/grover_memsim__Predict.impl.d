@@ -1,0 +1,1 @@
+lib/memsim/predict.ml: Cache Grover_ocl Platform Trace

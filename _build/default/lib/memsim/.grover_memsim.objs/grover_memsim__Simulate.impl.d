@@ -1,0 +1,1 @@
+lib/memsim/simulate.ml: Array Cache Grover_ir Grover_ocl Grover_support Hashtbl List Option Platform Trace

@@ -1,0 +1,229 @@
+(** Platform descriptions: the six processors of the paper's Table II,
+    modelled at the level that determines the local-memory trade-off.
+
+    CPUs (and the MIC) are cache-only: local memory is ordinary cached
+    memory, work-items of a group run serially on one core between
+    barriers, and a barrier costs a fiber switch per work-item. GPUs have
+    banked scratch-pad memories, per-warp coalescing of global accesses,
+    and near-free hardware barriers. *)
+
+type kind = Cpu | Gpu | Mic
+
+type costs = {
+  c_int : float;  (** cycles per integer op (per work-item) *)
+  c_float : float;
+  c_special : float;  (** sqrt/exp/... *)
+  c_branch : float;
+  c_wi_dispatch : float;
+      (** CPU: fixed per-work-item overhead of the runtime's work-item loop *)
+  c_barrier_wi : float;  (** CPU: extra per-work-item cost per barrier round
+                             (region re-entry after loop fission) *)
+  c_barrier_round : float;  (** fixed cost per barrier round *)
+}
+
+type cpu_mem = {
+  l1 : Cache.config;
+  l2 : Cache.config option;  (** per-core *)
+  llc : Cache.config option;  (** shared; None on MIC (distributed L2) *)
+  mem_latency : int;
+}
+
+type gpu_mem = {
+  segment : int;  (** coalescing segment size in bytes (transaction width) *)
+  l1g : Cache.config option;
+      (** per-CU L1 that caches *global* loads (GCN/Tahiti); NVIDIA's Fermi
+          and Kepler route global loads past L1 in their default OpenCL
+          configuration, hence [None] *)
+  l2g : Cache.config option;  (** device-level cache, tracks segments *)
+  trans_cost : float;  (** cycles per memory transaction (bandwidth bound) *)
+  spm_cost : float;  (** cycles per conflict-free SPM warp access *)
+  banks : int;
+  mem_latency : int;  (** extra cycles on an L2 miss *)
+}
+
+type mem_model = Cpu_mem of cpu_mem | Gpu_mem of gpu_mem
+
+type t = {
+  name : string;
+  kind : kind;
+  cores : int;  (** cores (CPU) or SMs / CUs (GPU) *)
+  freq_ghz : float;
+  simd : int;  (** implicit vectorisation width across work-items (CPU) *)
+  warp : int;  (** lockstep width (GPU); 1 on CPUs *)
+  costs : costs;
+  mem : mem_model;
+}
+
+let kib n = n * 1024
+let mib n = n * 1024 * 1024
+
+let cpu_costs =
+  {
+    c_int = 1.0;
+    c_float = 1.0;
+    c_special = 12.0;
+    c_branch = 2.0;
+    c_wi_dispatch = 15.0;
+    c_barrier_wi = 6.0;
+    c_barrier_round = 150.0;
+  }
+
+let gpu_costs =
+  {
+    c_int = 1.0;
+    c_float = 1.0;
+    c_special = 4.0;
+    c_branch = 2.0;
+    c_wi_dispatch = 0.0;
+    c_barrier_wi = 0.0;
+    c_barrier_round = 30.0;
+  }
+
+(* -- The three cache-only processors of Fig. 10 --------------------------- *)
+
+let snb : t =
+  {
+    name = "SNB";
+    kind = Cpu;
+    cores = 8;
+    freq_ghz = 2.0;
+    simd = 8;
+    warp = 1;
+    costs = cpu_costs;
+    mem =
+      Cpu_mem
+        {
+          l1 = { Cache.size_bytes = kib 32; line_bytes = 64; ways = 8; latency = 4 };
+          l2 =
+            Some { Cache.size_bytes = kib 256; line_bytes = 64; ways = 8; latency = 12 };
+          llc =
+            Some { Cache.size_bytes = mib 20; line_bytes = 64; ways = 16; latency = 40 };
+          mem_latency = 200;
+        };
+  }
+
+let nehalem : t =
+  {
+    name = "Nehalem";
+    kind = Cpu;
+    cores = 4;
+    freq_ghz = 2.4;
+    simd = 4;
+    warp = 1;
+    costs = { cpu_costs with c_barrier_wi = 7.0 };
+    mem =
+      Cpu_mem
+        {
+          l1 = { Cache.size_bytes = kib 32; line_bytes = 64; ways = 8; latency = 4 };
+          l2 =
+            Some { Cache.size_bytes = kib 256; line_bytes = 64; ways = 8; latency = 11 };
+          llc =
+            Some { Cache.size_bytes = mib 8; line_bytes = 64; ways = 16; latency = 38 };
+          mem_latency = 220;
+        };
+  }
+
+let mic : t =
+  {
+    name = "MIC";
+    kind = Mic;
+    cores = 60;
+    freq_ghz = 1.05;
+    simd = 16;
+    warp = 1;
+    (* In-order cores with heavy per-work-item scalar overhead: staging
+       costs drown in the baseline, flattening the with/without profile. *)
+    costs =
+      { cpu_costs with c_wi_dispatch = 250.0; c_barrier_wi = 2.0; c_special = 8.0 };
+    mem =
+      Cpu_mem
+        {
+          l1 = { Cache.size_bytes = kib 32; line_bytes = 64; ways = 8; latency = 3 };
+          (* Knights Corner: a large private L2 per core, no shared LLC —
+             the distributed last-level cache the paper credits for MIC's
+             flat with/without-local-memory profile. *)
+          l2 =
+            Some { Cache.size_bytes = kib 512; line_bytes = 64; ways = 8; latency = 24 };
+          llc = None;
+          mem_latency = 300;
+        };
+  }
+
+(* -- The three GPUs of Fig. 2 ---------------------------------------------- *)
+
+let fermi : t =
+  {
+    name = "Fermi";
+    kind = Gpu;
+    cores = 16;
+    freq_ghz = 1.54;
+    simd = 1;
+    warp = 32;
+    costs = gpu_costs;
+    mem =
+      Gpu_mem
+        {
+          segment = 128;
+          l1g = None;
+          l2g =
+            Some { Cache.size_bytes = kib 768; line_bytes = 128; ways = 16; latency = 8 };
+          trans_cost = 36.0;
+          spm_cost = 2.0;
+          banks = 32;
+          mem_latency = 60;
+        };
+  }
+
+let kepler : t =
+  {
+    name = "Kepler";
+    kind = Gpu;
+    cores = 13;
+    freq_ghz = 0.71;
+    simd = 1;
+    warp = 32;
+    costs = gpu_costs;
+    mem =
+      Gpu_mem
+        {
+          segment = 128;
+          l1g = None;
+          l2g =
+            Some
+              { Cache.size_bytes = kib 1536; line_bytes = 128; ways = 16; latency = 8 };
+          trans_cost = 30.0;
+          spm_cost = 2.0;
+          banks = 32;
+          mem_latency = 50;
+        };
+  }
+
+let tahiti : t =
+  {
+    name = "Tahiti";
+    kind = Gpu;
+    cores = 32;
+    freq_ghz = 0.925;
+    simd = 1;
+    warp = 64;
+    costs = gpu_costs;
+    mem =
+      Gpu_mem
+        {
+          segment = 64;
+          l1g =
+            Some { Cache.size_bytes = kib 8; line_bytes = 64; ways = 2; latency = 2 };
+          l2g =
+            Some { Cache.size_bytes = kib 768; line_bytes = 64; ways = 16; latency = 8 };
+          trans_cost = 24.0;
+          spm_cost = 2.5;
+          banks = 32;
+          mem_latency = 55;
+        };
+  }
+
+let all : t list = [ fermi; kepler; tahiti; snb; nehalem; mic ]
+let cache_only : t list = [ snb; nehalem; mic ]
+
+let by_name (n : string) : t option =
+  List.find_opt (fun p -> String.lowercase_ascii p.name = String.lowercase_ascii n) all

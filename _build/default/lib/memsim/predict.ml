@@ -1,0 +1,63 @@
+(** A first-order analytical performance model (the paper's §VIII future
+    work: "model the performance benefits/losses due to local memory usage
+    on CPUs").
+
+    Estimates a kernel version's runtime from aggregate execution counts
+    alone — no memory trace and no cache simulation: every access is
+    assumed to hit L1. Comparing its predictions against the trace-driven
+    simulator quantifies exactly the paper's motivation for the empirical
+    approach: overhead-driven effects (staging copies, barriers, work-item
+    loop fission) are predictable, but the cache-layout effects behind the
+    NVD-MM-B / AMD-MM losses are invisible to a countless model. *)
+
+open Grover_ocl
+module P = Platform
+
+type inputs = {
+  totals : Trace.totals;
+  wg_size : int;
+  vectorized : bool;  (** explicit vector types defeat lane vectorisation *)
+}
+
+(** Predicted kernel time in seconds on a cache-only platform.
+    @raise Invalid_argument on GPU platforms (the model is CPU-only). *)
+let predict (plat : P.t) (inp : inputs) : float =
+  let m =
+    match plat.P.mem with
+    | P.Cpu_mem m -> m
+    | P.Gpu_mem _ -> invalid_arg "Predict.predict: CPU/MIC platforms only"
+  in
+  let c = plat.P.costs in
+  let t = inp.totals in
+  let simd = if inp.vectorized then 1.0 else float_of_int (max 1 plat.P.simd) in
+  let f = float_of_int in
+  let compute =
+    ((f t.Trace.t_int_ops *. c.P.c_int)
+    +. (f t.Trace.t_float_ops *. c.P.c_float)
+    +. (f t.Trace.t_special_ops *. c.P.c_special)
+    +. (f t.Trace.t_branches *. c.P.c_branch))
+    /. simd
+  in
+  let total_wis = f (t.Trace.t_groups * inp.wg_size) in
+  let dispatch = total_wis *. c.P.c_wi_dispatch /. simd in
+  (* Uniform kernels: every work-item crosses each barrier site once. *)
+  let rounds_per_group =
+    if inp.wg_size = 0 || t.Trace.t_groups = 0 then 0.0
+    else f t.Trace.t_barriers /. f (t.Trace.t_groups * inp.wg_size)
+  in
+  let barrier =
+    rounds_per_group *. f t.Trace.t_groups
+    *. (c.P.c_barrier_round +. (f inp.wg_size *. c.P.c_barrier_wi))
+  in
+  (* The countless-memory assumption: L1 hits, lane-coalesced by the same
+     throughput discount the simulator applies. *)
+  let accesses = f (t.Trace.t_loads + t.Trace.t_stores) /. simd in
+  let memory = accesses *. f m.P.l1.Cache.latency *. 0.35 in
+  let per_queue =
+    (compute +. dispatch +. barrier +. memory) /. f (max 1 plat.P.cores)
+  in
+  per_queue /. (plat.P.freq_ghz *. 1e9)
+
+(** Predicted normalized performance from the two versions' counts. *)
+let predict_np (plat : P.t) ~(with_lm : inputs) ~(without_lm : inputs) : float =
+  predict plat with_lm /. predict plat without_lm

@@ -1,0 +1,322 @@
+(** Trace-driven performance simulation.
+
+    A simulator instance consumes per-work-group traces (streamed from
+    {!Grover_ocl.Runtime.launch}'s [on_group] callback) and charges cycles
+    to the hardware queue the group ran on:
+
+    - CPU/MIC: work-items of a group execute serially on one core; every
+      memory access (global, local and private alike — local memory is
+      ordinary memory on cache-only processors) walks that core's L1/L2 and
+      the shared LLC; barriers cost a fiber switch per work-item.
+    - GPU: work-items execute in warps; the k-th global access of a warp's
+      lanes coalesces into as many transactions as it touches distinct
+      address segments; local memory is a banked scratch-pad with conflict
+      serialisation; barriers are hardware-cheap.
+
+    The total is the maximum over queues (cores run concurrently). *)
+
+open Grover_ocl
+module P = Platform
+
+type queue_state = {
+  l1 : Cache.t option;
+  l2 : Cache.t option;
+  mutable q_cycles : float;
+}
+
+type breakdown = {
+  mutable compute : float;
+  mutable memory : float;
+  mutable barrier : float;
+  mutable spm : float;
+}
+
+type t = {
+  plat : P.t;
+  simd : int;  (** effective implicit-vectorisation width for this kernel *)
+  queues : queue_state array;
+  shared : Cache.t option;  (** LLC (CPU) or device L2 (GPU) *)
+  bd : breakdown;
+  mutable groups : int;
+}
+
+(** [vectorized] — whether the kernel already uses explicit vector types.
+    Vendor CPU compilers then disable implicit work-item vectorisation
+    (Intel's rule), so work-items run scalar and lane coalescing is lost. *)
+let create ?(vectorized = false) (plat : P.t) : t =
+  let mk_queue () =
+    match plat.P.mem with
+    | P.Cpu_mem m ->
+        {
+          l1 = Some (Cache.create m.P.l1);
+          l2 = Option.map Cache.create m.P.l2;
+          q_cycles = 0.0;
+        }
+    | P.Gpu_mem g ->
+        { l1 = Option.map Cache.create g.P.l1g; l2 = None; q_cycles = 0.0 }
+  in
+  let shared =
+    match plat.P.mem with
+    | P.Cpu_mem m -> Option.map Cache.create m.P.llc
+    | P.Gpu_mem g -> Option.map Cache.create g.P.l2g
+  in
+  {
+    plat;
+    simd = (if vectorized then 1 else max 1 plat.P.simd);
+    queues = Array.init plat.P.cores (fun _ -> mk_queue ());
+    shared;
+    bd = { compute = 0.0; memory = 0.0; barrier = 0.0; spm = 0.0 };
+    groups = 0;
+  }
+
+(* -- CPU engine -------------------------------------------------------------- *)
+
+let cpu_access (t : t) (q : queue_state) (m : P.cpu_mem) ~addr ~bytes ~is_write
+    : float =
+  let l1 = Option.get q.l1 in
+  let missed = Cache.access l1 ~addr ~bytes ~is_write in
+  if missed = 0 then float_of_int m.P.l1.Cache.latency
+  else begin
+    (* Walk outward once per missed line. *)
+    let cost = ref 0.0 in
+    for _ = 1 to missed do
+      let level2 =
+        match q.l2 with
+        | Some l2 ->
+            if Cache.access l2 ~addr ~bytes:1 ~is_write > 0 then None
+            else Some (float_of_int (match m.P.l2 with Some c -> c.Cache.latency | None -> 0))
+        | None -> None
+      in
+      match level2 with
+      | Some lat -> cost := !cost +. lat
+      | None -> (
+          match t.shared with
+          | Some llc ->
+              if Cache.access llc ~addr ~bytes:1 ~is_write > 0 then
+                cost := !cost +. float_of_int m.P.mem_latency
+              else
+                cost :=
+                  !cost
+                  +. float_of_int
+                       (match m.P.llc with Some c -> c.Cache.latency | None -> 0)
+          | None -> cost := !cost +. float_of_int m.P.mem_latency)
+    done;
+    !cost
+  end
+
+(* Split the group's event stream into per-lane streams (event order within
+   a lane is execution order). Shared by the CPU SIMD-batch and GPU warp
+   engines. *)
+let lane_streams (s : Trace.wg_stats) : Trace.event Grover_support.Varray.t array =
+  let lanes =
+    Array.init s.Trace.wg_size (fun _ ->
+        Grover_support.Varray.create ~dummy:Trace.dummy_event)
+  in
+  Grover_support.Varray.iter
+    (fun (e : Trace.event) ->
+      if e.Trace.wi >= 0 && e.Trace.wi < s.Trace.wg_size then
+        Grover_support.Varray.push lanes.(e.Trace.wi) e)
+    s.Trace.events;
+  lanes
+
+let consume_cpu (t : t) (m : P.cpu_mem) (s : Trace.wg_stats) : unit =
+  let q = t.queues.(s.Trace.queue mod Array.length t.queues) in
+  let c = t.plat.P.costs in
+  let simd = t.simd in
+  let compute =
+    ((float_of_int s.Trace.int_ops *. c.P.c_int)
+    +. (float_of_int s.Trace.float_ops *. c.P.c_float)
+    +. (float_of_int s.Trace.special_ops *. c.P.c_special)
+    +. (float_of_int s.Trace.branches *. c.P.c_branch))
+    /. float_of_int simd
+  in
+  let dispatch = float_of_int s.Trace.wg_size *. c.P.c_wi_dispatch /. float_of_int simd in
+  let barrier =
+    float_of_int s.Trace.barrier_rounds
+    *. (c.P.c_barrier_round +. (float_of_int s.Trace.wg_size *. c.P.c_barrier_wi))
+  in
+  (* Vendor CPU runtimes execute [simd] work-items in lockstep vector lanes;
+     the k-th access of a lane batch coalesces into one access per distinct
+     cache line (an 8-wide unit-stride load is one hardware access). *)
+  let line = m.P.l1.Cache.line_bytes in
+  let lanes = lane_streams s in
+  let memory = ref 0.0 in
+  let n_batches = (s.Trace.wg_size + simd - 1) / simd in
+  for b = 0 to n_batches - 1 do
+    let first = b * simd in
+    let last = min (first + simd) s.Trace.wg_size - 1 in
+    let depth = ref 0 in
+    for l = first to last do
+      depth := max !depth (Grover_support.Varray.length lanes.(l))
+    done;
+    for k = 0 to !depth - 1 do
+      let uniq : (int, bool) Hashtbl.t = Hashtbl.create 8 in
+      for l = first to last do
+        if k < Grover_support.Varray.length lanes.(l) then begin
+          let e = Grover_support.Varray.get lanes.(l) k in
+          let l0 = e.Trace.addr / line in
+          let l1 = (e.Trace.addr + e.Trace.bytes - 1) / line in
+          for ln = l0 to l1 do
+            let w = Option.value ~default:false (Hashtbl.find_opt uniq ln) in
+            Hashtbl.replace uniq ln (w || e.Trace.is_write)
+          done
+        end
+      done;
+      Hashtbl.iter
+        (fun ln is_write ->
+          memory :=
+            !memory
+            +. cpu_access t q m ~addr:(ln * line) ~bytes:1 ~is_write)
+        uniq
+    done
+  done;
+  (* Accesses pipeline on real cores; charge a fraction of pure latency. *)
+  let memory = !memory *. 0.35 in
+  q.q_cycles <- q.q_cycles +. compute +. dispatch +. barrier +. memory;
+  t.bd.compute <- t.bd.compute +. compute +. dispatch;
+  t.bd.barrier <- t.bd.barrier +. barrier;
+  t.bd.memory <- t.bd.memory +. memory
+
+(* -- GPU engine --------------------------------------------------------------- *)
+
+let consume_gpu (t : t) (g : P.gpu_mem) (s : Trace.wg_stats) : unit =
+  let q = t.queues.(s.Trace.queue mod Array.length t.queues) in
+  let c = t.plat.P.costs in
+  let warp = max 1 t.plat.P.warp in
+  let compute =
+    ((float_of_int s.Trace.int_ops *. c.P.c_int)
+    +. (float_of_int s.Trace.float_ops *. c.P.c_float)
+    +. (float_of_int s.Trace.special_ops *. c.P.c_special)
+    +. (float_of_int s.Trace.branches *. c.P.c_branch))
+    /. float_of_int warp
+  in
+  let barrier = float_of_int s.Trace.barrier_rounds *. c.P.c_barrier_round in
+  (* Split events into per-lane streams, warp by warp. *)
+  let n_warps = (s.Trace.wg_size + warp - 1) / warp in
+  let lanes = lane_streams s in
+  let memory = ref 0.0 and spm = ref 0.0 in
+  for w = 0 to n_warps - 1 do
+    let first = w * warp in
+    let last = min (first + warp) s.Trace.wg_size - 1 in
+    let depth = ref 0 in
+    for l = first to last do
+      depth := max !depth (Grover_support.Varray.length lanes.(l))
+    done;
+    for k = 0 to !depth - 1 do
+      (* Gather the k-th access of each lane of this warp. *)
+      let evs = ref [] in
+      for l = first to last do
+        if k < Grover_support.Varray.length lanes.(l) then
+          evs := Grover_support.Varray.get lanes.(l) k :: !evs
+      done;
+      let evs = !evs in
+      let local_evs, rest =
+        List.partition (fun e -> e.Trace.space = Grover_ir.Ssa.Local) evs
+      in
+      let global_evs =
+        List.filter
+          (fun e ->
+            match e.Trace.space with
+            | Grover_ir.Ssa.Global | Grover_ir.Ssa.Constant -> true
+            | _ -> false)
+          rest
+      in
+      (* Coalescing: distinct aligned segments among the lanes. *)
+      if global_evs <> [] then begin
+        let segs = Hashtbl.create 8 in
+        List.iter
+          (fun e ->
+            let s0 = e.Trace.addr / g.P.segment in
+            let s1 = (e.Trace.addr + e.Trace.bytes - 1) / g.P.segment in
+            for seg = s0 to s1 do
+              Hashtbl.replace segs seg e.Trace.is_write
+            done)
+          global_evs;
+        Hashtbl.iter
+          (fun seg is_write ->
+            let addr = seg * g.P.segment in
+            (* A per-CU L1 that caches global loads (Tahiti) absorbs
+               repeated and broadcast transactions. *)
+            let l1_hit =
+              match q.l1 with
+              | Some l1 when not is_write ->
+                  Cache.access l1 ~addr ~bytes:1 ~is_write = 0
+              | _ -> false
+            in
+            if l1_hit then
+              memory :=
+                !memory
+                +. float_of_int
+                     (match g.P.l1g with Some c -> c.Cache.latency | None -> 4)
+            else begin
+              let extra =
+                match t.shared with
+                | Some l2 ->
+                    if Cache.access l2 ~addr ~bytes:1 ~is_write > 0 then
+                      float_of_int g.P.mem_latency
+                    else 0.0
+                | None -> float_of_int g.P.mem_latency
+              in
+              memory := !memory +. g.P.trans_cost +. extra
+            end)
+          segs
+      end;
+      (* Scratch-pad: serialisation by the worst-loaded bank. *)
+      if local_evs <> [] then begin
+        let bank_counts = Hashtbl.create 8 in
+        let by_addr = Hashtbl.create 8 in
+        List.iter
+          (fun e ->
+            (* Lanes reading the same address broadcast. *)
+            if not (Hashtbl.mem by_addr (e.Trace.addr, e.Trace.is_write)) then begin
+              Hashtbl.replace by_addr (e.Trace.addr, e.Trace.is_write) ();
+              let bank = e.Trace.addr / 4 mod g.P.banks in
+              Hashtbl.replace bank_counts bank
+                (1 + Option.value ~default:0 (Hashtbl.find_opt bank_counts bank))
+            end)
+          local_evs;
+        let conflict = Hashtbl.fold (fun _ n acc -> max n acc) bank_counts 1 in
+        spm := !spm +. (g.P.spm_cost *. float_of_int conflict)
+      end
+    done
+  done;
+  q.q_cycles <- q.q_cycles +. compute +. barrier +. !memory +. !spm;
+  t.bd.compute <- t.bd.compute +. compute;
+  t.bd.barrier <- t.bd.barrier +. barrier;
+  t.bd.memory <- t.bd.memory +. !memory;
+  t.bd.spm <- t.bd.spm +. !spm
+
+let consume (t : t) (s : Trace.wg_stats) : unit =
+  t.groups <- t.groups + 1;
+  match t.plat.P.mem with
+  | P.Cpu_mem m -> consume_cpu t m s
+  | P.Gpu_mem g -> consume_gpu t g s
+
+(* -- Results -------------------------------------------------------------------- *)
+
+type result = {
+  r_platform : string;
+  cycles : float;  (** critical-path cycles (max over queues) *)
+  seconds : float;
+  per_queue : float array;
+  r_compute : float;
+  r_memory : float;
+  r_barrier : float;
+  r_spm : float;
+  r_groups : int;
+}
+
+let result (t : t) : result =
+  let per_queue = Array.map (fun q -> q.q_cycles) t.queues in
+  let cycles = Array.fold_left max 0.0 per_queue in
+  {
+    r_platform = t.plat.P.name;
+    cycles;
+    seconds = cycles /. (t.plat.P.freq_ghz *. 1e9);
+    per_queue;
+    r_compute = t.bd.compute;
+    r_memory = t.bd.memory;
+    r_barrier = t.bd.barrier;
+    r_spm = t.bd.spm;
+    r_groups = t.groups;
+  }

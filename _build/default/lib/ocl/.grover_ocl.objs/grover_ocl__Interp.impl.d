@@ -1,0 +1,1 @@
+lib/ocl/interp.ml: Array Effect Float Grover_ir Grover_support Hashtbl List Memory Printf Ssa Trace

@@ -1,0 +1,1 @@
+lib/ocl/memory.ml: Array Grover_ir Printf Ssa

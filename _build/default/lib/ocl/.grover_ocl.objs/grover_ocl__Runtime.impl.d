@@ -1,0 +1,1 @@
+lib/ocl/runtime.ml: Array Domain Effect Grover_ir Grover_passes Hashtbl Interp List Lower Memory Printf Queue Ssa Trace

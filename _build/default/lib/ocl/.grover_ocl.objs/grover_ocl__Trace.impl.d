@@ -1,0 +1,1 @@
+lib/ocl/trace.ml: Grover_ir Grover_support Ssa

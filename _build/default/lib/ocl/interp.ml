@@ -1,0 +1,437 @@
+(** The work-item interpreter.
+
+    Executes one kernel instance per work-item directly over the SSA IR.
+    [barrier()] gets its real OpenCL semantics from OCaml 5 effect handlers:
+    each work-item runs as a fiber; hitting a barrier performs
+    [Barrier_hit], the group scheduler parks the continuation, and resumes
+    every work-item of the group once all of them have arrived. Memory
+    accesses stream into the group's {!Trace.wg_stats} for the performance
+    simulator. *)
+
+open Grover_ir
+open Ssa
+
+type rv =
+  | RInt of int
+  | RFloat of float
+  | RVecF of float array
+  | RVecI of int array
+  | RBuf of Memory.buffer
+
+exception Kernel_trap of string
+
+let trap fmt = Printf.ksprintf (fun m -> raise (Kernel_trap m)) fmt
+
+(* -- Compiled form ---------------------------------------------------------- *)
+
+type compiled = {
+  fn : func;
+  slots : (int, int) Hashtbl.t;  (** instruction id -> environment slot *)
+  n_slots : int;
+  local_allocas : instr list;  (** local arrays, allocated once per group *)
+}
+
+let prepare (fn : func) : compiled =
+  let slots = Hashtbl.create 64 in
+  let n = ref 0 in
+  iter_instrs
+    (fun i ->
+      Hashtbl.replace slots i.iid !n;
+      incr n)
+    fn;
+  let local_allocas =
+    fold_instrs
+      (fun acc i ->
+        match i.op with
+        | Alloca { aspace = Local; _ } -> i :: acc
+        | _ -> acc)
+      [] fn
+    |> List.rev
+  in
+  { fn; slots; n_slots = !n; local_allocas }
+
+(* -- Work-item context ------------------------------------------------------- *)
+
+type wi_ctx = {
+  lid : int array;  (** 3 entries *)
+  gid : int array;
+  grp : int array;
+  lsz : int array;
+  gsz : int array;
+  ngr : int array;
+  flat_lid : int;  (** linear id within the group, for traces *)
+}
+
+type _ Effect.t += Barrier_hit : unit Effect.t
+
+(* -- Scalar helpers ----------------------------------------------------------- *)
+
+let as_int = function
+  | RInt n -> n
+  | RFloat f -> trap "expected int, got float %g" f
+  | _ -> trap "expected int, got aggregate"
+
+let as_float = function
+  | RFloat f -> f
+  | RInt n -> trap "expected float, got int %d" n
+  | _ -> trap "expected float, got aggregate"
+
+let as_buf = function RBuf b -> b | _ -> trap "expected a pointer"
+
+let mask_of = function
+  | I1 -> 1
+  | I8 -> 0xff
+  | I16 -> 0xffff
+  | I32 -> 0xffffffff
+  | _ -> -1
+
+let sext_of t n =
+  match t with
+  | I1 -> n land 1 (* i1 is canonically 0/1, matching icmp results *)
+  | I8 ->
+      let n = n land 0xff in
+      if n >= 0x80 then n - 0x100 else n
+  | I16 ->
+      let n = n land 0xffff in
+      if n >= 0x8000 then n - 0x10000 else n
+  | I32 ->
+      let n = n land 0xffffffff in
+      if n >= 0x80000000 then n - 0x100000000 else n
+  | _ -> n
+
+let int_binop t op a b =
+  let u x = x land mask_of t in
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Sdiv -> if b = 0 then trap "division by zero" else a / b
+  | Udiv -> if b = 0 then trap "division by zero" else u a / u b
+  | Srem -> if b = 0 then trap "remainder by zero" else a mod b
+  | Urem -> if b = 0 then trap "remainder by zero" else u a mod u b
+  | Shl -> a lsl (b land 63)
+  | Ashr -> a asr (b land 63)
+  | Lshr -> u a lsr (b land 63)
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | _ -> trap "float binop on ints"
+
+let float_binop op a b =
+  match op with
+  | Fadd -> a +. b
+  | Fsub -> a -. b
+  | Fmul -> a *. b
+  | Fdiv -> a /. b
+  | Frem -> Float.rem a b
+  | _ -> trap "int binop on floats"
+
+let icmp_op t c a b =
+  let u x = x land mask_of t in
+  match c with
+  | Ieq -> a = b
+  | Ine -> a <> b
+  | Islt -> a < b
+  | Isle -> a <= b
+  | Isgt -> a > b
+  | Isge -> a >= b
+  | Iult -> u a < u b
+  | Iule -> u a <= u b
+  | Iugt -> u a > u b
+  | Iuge -> u a >= u b
+
+let fcmp_op c a b =
+  match c with
+  | Foeq -> a = b
+  | Fone -> a <> b
+  | Folt -> a < b
+  | Fole -> a <= b
+  | Fogt -> a > b
+  | Foge -> a >= b
+
+let lanes_map2 f a b = Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+(* -- Builtin math ---------------------------------------------------------- *)
+
+let special_fns =
+  [ "sqrt"; "native_sqrt"; "rsqrt"; "native_rsqrt"; "exp"; "native_exp";
+    "log"; "native_log"; "sin"; "native_sin"; "cos"; "native_cos"; "pow";
+    "hypot"; "native_divide" ]
+
+let math1 name x =
+  match name with
+  | "sqrt" | "native_sqrt" -> Float.sqrt x
+  | "rsqrt" | "native_rsqrt" -> 1.0 /. Float.sqrt x
+  | "fabs" -> Float.abs x
+  | "exp" | "native_exp" -> Float.exp x
+  | "log" | "native_log" -> Float.log x
+  | "sin" | "native_sin" -> Float.sin x
+  | "cos" | "native_cos" -> Float.cos x
+  | "floor" -> Float.floor x
+  | "ceil" -> Float.ceil x
+  | _ -> trap "unknown unary math builtin %s" name
+
+let math2 name a b =
+  match name with
+  | "fmax" -> Float.max a b
+  | "fmin" -> Float.min a b
+  | "pow" -> Float.pow a b
+  | "fmod" -> Float.rem a b
+  | "hypot" -> Float.hypot a b
+  | "native_divide" -> a /. b
+  | _ -> trap "unknown binary math builtin %s" name
+
+(* -- The interpreter ---------------------------------------------------------- *)
+
+type wi_state = {
+  c : compiled;
+  env : rv array;
+  args : rv array;
+  ctx : wi_ctx;
+  stats : Trace.wg_stats;
+  local_bufs : (int, Memory.buffer) Hashtbl.t;  (** alloca iid -> group buffer *)
+  mem : Memory.t;
+  queue : int;
+  mutable private_offset : int;  (** bump offset in the private address region *)
+}
+
+let slot st (i : instr) : int = Hashtbl.find st.c.slots i.iid
+
+let rec eval (st : wi_state) (v : value) : rv =
+  match v with
+  | Cint (t, n) -> RInt (sext_of t n)
+  | Cfloat f -> RFloat f
+  | Arg a -> st.args.(a.a_index)
+  | Vinstr i -> st.env.(slot st i)
+
+and record_access (st : wi_state) (b : Memory.buffer) (idx : int)
+    ~(is_write : bool) : unit =
+  Grover_support.Varray.push st.stats.Trace.events
+    {
+      Trace.addr = Memory.addr_of b idx;
+      bytes = b.Memory.elem_bytes;
+      is_write;
+      space = b.Memory.space;
+      wi = st.ctx.flat_lid;
+    }
+
+and load_elem (st : wi_state) (b : Memory.buffer) (idx : int) : rv =
+  record_access st b idx ~is_write:false;
+  match b.Memory.elem with
+  | F32 -> RFloat (Memory.get_float b idx)
+  | I1 | I8 | I16 | I32 | I64 -> RInt (Memory.get_int b idx)
+  | Vec (F32, n) -> RVecF (Array.init n (fun l -> Memory.get_lane_float b idx l))
+  | Vec (_, n) -> RVecI (Array.init n (fun l -> Memory.get_lane_int b idx l))
+  | _ -> trap "load of unsupported element type"
+
+and store_elem (st : wi_state) (b : Memory.buffer) (idx : int) (v : rv) : unit =
+  record_access st b idx ~is_write:true;
+  match v with
+  | RFloat f -> Memory.set_float b idx f
+  | RInt n -> Memory.set_int b idx n
+  | RVecF a -> Array.iteri (fun l x -> Memory.set_lane_float b idx l x) a
+  | RVecI a -> Array.iteri (fun l x -> Memory.set_lane_int b idx l x) a
+  | RBuf _ -> trap "cannot store a pointer"
+
+and exec_call (st : wi_state) callee (args : rv list) : rv =
+  let dim_of = function
+    | [ RInt d ] -> if d >= 0 && d < 3 then d else trap "dimension out of range"
+    | _ -> trap "%s expects a dimension" callee
+  in
+  match callee with
+  | "get_local_id" -> RInt st.ctx.lid.(dim_of args)
+  | "get_global_id" -> RInt st.ctx.gid.(dim_of args)
+  | "get_group_id" -> RInt st.ctx.grp.(dim_of args)
+  | "get_local_size" -> RInt st.ctx.lsz.(dim_of args)
+  | "get_global_size" -> RInt st.ctx.gsz.(dim_of args)
+  | "get_num_groups" -> RInt st.ctx.ngr.(dim_of args)
+  | "get_global_offset" -> RInt 0
+  | "get_work_dim" -> RInt 3
+  | "dot" -> (
+      match args with
+      | [ RVecF a; RVecF b ] ->
+          let s = ref 0.0 in
+          Array.iteri (fun i x -> s := !s +. (x *. b.(i))) a;
+          RFloat !s
+      | [ RFloat a; RFloat b ] -> RFloat (a *. b)
+      | _ -> trap "dot expects float vectors")
+  | "mad" | "fma" -> (
+      match args with
+      | [ RFloat a; RFloat b; RFloat c ] -> RFloat ((a *. b) +. c)
+      | [ RVecF a; RVecF b; RVecF c ] ->
+          RVecF (Array.init (Array.length a) (fun i -> (a.(i) *. b.(i)) +. c.(i)))
+      | [ RInt a; RInt b; RInt c ] -> RInt ((a * b) + c)
+      | _ -> trap "mad argument mismatch")
+  | "clamp" -> (
+      match args with
+      | [ RFloat x; RFloat lo; RFloat hi ] -> RFloat (Float.min (Float.max x lo) hi)
+      | [ RInt x; RInt lo; RInt hi ] -> RInt (min (max x lo) hi)
+      | _ -> trap "clamp argument mismatch")
+  | "mix" -> (
+      match args with
+      | [ RFloat a; RFloat b; RFloat t ] -> RFloat (a +. ((b -. a) *. t))
+      | _ -> trap "mix argument mismatch")
+  | "min" | "max" -> (
+      let pick_i : int -> int -> int = if callee = "min" then min else max in
+      let pick_f : float -> float -> float =
+        if callee = "min" then Float.min else Float.max
+      in
+      match args with
+      | [ RInt a; RInt b ] -> RInt (pick_i a b)
+      | [ RFloat a; RFloat b ] -> RFloat (pick_f a b)
+      | _ -> trap "min/max argument mismatch")
+  | "abs" -> (
+      match args with
+      | [ RInt a ] -> RInt (abs a)
+      | [ RFloat a ] -> RFloat (Float.abs a)
+      | _ -> trap "abs argument mismatch")
+  | "mul24" -> (
+      match args with
+      | [ RInt a; RInt b ] -> RInt (a * b)
+      | _ -> trap "mul24 argument mismatch")
+  | "mad24" -> (
+      match args with
+      | [ RInt a; RInt b; RInt c ] -> RInt ((a * b) + c)
+      | _ -> trap "mad24 argument mismatch")
+  | "fmax" | "fmin" | "pow" | "fmod" | "hypot" | "native_divide" -> (
+      match args with
+      | [ RFloat a; RFloat b ] -> RFloat (math2 callee a b)
+      | [ RVecF a; RVecF b ] -> RVecF (lanes_map2 (math2 callee) a b)
+      | _ -> trap "%s argument mismatch" callee)
+  | _ -> (
+      (* Remaining builtins are unary float math. *)
+      match args with
+      | [ RFloat x ] -> RFloat (math1 callee x)
+      | [ RVecF a ] -> RVecF (Array.map (math1 callee) a)
+      | _ -> trap "unsupported call %s" callee)
+
+and exec_instr (st : wi_state) (i : instr) : unit =
+  let set rv = st.env.(slot st i) <- rv in
+  match i.op with
+  | Binop (op, a, b) -> (
+      match (eval st a, eval st b) with
+      | RInt x, RInt y ->
+          st.stats.Trace.int_ops <- st.stats.Trace.int_ops + 1;
+          set (RInt (int_binop (type_of a) op x y))
+      | RFloat x, RFloat y ->
+          st.stats.Trace.float_ops <- st.stats.Trace.float_ops + 1;
+          set (RFloat (float_binop op x y))
+      | RVecF x, RVecF y ->
+          st.stats.Trace.float_ops <- st.stats.Trace.float_ops + Array.length x;
+          set (RVecF (lanes_map2 (float_binop op) x y))
+      | RVecI x, RVecI y ->
+          st.stats.Trace.int_ops <- st.stats.Trace.int_ops + Array.length x;
+          set (RVecI (lanes_map2 (int_binop I32 op) x y))
+      | _ -> trap "binop operand mismatch")
+  | Icmp (c, a, b) ->
+      st.stats.Trace.int_ops <- st.stats.Trace.int_ops + 1;
+      set (RInt (if icmp_op (type_of a) c (as_int (eval st a)) (as_int (eval st b)) then 1 else 0))
+  | Fcmp (c, a, b) ->
+      st.stats.Trace.float_ops <- st.stats.Trace.float_ops + 1;
+      set (RInt (if fcmp_op c (as_float (eval st a)) (as_float (eval st b)) then 1 else 0))
+  | Select (c, a, b) ->
+      set (if as_int (eval st c) <> 0 then eval st a else eval st b)
+  | Cast (k, v, t) -> (
+      st.stats.Trace.int_ops <- st.stats.Trace.int_ops + 1;
+      let rv = eval st v in
+      match (k, rv) with
+      | (Sext | Bitcast), RInt n -> set (RInt (sext_of (type_of v) n))
+      | Zext, RInt n -> set (RInt (n land mask_of (type_of v)))
+      | Trunc, RInt n -> set (RInt (sext_of t n))
+      | Si_to_fp, RInt n -> set (RFloat (float_of_int n))
+      | Ui_to_fp, RInt n -> set (RFloat (float_of_int (n land mask_of (type_of v))))
+      | Fp_to_si, RFloat f -> set (RInt (int_of_float f))
+      | Bitcast, rv -> set rv
+      | _ -> trap "unsupported cast")
+  | Call { callee; args; _ } ->
+      if List.mem callee special_fns then
+        st.stats.Trace.special_ops <- st.stats.Trace.special_ops + 1
+      else st.stats.Trace.int_ops <- st.stats.Trace.int_ops + 1;
+      set (exec_call st callee (List.map (eval st) args))
+  | Alloca { aspace = Local; _ } -> (
+      match Hashtbl.find_opt st.local_bufs i.iid with
+      | Some b -> set (RBuf b)
+      | None -> trap "local alloca without a group buffer")
+  | Alloca { aspace = Private; elem; count; _ } ->
+      (* Private arrays live in a per-queue private address region; the
+         data array itself is fresh per work-item. *)
+      let base =
+        0x0000_1000 + (st.queue * 0x0010_0000) + st.private_offset
+      in
+      st.private_offset <- st.private_offset + (count * ty_size_bytes elem);
+      let b =
+        Memory.alloc_at st.mem ~space:Private ~base_addr:base elem count
+      in
+      set (RBuf b)
+  | Alloca _ -> trap "unsupported alloca space"
+  | Load { ptr; index } ->
+      set (load_elem st (as_buf (eval st ptr)) (as_int (eval st index)))
+  | Store { ptr; index; v } ->
+      store_elem st (as_buf (eval st ptr)) (as_int (eval st index)) (eval st v)
+  | Extract (v, lane) -> (
+      let l = as_int (eval st lane) in
+      match eval st v with
+      | RVecF a -> set (RFloat a.(l))
+      | RVecI a -> set (RInt a.(l))
+      | _ -> trap "extract from non-vector")
+  | Insert (v, lane, s) -> (
+      let l = as_int (eval st lane) in
+      match (eval st v, eval st s) with
+      | RVecF a, RFloat x ->
+          let a = Array.copy a in
+          a.(l) <- x;
+          set (RVecF a)
+      | RVecI a, RInt x ->
+          let a = Array.copy a in
+          a.(l) <- x;
+          set (RVecI a)
+      | _ -> trap "insert mismatch")
+  | Vecbuild (t, vs) -> (
+      match t with
+      | Vec (F32, _) -> set (RVecF (Array.of_list (List.map (fun v -> as_float (eval st v)) vs)))
+      | Vec (_, _) -> set (RVecI (Array.of_list (List.map (fun v -> as_int (eval st v)) vs)))
+      | _ -> trap "vecbuild of non-vector")
+  | Phi _ -> trap "phi executed outside block entry"
+  | Barrier _ ->
+      st.stats.Trace.barriers <- st.stats.Trace.barriers + 1;
+      Effect.perform Barrier_hit
+  | Br _ | Cond_br _ | Ret -> trap "terminator executed as body instruction"
+
+and run_workitem (st : wi_state) : unit =
+  let cur = ref (entry st.c.fn) in
+  let prev = ref None in
+  let running = ref true in
+  while !running do
+    let blk = !cur in
+    (* Phase 1: evaluate all phis against the incoming edge, then commit. *)
+    let phis =
+      List.filter_map
+        (fun i ->
+          match i.op with
+          | Phi { incoming; _ } -> (
+              match !prev with
+              | None -> trap "phi in entry block"
+              | Some p -> (
+                  match
+                    List.find_opt (fun (b, _) -> b.bid = p.bid) incoming
+                  with
+                  | Some (_, v) -> Some (i, eval st v)
+                  | None -> trap "phi has no incoming for predecessor"))
+          | _ -> None)
+        blk.instrs
+    in
+    List.iter (fun (i, rv) -> st.env.(slot st i) <- rv) phis;
+    List.iter
+      (fun i -> match i.op with Phi _ -> () | _ -> exec_instr st i)
+      blk.instrs;
+    (match blk.term with
+    | Some { op = Br target; _ } ->
+        prev := Some blk;
+        cur := target
+    | Some { op = Cond_br (c, t, e); _ } ->
+        st.stats.Trace.branches <- st.stats.Trace.branches + 1;
+        prev := Some blk;
+        cur := if as_int (eval st c) <> 0 then t else e
+    | Some { op = Ret; _ } -> running := false
+    | _ -> trap "missing terminator")
+  done

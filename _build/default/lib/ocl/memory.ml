@@ -1,0 +1,159 @@
+(** Device memory: flat buffers with a byte-address layout for the
+    performance simulator.
+
+    Every buffer gets a range in a single 64-bit address space (global and
+    constant buffers from a bump allocator; local buffers inside per-queue
+    regions so that a hardware thread re-uses the same local addresses
+    across work-groups, as vendor CPU runtimes do). Data itself lives in
+    OCaml arrays — one scalar slot per vector lane. *)
+
+open Grover_ir
+open Ssa
+
+type storage = F of float array | I of int array
+
+type buffer = {
+  bid : int;
+  elem : ty;  (** element type (may be a vector) *)
+  lanes : int;  (** scalar lanes per element (1 for scalars) *)
+  elem_bytes : int;
+  n : int;  (** number of elements *)
+  st : storage;
+  base_addr : int;  (** byte address of element 0 *)
+  space : space;
+}
+
+type t = {
+  mutable next_addr : int;
+  mutable next_bid : int;
+  mutable buffers : buffer list;
+}
+
+let global_base = 0x1000_0000
+let local_region_base = 0x0100_0000
+let local_region_size = 0x0010_0000 (* 1 MiB of local addresses per queue *)
+
+let create () : t = { next_addr = global_base; next_bid = 0; buffers = [] }
+
+let scalar_of = function Vec (s, _) -> s | s -> s
+
+let lanes_of = function Vec (_, n) -> n | _ -> 1
+
+let storage_for (elem : ty) (slots : int) : storage =
+  match scalar_of elem with
+  | F32 -> F (Array.make slots 0.0)
+  | I1 | I8 | I16 | I32 | I64 -> I (Array.make slots 0)
+  | _ -> invalid_arg "storage_for: unsupported element type"
+
+let align_up n a = (n + a - 1) / a * a
+
+let alloc_at (m : t) ~(space : space) ~(base_addr : int) (elem : ty) (n : int)
+    : buffer =
+  let lanes = lanes_of elem in
+  let b =
+    {
+      bid = m.next_bid;
+      elem;
+      lanes;
+      elem_bytes = ty_size_bytes elem;
+      n;
+      st = storage_for elem (n * lanes);
+      base_addr;
+      space;
+    }
+  in
+  m.next_bid <- m.next_bid + 1;
+  m.buffers <- b :: m.buffers;
+  b
+
+(** Allocate a global (or constant) buffer of [n] elements. *)
+let alloc (m : t) ?(space = Global) (elem : ty) (n : int) : buffer =
+  let base = align_up m.next_addr 256 in
+  let b = alloc_at m ~space ~base_addr:base elem n in
+  m.next_addr <- base + (n * ty_size_bytes elem);
+  b
+
+(** Allocate a local buffer whose addresses live in [queue]'s local region
+    at byte offset [offset] (so a queue re-uses the same local addresses
+    for every work-group it runs). *)
+let alloc_local (m : t) ~(queue : int) ~(offset : int) (elem : ty) (n : int) :
+    buffer =
+  let base = local_region_base + (queue * local_region_size) + offset in
+  alloc_at m ~space:Local ~base_addr:base elem n
+
+(* -- Element access ------------------------------------------------------- *)
+
+let addr_of (b : buffer) (idx : int) : int = b.base_addr + (idx * b.elem_bytes)
+
+let check b idx =
+  if idx < 0 || idx >= b.n then
+    invalid_arg
+      (Printf.sprintf "buffer %d (%s): element index %d out of bounds [0,%d)"
+         b.bid
+         (match b.space with
+         | Global -> "global"
+         | Local -> "local"
+         | Constant -> "constant"
+         | Private -> "private")
+         idx b.n)
+
+let get_float (b : buffer) (idx : int) : float =
+  check b idx;
+  match b.st with F a -> a.(idx) | I a -> float_of_int a.(idx)
+
+let set_float (b : buffer) (idx : int) (v : float) : unit =
+  check b idx;
+  match b.st with F a -> a.(idx) <- v | I a -> a.(idx) <- int_of_float v
+
+let get_int (b : buffer) (idx : int) : int =
+  check b idx;
+  match b.st with I a -> a.(idx) | F a -> int_of_float a.(idx)
+
+let set_int (b : buffer) (idx : int) (v : int) : unit =
+  check b idx;
+  match b.st with I a -> a.(idx) <- v | F a -> a.(idx) <- float_of_int v
+
+(* Lane-resolved accessors for vector elements. *)
+let slot (b : buffer) (idx : int) (lane : int) : int = (idx * b.lanes) + lane
+
+let get_lane_float (b : buffer) (idx : int) (lane : int) : float =
+  check b idx;
+  match b.st with
+  | F a -> a.(slot b idx lane)
+  | I a -> float_of_int a.(slot b idx lane)
+
+let set_lane_float (b : buffer) (idx : int) (lane : int) (v : float) : unit =
+  check b idx;
+  match b.st with
+  | F a -> a.(slot b idx lane) <- v
+  | I a -> a.(slot b idx lane) <- int_of_float v
+
+let get_lane_int (b : buffer) (idx : int) (lane : int) : int =
+  check b idx;
+  match b.st with
+  | I a -> a.(slot b idx lane)
+  | F a -> int_of_float a.(slot b idx lane)
+
+let set_lane_int (b : buffer) (idx : int) (lane : int) (v : int) : unit =
+  check b idx;
+  match b.st with
+  | I a -> a.(slot b idx lane) <- v
+  | F a -> a.(slot b idx lane) <- float_of_int v
+
+(* -- Whole-buffer helpers for hosts and tests ------------------------------ *)
+
+let fill_floats (b : buffer) (f : int -> float) : unit =
+  match b.st with
+  | F a -> Array.iteri (fun i _ -> a.(i) <- f i) a
+  | I _ -> invalid_arg "fill_floats on an integer buffer"
+
+let fill_ints (b : buffer) (f : int -> int) : unit =
+  match b.st with
+  | I a -> Array.iteri (fun i _ -> a.(i) <- f i) a
+  | F _ -> invalid_arg "fill_ints on a float buffer"
+
+let to_float_array (b : buffer) : float array =
+  match b.st with F a -> Array.copy a | I a -> Array.map float_of_int a
+
+let to_int_array (b : buffer) : int array =
+  match b.st with I a -> Array.copy a | F a -> Array.map int_of_float a

@@ -1,0 +1,219 @@
+(** Kernel launch: NDRange iteration, per-group local-memory allocation,
+    and the barrier-aware group scheduler built on effect handlers. *)
+
+open Grover_ir
+open Ssa
+
+type arg_binding =
+  | Abuf of Memory.buffer
+  | Aint of int
+  | Afloat of float
+
+type launch_config = {
+  global : int * int * int;  (** global work size per dimension *)
+  local : int * int * int;  (** work-group size per dimension *)
+  queues : int;  (** hardware queues (cores / CUs); groups round-robin *)
+}
+
+exception Launch_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Launch_error m)) fmt
+
+let bind_args (fn : func) (bindings : arg_binding list) : Interp.rv array =
+  if List.length bindings <> List.length fn.f_args then
+    fail "kernel %s expects %d arguments, got %d" fn.f_name
+      (List.length fn.f_args) (List.length bindings);
+  Array.of_list
+    (List.map2
+       (fun (a : arg) b ->
+         match (a.a_ty, b) with
+         | Ptr (sp, elem), Abuf buf ->
+             if buf.Memory.elem <> elem then
+               fail "argument %s: buffer element type mismatch" a.a_name;
+             if sp <> buf.Memory.space && not (sp = Global && buf.Memory.space = Constant)
+             then fail "argument %s: address space mismatch" a.a_name;
+             Interp.RBuf buf
+         | (I8 | I16 | I32 | I64), Aint n -> Interp.RInt n
+         | F32, Afloat f -> Interp.RFloat f
+         | _, _ -> fail "argument %s: binding type mismatch" a.a_name)
+       fn.f_args bindings)
+
+(* Execute one work-group: spawn every work-item as a fiber; park them at
+   barriers; resume in rounds until all are done. *)
+let run_group (c : Interp.compiled) ~(args : Interp.rv array)
+    ~(grp : int array) ~(lsz : int array) ~(gsz : int array)
+    ~(ngr : int array) ~(stats : Trace.wg_stats)
+    ~(local_bufs : (int, Memory.buffer) Hashtbl.t) ~(mem : Memory.t)
+    ~(queue : int) : unit =
+  let open Effect.Deep in
+  let n_items = lsz.(0) * lsz.(1) * lsz.(2) in
+  let parked : (unit, unit) continuation Queue.t = Queue.create () in
+  let finished = ref 0 in
+  let start_item flat =
+    let lid =
+      [| flat mod lsz.(0); flat / lsz.(0) mod lsz.(1); flat / (lsz.(0) * lsz.(1)) |]
+    in
+    let gid = Array.init 3 (fun d -> (grp.(d) * lsz.(d)) + lid.(d)) in
+    let ctx =
+      { Interp.lid; gid; grp; lsz; gsz; ngr; flat_lid = flat }
+    in
+    let st =
+      {
+        Interp.c;
+        env = Array.make c.Interp.n_slots (Interp.RInt 0);
+        args;
+        ctx;
+        stats;
+        local_bufs;
+        mem;
+        queue;
+        private_offset = 0;
+      }
+    in
+    match_with
+      (fun () ->
+        Interp.run_workitem st;
+        incr finished)
+      ()
+      {
+        retc = (fun () -> ());
+        exnc = (fun e -> raise e);
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Interp.Barrier_hit ->
+                Some
+                  (fun (k : (a, unit) continuation) -> Queue.add k parked)
+            | _ -> None);
+      }
+  in
+  for flat = 0 to n_items - 1 do
+    start_item flat
+  done;
+  (* Barrier rounds: every still-running work-item must have parked. *)
+  while not (Queue.is_empty parked) do
+    let waiting = Queue.length parked in
+    if waiting + !finished <> n_items then
+      fail
+        "barrier divergence in %s: %d of %d work-items reached the barrier"
+        c.Interp.fn.f_name waiting (n_items - !finished);
+    stats.Trace.barrier_rounds <- stats.Trace.barrier_rounds + 1;
+    let batch = Queue.create () in
+    Queue.transfer parked batch;
+    Queue.iter (fun k -> continue k ()) batch
+  done;
+  if !finished <> n_items then
+    fail "work-group did not run to completion in %s" c.Interp.fn.f_name
+
+let run_one_group (c : Interp.compiled) ~(rv_args : Interp.rv array)
+    ~(scratch : Memory.t) ~(wg : int) ~(ngr : int array) ~(lsz : int array)
+    ~(gsz : int array) ~(queue : int) : Trace.wg_stats =
+  let grp =
+    [| wg mod ngr.(0); wg / ngr.(0) mod ngr.(1); wg / (ngr.(0) * ngr.(1)) |]
+  in
+  (* Per-group local buffers; addresses recycle per queue (vendor CPU
+     runtimes map local memory to a per-thread allocation). *)
+  let local_bufs = Hashtbl.create 4 in
+  let offset = ref 0 in
+  List.iter
+    (fun (i : instr) ->
+      match i.op with
+      | Alloca { elem; count; _ } ->
+          let b = Memory.alloc_local scratch ~queue ~offset:!offset elem count in
+          offset := !offset + (count * ty_size_bytes elem);
+          Hashtbl.replace local_bufs i.iid b
+      | _ -> ())
+    c.Interp.local_allocas;
+  let stats =
+    Trace.fresh_stats ~wg_id:wg ~queue ~wg_size:(lsz.(0) * lsz.(1) * lsz.(2))
+  in
+  run_group c ~args:rv_args ~grp ~lsz ~gsz ~ngr ~stats ~local_bufs
+    ~mem:scratch ~queue;
+  stats
+
+(** Launch a compiled kernel over the NDRange. [on_group] receives each
+    work-group's statistics (with its raw memory events) as soon as the
+    group finishes — the performance simulator consumes them streamingly.
+
+    [domains > 1] runs work-groups concurrently on that many OCaml domains
+    (true multicore execution). This is for correctness/throughput runs:
+    it requires [on_group] to be [None] (the performance simulator needs a
+    deterministic group order) and assumes work-groups write disjoint
+    output elements, as well-formed data-parallel kernels do.
+
+    Returns aggregate totals. *)
+let launch (c : Interp.compiled) ~(cfg : launch_config)
+    ~(args : arg_binding list) ~(mem : Memory.t)
+    ?(on_group : (Trace.wg_stats -> unit) option) ?(domains = 1) () :
+    Trace.totals =
+  let gx, gy, gz = cfg.global and lx, ly, lz = cfg.local in
+  if lx <= 0 || ly <= 0 || lz <= 0 then fail "work-group sizes must be positive";
+  if gx mod lx <> 0 || gy mod ly <> 0 || gz mod lz <> 0 then
+    fail "global size must be a multiple of the work-group size";
+  let rv_args = bind_args c.Interp.fn args in
+  let lsz = [| lx; ly; lz |] in
+  let gsz = [| gx; gy; gz |] in
+  let ngr = [| gx / lx; gy / ly; gz / lz |] in
+  let totals = Trace.empty_totals () in
+  let n_groups = ngr.(0) * ngr.(1) * ngr.(2) in
+  if domains <= 1 || n_groups < 2 then begin
+    for wg = 0 to n_groups - 1 do
+      let queue = wg mod max 1 cfg.queues in
+      let stats =
+        run_one_group c ~rv_args ~scratch:mem ~wg ~ngr ~lsz ~gsz ~queue
+      in
+      Trace.accumulate totals stats;
+      match on_group with Some f -> f stats | None -> ()
+    done;
+    totals
+  end
+  else begin
+    if on_group <> None then
+      fail "parallel launches cannot stream per-group traces";
+    let d = min domains n_groups in
+    let worker k () =
+      (* Each domain gets its own scratch memory for local/private
+         allocations; global buffers (inside rv_args) are shared, and
+         well-formed kernels write disjoint elements. *)
+      let scratch = Memory.create () in
+      let local = Trace.empty_totals () in
+      let wg = ref k in
+      while !wg < n_groups do
+        let stats =
+          run_one_group c ~rv_args ~scratch ~wg:!wg ~ngr ~lsz ~gsz ~queue:k
+        in
+        Trace.accumulate local stats;
+        wg := !wg + d
+      done;
+      local
+    in
+    let spawned = List.init (d - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+    let mine = worker 0 () in
+    let merge (a : Trace.totals) (b : Trace.totals) =
+      a.Trace.t_int_ops <- a.Trace.t_int_ops + b.Trace.t_int_ops;
+      a.Trace.t_float_ops <- a.Trace.t_float_ops + b.Trace.t_float_ops;
+      a.Trace.t_special_ops <- a.Trace.t_special_ops + b.Trace.t_special_ops;
+      a.Trace.t_branches <- a.Trace.t_branches + b.Trace.t_branches;
+      a.Trace.t_barriers <- a.Trace.t_barriers + b.Trace.t_barriers;
+      a.Trace.t_loads <- a.Trace.t_loads + b.Trace.t_loads;
+      a.Trace.t_stores <- a.Trace.t_stores + b.Trace.t_stores;
+      a.Trace.t_local_accesses <-
+        a.Trace.t_local_accesses + b.Trace.t_local_accesses;
+      a.Trace.t_groups <- a.Trace.t_groups + b.Trace.t_groups
+    in
+    merge totals mine;
+    List.iter (fun h -> merge totals (Domain.join h)) spawned;
+    totals
+  end
+
+(** Compile OpenCL C source into launchable kernels (normalised IR). *)
+let compile_source ?defines (src : string) : (string * Interp.compiled) list =
+  Lower.compile ?defines src
+  |> List.map (fun fn ->
+         Grover_passes.Pipeline.normalize fn;
+         (fn.f_name, Interp.prepare fn))
+
+let compile_kernel ?defines (src : string) ~(name : string) : Interp.compiled =
+  match List.assoc_opt name (compile_source ?defines src) with
+  | Some c -> c
+  | None -> fail "kernel %s not found in source" name

@@ -1,0 +1,84 @@
+(** Memory-access traces and per-work-group execution statistics, the
+    interface between the execution engine and the performance simulator. *)
+
+open Grover_ir
+
+type event = {
+  addr : int;  (** byte address *)
+  bytes : int;
+  is_write : bool;
+  space : Ssa.space;
+  wi : int;  (** linear work-item id within its work-group *)
+}
+
+let dummy_event =
+  { addr = 0; bytes = 0; is_write = false; space = Ssa.Global; wi = 0 }
+
+type wg_stats = {
+  wg_id : int;
+  queue : int;  (** hardware queue (core / CU) the group ran on *)
+  wg_size : int;
+  mutable int_ops : int;
+  mutable float_ops : int;
+  mutable special_ops : int;  (** sqrt/rsqrt/exp/... *)
+  mutable branches : int;
+  mutable barriers : int;  (** barrier *instances* (per work-item) *)
+  mutable barrier_rounds : int;  (** barrier sites crossed by the group *)
+  events : event Grover_support.Varray.t;
+}
+
+let fresh_stats ~wg_id ~queue ~wg_size : wg_stats =
+  {
+    wg_id;
+    queue;
+    wg_size;
+    int_ops = 0;
+    float_ops = 0;
+    special_ops = 0;
+    branches = 0;
+    barriers = 0;
+    barrier_rounds = 0;
+    events = Grover_support.Varray.create ~dummy:dummy_event;
+  }
+
+(** Aggregated totals over a whole launch (correctness runs often only need
+    these, not the raw events). *)
+type totals = {
+  mutable t_int_ops : int;
+  mutable t_float_ops : int;
+  mutable t_special_ops : int;
+  mutable t_branches : int;
+  mutable t_barriers : int;
+  mutable t_loads : int;
+  mutable t_stores : int;
+  mutable t_local_accesses : int;
+  mutable t_groups : int;
+}
+
+let empty_totals () =
+  {
+    t_int_ops = 0;
+    t_float_ops = 0;
+    t_special_ops = 0;
+    t_branches = 0;
+    t_barriers = 0;
+    t_loads = 0;
+    t_stores = 0;
+    t_local_accesses = 0;
+    t_groups = 0;
+  }
+
+let accumulate (tot : totals) (s : wg_stats) : unit =
+  tot.t_int_ops <- tot.t_int_ops + s.int_ops;
+  tot.t_float_ops <- tot.t_float_ops + s.float_ops;
+  tot.t_special_ops <- tot.t_special_ops + s.special_ops;
+  tot.t_branches <- tot.t_branches + s.branches;
+  tot.t_barriers <- tot.t_barriers + s.barriers;
+  tot.t_groups <- tot.t_groups + 1;
+  Grover_support.Varray.iter
+    (fun e ->
+      if e.is_write then tot.t_stores <- tot.t_stores + 1
+      else tot.t_loads <- tot.t_loads + 1;
+      if e.space = Ssa.Local then
+        tot.t_local_accesses <- tot.t_local_accesses + 1)
+    s.events

@@ -1,0 +1,1 @@
+lib/passes/canon.ml: Grover_clc Grover_ir Hashtbl List Ssa

@@ -1,0 +1,1 @@
+lib/passes/cse.ml: Array Cfg Dom Format Grover_ir Hashtbl List Printer Printf Ssa String

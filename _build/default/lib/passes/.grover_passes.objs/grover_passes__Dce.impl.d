@@ -1,0 +1,1 @@
+lib/passes/dce.ml: Grover_ir Hashtbl List Option Ssa

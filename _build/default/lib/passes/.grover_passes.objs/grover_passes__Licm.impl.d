@@ -1,0 +1,1 @@
+lib/passes/licm.ml: Array Cfg Cse Dom Grover_ir Hashtbl List Ssa

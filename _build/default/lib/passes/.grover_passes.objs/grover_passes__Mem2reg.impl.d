@@ -1,0 +1,1 @@
+lib/passes/mem2reg.ml: Array Cfg Dom Grover_ir Hashtbl List Ssa

@@ -1,0 +1,1 @@
+lib/passes/pipeline.ml: Canon Cse Dce Grover_ir Licm Mem2reg Simplify Ssa Verify

@@ -1,0 +1,1 @@
+lib/passes/simplify.ml: Cfg Float Grover_ir Hashtbl List Mem2reg Ssa

@@ -1,0 +1,97 @@
+(** Common-subexpression elimination (dominator-scoped value numbering).
+
+    Pure instructions with identical opcodes and operands are merged when
+    one dominates the other. Run before Grover so that equivalent index
+    subexpressions share one SSA value, and after it so that the duplicated
+    nGL index chain re-uses what the kernel already computes. *)
+
+open Grover_ir
+open Ssa
+
+(* All supported builtins are pure functions of their arguments (barrier is
+   an opcode, not a call). *)
+let is_pure (op : opcode) : bool =
+  match op with
+  | Binop _ | Icmp _ | Fcmp _ | Select _ | Cast _ | Extract _ | Insert _
+  | Vecbuild _ | Call _ ->
+      true
+  | Alloca _ | Load _ | Store _ | Phi _ | Br _ | Cond_br _ | Ret | Barrier _ ->
+      false
+
+(* A structural key for an opcode: constructor tag + operand identities. *)
+let value_key (v : value) : string =
+  match v with
+  | Cint (t, n) ->
+      Printf.sprintf "i%d:%d"
+        (match t with I1 -> 1 | I8 -> 8 | I16 -> 16 | I32 -> 32 | I64 -> 64 | _ -> 0)
+        n
+  | Cfloat f -> Printf.sprintf "f:%h" f
+  | Arg a -> Printf.sprintf "a:%d" a.a_index
+  | Vinstr i -> Printf.sprintf "v:%d" i.iid
+
+let opcode_key (op : opcode) : string option =
+  if not (is_pure op) then None
+  else
+    let operands_part = String.concat "," (List.map value_key (operands op)) in
+    let tag =
+      match op with
+      | Binop (b, _, _) -> "bin:" ^ Printer.binop_name b
+      | Icmp (c, _, _) -> "icmp:" ^ Printer.icmp_name c
+      | Fcmp (c, _, _) -> "fcmp:" ^ Printer.fcmp_name c
+      | Select _ -> "select"
+      | Cast (k, _, t) ->
+          Printf.sprintf "cast:%s:%s" (Printer.cast_name k)
+            (Format.asprintf "%a" Printer.pp_ty t)
+      | Extract _ -> "extract"
+      | Insert _ -> "insert"
+      | Vecbuild (t, _) -> "vecbuild:" ^ Format.asprintf "%a" Printer.pp_ty t
+      | Call { callee; ret; _ } ->
+          Printf.sprintf "call:%s:%s" callee (Format.asprintf "%a" Printer.pp_ty ret)
+      | _ -> assert false
+    in
+    Some (tag ^ "(" ^ operands_part ^ ")")
+
+(* Commutative operations get a canonical operand order in the key. *)
+let canonical_op (op : opcode) : opcode =
+  match op with
+  | Binop (((Add | Mul | And | Or | Xor | Fadd | Fmul) as b), x, y) ->
+      let kx = value_key x and ky = value_key y in
+      if String.compare kx ky <= 0 then op else Binop (b, y, x)
+  | Icmp (Ieq, x, y) | Icmp (Ine, x, y) ->
+      let kx = value_key x and ky = value_key y in
+      if String.compare kx ky <= 0 then op
+      else (match op with Icmp (c, _, _) -> Icmp (c, y, x) | _ -> op)
+  | _ -> op
+
+let run (fn : func) : bool =
+  let dom = Dom.compute fn in
+  let cfg = dom.Dom.cfg in
+  let changed = ref false in
+  (* Scoped value table over the dominator tree: entries added in a block
+     are removed when its subtree is done. *)
+  let table : (string, instr) Hashtbl.t = Hashtbl.create 64 in
+  let rec walk (bi : int) : unit =
+    let blk = cfg.Cfg.order.(bi) in
+    let added = ref [] in
+    let kills = ref [] in
+    List.iter
+      (fun i ->
+        i.op <- canonical_op i.op;
+        match opcode_key i.op with
+        | None -> ()
+        | Some key -> (
+            match Hashtbl.find_opt table key with
+            | Some earlier ->
+                replace_uses fn ~target:(Vinstr i) ~by:(Vinstr earlier);
+                kills := (blk, i) :: !kills;
+                changed := true
+            | None ->
+                Hashtbl.add table key i;
+                added := key :: !added))
+      blk.instrs;
+    List.iter (fun (b, i) -> remove_instr b i) !kills;
+    List.iter walk dom.Dom.children.(bi);
+    List.iter (fun key -> Hashtbl.remove table key) !added
+  in
+  walk 0;
+  !changed

@@ -1,0 +1,109 @@
+(** Loop-invariant code motion.
+
+    Natural loops are found via back edges (a successor that dominates its
+    predecessor); pure instructions whose operands are defined outside the
+    loop hoist to the block entering the header. This is the concern behind
+    the paper's Fig. 7(b): loop-independent index terms should be computed
+    once outside the loop — after Grover duplicates a global-load index
+    chain before a local load inside a loop, LICM hoists the re-created
+    invariant subterms back out. *)
+
+open Grover_ir
+open Ssa
+
+type loop = {
+  header : block;
+  blocks : (int, unit) Hashtbl.t;  (** block ids in the loop *)
+  preheader : block option;  (** unique out-of-loop predecessor of header *)
+}
+
+let find_loops (_fn : func) (dom : Dom.t) : loop list =
+  let cfg = dom.Dom.cfg in
+  let loops = ref [] in
+  Array.iter
+    (fun b ->
+      List.iter
+        (fun s ->
+          if Cfg.is_reachable cfg s && Dom.dominates dom s b then begin
+            (* Back edge b -> s: body = s plus everything reaching b
+               without passing through s. *)
+            let body = Hashtbl.create 8 in
+            Hashtbl.replace body s.bid ();
+            let rec pull (x : block) =
+              if not (Hashtbl.mem body x.bid) then begin
+                Hashtbl.replace body x.bid ();
+                List.iter pull (Cfg.preds cfg x)
+              end
+            in
+            pull b;
+            let outside_preds =
+              List.filter
+                (fun p -> not (Hashtbl.mem body p.bid))
+                (Cfg.preds cfg s)
+            in
+            let preheader =
+              match outside_preds with [ p ] -> Some p | _ -> None
+            in
+            loops := { header = s; blocks = body; preheader } :: !loops
+          end)
+        (successors b))
+    cfg.Cfg.order;
+  !loops
+
+let run (fn : func) : bool =
+  let dom = Dom.compute fn in
+  let changed = ref false in
+  let loops = find_loops fn dom in
+  List.iter
+    (fun loop ->
+      match loop.preheader with
+      | None -> ()
+      | Some pre ->
+          let in_loop (v : value) : bool =
+            match v with
+            | Vinstr i -> (
+                match i.parent with
+                | Some b -> Hashtbl.mem loop.blocks b.bid
+                | None -> true (* detached: be conservative *))
+            | _ -> false
+          in
+          (* A division can trap; hoisting one out of a guarded body could
+             introduce a trap the original program never executed. *)
+          let safe_to_speculate (op : opcode) : bool =
+            match op with
+            | Binop ((Sdiv | Udiv | Srem | Urem), _, d) -> (
+                match d with Cint (_, n) -> n <> 0 | _ -> false)
+            | _ -> true
+          in
+          let continue_ = ref true in
+          while !continue_ do
+            continue_ := false;
+            List.iter
+              (fun bid ->
+                match
+                  List.find_opt (fun b -> b.bid = bid) fn.blocks
+                with
+                | None -> ()
+                | Some blk ->
+                    let hoistable, rest =
+                      List.partition
+                        (fun i ->
+                          Cse.is_pure i.op
+                          && safe_to_speculate i.op
+                          && not (List.exists in_loop (operands i.op)))
+                        blk.instrs
+                    in
+                    if hoistable <> [] then begin
+                      blk.instrs <- rest;
+                      List.iter
+                        (fun i ->
+                          i.parent <- Some pre;
+                          pre.instrs <- pre.instrs @ [ i ])
+                        hoistable;
+                      changed := true;
+                      continue_ := true
+                    end)
+              (Hashtbl.fold (fun k () acc -> k :: acc) loop.blocks [])
+          done)
+    loops;
+  !changed

@@ -1,0 +1,38 @@
+(** Pass orchestration. [normalize] is the pipeline every kernel goes
+    through before Grover's analysis; [cleanup] runs after its rewriting. *)
+
+open Grover_ir
+
+let fixpoint (fn : Ssa.func) : unit =
+  let continue_ = ref true in
+  while !continue_ do
+    let a = Simplify.run fn in
+    let b = Cse.run fn in
+    let c = Dce.run fn in
+    continue_ := a || b || c
+  done;
+  if Licm.run fn then begin
+    let continue_ = ref true in
+    while !continue_ do
+      let a = Simplify.run fn in
+      let b = Cse.run fn in
+      let c = Dce.run fn in
+      continue_ := a || b || c
+    done
+  end
+
+(** Work-item-call canonicalisation + mem2reg + simplify/DCE to fixpoint;
+    verified on exit. *)
+let normalize (fn : Ssa.func) : unit =
+  ignore (Canon.run fn);
+  ignore (Canon.expand_global_ids fn);
+  ignore (Canon.run fn);
+  Mem2reg.run fn;
+  fixpoint fn;
+  Verify.run fn
+
+(** Post-transformation cleanup: the same fixpoint (DCE removes the dead
+    local stores/allocas the rewrite left behind). *)
+let cleanup (fn : Ssa.func) : unit =
+  fixpoint fn;
+  Verify.run fn

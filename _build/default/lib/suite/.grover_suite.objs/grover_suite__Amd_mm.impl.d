@@ -1,0 +1,1 @@
+lib/suite/amd_mm.ml: Array Float Grover_ir Grover_ocl Kit Memory Printf Runtime Ssa

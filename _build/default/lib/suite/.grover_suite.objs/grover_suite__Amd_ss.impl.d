@@ -1,0 +1,1 @@
+lib/suite/amd_ss.ml: Array Grover_ir Grover_ocl Kit Memory Printf Runtime Ssa

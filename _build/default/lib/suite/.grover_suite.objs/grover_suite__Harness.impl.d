@@ -1,0 +1,1 @@
+lib/suite/harness.ml: Grover_core Grover_ir Grover_memsim Grover_ocl Grover_passes Interp Kit List Lower Option Printf Runtime Ssa String Trace

@@ -1,0 +1,1 @@
+lib/suite/kit.ml: Array Float Grover_ocl Memory Printf Runtime

@@ -1,0 +1,1 @@
+lib/suite/pab_st.ml: Array Float Grover_ir Grover_ocl Kit Memory Printf Runtime Ssa

@@ -1,0 +1,1 @@
+lib/suite/rod_sc.ml: Array Grover_ir Grover_ocl Kit Memory Printf Runtime Ssa

@@ -1,0 +1,1 @@
+lib/suite/suite.ml: Amd_mm Amd_mt Amd_rg Amd_ss Kit List Nvd_mm Nvd_mt Nvd_nbody Pab_st Rod_sc String

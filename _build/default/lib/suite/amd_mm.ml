@@ -1,0 +1,106 @@
+(** AMD-MM: AMD-SDK-style matrix multiplication with vector data types.
+    Each work-item produces one [float4] of C; only the column-accessed
+    matrix B (a [float4] buffer with a 4 KiB physical row stride) is staged
+    in local memory. Disabling that staging exposes the same-set cache
+    collisions of the strided column walk — the kernel the paper reports
+    losing the most from Grover's transformation on SNB. *)
+
+open Grover_ir
+open Grover_ocl
+
+let source =
+  {|
+#define TS 8
+__kernel void amd_matmul(__global float4 *C, __global const float *A,
+                         __global const float4 *B, int N4, int K) {
+  __local float4 Bs[TS][TS];
+  int lx = get_local_id(0);
+  int ly = get_local_id(1);
+  int gx = get_global_id(0);
+  int gy = get_global_id(1);
+  float4 acc = (float4)(0.0f, 0.0f, 0.0f, 0.0f);
+  for (int t = 0; t < K / TS; t++) {
+    Bs[ly][lx] = B[(t * TS + ly) * N4 + gx];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int k = 0; k < TS; k++) {
+      acc = acc + A[gy * K + t * TS + k] * Bs[k][lx];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  C[gy * N4 + gx] = acc;
+}
+|}
+
+let base_m = 64 (* C slab is base_m rows x (8*4) columns of floats *)
+let row_stride4 = 256 (* B row stride in float4s: 256 * 16B = 4 KiB *)
+let base_k = 64
+
+let mk ~scale : Kit.workload =
+  let m = max 8 (base_m / scale) in
+  let k = max 8 (base_k / scale) in
+  let n4 = row_stride4 in
+  let mem = Memory.create () in
+  let vec4 = Ssa.Vec (Ssa.F32, 4) in
+  let c = Memory.alloc mem vec4 (m * n4) in
+  let a = Memory.alloc mem Ssa.F32 (m * k) in
+  let b = Memory.alloc mem vec4 (k * n4) in
+  let gen = Kit.float_gen 2718 in
+  Memory.fill_floats a (fun _ -> gen ());
+  Memory.fill_floats b (fun _ -> gen ());
+  let cols4 = 8 (* float4 columns of C computed per row: one 8-wide WG tile *) in
+  let check () =
+    let av = Memory.to_float_array a
+    and bv = Memory.to_float_array b
+    and cv = Memory.to_float_array c in
+    let ok = ref (Ok ()) in
+    (try
+       for i = 0 to m - 1 do
+         for j4 = 0 to cols4 - 1 do
+           for l = 0 to 3 do
+             let acc = ref 0.0 in
+             for kk = 0 to k - 1 do
+               acc :=
+                 !acc
+                 +. (av.((i * k) + kk) *. bv.((((kk * n4) + j4) * 4) + l))
+             done;
+             let got = cv.((((i * n4) + j4) * 4) + l) in
+             let tol = 1e-6 *. Float.max 1.0 (Float.abs !acc) in
+             if Float.abs (got -. !acc) > tol then begin
+               ok :=
+                 Error
+                   (Printf.sprintf "AMD-MM: C[%d][%d].%d expected %.6g got %.6g"
+                      i j4 l !acc got);
+               raise Exit
+             end
+           done
+         done
+       done
+     with Exit -> ());
+    !ok
+  in
+  {
+    Kit.mem;
+    args =
+      [ Runtime.Abuf c; Runtime.Abuf a; Runtime.Abuf b; Runtime.Aint n4;
+        Runtime.Aint k ];
+    global = (cols4, m, 1);
+    local = (8, 8, 1);
+    check;
+  }
+
+let case : Kit.case =
+  {
+    Kit.id = "AMD-MM";
+    origin = "AMD SDK (MatrixMultiplication)";
+    description =
+      "float4 matrix multiplication; the column-accessed matrix B is staged \
+       in local memory";
+    dataset =
+      Printf.sprintf "C slab %dx32 floats, K=%d, B row stride %d float4s"
+        base_m base_k row_stride4;
+    source;
+    kernel = "amd_matmul";
+    defines = [];
+    remove = None;
+    mk;
+  }

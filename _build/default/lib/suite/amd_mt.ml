@@ -1,0 +1,86 @@
+(** AMD-MT: AMD-SDK-style Matrix Transpose with explicit vector data types.
+    Each work-item moves 4x4 matrix elements (four [float4]s) through a
+    local tile — the amortisation the paper credits for AMD-MT's flat
+    profile (§VI-C). The four static staging stores give Grover four
+    (GL, LS) pairs; only the pair with the matching intra-slab row offset
+    yields an integral solution, so this kernel exercises the
+    pair-selection loop of §IV-A.
+
+    The port transposes at float4-block granularity: the intra-vector
+    shuffle of the original needs dynamic component selection, which is
+    outside the front-end subset and does not change the memory traffic
+    (see DESIGN.md). *)
+
+open Grover_ir
+open Grover_ocl
+
+let source =
+  {|
+#define BW 8
+__kernel void amd_transpose(__global float4 *out, __global const float4 *in,
+                            int W4, int H4) {
+  __local float4 lm[32][8];
+  int lx = get_local_id(0);
+  int ly = get_local_id(1);
+  int wx = get_group_id(0);
+  int wy = get_group_id(1);
+  lm[ly * 4 + 0][lx] = in[(wx * 32 + ly * 4 + 0) * W4 + (wy * BW + lx)];
+  lm[ly * 4 + 1][lx] = in[(wx * 32 + ly * 4 + 1) * W4 + (wy * BW + lx)];
+  lm[ly * 4 + 2][lx] = in[(wx * 32 + ly * 4 + 2) * W4 + (wy * BW + lx)];
+  lm[ly * 4 + 3][lx] = in[(wx * 32 + ly * 4 + 3) * W4 + (wy * BW + lx)];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[(wy * BW + ly) * H4 + wx * 32 + lx * 4 + 0] = lm[lx * 4 + 0][ly];
+  out[(wy * BW + ly) * H4 + wx * 32 + lx * 4 + 1] = lm[lx * 4 + 1][ly];
+  out[(wy * BW + ly) * H4 + wx * 32 + lx * 4 + 2] = lm[lx * 4 + 2][ly];
+  out[(wy * BW + ly) * H4 + wx * 32 + lx * 4 + 3] = lm[lx * 4 + 3][ly];
+}
+|}
+
+let base_n4 = 64 (* matrix is base_n4 x base_n4 float4 elements *)
+
+let mk ~scale : Kit.workload =
+  let n4 = max 32 (base_n4 / scale) in
+  let mem = Memory.create () in
+  let vec4 = Ssa.Vec (Ssa.F32, 4) in
+  let out = Memory.alloc mem vec4 (n4 * n4) in
+  let inp = Memory.alloc mem vec4 (n4 * n4) in
+  let gen = Kit.float_gen 7 in
+  Memory.fill_floats inp (fun _ -> gen ());
+  let check () =
+    let i = Memory.to_float_array inp and o = Memory.to_float_array out in
+    (* Block transpose over float4 elements: out[r][c] = in[c][r], lanes
+       preserved. *)
+    let expected = Array.make (n4 * n4 * 4) 0.0 in
+    for r = 0 to n4 - 1 do
+      for c = 0 to n4 - 1 do
+        for l = 0 to 3 do
+          expected.((((r * n4) + c) * 4) + l) <- i.((((c * n4) + r) * 4) + l)
+        done
+      done
+    done;
+    Kit.check_floats ~label:"AMD-MT" ~expected ~actual:o ~eps:0.0
+  in
+  {
+    Kit.mem;
+    args =
+      [ Runtime.Abuf out; Runtime.Abuf inp; Runtime.Aint n4; Runtime.Aint n4 ];
+    (* Each work-item covers a 4-row float4 slab: x spans n4/4 slabs of the
+       32-row block dimension, y spans the 8-wide dimension. *)
+    global = (n4 / 4, n4, 1);
+    local = (8, 8, 1);
+    check;
+  }
+
+let case : Kit.case =
+  {
+    Kit.id = "AMD-MT";
+    origin = "AMD SDK";
+    description =
+      "Matrix transpose with float4 vector types; 4x4 elements per work-item";
+    dataset = Printf.sprintf "%dx%d float4s" base_n4 base_n4;
+    source;
+    kernel = "amd_transpose";
+    defines = [];
+    remove = None;
+    mk;
+  }

@@ -1,0 +1,68 @@
+(** AMD-RG: the transpose stage of AMD's RecursiveGaussian image filter.
+    Pixels are RGBA [float4] values; a 16x16-pixel tile is staged in local
+    memory and written back transposed. *)
+
+open Grover_ir
+open Grover_ocl
+
+let source =
+  {|
+#define S 16
+__kernel void rg_transpose(__global float4 *out, __global const float4 *in,
+                           int W, int H) {
+  __local float4 tile[S][S];
+  int lx = get_local_id(0);
+  int ly = get_local_id(1);
+  int wx = get_group_id(0);
+  int wy = get_group_id(1);
+  tile[ly][lx] = in[(wy * S + ly) * W + (wx * S + lx)];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  float4 p = tile[lx][ly];
+  int ox = wy * S + lx;
+  int oy = wx * S + ly;
+  out[oy * H + ox] = p;
+}
+|}
+
+let base_n = 128 (* image is base_n x base_n pixels *)
+
+let mk ~scale : Kit.workload =
+  let n = max 16 (base_n / scale) in
+  let mem = Memory.create () in
+  let vec4 = Ssa.Vec (Ssa.F32, 4) in
+  let out = Memory.alloc mem vec4 (n * n) in
+  let inp = Memory.alloc mem vec4 (n * n) in
+  let gen = Kit.float_gen 123 in
+  Memory.fill_floats inp (fun _ -> gen ());
+  let check () =
+    let i = Memory.to_float_array inp and o = Memory.to_float_array out in
+    let expected = Array.make (n * n * 4) 0.0 in
+    for r = 0 to n - 1 do
+      for c = 0 to n - 1 do
+        for l = 0 to 3 do
+          expected.((((r * n) + c) * 4) + l) <- i.((((c * n) + r) * 4) + l)
+        done
+      done
+    done;
+    Kit.check_floats ~label:"AMD-RG" ~expected ~actual:o ~eps:0.0
+  in
+  {
+    Kit.mem;
+    args = [ Runtime.Abuf out; Runtime.Abuf inp; Runtime.Aint n; Runtime.Aint n ];
+    global = (n, n, 1);
+    local = (16, 16, 1);
+    check;
+  }
+
+let case : Kit.case =
+  {
+    Kit.id = "AMD-RG";
+    origin = "AMD SDK (RecursiveGaussian)";
+    description = "RGBA image transpose stage; float4 pixels staged in a 16x16 tile";
+    dataset = Printf.sprintf "%dx%d RGBA pixels" base_n base_n;
+    source;
+    kernel = "rg_transpose";
+    defines = [];
+    remove = None;
+    mk;
+  }

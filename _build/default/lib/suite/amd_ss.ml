@@ -1,0 +1,73 @@
+(** AMD-SS: StringSearch. The pattern string is staged into local memory
+    once per work-group and then shared by every work-item — the case where
+    the work-group component of the global index is zero (paper Table III:
+    all work-items share the same data block). *)
+
+open Grover_ir
+open Grover_ocl
+
+let source =
+  {|
+#define PATLEN 16
+__kernel void string_search(__global int *matches, __global const uchar *text,
+                            __global const uchar *pattern, int text_len) {
+  __local uchar lpat[PATLEN];
+  int l = get_local_id(0);
+  if (l < PATLEN) lpat[l] = pattern[l];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  int gid = get_global_id(0);
+  int ok = 1;
+  for (int j = 0; j < PATLEN; j++) {
+    if (text[gid + j] != lpat[j]) ok = 0;
+  }
+  matches[gid] = ok;
+}
+|}
+
+let pat_len = 16
+let base_text = 32768
+
+let mk ~scale : Kit.workload =
+  let n = max 256 (base_text / scale) in
+  let mem = Memory.create () in
+  let matches = Memory.alloc mem Ssa.I32 n in
+  let text = Memory.alloc mem Ssa.I8 (n + pat_len) in
+  let pattern = Memory.alloc mem Ssa.I8 pat_len in
+  let next = Kit.prng 99 in
+  Memory.fill_ints text (fun _ -> next () mod 4);
+  (* A pattern that occurs with reasonable probability. *)
+  Memory.fill_ints pattern (fun i -> i mod 4);
+  let check () =
+    let t = Memory.to_int_array text and p = Memory.to_int_array pattern in
+    let expected =
+      Array.init n (fun g ->
+          let ok = ref 1 in
+          for j = 0 to pat_len - 1 do
+            if t.(g + j) <> p.(j) then ok := 0
+          done;
+          !ok)
+    in
+    Kit.check_ints ~label:"AMD-SS" ~expected ~actual:(Memory.to_int_array matches)
+  in
+  {
+    Kit.mem;
+    args =
+      [ Runtime.Abuf matches; Runtime.Abuf text; Runtime.Abuf pattern;
+        Runtime.Aint n ];
+    global = (n, 1, 1);
+    local = (64, 1, 1);
+    check;
+  }
+
+let case : Kit.case =
+  {
+    Kit.id = "AMD-SS";
+    origin = "AMD SDK";
+    description = "String search; the pattern is staged in local memory and shared";
+    dataset = Printf.sprintf "%d-byte text, %d-byte pattern" base_text pat_len;
+    source;
+    kernel = "string_search";
+    defines = [];
+    remove = None;
+    mk;
+  }

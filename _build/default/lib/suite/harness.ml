@@ -1,0 +1,152 @@
+(** The experiment harness: compile a benchmark in its two versions (with
+    local memory, and with local memory disabled by Grover), execute both on
+    the simulated platform, validate outputs against the host reference, and
+    report the normalized performance — the paper's measurement loop
+    (§V-B / §VI-B). *)
+
+open Grover_ir
+open Grover_ocl
+module P = Grover_memsim.Platform
+module Sim = Grover_memsim.Simulate
+
+type version = With_lm | Without_lm
+
+type run = {
+  version : version;
+  seconds : float;
+  cycles : float;
+  valid : (unit, string) result;
+  totals : Trace.totals;
+  sim : Sim.result option;
+}
+
+type comparison = {
+  case_id : string;
+  platform : string;
+  with_lm : run;
+  without_lm : run;
+  grover : Grover_core.Grover.outcome;
+  normalized : float;
+      (** perf(without) / perf(with) = t_with / t_without; > 1 = gain *)
+}
+
+exception Harness_error of string
+
+let compile_version (case : Kit.case) (v : version) :
+    Ssa.func * Grover_core.Grover.outcome option =
+  let fns = Lower.compile ~defines:case.Kit.defines case.Kit.source in
+  let fn =
+    match List.find_opt (fun f -> f.Ssa.f_name = case.Kit.kernel) fns with
+    | Some f -> f
+    | None ->
+        raise
+          (Harness_error
+             (Printf.sprintf "%s: kernel %s missing" case.Kit.id case.Kit.kernel))
+  in
+  Grover_passes.Pipeline.normalize fn;
+  match v with
+  | With_lm -> (fn, None)
+  | Without_lm ->
+      let outcome = Grover_core.Grover.run ?only:case.Kit.remove fn in
+      if outcome.Grover_core.Grover.transformed = [] then
+        raise
+          (Harness_error
+             (Printf.sprintf "%s: Grover transformed nothing (%s)" case.Kit.id
+                (String.concat "; "
+                   (List.map
+                      (fun (n, r) -> n ^ ": " ^ r)
+                      outcome.Grover_core.Grover.rejected))));
+      (fn, Some outcome)
+
+(* Kernels that already use explicit vector types defeat the CPU runtimes'
+   implicit work-item vectorisation (the AMD-MT/AMD-MM situation the paper
+   discusses in §VI-C). *)
+let uses_vector_types (fn : Ssa.func) : bool =
+  List.exists
+    (fun (a : Ssa.arg) ->
+      match a.Ssa.a_ty with
+      | Ssa.Ptr (_, Ssa.Vec _) | Ssa.Vec _ -> true
+      | _ -> false)
+    fn.Ssa.f_args
+  || Ssa.fold_instrs
+       (fun acc i ->
+         acc
+         ||
+         match i.Ssa.op with
+         | Ssa.Vecbuild _ | Ssa.Extract _ | Ssa.Insert _ -> true
+         | _ -> false)
+       false fn
+
+let execute ?vectorized_override (case : Kit.case) (fn : Ssa.func)
+    ~(scale : int) ~(platform : P.t option) :
+    float * Trace.totals * Sim.result option * (unit, string) result =
+  let w = case.Kit.mk ~scale in
+  let compiled = Interp.prepare fn in
+  let queues = match platform with Some p -> p.P.cores | None -> 1 in
+  let vectorized =
+    match vectorized_override with
+    | Some v -> v
+    | None -> uses_vector_types fn
+  in
+  let sim = Option.map (Sim.create ~vectorized) platform in
+  let on_group = Option.map (fun s -> fun g -> Sim.consume s g) sim in
+  let totals =
+    Runtime.launch compiled
+      ~cfg:{ Runtime.global = w.Kit.global; local = w.Kit.local; queues }
+      ~args:w.Kit.args ~mem:w.Kit.mem ?on_group ()
+  in
+  let result = Option.map Sim.result sim in
+  let seconds = match result with Some r -> r.Sim.seconds | None -> 0.0 in
+  (seconds, totals, result, w.Kit.check ())
+
+let run_version ?vectorized_override (case : Kit.case) (v : version)
+    ~(scale : int) ~(platform : P.t option) :
+    run * Grover_core.Grover.outcome option =
+  let fn, outcome = compile_version case v in
+  let seconds, totals, sim, valid =
+    execute ?vectorized_override case fn ~scale ~platform
+  in
+  ( {
+      version = v;
+      seconds;
+      cycles = (match sim with Some r -> r.Sim.cycles | None -> 0.0);
+      valid;
+      totals;
+      sim;
+    },
+    outcome )
+
+(** The full experiment for one (benchmark, platform) test case. *)
+let compare ?vectorized_override (case : Kit.case) ~(platform : P.t)
+    ~(scale : int) : comparison =
+  let with_lm, _ =
+    run_version ?vectorized_override case With_lm ~scale
+      ~platform:(Some platform)
+  in
+  let without_lm, outcome =
+    run_version ?vectorized_override case Without_lm ~scale
+      ~platform:(Some platform)
+  in
+  let grover =
+    match outcome with
+    | Some o -> o
+    | None -> raise (Harness_error "missing Grover outcome")
+  in
+  {
+    case_id = case.Kit.id;
+    platform = platform.P.name;
+    with_lm;
+    without_lm;
+    grover;
+    normalized = with_lm.seconds /. without_lm.seconds;
+  }
+
+(** Classification with the paper's 5% similarity threshold (Table IV). *)
+type verdict = Gain | Loss | Similar
+
+let classify ?(threshold = 0.05) (np : float) : verdict =
+  if np > 1.0 +. threshold then Gain
+  else if np < 1.0 -. threshold then Loss
+  else Similar
+
+let verdict_name = function Gain -> "gain" | Loss -> "loss" | Similar -> "similar"

@@ -1,0 +1,75 @@
+(** Shared plumbing for the benchmark suite: the benchmark-case record, and
+    deterministic pseudo-random dataset generation. *)
+
+open Grover_ocl
+
+type workload = {
+  mem : Memory.t;
+  args : Runtime.arg_binding list;
+  global : int * int * int;
+  local : int * int * int;
+  check : unit -> (unit, string) result;
+      (** host-reference validation of the output buffers *)
+}
+
+type case = {
+  id : string;  (** paper identifier, e.g. "NVD-MT" *)
+  origin : string;  (** which SDK / suite the original came from *)
+  description : string;
+  dataset : string;  (** human-readable dataset description *)
+  source : string;  (** OpenCL C *)
+  kernel : string;
+  defines : (string * string) list;
+  remove : string list option;
+      (** local buffers Grover should disable; [None] = all *)
+  mk : scale:int -> workload;
+      (** builds the dataset; [scale] = 1 is the benchmark size, smaller
+          problems for tests use [scale] > 1 as a divisor *)
+}
+
+(* Deterministic xorshift PRNG so runs are reproducible without seeding
+   global state. *)
+let prng seed =
+  let s = ref (if seed = 0 then 0x9E3779B9 else seed) in
+  fun () ->
+    let x = !s in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    s := x land 0x3FFFFFFFFFFFFFFF;
+    !s
+
+let float_gen seed =
+  let next = prng seed in
+  fun () -> float_of_int (next () mod 2048 - 1024) /. 256.0
+
+let check_floats ~(label : string) ~(expected : float array)
+    ~(actual : float array) ~(eps : float) : (unit, string) result =
+  if Array.length expected <> Array.length actual then
+    Error
+      (Printf.sprintf "%s: length mismatch (%d vs %d)" label
+         (Array.length expected) (Array.length actual))
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun i e ->
+        let a = actual.(i) in
+        let tol = eps *. Float.max 1.0 (Float.abs e) in
+        if Float.abs (e -. a) > tol && !bad = None then bad := Some (i, e, a))
+      expected;
+    match !bad with
+    | None -> Ok ()
+    | Some (i, e, a) ->
+        Error (Printf.sprintf "%s: element %d expected %.6g got %.6g" label i e a)
+  end
+
+let check_ints ~(label : string) ~(expected : int array) ~(actual : int array)
+    : (unit, string) result =
+  let bad = ref None in
+  Array.iteri
+    (fun i e -> if actual.(i) <> e && !bad = None then bad := Some (i, e, actual.(i)))
+    expected;
+  match !bad with
+  | None -> Ok ()
+  | Some (i, e, a) ->
+      Error (Printf.sprintf "%s: element %d expected %d got %d" label i e a)

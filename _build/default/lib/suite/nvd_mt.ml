@@ -1,0 +1,60 @@
+(** NVD-MT: the NVIDIA-SDK-style Matrix Transpose of the paper's Fig. 1.
+    A 16x16 tile is staged in local memory so that both the global read and
+    the global write are row-contiguous (coalesced on GPUs). *)
+
+open Grover_ir
+open Grover_ocl
+
+let source =
+  {|
+#define S 16
+__kernel void transpose(__global float *out, __global const float *in,
+                        int W, int H) {
+  __local float lm[S][S];
+  int lx = get_local_id(0);
+  int ly = get_local_id(1);
+  int wx = get_group_id(0);
+  int wy = get_group_id(1);
+  lm[ly][lx] = in[(wx * S + ly) * W + (wy * S + lx)];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  float val = lm[lx][ly];
+  int gx = get_global_id(0);
+  int gy = get_global_id(1);
+  out[gy * H + gx] = val;
+}
+|}
+
+let base_n = 256
+
+let mk ~scale : Kit.workload =
+  let n = max 16 (base_n / scale) in
+  let mem = Memory.create () in
+  let out = Memory.alloc mem Ssa.F32 (n * n) in
+  let inp = Memory.alloc mem Ssa.F32 (n * n) in
+  let gen = Kit.float_gen 42 in
+  Memory.fill_floats inp (fun _ -> gen ());
+  let check () =
+    let i = Memory.to_float_array inp and o = Memory.to_float_array out in
+    let expected = Array.init (n * n) (fun k -> i.((k mod n * n) + (k / n))) in
+    Kit.check_floats ~label:"NVD-MT" ~expected ~actual:o ~eps:0.0
+  in
+  {
+    Kit.mem;
+    args = [ Runtime.Abuf out; Runtime.Abuf inp; Runtime.Aint n; Runtime.Aint n ];
+    global = (n, n, 1);
+    local = (16, 16, 1);
+    check;
+  }
+
+let case : Kit.case =
+  {
+    Kit.id = "NVD-MT";
+    origin = "NVIDIA SDK";
+    description = "Matrix transpose, 16x16 tile staged in local memory";
+    dataset = Printf.sprintf "%dx%d floats" base_n base_n;
+    source;
+    kernel = "transpose";
+    defines = [];
+    remove = None;
+    mk;
+  }

@@ -1,0 +1,93 @@
+(** PAB-ST: Parboil-style stencil. A 16-wide row segment plus a two-column
+    halo is staged in local memory, which requires *two* static (GL, LS)
+    pairs — the multi-pass staging case of paper §IV-A; either pair yields
+    the same global-local correspondence. North/south neighbours are read
+    directly from global memory. *)
+
+open Grover_ir
+open Grover_ocl
+
+let source =
+  {|
+#define S 16
+__kernel void stencil(__global float *out, __global const float *in, int W) {
+  __local float t[16][18];
+  int lx = get_local_id(0);
+  int ly = get_local_id(1);
+  int wx = get_group_id(0);
+  int gx = get_global_id(0) + 1;
+  int gy = get_global_id(1) + 1;
+  t[ly][lx] = in[gy * W + wx * S + lx];
+  if (lx < 2) {
+    t[ly][lx + 16] = in[gy * W + wx * S + lx + 16];
+  }
+  barrier(CLK_LOCAL_MEM_FENCE);
+  float west = t[ly][lx];
+  float center = t[ly][lx + 1];
+  float east = t[ly][lx + 2];
+  float north = in[(gy - 1) * W + gx];
+  float south = in[(gy + 1) * W + gx];
+  out[gy * W + gx] = 0.2f * (west + center + east + north + south);
+}
+|}
+
+(* Interior is (W-2) x (H-2); both must be multiples of 16. *)
+let base_w = 258
+let base_h = 66
+
+let mk ~scale : Kit.workload =
+  let iw = max 16 ((base_w - 2) / scale / 16 * 16) in
+  let ih = max 16 ((base_h - 2) / scale / 16 * 16) in
+  let w = iw + 2 and h = ih + 2 in
+  let mem = Memory.create () in
+  let out = Memory.alloc mem Ssa.F32 (w * h) in
+  let inp = Memory.alloc mem Ssa.F32 (w * h) in
+  let gen = Kit.float_gen 77 in
+  Memory.fill_floats inp (fun _ -> gen ());
+  let check () =
+    let i = Memory.to_float_array inp and o = Memory.to_float_array out in
+    let ok = ref (Ok ()) in
+    (try
+       for y = 1 to h - 2 do
+         for x = 1 to w - 2 do
+           let e =
+             0.2
+             *. (i.((y * w) + x - 1) +. i.((y * w) + x) +. i.((y * w) + x + 1)
+                +. i.(((y - 1) * w) + x)
+                +. i.(((y + 1) * w) + x))
+           in
+           let got = o.((y * w) + x) in
+           if Float.abs (got -. e) > 1e-6 *. Float.max 1.0 (Float.abs e) then begin
+             ok :=
+               Error
+                 (Printf.sprintf "PAB-ST: out[%d][%d] expected %.6g got %.6g" y x
+                    e got);
+             raise Exit
+           end
+         done
+       done
+     with Exit -> ());
+    !ok
+  in
+  {
+    Kit.mem;
+    args = [ Runtime.Abuf out; Runtime.Abuf inp; Runtime.Aint w ];
+    global = (iw, ih, 1);
+    local = (16, 16, 1);
+    check;
+  }
+
+let case : Kit.case =
+  {
+    Kit.id = "PAB-ST";
+    origin = "Parboil (stencil)";
+    description =
+      "5-point stencil; row segments plus halo staged in local memory with \
+       two (GL, LS) pairs";
+    dataset = Printf.sprintf "%dx%d grid" base_w base_h;
+    source;
+    kernel = "stencil";
+    defines = [];
+    remove = None;
+    mk;
+  }

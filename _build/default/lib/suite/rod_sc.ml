@@ -1,0 +1,84 @@
+(** ROD-SC: Rodinia streamcluster's distance kernel. The 16 coordinates of
+    the current cluster centre live far apart in memory (column-major,
+    stride N); they are gathered into a small contiguous local array shared
+    by all work-items (work-group index component zero, paper Table III).
+    Note the global-load index [lx * stride] is *not* affine in constants —
+    the stride is a kernel argument — which exercises Grover's tree
+    substitution beyond the affine analysis of the local indexes. *)
+
+open Grover_ir
+open Grover_ocl
+
+let source =
+  {|
+#define D 16
+__kernel void sc_dist(__global float *dist, __global const float *pts,
+                      __global const float *centre, int n, int stride) {
+  __local float c[D];
+  int lx = get_local_id(0);
+  if (lx < D) {
+    c[lx] = centre[lx * stride];
+  }
+  barrier(CLK_LOCAL_MEM_FENCE);
+  int gid = get_global_id(0);
+  float acc = 0.0f;
+  for (int d = 0; d < D; d++) {
+    float diff = pts[d * n + gid] - c[d];
+    acc = acc + diff * diff;
+  }
+  dist[gid] = acc;
+}
+|}
+
+let dims = 16
+let base_n = 4096
+
+let mk ~scale : Kit.workload =
+  let n = max 256 (base_n / scale) in
+  let stride = n in
+  let mem = Memory.create () in
+  let dist = Memory.alloc mem Ssa.F32 n in
+  let pts = Memory.alloc mem Ssa.F32 (dims * n) in
+  let centre = Memory.alloc mem Ssa.F32 (dims * stride) in
+  let gen = Kit.float_gen 31337 in
+  Memory.fill_floats pts (fun _ -> gen ());
+  Memory.fill_floats centre (fun _ -> gen ());
+  let check () =
+    let p = Memory.to_float_array pts
+    and c = Memory.to_float_array centre
+    and dv = Memory.to_float_array dist in
+    let expected =
+      Array.init n (fun g ->
+          let acc = ref 0.0 in
+          for d = 0 to dims - 1 do
+            let diff = p.((d * n) + g) -. c.(d * stride) in
+            acc := !acc +. (diff *. diff)
+          done;
+          !acc)
+    in
+    Kit.check_floats ~label:"ROD-SC" ~expected ~actual:dv ~eps:1e-6
+  in
+  {
+    Kit.mem;
+    args =
+      [ Runtime.Abuf dist; Runtime.Abuf pts; Runtime.Abuf centre;
+        Runtime.Aint n; Runtime.Aint stride ];
+    global = (n, 1, 1);
+    local = (64, 1, 1);
+    check;
+  }
+
+let case : Kit.case =
+  {
+    Kit.id = "ROD-SC";
+    origin = "Rodinia (streamcluster)";
+    description =
+      "Point-to-centre distances; 16 strided centre coordinates gathered \
+       into local memory";
+    dataset = Printf.sprintf "%d points, %d dimensions" base_n dims;
+    source;
+    kernel = "sc_dist";
+    defines = [];
+    remove = None;
+    mk;
+  }

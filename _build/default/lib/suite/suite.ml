@@ -1,0 +1,23 @@
+(** The benchmark registry: the 11 test cases of the paper's Table I
+    (NVD-MM appears three times, once per local-memory removal variant). *)
+
+let all : Kit.case list =
+  [ Amd_ss.case;
+    Amd_mt.case;
+    Nvd_mt.case;
+    Amd_rg.case;
+    Amd_mm.case;
+    Nvd_mm.case_a;
+    Nvd_mm.case_b;
+    Nvd_mm.case_ab;
+    Nvd_nbody.case;
+    Pab_st.case;
+    Rod_sc.case ]
+
+let by_id (id : string) : Kit.case option =
+  List.find_opt (fun c -> String.lowercase_ascii c.Kit.id = String.lowercase_ascii id) all
+
+(* Distinct kernels (the 9 sources behind the 11 cases). *)
+let distinct_sources : Kit.case list =
+  [ Amd_ss.case; Amd_mt.case; Nvd_mt.case; Amd_rg.case; Amd_mm.case;
+    Nvd_mm.case_a; Nvd_nbody.case; Pab_st.case; Rod_sc.case ]

@@ -1,0 +1,1 @@
+lib/support/affine.ml: Format List Map Rational

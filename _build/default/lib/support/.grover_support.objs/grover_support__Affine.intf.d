@@ -1,0 +1,1 @@
+lib/support/affine.mli: Format Rational

@@ -1,0 +1,98 @@
+module Q = Rational
+
+module type ATOM = sig
+  type t
+
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (A : ATOM) = struct
+  module M = Map.Make (A)
+
+  (* Invariant: no binding in [terms] maps to the zero rational. *)
+  type t = { terms : Q.t M.t; const : Q.t }
+
+  let const c = { terms = M.empty; const = c }
+  let of_int n = const (Q.of_int n)
+  let atom a = { terms = M.singleton a Q.one; const = Q.zero }
+  let zero = const Q.zero
+  let one = const Q.one
+
+  let norm c = if Q.is_zero c then None else Some c
+
+  let add f g =
+    let merge _ c1 c2 =
+      match (c1, c2) with
+      | Some c1, Some c2 -> norm (Q.add c1 c2)
+      | (Some _ as c), None | None, (Some _ as c) -> c
+      | None, None -> None
+    in
+    { terms = M.merge merge f.terms g.terms; const = Q.add f.const g.const }
+
+  let scale k f =
+    if Q.is_zero k then zero
+    else
+      { terms = M.map (fun c -> Q.mul k c) f.terms;
+        const = Q.mul k f.const }
+
+  let neg f = scale Q.minus_one f
+  let sub f g = add f (neg g)
+
+  let to_const f = if M.is_empty f.terms then Some f.const else None
+
+  let mul f g =
+    match (to_const f, to_const g) with
+    | Some c, _ -> Some (scale c g)
+    | _, Some c -> Some (scale c f)
+    | None, None -> None
+
+  let coeff a f = match M.find_opt a f.terms with Some c -> c | None -> Q.zero
+  let constant f = f.const
+  let atoms f = M.fold (fun a _ acc -> a :: acc) f.terms [] |> List.rev
+
+  let split ~on f =
+    let sel, rest = M.partition (fun a _ -> on a) f.terms in
+    ({ terms = sel; const = Q.zero }, { terms = rest; const = f.const })
+
+  let subst a v f =
+    match M.find_opt a f.terms with
+    | None -> f
+    | Some c -> add { f with terms = M.remove a f.terms } (scale c v)
+
+  let to_atom f =
+    if not (Q.is_zero f.const) then None
+    else
+      match M.bindings f.terms with
+      | [ (a, c) ] when Q.is_one c -> Some a
+      | _ -> None
+
+  let is_zero f = M.is_empty f.terms && Q.is_zero f.const
+  let equal f g = Q.equal f.const g.const && M.equal Q.equal f.terms g.terms
+  let fold fn f acc = M.fold fn f.terms acc
+
+  let pp ppf f =
+    let pp_term first ppf (a, c) =
+      if Q.equal c Q.one then
+        Format.fprintf ppf "%s%a" (if first then "" else " + ") A.pp a
+      else if Q.equal c Q.minus_one then
+        Format.fprintf ppf "%s%a" (if first then "-" else " - ") A.pp a
+      else if Q.sign c > 0 then
+        Format.fprintf ppf "%s%a*%a"
+          (if first then "" else " + ")
+          Q.pp c A.pp a
+      else
+        Format.fprintf ppf "%s%a*%a"
+          (if first then "-" else " - ")
+          Q.pp (Q.neg c) A.pp a
+    in
+    let bindings = M.bindings f.terms in
+    match bindings with
+    | [] -> Q.pp ppf f.const
+    | first :: rest ->
+        pp_term true ppf first;
+        List.iter (fun t -> pp_term false ppf t) rest;
+        if not (Q.is_zero f.const) then
+          if Q.sign f.const > 0 then Format.fprintf ppf " + %a" Q.pp f.const
+          else Format.fprintf ppf " - %a" Q.pp (Q.neg f.const)
+end

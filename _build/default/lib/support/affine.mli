@@ -1,0 +1,64 @@
+(** Affine linear forms over symbolic atoms with rational coefficients.
+
+    An affine form is [c0 + c1*a1 + ... + cn*an] where the [ai] are opaque
+    atoms (in Grover: IR values such as [get_local_id(0)] calls, loop phis,
+    or kernel arguments) and the [ci] are exact rationals. Affine forms are
+    the currency of the whole pass: local store indices are affine in the
+    local thread ids (paper Eq. 2), and the solution of the linear system
+    (paper Eq. 3) is an affine form per unknown. *)
+
+module type ATOM = sig
+  type t
+
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (A : ATOM) : sig
+  type t
+
+  val const : Rational.t -> t
+  val of_int : int -> t
+  val atom : A.t -> t
+  val zero : t
+  val one : t
+
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val scale : Rational.t -> t -> t
+
+  val mul : t -> t -> t option
+  (** [mul a b] is the product if at least one side is constant (affine forms
+      are not closed under general multiplication), [None] otherwise. *)
+
+  val coeff : A.t -> t -> Rational.t
+  (** Coefficient of an atom ([zero] when absent). *)
+
+  val constant : t -> Rational.t
+  (** The constant term. *)
+
+  val atoms : t -> A.t list
+  (** Atoms with non-zero coefficient, in [A.compare] order. *)
+
+  val split : on:(A.t -> bool) -> t -> t * t
+  (** [split ~on f] separates [f] into (terms whose atom satisfies [on],
+      the rest including the constant). The two halves sum back to [f]. *)
+
+  val subst : A.t -> t -> t -> t
+  (** [subst a v f] replaces atom [a] by the affine form [v] inside [f]. *)
+
+  val to_const : t -> Rational.t option
+  (** [Some c] iff the form has no atoms. *)
+
+  val to_atom : t -> A.t option
+  (** [Some a] iff the form is exactly [1*a + 0]. *)
+
+  val is_zero : t -> bool
+  val equal : t -> t -> bool
+
+  val fold : (A.t -> Rational.t -> 'acc -> 'acc) -> t -> 'acc -> 'acc
+  (** Fold over the atom terms (constant excluded). *)
+
+  val pp : Format.formatter -> t -> unit
+end

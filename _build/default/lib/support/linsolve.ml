@@ -1,0 +1,65 @@
+module Q = Rational
+
+module type SPACE = sig
+  type t
+
+  val zero : t
+  val add : t -> t -> t
+  val scale : Rational.t -> t -> t
+end
+
+module Make (V : SPACE) = struct
+  type outcome = Unique of V.t array | Singular
+
+  let solve a b =
+    let n = Array.length a in
+    if Array.length b <> n then invalid_arg "Linsolve.solve: size mismatch";
+    Array.iter
+      (fun row ->
+        if Array.length row <> n then
+          invalid_arg "Linsolve.solve: matrix not square")
+      a;
+    (* Work on copies: elimination is destructive. *)
+    let a = Array.map Array.copy a in
+    let b = Array.copy b in
+    let exception Sing in
+    try
+      for col = 0 to n - 1 do
+        (* Partial pivoting by first non-zero entry (exact arithmetic needs
+           no magnitude-based pivot choice). *)
+        let pivot = ref (-1) in
+        (try
+           for row = col to n - 1 do
+             if not (Q.is_zero a.(row).(col)) then begin
+               pivot := row;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !pivot < 0 then raise Sing;
+        if !pivot <> col then begin
+          let tmp = a.(col) in
+          a.(col) <- a.(!pivot);
+          a.(!pivot) <- tmp;
+          let tmp = b.(col) in
+          b.(col) <- b.(!pivot);
+          b.(!pivot) <- tmp
+        end;
+        let inv_p = Q.inv a.(col).(col) in
+        for j = col to n - 1 do
+          a.(col).(j) <- Q.mul inv_p a.(col).(j)
+        done;
+        b.(col) <- V.scale inv_p b.(col);
+        for row = 0 to n - 1 do
+          if row <> col && not (Q.is_zero a.(row).(col)) then begin
+            let factor = Q.neg a.(row).(col) in
+            for j = col to n - 1 do
+              a.(row).(j) <- Q.add a.(row).(j) (Q.mul factor a.(col).(j))
+            done;
+            b.(row) <- V.add b.(row) (V.scale factor b.(col))
+          end
+        done
+      done;
+      Unique b
+    with Sing -> Singular
+end

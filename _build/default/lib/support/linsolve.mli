@@ -1,0 +1,26 @@
+(** Exact Gaussian elimination with symbolic right-hand sides.
+
+    Solves the square system [A * x = b] of paper Eq. 3, where [A] holds the
+    rational coefficients of the local-store index in the local thread ids
+    and each entry of [b] is an element of a vector space over ℚ — in
+    Grover, an affine form over IR atoms. Grover only proceeds when the
+    solution is unique (paper §III-B, S2), so a rank-deficient matrix is
+    reported as [Singular] and the transformation is abandoned. *)
+
+module type SPACE = sig
+  type t
+
+  val zero : t
+  val add : t -> t -> t
+  val scale : Rational.t -> t -> t
+end
+
+module Make (V : SPACE) : sig
+  type outcome =
+    | Unique of V.t array  (** The single solution vector. *)
+    | Singular  (** [A] is not invertible: the index map is not reversible. *)
+
+  val solve : Rational.t array array -> V.t array -> outcome
+  (** [solve a b] solves [a * x = b] for [x].
+      @raise Invalid_argument if [a] is not square or [b]'s length differs. *)
+end

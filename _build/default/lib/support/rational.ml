@@ -1,0 +1,72 @@
+type t = { num : int; den : int }
+
+exception Overflow
+exception Division_by_zero_q
+
+(* Overflow-checked primitive operations. OCaml ints are 63-bit; checking
+   via the inverse operation is exact and branch-cheap. *)
+
+let checked_mul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let p = a * b in
+    if p / b <> a then raise Overflow else p
+
+let checked_add a b =
+  let s = a + b in
+  (* Overflow iff both operands share a sign that the sum lost. *)
+  if (a >= 0 && b >= 0 && s < 0) || (a < 0 && b < 0 && s >= 0) then
+    raise Overflow
+  else s
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let make num den =
+  if den = 0 then raise Division_by_zero_q
+  else if num = 0 then { num = 0; den = 1 }
+  else
+    let s = if den < 0 then -1 else 1 in
+    let num = checked_mul s num and den = checked_mul s den in
+    let g = gcd (abs num) den in
+    { num = num / g; den = den / g }
+
+let of_int n = { num = n; den = 1 }
+
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+
+let add a b =
+  make
+    (checked_add (checked_mul a.num b.den) (checked_mul b.num a.den))
+    (checked_mul a.den b.den)
+
+let neg a = { a with num = -a.num }
+let sub a b = add a (neg b)
+let mul a b = make (checked_mul a.num b.num) (checked_mul a.den b.den)
+
+let inv a =
+  if a.num = 0 then raise Division_by_zero_q else make a.den a.num
+
+let div a b = mul a (inv b)
+
+let equal a b = a.num = b.num && a.den = b.den
+
+let compare a b =
+  (* Cross-multiplication keeps the comparison exact. *)
+  Stdlib.compare (checked_mul a.num b.den) (checked_mul b.num a.den)
+
+let sign a = Stdlib.compare a.num 0
+
+let is_zero a = a.num = 0
+let is_one a = a.num = 1 && a.den = 1
+let is_integer a = a.den = 1
+
+let to_int a = if a.den = 1 then Some a.num else None
+let to_float a = float_of_int a.num /. float_of_int a.den
+
+let pp ppf a =
+  if a.den = 1 then Format.fprintf ppf "%d" a.num
+  else Format.fprintf ppf "%d/%d" a.num a.den
+
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,50 @@
+(** Exact rational arithmetic on machine integers.
+
+    Grover's linear systems (paper Eq. 3) have tiny coefficients (tile sizes,
+    thread-index multipliers), so machine-word rationals with explicit
+    overflow checking are sufficient and keep the library dependency-free.
+    All values are kept in canonical form: the denominator is positive and
+    [gcd num den = 1]. *)
+
+type t = private { num : int; den : int }
+
+exception Overflow
+(** Raised when an intermediate product or sum would not fit in an OCaml
+    native [int]. With the index expressions found in real OpenCL kernels
+    this never fires; it exists so that silent wrap-around is impossible. *)
+
+exception Division_by_zero_q
+(** Raised on division by the zero rational or on [make _ 0]. *)
+
+val make : int -> int -> t
+(** [make num den] is the canonical rational [num/den].
+    @raise Division_by_zero_q if [den = 0]. *)
+
+val of_int : int -> t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val inv : t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val sign : t -> int
+
+val is_zero : t -> bool
+val is_one : t -> bool
+val is_integer : t -> bool
+
+val to_int : t -> int option
+(** [to_int q] is [Some n] iff [q] is the integer [n]. *)
+
+val to_float : t -> float
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,37 @@
+(** A minimal growable array (OCaml 5.1 predates stdlib [Dynarray]).
+    Used for trace-event buffers where list cells would dominate. *)
+
+type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+let create ~(dummy : 'a) : 'a t = { data = Array.make 16 dummy; len = 0; dummy }
+
+let length t = t.len
+
+let push (t : 'a t) (x : 'a) : unit =
+  if t.len = Array.length t.data then begin
+    let bigger = Array.make (2 * Array.length t.data) t.dummy in
+    Array.blit t.data 0 bigger 0 t.len;
+    t.data <- bigger
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let get (t : 'a t) (i : int) : 'a =
+  if i < 0 || i >= t.len then invalid_arg "Varray.get";
+  t.data.(i)
+
+let clear (t : 'a t) : unit = t.len <- 0
+
+let iter (f : 'a -> unit) (t : 'a t) : unit =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let to_array (t : 'a t) : 'a array = Array.sub t.data 0 t.len
+
+let fold (f : 'acc -> 'a -> 'acc) (acc : 'acc) (t : 'a t) : 'acc =
+  let r = ref acc in
+  for i = 0 to t.len - 1 do
+    r := f !r t.data.(i)
+  done;
+  !r

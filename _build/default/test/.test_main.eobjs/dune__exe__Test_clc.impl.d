@@ -1,0 +1,1 @@
+test/test_clc.ml: Alcotest Ast Grover_clc Lexer List Loc Parser Sema String Token

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Grover_core Grover_ir Grover_ocl Grover_passes Grover_support Interp List Lower Memory Printf QCheck QCheck_alcotest Runtime Ssa String

@@ -1,0 +1,1 @@
+test/test_emit.ml: Alcotest Emit_c Grover_ir Grover_memsim Grover_ocl Grover_passes List Lower Memory Postdom Printf QCheck QCheck_alcotest Runtime Ssa String

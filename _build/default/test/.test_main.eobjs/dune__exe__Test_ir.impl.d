@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Builder Cfg Dom Grover_clc Grover_ir Grover_passes List Lower Printer Printf QCheck QCheck_alcotest Ssa String Verify

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest List Test_clc Test_core Test_emit Test_ir Test_memsim Test_ocl Test_passes Test_suite Test_support

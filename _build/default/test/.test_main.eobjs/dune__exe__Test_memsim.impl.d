@@ -1,0 +1,1 @@
+test/test_memsim.ml: Alcotest Array Grover_ir Grover_memsim Grover_ocl Grover_support List Printf QCheck QCheck_alcotest Trace

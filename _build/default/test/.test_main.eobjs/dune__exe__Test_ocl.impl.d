@@ -1,0 +1,1 @@
+test/test_ocl.ml: Alcotest Array Grover_core Grover_ir Grover_ocl Grover_passes Interp Lower Memory Printf Runtime Ssa Trace

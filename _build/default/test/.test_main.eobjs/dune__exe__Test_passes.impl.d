@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Array Dom Grover_core Grover_ir Grover_ocl Grover_passes Hashtbl Interp List Lower Memory Runtime Ssa Verify

@@ -1,0 +1,1 @@
+test/test_suite.ml: Alcotest Grover_core Grover_ir Grover_ocl Grover_passes Grover_suite List Printf Runtime String Trace

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Format Grover_support List Printf QCheck QCheck_alcotest String

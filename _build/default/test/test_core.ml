@@ -1,0 +1,368 @@
+(* Unit tests for the Grover pass itself: candidate selection, expression
+   trees, dimension splitting, the linear solve, rejection paths, and a
+   property test that checks semantic equivalence on randomly generated
+   staging kernels. *)
+
+open Grover_ir
+module G = Grover_core
+module Q = Grover_support.Rational
+module Form = G.Atom.Form
+
+let compile1 src =
+  match Lower.compile src with
+  | [ fn ] ->
+      Grover_passes.Pipeline.normalize fn;
+      fn
+  | _ -> Alcotest.fail "expected one kernel"
+
+let run_grover ?only src =
+  let fn = compile1 src in
+  (fn, G.Grover.run ?only fn)
+
+(* -- Candidate selection ---------------------------------------------------- *)
+
+let staging_kernel body =
+  Printf.sprintf
+    {|__kernel void k(__global float *out, __global const float *in) {
+        __local float lm[16];
+        int lx = get_local_id(0);
+        %s
+        out[get_global_id(0)] = v;
+      }|}
+    body
+
+let test_candidates_found () =
+  let fn =
+    compile1
+      (staging_kernel
+         {|lm[lx] = in[get_global_id(0)];
+           barrier(CLK_LOCAL_MEM_FENCE);
+           float v = lm[15 - lx];|})
+  in
+  match G.Access.candidates fn with
+  | [ Ok c ] ->
+      Alcotest.(check string) "name" "lm" c.G.Access.cand_name;
+      Alcotest.(check int) "one pair" 1 (List.length c.G.Access.pairs);
+      Alcotest.(check int) "one LL" 1 (List.length c.G.Access.lls);
+      Alcotest.(check (list int)) "dims" [ 16 ] c.G.Access.dims
+  | _ -> Alcotest.fail "expected one accepted candidate"
+
+let test_scratch_usage_rejected () =
+  (* Local memory written with a computed value: not a software cache. *)
+  let _, o =
+    run_grover
+      (staging_kernel
+         {|lm[lx] = in[get_global_id(0)] * 2.0f;
+           barrier(CLK_LOCAL_MEM_FENCE);
+           float v = lm[lx];|})
+  in
+  Alcotest.(check (list string)) "nothing transformed" [] o.G.Grover.transformed;
+  match o.G.Grover.rejected with
+  | [ (_, reason) ] ->
+      Alcotest.(check bool) "mentions scratch" true
+        (String.length reason > 0)
+  | _ -> Alcotest.fail "expected one rejection"
+
+let test_reduction_rejected () =
+  (* The classic tree reduction reads AND writes local memory: the paper's
+     §VI-D limitation. *)
+  let _, o =
+    run_grover
+      {|__kernel void reduce(__global float *out, __global const float *in) {
+          __local float sm[64];
+          int lx = get_local_id(0);
+          sm[lx] = in[get_global_id(0)];
+          barrier(CLK_LOCAL_MEM_FENCE);
+          for (int s = 32; s > 0; s = s >> 1) {
+            if (lx < s) sm[lx] = sm[lx] + sm[lx + s];
+            barrier(CLK_LOCAL_MEM_FENCE);
+          }
+          if (lx == 0) out[get_group_id(0)] = sm[0];
+        }|}
+  in
+  Alcotest.(check (list string)) "reduction untouched" [] o.G.Grover.transformed;
+  Alcotest.(check bool) "rejected with a reason" true (o.G.Grover.rejected <> [])
+
+let test_non_invertible_rejected () =
+  (* Every work-item stores to slot lx/2: the index map is not injective,
+     so the system lx' / 2 = j has no unique integral solution. *)
+  let _, o =
+    run_grover
+      (staging_kernel
+         {|lm[lx / 2] = in[get_global_id(0)];
+           barrier(CLK_LOCAL_MEM_FENCE);
+           float v = lm[lx];|})
+  in
+  Alcotest.(check (list string)) "not transformed" [] o.G.Grover.transformed
+
+let test_data_dependent_index_rejected () =
+  (* The store index depends on loaded data: not analysable. *)
+  let _, o =
+    run_grover
+      {|__kernel void k(__global float *out, __global const float *in,
+                        __global const int *idx) {
+          __local float lm[16];
+          int lx = get_local_id(0);
+          lm[idx[lx]] = in[lx];
+          barrier(CLK_LOCAL_MEM_FENCE);
+          out[get_global_id(0)] = lm[lx];
+        }|}
+  in
+  Alcotest.(check (list string)) "not transformed" [] o.G.Grover.transformed;
+  Alcotest.(check bool) "has rejection reason" true (o.G.Grover.rejected <> [])
+
+let test_only_filter () =
+  let src =
+    {|__kernel void k(__global float *out, __global const float *a,
+                      __global const float *b) {
+        __local float la[16];
+        __local float lb[16];
+        int lx = get_local_id(0);
+        la[lx] = a[get_global_id(0)];
+        lb[lx] = b[get_global_id(0)];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        out[get_global_id(0)] = la[15 - lx] + lb[15 - lx];
+      }|}
+  in
+  let _, o = run_grover ~only:[ "la" ] src in
+  Alcotest.(check (list string)) "only la" [ "la" ] o.G.Grover.transformed;
+  Alcotest.(check (list (pair string string))) "lb untouched, not rejected" []
+    o.G.Grover.rejected
+
+let test_barriers_kept_when_local_remains () =
+  let src =
+    {|__kernel void k(__global float *out, __global const float *a,
+                      __global const float *b) {
+        __local float la[16];
+        __local float lb[16];
+        int lx = get_local_id(0);
+        la[lx] = a[get_global_id(0)];
+        lb[lx] = b[get_global_id(0)];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        out[get_global_id(0)] = la[15 - lx] + lb[15 - lx];
+      }|}
+  in
+  let fn, o = run_grover ~only:[ "la" ] src in
+  Alcotest.(check int) "no barrier removed" 0 o.G.Grover.barriers_removed;
+  let barriers =
+    Ssa.fold_instrs
+      (fun n i -> match i.Ssa.op with Ssa.Barrier _ -> n + 1 | _ -> n)
+      0 fn
+  in
+  Alcotest.(check int) "barrier still present" 1 barriers
+
+let test_mixed_fence_narrowed () =
+  let src =
+    staging_kernel
+      {|lm[lx] = in[get_global_id(0)];
+        barrier(CLK_LOCAL_MEM_FENCE | CLK_GLOBAL_MEM_FENCE);
+        float v = lm[15 - lx];|}
+  in
+  let fn, _ = run_grover src in
+  let global_barriers =
+    Ssa.fold_instrs
+      (fun n i ->
+        match i.Ssa.op with
+        | Ssa.Barrier { blocal = false; bglobal = true } -> n + 1
+        | Ssa.Barrier _ -> Alcotest.fail "local fence should be gone"
+        | _ -> n)
+      0 fn
+  in
+  Alcotest.(check int) "global fence survives" 1 global_barriers
+
+(* -- Expression trees --------------------------------------------------------- *)
+
+let test_expr_tree_leaves () =
+  let fn =
+    compile1
+      {|__kernel void k(__global float *out, __global const float *in, int W) {
+          int lx = get_local_id(0);
+          out[get_global_id(0)] = in[lx * W + 3];
+        }|}
+  in
+  let gl =
+    Ssa.fold_instrs
+      (fun acc i ->
+        match i.Ssa.op with
+        | Ssa.Load { ptr = Ssa.Arg { a_name = "in"; _ }; index } -> Some index
+        | _ -> acc)
+      None fn
+  in
+  match gl with
+  | None -> Alcotest.fail "no global load"
+  | Some index ->
+      let tree = G.Expr_tree.build index in
+      let leaves = G.Expr_tree.leaves tree in
+      (* lx (call), W (arg), 3 (const): all paper leaf kinds. *)
+      Alcotest.(check int) "three leaves" 3 (List.length leaves);
+      List.iter
+        (fun (n : G.Expr_tree.node) ->
+          Alcotest.(check bool) "is a leaf kind" true
+            (G.Expr_tree.is_leaf_value n.G.Expr_tree.value))
+        leaves;
+      let marked = G.Expr_tree.mark tree ~p:G.Atom.is_lid in
+      Alcotest.(check bool) "lx marked" true marked;
+      Alcotest.(check bool) "root needs update" true tree.G.Expr_tree.state
+
+let test_expr_tree_render () =
+  let fn = compile1 "__kernel void k(__global float *o, int W) { o[2 * W + 1] = 0.0f; }" in
+  let idx =
+    Ssa.fold_instrs
+      (fun acc i ->
+        match i.Ssa.op with Ssa.Store { index; _ } -> Some index | _ -> acc)
+      None fn
+  in
+  match idx with
+  | Some v ->
+      let s = G.Expr_tree.render_value v in
+      Alcotest.(check bool) ("mentions W: " ^ s) true
+        (String.length s >= 1)
+  | None -> Alcotest.fail "no store"
+
+(* -- Dimension splitting -------------------------------------------------------- *)
+
+let atom_of_int_phi = ()
+
+let test_strides () =
+  Alcotest.(check (list int)) "2d" [ 16; 1 ] (G.Index.strides [ 8; 16 ]);
+  Alcotest.(check (list int)) "3d" [ 12; 4; 1 ] (G.Index.strides [ 2; 3; 4 ]);
+  Alcotest.(check (list int)) "1d" [ 1 ] (G.Index.strides [ 7 ])
+
+let test_split_dims_roundtrip () =
+  ignore atom_of_int_phi;
+  (* A purely constant flat index decomposes and recombines exactly. *)
+  let dims = [ 4; 8 ] in
+  for flat = 0 to 31 do
+    let f = Form.of_int flat in
+    match G.Index.split_dims ~dims f with
+    | Some parts ->
+        let back = G.Index.flatten ~dims parts in
+        Alcotest.(check bool)
+          (Printf.sprintf "flat %d roundtrips" flat)
+          true (Form.equal back f);
+        (match List.map Form.to_const parts with
+        | [ Some hi; Some lo ] ->
+            Alcotest.(check (option int)) "hi" (Some (flat / 8)) (Q.to_int hi);
+            Alcotest.(check (option int)) "lo" (Some (flat mod 8)) (Q.to_int lo)
+        | _ -> Alcotest.fail "expected constant parts")
+    | None -> Alcotest.fail "constant split must succeed"
+  done
+
+let prop_split_flatten =
+  QCheck.Test.make ~name:"split_dims inverts flatten" ~count:300
+    QCheck.(
+      pair
+        (pair (int_range 1 8) (int_range 1 16))
+        (pair (int_range 0 7) (int_range 0 15)))
+    (fun ((d0, d1), (i0, i1)) ->
+      QCheck.assume (i0 < d0 && i1 < d1);
+      let dims = [ d0; d1 ] in
+      let flat = Form.of_int ((i0 * d1) + i1) in
+      match G.Index.split_dims ~dims flat with
+      | Some parts -> Form.equal (G.Index.flatten ~dims parts) flat
+      | None -> false)
+
+(* -- Solve ------------------------------------------------------------------------ *)
+
+let test_solve_failure_messages () =
+  List.iter
+    (fun f -> Alcotest.(check bool) "non-empty" true (G.Solve.failure_message f <> ""))
+    [ G.Solve.Not_affine; G.Solve.Singular; G.Solve.Inconsistent_dim 1;
+      G.Solve.Non_integral ]
+
+(* -- Property: random staging kernels are transformed correctly ------------------- *)
+
+(* Generate kernels of the form:
+
+     lm[a*lx + b*ly + c][d*lx + e*ly + f] = in[GL(lx, ly)];
+     barrier; v = lm[p][q]; out[gid] = v;
+
+   with an invertible integer matrix [[a b];[d e]] whose image stays in
+   bounds, and check that Grover transforms them and that execution matches
+   the untransformed kernel bit for bit. *)
+let gen_staging_case =
+  let open QCheck.Gen in
+  (* Invertible 2x2 maps over a 8x8 local tile with wg size 8x8 that keep
+     indexes in [0, 8): permutation-with-flip style maps. *)
+  let* swap = bool in
+  let* flip_x = bool in
+  let* flip_y = bool in
+  let* ll_swap = bool in
+  return (swap, flip_x, flip_y, ll_swap)
+
+let render_staging (swap, flip_x, flip_y, ll_swap) =
+  let x_expr = if flip_x then "(7 - lx)" else "lx" in
+  let y_expr = if flip_y then "(7 - ly)" else "ly" in
+  let row, col = if swap then (x_expr, y_expr) else (y_expr, x_expr) in
+  let ll_row, ll_col = if ll_swap then ("lx", "ly") else ("ly", "lx") in
+  Printf.sprintf
+    {|__kernel void k(__global float *out, __global const float *in, int W) {
+        __local float lm[8][8];
+        int lx = get_local_id(0);
+        int ly = get_local_id(1);
+        int wx = get_group_id(0);
+        int wy = get_group_id(1);
+        lm[%s][%s] = in[(wy * 8 + ly) * W + wx * 8 + lx];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        float v = lm[%s][%s];
+        out[get_global_id(1) * W + get_global_id(0)] = v;
+      }|}
+    row col ll_row ll_col
+
+let exec_staging fn =
+  let open Grover_ocl in
+  let compiled = Interp.prepare fn in
+  let mem = Memory.create () in
+  let n = 16 in
+  let out = Memory.alloc mem Ssa.F32 (n * n) in
+  let inp = Memory.alloc mem Ssa.F32 (n * n) in
+  Memory.fill_floats inp (fun i -> float_of_int i +. 0.5);
+  ignore
+    (Runtime.launch compiled
+       ~cfg:{ Runtime.global = (n, n, 1); local = (8, 8, 1); queues = 1 }
+       ~args:[ Runtime.Abuf out; Runtime.Abuf inp; Runtime.Aint n ]
+       ~mem ());
+  Memory.to_float_array out
+
+let prop_random_staging_equivalent =
+  QCheck.Test.make ~name:"random staging kernels transform correctly" ~count:16
+    (QCheck.make
+       ~print:(fun c -> render_staging c)
+       gen_staging_case)
+    (fun params ->
+      let src = render_staging params in
+      let reference =
+        let fn = compile1 src in
+        exec_staging fn
+      in
+      let fn = compile1 src in
+      let o = G.Grover.run fn in
+      if o.G.Grover.transformed <> [ "lm" ] then false
+      else begin
+        let transformed = exec_staging fn in
+        reference = transformed
+      end)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let suite =
+  [ ( "grover-candidates",
+      [ Alcotest.test_case "found" `Quick test_candidates_found;
+        Alcotest.test_case "scratch usage rejected" `Quick test_scratch_usage_rejected;
+        Alcotest.test_case "reduction rejected" `Quick test_reduction_rejected;
+        Alcotest.test_case "non-invertible rejected" `Quick test_non_invertible_rejected;
+        Alcotest.test_case "data-dependent index rejected" `Quick
+          test_data_dependent_index_rejected;
+        Alcotest.test_case "only filter" `Quick test_only_filter;
+        Alcotest.test_case "barriers kept" `Quick test_barriers_kept_when_local_remains;
+        Alcotest.test_case "mixed fence narrowed" `Quick test_mixed_fence_narrowed ] );
+    ( "grover-trees",
+      [ Alcotest.test_case "leaves" `Quick test_expr_tree_leaves;
+        Alcotest.test_case "render" `Quick test_expr_tree_render ] );
+    ( "grover-index",
+      [ Alcotest.test_case "strides" `Quick test_strides;
+        Alcotest.test_case "split roundtrip" `Quick test_split_dims_roundtrip ] );
+    qsuite "grover-index-props" [ prop_split_flatten ];
+    ( "grover-solve",
+      [ Alcotest.test_case "failure messages" `Quick test_solve_failure_messages ] );
+    qsuite "grover-equivalence-props" [ prop_random_staging_equivalent ] ]

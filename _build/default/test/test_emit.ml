@@ -1,0 +1,273 @@
+(* Tests for the OpenCL C emitter, the post-dominator analysis behind it,
+   and the analytical performance predictor. *)
+
+open Grover_ir
+module Pass = Grover_passes
+
+let compile1 src =
+  match Lower.compile src with
+  | [ fn ] ->
+      Pass.Pipeline.normalize fn;
+      fn
+  | _ -> Alcotest.fail "expected one kernel"
+
+(* -- Post-dominators ----------------------------------------------------------- *)
+
+let test_postdom_diamond () =
+  let fn =
+    compile1
+      "__kernel void f(__global int *a, int n) { if (n > 0) a[0] = 1; else a[1] = 2; a[2] = 3; }"
+  in
+  let pdom = Postdom.compute fn in
+  let entry = Ssa.entry fn in
+  match Postdom.immediate pdom entry with
+  | Some join ->
+      (* The join must be the block containing the a[2] store. *)
+      let has_final_store =
+        List.exists
+          (fun i ->
+            match i.Ssa.op with
+            | Ssa.Store { index = Ssa.Cint (_, 2); _ } -> true
+            | _ -> false)
+          join.Ssa.instrs
+      in
+      Alcotest.(check bool) "join holds the final store" true has_final_store
+  | None -> Alcotest.fail "diamond entry must have a post-dominator"
+
+let test_postdom_straightline () =
+  let fn = compile1 "__kernel void f(__global int *a) { a[0] = 1; }" in
+  let pdom = Postdom.compute fn in
+  Alcotest.(check bool) "single block postdominated by exit" true
+    (Postdom.immediate pdom (Ssa.entry fn) = None)
+
+(* -- Emitter -------------------------------------------------------------------- *)
+
+let roundtrip_outputs src ~launch ~read =
+  let direct =
+    let fn = compile1 src in
+    let c = Grover_ocl.Interp.prepare fn in
+    read (launch c)
+  in
+  let via_c =
+    let fn = compile1 src in
+    let emitted = Emit_c.kernel_to_c fn in
+    let fn2 =
+      match Lower.compile emitted with
+      | [ f ] ->
+          Pass.Pipeline.normalize f;
+          f
+      | _ -> Alcotest.fail "one kernel expected in emitted source"
+    in
+    let c = Grover_ocl.Interp.prepare fn2 in
+    read (launch c)
+  in
+  (direct, via_c)
+
+let int_kernel_roundtrip name src =
+  let open Grover_ocl in
+  let launch c =
+    let mem = Memory.create () in
+    let out = Memory.alloc mem Ssa.I32 32 in
+    ignore
+      (Runtime.launch c
+         ~cfg:{ Runtime.global = (32, 1, 1); local = (8, 1, 1); queues = 1 }
+         ~args:[ Runtime.Abuf out ] ~mem ());
+    out
+  in
+  let d, v = roundtrip_outputs src ~launch ~read:Memory.to_int_array in
+  Alcotest.(check bool) (name ^ " identical") true (d = v)
+
+let test_emit_loop_roundtrip () =
+  int_kernel_roundtrip "loop"
+    "__kernel void f(__global int *out) { int s = 0; for (int i = 0; i <= get_global_id(0); i++) s += i * i; out[get_global_id(0)] = s; }"
+
+let test_emit_nested_if_roundtrip () =
+  int_kernel_roundtrip "nested if"
+    {|__kernel void f(__global int *out) {
+        int g = get_global_id(0);
+        int r;
+        if (g % 2 == 0) {
+          if (g % 4 == 0) r = 4; else r = 2;
+        } else {
+          r = 1;
+        }
+        out[g] = r;
+      }|}
+
+let test_emit_nested_loops_roundtrip () =
+  int_kernel_roundtrip "nested loops"
+    {|__kernel void f(__global int *out) {
+        int g = get_global_id(0);
+        int acc = 0;
+        for (int i = 0; i < 4; i++) {
+          for (int j = 0; j < i; j++) {
+            acc += i * j + g;
+          }
+        }
+        out[g] = acc;
+      }|}
+
+let test_emit_while_roundtrip () =
+  int_kernel_roundtrip "while"
+    {|__kernel void f(__global int *out) {
+        int g = get_global_id(0);
+        int x = g + 40;
+        while (x > 5) { x = x / 2; }
+        out[g] = x;
+      }|}
+
+let test_emit_break_continue_roundtrip () =
+  int_kernel_roundtrip "break/continue"
+    {|__kernel void f(__global int *out) {
+        int g = get_global_id(0);
+        int acc = 0;
+        for (int i = 0; i < 32; i++) {
+          if (i % 3 == 0) continue;
+          if (i > g) break;
+          acc += i;
+        }
+        out[g] = acc;
+      }|}
+
+let test_emit_vector_roundtrip () =
+  let open Grover_ocl in
+  let src =
+    {|__kernel void f(__global float4 *out, __global const float4 *a) {
+        int g = get_global_id(0);
+        float4 v = a[g];
+        v.y = v.x + v.w;
+        out[g] = v * (float4)(2.0f, 2.0f, 2.0f, 2.0f);
+      }|}
+  in
+  let launch c =
+    let mem = Memory.create () in
+    let vec4 = Ssa.Vec (Ssa.F32, 4) in
+    let out = Memory.alloc mem vec4 8 in
+    let a = Memory.alloc mem vec4 8 in
+    Memory.fill_floats a (fun i -> float_of_int i *. 0.5);
+    ignore
+      (Runtime.launch c
+         ~cfg:{ Runtime.global = (8, 1, 1); local = (4, 1, 1); queues = 1 }
+         ~args:[ Runtime.Abuf out; Runtime.Abuf a ] ~mem ());
+    out
+  in
+  let d, v = roundtrip_outputs src ~launch ~read:Memory.to_float_array in
+  Alcotest.(check bool) "vector kernel identical" true (d = v)
+
+let test_emit_contains_local_decl () =
+  let fn =
+    compile1
+      {|__kernel void f(__global float *out, __global const float *in) {
+          __local float tile[64];
+          tile[get_local_id(0)] = in[get_global_id(0)];
+          barrier(CLK_LOCAL_MEM_FENCE);
+          out[get_global_id(0)] = tile[63 - get_local_id(0)];
+        }|}
+  in
+  let c = Emit_c.kernel_to_c fn in
+  let contains sub =
+    let n = String.length sub in
+    let found = ref false in
+    for i = 0 to String.length c - n do
+      if String.sub c i n = sub then found := true
+    done;
+    !found
+  in
+  Alcotest.(check bool) "__local declaration" true (contains "__local float");
+  Alcotest.(check bool) "barrier" true (contains "barrier(CLK_LOCAL_MEM_FENCE)");
+  Alcotest.(check bool) "kernel qualifier" true (contains "__kernel void f(")
+
+(* Property: random structured kernels survive the C round trip. *)
+let gen_struct_src =
+  let open QCheck.Gen in
+  let* a = int_range 1 5 in
+  let* b = int_range 1 7 in
+  let* use_if = bool in
+  let* use_loop = bool in
+  let body =
+    (if use_loop then
+       Printf.sprintf "for (int i = 0; i < %d; i++) { acc += i * %d; }" a b
+     else Printf.sprintf "acc += %d;" (a * b))
+    ^
+    if use_if then
+      Printf.sprintf " if (g %% %d == 0) { acc = acc * 2; } else { acc = acc + %d; }" (a + 1) b
+    else ""
+  in
+  return
+    (Printf.sprintf
+       "__kernel void f(__global int *out) { int g = get_global_id(0); int acc = g; %s out[g] = acc; }"
+       body)
+
+let prop_emit_roundtrip =
+  QCheck.Test.make ~name:"random structured kernels round-trip through C"
+    ~count:40
+    (QCheck.make ~print:(fun s -> s) gen_struct_src)
+    (fun src ->
+      let open Grover_ocl in
+      let launch c =
+        let mem = Memory.create () in
+        let out = Memory.alloc mem Ssa.I32 16 in
+        ignore
+          (Runtime.launch c
+             ~cfg:{ Runtime.global = (16, 1, 1); local = (4, 1, 1); queues = 1 }
+             ~args:[ Runtime.Abuf out ] ~mem ());
+        out
+      in
+      let d, v = roundtrip_outputs src ~launch ~read:Memory.to_int_array in
+      d = v)
+
+(* -- Predictor -------------------------------------------------------------------- *)
+
+let test_predictor_positive_and_monotone () =
+  let mk_totals ~ops ~barriers ~groups =
+    let t = Grover_ocl.Trace.empty_totals () in
+    t.Grover_ocl.Trace.t_int_ops <- ops;
+    t.Grover_ocl.Trace.t_barriers <- barriers;
+    t.Grover_ocl.Trace.t_groups <- groups;
+    t.Grover_ocl.Trace.t_loads <- ops / 2;
+    t
+  in
+  let plat = Grover_memsim.Platform.snb in
+  let p ops barriers =
+    Grover_memsim.Predict.predict plat
+      {
+        Grover_memsim.Predict.totals = mk_totals ~ops ~barriers ~groups:4;
+        wg_size = 64;
+        vectorized = false;
+      }
+  in
+  Alcotest.(check bool) "positive" true (p 1000 0 > 0.0);
+  Alcotest.(check bool) "more work costs more" true (p 2000 0 > p 1000 0);
+  Alcotest.(check bool) "barriers cost" true (p 1000 256 > p 1000 0)
+
+let test_predictor_rejects_gpu () =
+  match
+    Grover_memsim.Predict.predict Grover_memsim.Platform.fermi
+      {
+        Grover_memsim.Predict.totals = Grover_ocl.Trace.empty_totals ();
+        wg_size = 64;
+        vectorized = false;
+      }
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "GPU platforms must be rejected"
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let suite =
+  [ ( "postdom",
+      [ Alcotest.test_case "diamond join" `Quick test_postdom_diamond;
+        Alcotest.test_case "straight line" `Quick test_postdom_straightline ] );
+    ( "emit-c",
+      [ Alcotest.test_case "loop" `Quick test_emit_loop_roundtrip;
+        Alcotest.test_case "nested if" `Quick test_emit_nested_if_roundtrip;
+        Alcotest.test_case "nested loops" `Quick test_emit_nested_loops_roundtrip;
+        Alcotest.test_case "while" `Quick test_emit_while_roundtrip;
+        Alcotest.test_case "break/continue" `Quick test_emit_break_continue_roundtrip;
+        Alcotest.test_case "vector kernel" `Quick test_emit_vector_roundtrip;
+        Alcotest.test_case "local declaration" `Quick test_emit_contains_local_decl ] );
+    qsuite "emit-c-props" [ prop_emit_roundtrip ];
+    ( "predictor",
+      [ Alcotest.test_case "positive and monotone" `Quick
+          test_predictor_positive_and_monotone;
+        Alcotest.test_case "rejects GPU platforms" `Quick test_predictor_rejects_gpu ] ) ]

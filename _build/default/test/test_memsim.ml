@@ -1,0 +1,227 @@
+(* Memory-simulator tests: cache behaviour (hit/miss/LRU/writeback/set
+   conflicts), GPU coalescing and bank conflicts, and end-to-end sanity of
+   the platform models. *)
+
+open Grover_ocl
+module M = Grover_memsim
+module Cache = M.Cache
+module P = M.Platform
+module Sim = M.Simulate
+
+let cfg ?(size = 1024) ?(line = 64) ?(ways = 2) ?(latency = 4) () =
+  { Cache.size_bytes = size; line_bytes = line; ways; latency }
+
+(* -- Cache ----------------------------------------------------------------- *)
+
+let test_cache_hit_after_miss () =
+  let c = Cache.create (cfg ()) in
+  Alcotest.(check int) "first access misses" 1
+    (Cache.access c ~addr:0 ~bytes:4 ~is_write:false);
+  Alcotest.(check int) "second access hits" 0
+    (Cache.access c ~addr:32 ~bytes:4 ~is_write:false);
+  let s = Cache.stats c in
+  Alcotest.(check int) "hits" 1 s.Cache.s_hits;
+  Alcotest.(check int) "misses" 1 s.Cache.s_misses
+
+let test_cache_line_spanning () =
+  let c = Cache.create (cfg ()) in
+  (* 8 bytes straddling a line boundary touch two lines. *)
+  Alcotest.(check int) "two misses" 2
+    (Cache.access c ~addr:60 ~bytes:8 ~is_write:false)
+
+let test_cache_lru_eviction () =
+  (* 1 KiB, 2-way, 64B lines -> 8 sets. Lines 0, 8, 16 map to set 0. *)
+  let c = Cache.create (cfg ()) in
+  let touch line = Cache.access c ~addr:(line * 64) ~bytes:1 ~is_write:false in
+  ignore (touch 0);
+  ignore (touch 8);
+  ignore (touch 0);
+  (* line 8 is now LRU *)
+  ignore (touch 16);
+  (* evicts 8 *)
+  Alcotest.(check int) "line 0 still resident" 0 (touch 0);
+  Alcotest.(check int) "line 8 was evicted" 1 (touch 8)
+
+let test_cache_set_conflict_thrash () =
+  (* Three lines cycling through a 2-way set always miss. *)
+  let c = Cache.create (cfg ()) in
+  let touch line = Cache.access c ~addr:(line * 64) ~bytes:1 ~is_write:false in
+  for _ = 1 to 3 do
+    ignore (touch 0);
+    ignore (touch 8);
+    ignore (touch 16)
+  done;
+  let s = Cache.stats c in
+  Alcotest.(check int) "every access misses" 9 s.Cache.s_misses
+
+let test_cache_writeback () =
+  let c = Cache.create (cfg ()) in
+  ignore (Cache.access c ~addr:0 ~bytes:4 ~is_write:true);
+  ignore (Cache.access c ~addr:(8 * 64) ~bytes:4 ~is_write:false);
+  ignore (Cache.access c ~addr:(16 * 64) ~bytes:4 ~is_write:false);
+  (* The dirty line 0 must have been written back on eviction. *)
+  let s = Cache.stats c in
+  Alcotest.(check int) "one writeback" 1 s.Cache.s_writebacks
+
+let test_cache_reset () =
+  let c = Cache.create (cfg ()) in
+  ignore (Cache.access c ~addr:0 ~bytes:4 ~is_write:false);
+  Cache.reset c;
+  let s = Cache.stats c in
+  Alcotest.(check int) "misses cleared" 0 s.Cache.s_misses;
+  Alcotest.(check int) "cold again" 1 (Cache.access c ~addr:0 ~bytes:4 ~is_write:false)
+
+let prop_cache_miss_bound =
+  (* Total misses never exceed total accesses; unique lines lower-bound. *)
+  QCheck.Test.make ~name:"cache miss bounds" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 100) (int_range 0 4095))
+    (fun addrs ->
+      let c = Cache.create (cfg ()) in
+      List.iter
+        (fun a -> ignore (Cache.access c ~addr:a ~bytes:1 ~is_write:false))
+        addrs;
+      let s = Cache.stats c in
+      let unique_lines =
+        List.sort_uniq compare (List.map (fun a -> a / 64) addrs)
+      in
+      s.Cache.s_hits + s.Cache.s_misses = List.length addrs
+      && s.Cache.s_misses >= List.length unique_lines)
+
+(* -- Synthetic traces through the simulator ---------------------------------- *)
+
+let mk_stats ~wg_size events =
+  let s = Grover_ocl.Trace.fresh_stats ~wg_id:0 ~queue:0 ~wg_size in
+  List.iter (fun e -> Grover_support.Varray.push s.Trace.events e) events;
+  s
+
+let ev ~wi ~addr ?(bytes = 4) ?(write = false) ?(space = Grover_ir.Ssa.Global) () =
+  { Trace.addr; bytes; is_write = write; space; wi }
+
+let gpu_mem_cycles plat events ~wg_size =
+  let sim = Sim.create plat in
+  Sim.consume sim (mk_stats ~wg_size events);
+  let r = Sim.result sim in
+  r.Sim.r_memory
+
+let test_gpu_coalesced_vs_strided () =
+  (* 32 lanes reading 32 consecutive floats = 1 segment; reading a 128-byte
+     strided column = 32 segments. *)
+  let coalesced =
+    List.init 32 (fun l -> ev ~wi:l ~addr:(0x1000 + (4 * l)) ())
+  in
+  let strided = List.init 32 (fun l -> ev ~wi:l ~addr:(0x1000 + (128 * l)) ()) in
+  let c1 = gpu_mem_cycles P.fermi coalesced ~wg_size:32 in
+  let c2 = gpu_mem_cycles P.fermi strided ~wg_size:32 in
+  Alcotest.(check bool)
+    (Printf.sprintf "strided (%.0f) >= 16x coalesced (%.0f)" c2 c1)
+    true
+    (c2 >= 16.0 *. c1)
+
+let test_gpu_broadcast_single_transaction () =
+  let broadcast = List.init 32 (fun l -> ev ~wi:l ~addr:0x2000 ()) in
+  let coalesced = List.init 32 (fun l -> ev ~wi:l ~addr:(0x2000 + (4 * l)) ()) in
+  let b = gpu_mem_cycles P.fermi broadcast ~wg_size:32 in
+  let c = gpu_mem_cycles P.fermi coalesced ~wg_size:32 in
+  Alcotest.(check bool) "broadcast costs no more than coalesced" true (b <= c)
+
+let spm_cycles plat events ~wg_size =
+  let sim = Sim.create plat in
+  Sim.consume sim (mk_stats ~wg_size events);
+  (Sim.result sim).Sim.r_spm
+
+let test_gpu_bank_conflicts () =
+  let local = Grover_ir.Ssa.Local in
+  (* Conflict-free: lane l touches bank l. *)
+  let free =
+    List.init 32 (fun l -> ev ~wi:l ~addr:(0x100 + (4 * l)) ~space:local ())
+  in
+  (* 32-way conflict: every lane touches bank 0 at a different address. *)
+  let conflict =
+    List.init 32 (fun l -> ev ~wi:l ~addr:(0x100 + (128 * l)) ~space:local ())
+  in
+  let f = spm_cycles P.fermi free ~wg_size:32 in
+  let c = spm_cycles P.fermi conflict ~wg_size:32 in
+  Alcotest.(check bool)
+    (Printf.sprintf "conflict (%.1f) = 32x free (%.1f)" c f)
+    true
+    (c = 32.0 *. f)
+
+let test_gpu_spm_broadcast () =
+  let local = Grover_ir.Ssa.Local in
+  (* All lanes read the same local address: broadcast, one bank access. *)
+  let bcast = List.init 32 (fun l -> ev ~wi:l ~addr:0x100 ~space:local ()) in
+  let free =
+    List.init 32 (fun l -> ev ~wi:l ~addr:(0x100 + (4 * l)) ~space:local ())
+  in
+  Alcotest.(check bool) "broadcast is conflict-free" true
+    (spm_cycles P.fermi bcast ~wg_size:32 <= spm_cycles P.fermi free ~wg_size:32)
+
+let test_cpu_simd_coalescing () =
+  (* 8 lanes reading consecutive floats = 1 line access per position. *)
+  let unit_stride = List.init 8 (fun l -> ev ~wi:l ~addr:(0x1000 + (4 * l)) ()) in
+  let big_stride = List.init 8 (fun l -> ev ~wi:l ~addr:(0x1000 + (256 * l)) ()) in
+  let cycles events =
+    let sim = Sim.create P.snb in
+    Sim.consume sim (mk_stats ~wg_size:8 events);
+    (Sim.result sim).Sim.r_memory
+  in
+  Alcotest.(check bool) "strided costs more" true
+    (cycles big_stride >= 4.0 *. cycles unit_stride)
+
+(* -- Platform sanity ------------------------------------------------------------ *)
+
+let test_platform_lookup () =
+  Alcotest.(check bool) "snb" true (P.by_name "snb" <> None);
+  Alcotest.(check bool) "TAHITI" true (P.by_name "TAHITI" <> None);
+  Alcotest.(check bool) "bogus" true (P.by_name "bogus" = None);
+  Alcotest.(check int) "six platforms" 6 (List.length P.all)
+
+let test_platform_structure () =
+  List.iter
+    (fun (p : P.t) ->
+      Alcotest.(check bool) (p.P.name ^ " cores > 0") true (p.P.cores > 0);
+      match (p.P.kind, p.P.mem) with
+      | P.Gpu, P.Gpu_mem _ -> ()
+      | (P.Cpu | P.Mic), P.Cpu_mem _ -> ()
+      | _ -> Alcotest.failf "%s: kind/memory-model mismatch" p.P.name)
+    P.all;
+  (* The paper's MIC story requires no shared LLC there. *)
+  match P.mic.P.mem with
+  | P.Cpu_mem m -> Alcotest.(check bool) "MIC has no shared LLC" true (m.P.llc = None)
+  | _ -> Alcotest.fail "MIC must be a cache hierarchy"
+
+let test_simulate_accumulates_queues () =
+  let sim = Sim.create P.snb in
+  let mk q = { (mk_stats ~wg_size:1 [ ev ~wi:0 ~addr:0 () ]) with Trace.queue = q } in
+  Sim.consume sim (mk 0);
+  Sim.consume sim (mk 1);
+  let r = Sim.result sim in
+  Alcotest.(check int) "two groups" 2 r.Sim.r_groups;
+  Alcotest.(check bool) "both queues charged" true
+    (r.Sim.per_queue.(0) > 0.0 && r.Sim.per_queue.(1) > 0.0);
+  (* Critical path = max, not sum. *)
+  Alcotest.(check bool) "max over queues" true
+    (r.Sim.cycles < r.Sim.per_queue.(0) +. r.Sim.per_queue.(1))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let suite =
+  [ ( "cache",
+      [ Alcotest.test_case "hit after miss" `Quick test_cache_hit_after_miss;
+        Alcotest.test_case "line spanning" `Quick test_cache_line_spanning;
+        Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+        Alcotest.test_case "set conflict thrash" `Quick test_cache_set_conflict_thrash;
+        Alcotest.test_case "writeback" `Quick test_cache_writeback;
+        Alcotest.test_case "reset" `Quick test_cache_reset ] );
+    qsuite "cache-props" [ prop_cache_miss_bound ];
+    ( "gpu-model",
+      [ Alcotest.test_case "coalescing" `Quick test_gpu_coalesced_vs_strided;
+        Alcotest.test_case "broadcast" `Quick test_gpu_broadcast_single_transaction;
+        Alcotest.test_case "bank conflicts" `Quick test_gpu_bank_conflicts;
+        Alcotest.test_case "SPM broadcast" `Quick test_gpu_spm_broadcast ] );
+    ( "cpu-model",
+      [ Alcotest.test_case "SIMD coalescing" `Quick test_cpu_simd_coalescing ] );
+    ( "platforms",
+      [ Alcotest.test_case "lookup" `Quick test_platform_lookup;
+        Alcotest.test_case "structure" `Quick test_platform_structure;
+        Alcotest.test_case "queue accumulation" `Quick test_simulate_accumulates_queues ] ) ]

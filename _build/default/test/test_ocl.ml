@@ -1,0 +1,347 @@
+(* Execution-engine tests: interpreter correctness, barrier semantics, and
+   semantic equivalence of kernels before/after Grover. *)
+
+open Grover_ir
+open Grover_ocl
+
+let mt_source =
+  {|
+#define S 8
+__kernel void transpose(__global float *out, __global const float *in,
+                        int W, int H) {
+  __local float lm[S][S];
+  int lx = get_local_id(0);
+  int ly = get_local_id(1);
+  int wx = get_group_id(0);
+  int wy = get_group_id(1);
+  lm[ly][lx] = in[(wx * S + ly) * W + (wy * S + lx)];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  float val = lm[lx][ly];
+  int gx = get_global_id(0);
+  int gy = get_global_id(1);
+  out[gy * H + gx] = val;
+}
+|}
+
+let launch_1d c mem args ~n ~wg =
+  Runtime.launch c
+    ~cfg:{ Runtime.global = (n, 1, 1); local = (wg, 1, 1); queues = 1 }
+    ~args ~mem ()
+
+(* -- Basic kernels -------------------------------------------------------- *)
+
+let test_vector_add () =
+  let src =
+    "__kernel void vadd(__global float *c, __global const float *a, __global const float *b) { int i = get_global_id(0); c[i] = a[i] + b[i]; }"
+  in
+  let c = Runtime.compile_kernel src ~name:"vadd" in
+  let mem = Memory.create () in
+  let n = 64 in
+  let bc = Memory.alloc mem Ssa.F32 n in
+  let ba = Memory.alloc mem Ssa.F32 n in
+  let bb = Memory.alloc mem Ssa.F32 n in
+  Memory.fill_floats ba (fun i -> float_of_int i);
+  Memory.fill_floats bb (fun i -> float_of_int (2 * i));
+  ignore (launch_1d c mem [ Runtime.Abuf bc; Runtime.Abuf ba; Runtime.Abuf bb ] ~n ~wg:16);
+  let out = Memory.to_float_array bc in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "c[%d]" i) (float_of_int (3 * i)) v)
+    out
+
+let test_loop_sum () =
+  let src =
+    "__kernel void s(__global int *out, __global const int *a, int n) { int acc = 0; for (int i = 0; i < n; i++) acc += a[i]; out[get_global_id(0)] = acc; }"
+  in
+  let c = Runtime.compile_kernel src ~name:"s" in
+  let mem = Memory.create () in
+  let n = 10 in
+  let out = Memory.alloc mem Ssa.I32 1 in
+  let a = Memory.alloc mem Ssa.I32 n in
+  Memory.fill_ints a (fun i -> i + 1);
+  ignore
+    (launch_1d c mem [ Runtime.Abuf out; Runtime.Abuf a; Runtime.Aint n ] ~n:1 ~wg:1);
+  Alcotest.(check int) "sum 1..10" 55 (Memory.to_int_array out).(0)
+
+let test_conditional () =
+  let src =
+    "__kernel void f(__global int *out) { int i = get_global_id(0); if (i % 2 == 0) out[i] = i; else out[i] = -i; }"
+  in
+  let c = Runtime.compile_kernel src ~name:"f" in
+  let mem = Memory.create () in
+  let out = Memory.alloc mem Ssa.I32 16 in
+  ignore (launch_1d c mem [ Runtime.Abuf out ] ~n:16 ~wg:4);
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check int) (Printf.sprintf "out[%d]" i)
+        (if i mod 2 = 0 then i else -i)
+        v)
+    (Memory.to_int_array out)
+
+let test_vector_types () =
+  let src =
+    "__kernel void f(__global float4 *out, __global const float4 *a) { int i = get_global_id(0); float4 v = a[i]; out[i] = v * v; }"
+  in
+  let c = Runtime.compile_kernel src ~name:"f" in
+  let mem = Memory.create () in
+  let out = Memory.alloc mem (Ssa.Vec (Ssa.F32, 4)) 4 in
+  let a = Memory.alloc mem (Ssa.Vec (Ssa.F32, 4)) 4 in
+  Memory.fill_floats a (fun i -> float_of_int i);
+  ignore (launch_1d c mem [ Runtime.Abuf out; Runtime.Abuf a ] ~n:4 ~wg:2);
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "lane %d" i)
+        (float_of_int (i * i))
+        v)
+    (Memory.to_float_array out)
+
+let test_math_builtins () =
+  let src =
+    "__kernel void f(__global float *out, __global const float *a) { int i = get_global_id(0); out[i] = sqrt(a[i]) + rsqrt(a[i]) + fabs(-a[i]); }"
+  in
+  let c = Runtime.compile_kernel src ~name:"f" in
+  let mem = Memory.create () in
+  let out = Memory.alloc mem Ssa.F32 4 in
+  let a = Memory.alloc mem Ssa.F32 4 in
+  Memory.fill_floats a (fun i -> float_of_int (i + 1));
+  ignore (launch_1d c mem [ Runtime.Abuf out; Runtime.Abuf a ] ~n:4 ~wg:4);
+  Array.iteri
+    (fun i v ->
+      let x = float_of_int (i + 1) in
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "out[%d]" i)
+        (sqrt x +. (1.0 /. sqrt x) +. x)
+        v)
+    (Memory.to_float_array out)
+
+(* -- Barrier semantics ------------------------------------------------------ *)
+
+let test_barrier_reversal () =
+  (* Work-items stage their id, then read their neighbour's slot: correct
+     only if the barrier actually synchronises the group. *)
+  let src =
+    {|__kernel void rev(__global int *out) {
+        __local int tmp[16];
+        int l = get_local_id(0);
+        int n = get_local_size(0);
+        tmp[l] = l;
+        barrier(CLK_LOCAL_MEM_FENCE);
+        out[get_global_id(0)] = tmp[n - 1 - l];
+      }|}
+  in
+  let c = Runtime.compile_kernel src ~name:"rev" in
+  let mem = Memory.create () in
+  let out = Memory.alloc mem Ssa.I32 32 in
+  ignore (launch_1d c mem [ Runtime.Abuf out ] ~n:32 ~wg:16);
+  Array.iteri
+    (fun i v ->
+      (* tmp holds local ids, so the reversal yields 15 - (i mod 16). *)
+      Alcotest.(check int) (Printf.sprintf "out[%d]" i) (15 - (i mod 16)) v)
+    (Memory.to_int_array out)
+
+let test_barrier_rounds_counted () =
+  let src =
+    {|__kernel void f(__global int *out) {
+        __local int tmp[4];
+        tmp[get_local_id(0)] = 1;
+        barrier(CLK_LOCAL_MEM_FENCE);
+        out[get_global_id(0)] = tmp[0];
+        barrier(CLK_LOCAL_MEM_FENCE);
+      }|}
+  in
+  let c = Runtime.compile_kernel src ~name:"f" in
+  let mem = Memory.create () in
+  let out = Memory.alloc mem Ssa.I32 4 in
+  let rounds = ref 0 in
+  ignore
+    (Runtime.launch c
+       ~cfg:{ Runtime.global = (4, 1, 1); local = (4, 1, 1); queues = 1 }
+       ~args:[ Runtime.Abuf out ] ~mem
+       ~on_group:(fun s -> rounds := s.Trace.barrier_rounds)
+       ());
+  Alcotest.(check int) "two barrier rounds" 2 !rounds
+
+(* -- Transpose: with local memory, and after Grover -------------------------- *)
+
+let run_transpose fn_compiled n =
+  let mem = Memory.create () in
+  let out = Memory.alloc mem Ssa.F32 (n * n) in
+  let inp = Memory.alloc mem Ssa.F32 (n * n) in
+  Memory.fill_floats inp (fun i -> float_of_int i +. 0.25);
+  ignore
+    (Runtime.launch fn_compiled
+       ~cfg:{ Runtime.global = (n, n, 1); local = (8, 8, 1); queues = 1 }
+       ~args:
+         [ Runtime.Abuf out; Runtime.Abuf inp; Runtime.Aint n; Runtime.Aint n ]
+       ~mem ());
+  (Memory.to_float_array inp, Memory.to_float_array out)
+
+let test_transpose_with_local () =
+  let c = Runtime.compile_kernel mt_source ~name:"transpose" in
+  let n = 32 in
+  let inp, out = run_transpose c n in
+  for r = 0 to n - 1 do
+    for cl = 0 to n - 1 do
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "out[%d][%d]" r cl)
+        inp.((cl * n) + r)
+        out.((r * n) + cl)
+    done
+  done
+
+let test_transpose_grover_equivalent () =
+  (* Run the same kernel after Grover removed local memory: bit-identical. *)
+  let fn =
+    match Lower.compile mt_source with [ f ] -> f | _ -> assert false
+  in
+  Grover_passes.Pipeline.normalize fn;
+  let outcome = Grover_core.Grover.run fn in
+  Alcotest.(check (list string)) "lm transformed" [ "lm" ]
+    outcome.Grover_core.Grover.transformed;
+  let c = Interp.prepare fn in
+  let n = 32 in
+  let inp, out = run_transpose c n in
+  for r = 0 to n - 1 do
+    for cl = 0 to n - 1 do
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "out[%d][%d]" r cl)
+        inp.((cl * n) + r)
+        out.((r * n) + cl)
+    done
+  done
+
+let test_transpose_grover_no_local_traffic () =
+  let fn =
+    match Lower.compile mt_source with [ f ] -> f | _ -> assert false
+  in
+  Grover_passes.Pipeline.normalize fn;
+  ignore (Grover_core.Grover.run fn);
+  let c = Interp.prepare fn in
+  let mem = Memory.create () in
+  let n = 16 in
+  let out = Memory.alloc mem Ssa.F32 (n * n) in
+  let inp = Memory.alloc mem Ssa.F32 (n * n) in
+  let totals =
+    Runtime.launch c
+      ~cfg:{ Runtime.global = (n, n, 1); local = (8, 8, 1); queues = 1 }
+      ~args:
+        [ Runtime.Abuf out; Runtime.Abuf inp; Runtime.Aint n; Runtime.Aint n ]
+      ~mem ()
+  in
+  Alcotest.(check int) "no local accesses" 0 totals.Trace.t_local_accesses;
+  Alcotest.(check int) "no barriers" 0 totals.Trace.t_barriers
+
+(* -- Parallel (multi-domain) execution ----------------------------------------- *)
+
+let test_parallel_matches_sequential () =
+  let c = Runtime.compile_kernel mt_source ~name:"transpose" in
+  let n = 64 in
+  let run ~domains =
+    let mem = Memory.create () in
+    let out = Memory.alloc mem Ssa.F32 (n * n) in
+    let inp = Memory.alloc mem Ssa.F32 (n * n) in
+    Memory.fill_floats inp (fun i -> float_of_int i);
+    ignore
+      (Runtime.launch c
+         ~cfg:{ Runtime.global = (n, n, 1); local = (8, 8, 1); queues = 1 }
+         ~args:
+           [ Runtime.Abuf out; Runtime.Abuf inp; Runtime.Aint n; Runtime.Aint n ]
+         ~mem ~domains ());
+    Memory.to_float_array out
+  in
+  let seq = run ~domains:1 and par = run ~domains:4 in
+  Alcotest.(check bool) "parallel result matches sequential" true (seq = par)
+
+let test_parallel_rejects_tracing () =
+  let c = Runtime.compile_kernel mt_source ~name:"transpose" in
+  let mem = Memory.create () in
+  let n = 16 in
+  let out = Memory.alloc mem Ssa.F32 (n * n) in
+  let inp = Memory.alloc mem Ssa.F32 (n * n) in
+  match
+    Runtime.launch c
+      ~cfg:{ Runtime.global = (n, n, 1); local = (8, 8, 1); queues = 1 }
+      ~args:
+        [ Runtime.Abuf out; Runtime.Abuf inp; Runtime.Aint n; Runtime.Aint n ]
+      ~mem
+      ~on_group:(fun _ -> ())
+      ~domains:2 ()
+  with
+  | exception Runtime.Launch_error _ -> ()
+  | _ -> Alcotest.fail "tracing + parallel must be rejected"
+
+(* -- Launch validation -------------------------------------------------------- *)
+
+let test_launch_bad_sizes () =
+  let c =
+    Runtime.compile_kernel "__kernel void f(__global int *a) { a[0] = 1; }"
+      ~name:"f"
+  in
+  let mem = Memory.create () in
+  let a = Memory.alloc mem Ssa.I32 4 in
+  match
+    Runtime.launch c
+      ~cfg:{ Runtime.global = (10, 1, 1); local = (4, 1, 1); queues = 1 }
+      ~args:[ Runtime.Abuf a ] ~mem ()
+  with
+  | exception Runtime.Launch_error _ -> ()
+  | _ -> Alcotest.fail "non-divisible global size must be rejected"
+
+let test_launch_bad_args () =
+  let c =
+    Runtime.compile_kernel "__kernel void f(__global int *a, int n) { a[0] = n; }"
+      ~name:"f"
+  in
+  let mem = Memory.create () in
+  let a = Memory.alloc mem Ssa.I32 4 in
+  (match
+     Runtime.launch c
+       ~cfg:{ Runtime.global = (1, 1, 1); local = (1, 1, 1); queues = 1 }
+       ~args:[ Runtime.Abuf a ] ~mem ()
+   with
+  | exception Runtime.Launch_error _ -> ()
+  | _ -> Alcotest.fail "arity mismatch must be rejected");
+  match
+    Runtime.launch c
+      ~cfg:{ Runtime.global = (1, 1, 1); local = (1, 1, 1); queues = 1 }
+      ~args:[ Runtime.Abuf a; Runtime.Afloat 1.0 ] ~mem ()
+  with
+  | exception Runtime.Launch_error _ -> ()
+  | _ -> Alcotest.fail "type mismatch must be rejected"
+
+let test_out_of_bounds_trapped () =
+  let c =
+    Runtime.compile_kernel "__kernel void f(__global int *a) { a[99] = 1; }"
+      ~name:"f"
+  in
+  let mem = Memory.create () in
+  let a = Memory.alloc mem Ssa.I32 4 in
+  match
+    Runtime.launch c
+      ~cfg:{ Runtime.global = (1, 1, 1); local = (1, 1, 1); queues = 1 }
+      ~args:[ Runtime.Abuf a ] ~mem ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-bounds store must trap"
+
+let suite =
+  [ ( "interp",
+      [ Alcotest.test_case "vector add" `Quick test_vector_add;
+        Alcotest.test_case "loop sum" `Quick test_loop_sum;
+        Alcotest.test_case "conditional" `Quick test_conditional;
+        Alcotest.test_case "vector types" `Quick test_vector_types;
+        Alcotest.test_case "math builtins" `Quick test_math_builtins ] );
+    ( "barriers",
+      [ Alcotest.test_case "staging reversal" `Quick test_barrier_reversal;
+        Alcotest.test_case "rounds counted" `Quick test_barrier_rounds_counted ] );
+    ( "transpose",
+      [ Alcotest.test_case "with local memory" `Quick test_transpose_with_local;
+        Alcotest.test_case "grover equivalence" `Quick test_transpose_grover_equivalent;
+        Alcotest.test_case "grover removes local traffic" `Quick
+          test_transpose_grover_no_local_traffic ] );
+    ( "parallel",
+      [ Alcotest.test_case "matches sequential" `Quick test_parallel_matches_sequential;
+        Alcotest.test_case "rejects tracing" `Quick test_parallel_rejects_tracing ] );
+    ( "launch-validation",
+      [ Alcotest.test_case "bad sizes" `Quick test_launch_bad_sizes;
+        Alcotest.test_case "bad args" `Quick test_launch_bad_args;
+        Alcotest.test_case "out of bounds" `Quick test_out_of_bounds_trapped ] ) ]

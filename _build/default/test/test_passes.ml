@@ -1,0 +1,284 @@
+(* Unit tests for the optimisation passes added around Grover: CSE, LICM,
+   work-item call canonicalisation and global-id expansion. *)
+
+open Grover_ir
+module Pass = Grover_passes
+
+let compile1 src =
+  match Lower.compile src with
+  | [ fn ] -> fn
+  | _ -> Alcotest.fail "expected one kernel"
+
+let count p fn = Ssa.fold_instrs (fun n i -> if p i.Ssa.op then n + 1 else n) 0 fn
+
+let count_calls name fn =
+  count
+    (function
+      | Ssa.Call { callee; _ } when callee = name -> true | _ -> false)
+    fn
+
+(* -- canonicalisation --------------------------------------------------------- *)
+
+let test_canon_unifies_workitem_calls () =
+  let fn =
+    compile1
+      "__kernel void f(__global int *a) { a[get_local_id(0)] = get_local_id(0) + get_local_id(1); }"
+  in
+  ignore (Pass.Canon.run fn);
+  Verify.run fn;
+  Alcotest.(check int) "one get_local_id(0)" 2 (count_calls "get_local_id" fn)
+
+let test_expand_global_ids () =
+  let fn = compile1 "__kernel void f(__global int *a) { a[get_global_id(0)] = 1; }" in
+  ignore (Pass.Canon.run fn);
+  ignore (Pass.Canon.expand_global_ids fn);
+  Verify.run fn;
+  Alcotest.(check int) "gid call gone" 0 (count_calls "get_global_id" fn);
+  Alcotest.(check int) "group id appears" 1 (count_calls "get_group_id" fn);
+  Alcotest.(check int) "local size appears" 1 (count_calls "get_local_size" fn);
+  Alcotest.(check int) "local id appears" 1 (count_calls "get_local_id" fn)
+
+let test_expansion_preserves_semantics () =
+  (* Executed result must be identical before/after expansion. *)
+  let src = "__kernel void f(__global int *a) { a[get_global_id(0)] = get_global_id(0) * 3; }" in
+  let run fn =
+    let open Grover_ocl in
+    let compiled = Interp.prepare fn in
+    let mem = Memory.create () in
+    let a = Memory.alloc mem Ssa.I32 32 in
+    ignore
+      (Runtime.launch compiled
+         ~cfg:{ Runtime.global = (32, 1, 1); local = (8, 1, 1); queues = 1 }
+         ~args:[ Runtime.Abuf a ] ~mem ());
+    Memory.to_int_array a
+  in
+  let plain = run (compile1 src) in
+  let fn = compile1 src in
+  ignore (Pass.Canon.run fn);
+  ignore (Pass.Canon.expand_global_ids fn);
+  let expanded = run fn in
+  Alcotest.(check bool) "same results" true (plain = expanded)
+
+(* -- CSE ------------------------------------------------------------------------ *)
+
+let test_cse_merges_duplicates () =
+  let fn =
+    compile1
+      "__kernel void f(__global int *a, int x, int y) { a[0] = (x + y) * (x + y); }"
+  in
+  Pass.Mem2reg.run fn;
+  ignore (Pass.Cse.run fn);
+  ignore (Pass.Dce.run fn);
+  Verify.run fn;
+  Alcotest.(check int) "one addition left" 1
+    (count (function Ssa.Binop (Ssa.Add, _, _) -> true | _ -> false) fn)
+
+let test_cse_commutative () =
+  let fn =
+    compile1
+      "__kernel void f(__global int *a, int x, int y) { a[0] = (x + y) + (y + x); }"
+  in
+  Pass.Mem2reg.run fn;
+  ignore (Pass.Cse.run fn);
+  ignore (Pass.Dce.run fn);
+  Verify.run fn;
+  (* x+y and y+x unify; one add computes the sum, one adds the two. *)
+  Alcotest.(check int) "two additions" 2
+    (count (function Ssa.Binop (Ssa.Add, _, _) -> true | _ -> false) fn)
+
+let test_cse_does_not_merge_loads () =
+  (* Loads are not pure (stores may intervene): never merged. *)
+  let fn =
+    compile1
+      "__kernel void f(__global int *a) { int v = a[0]; a[0] = v + 1; int w = a[0]; a[1] = w; }"
+  in
+  Pass.Pipeline.normalize fn;
+  Alcotest.(check int) "two loads survive" 2
+    (count (function Ssa.Load _ -> true | _ -> false) fn)
+
+let test_cse_respects_dominance () =
+  (* The same expression in two sibling branches must NOT merge (neither
+     dominates the other). *)
+  let fn =
+    compile1
+      {|__kernel void f(__global int *a, int x, int n) {
+          if (n > 0) a[0] = x * 7; else a[1] = x * 7;
+        }|}
+  in
+  Pass.Mem2reg.run fn;
+  ignore (Pass.Cse.run fn);
+  Verify.run fn;
+  Alcotest.(check int) "both multiplications survive" 2
+    (count (function Ssa.Binop (Ssa.Mul, _, _) -> true | _ -> false) fn)
+
+(* -- LICM ------------------------------------------------------------------------ *)
+
+let licm_kernel =
+  {|__kernel void f(__global int *a, int n, int x, int y) {
+      for (int i = 0; i < n; i++) {
+        a[i] = i + (x * y + 5);
+      }
+    }|}
+
+let in_loop_muls fn =
+  (* Count multiplications located in blocks that are part of a loop (have a
+     back edge). After LICM the x*y must live in a preheader. *)
+  let dom = Dom.compute fn in
+  let loops = Pass.Licm.find_loops fn dom in
+  List.fold_left
+    (fun acc (l : Pass.Licm.loop) ->
+      Hashtbl.fold
+        (fun bid () acc ->
+          match List.find_opt (fun b -> b.Ssa.bid = bid) fn.Ssa.blocks with
+          | Some b ->
+              acc
+              + List.length
+                  (List.filter
+                     (fun i ->
+                       match i.Ssa.op with Ssa.Binop (Ssa.Mul, _, _) -> true | _ -> false)
+                     b.Ssa.instrs)
+          | None -> acc)
+        l.Pass.Licm.blocks acc)
+    0 loops
+
+let test_licm_hoists_invariant () =
+  let fn = compile1 licm_kernel in
+  Pass.Mem2reg.run fn;
+  let before = in_loop_muls fn in
+  ignore (Pass.Licm.run fn);
+  Verify.run fn;
+  let after = in_loop_muls fn in
+  Alcotest.(check bool) "had a mul in the loop" true (before > 0);
+  Alcotest.(check int) "no mul left in the loop" 0 after
+
+let test_licm_preserves_semantics () =
+  let run fn =
+    let open Grover_ocl in
+    let compiled = Interp.prepare fn in
+    let mem = Memory.create () in
+    let a = Memory.alloc mem Ssa.I32 16 in
+    ignore
+      (Runtime.launch compiled
+         ~cfg:{ Runtime.global = (1, 1, 1); local = (1, 1, 1); queues = 1 }
+         ~args:
+           [ Runtime.Abuf a; Runtime.Aint 16; Runtime.Aint 3; Runtime.Aint 4 ]
+         ~mem ());
+    Memory.to_int_array a
+  in
+  let plain =
+    let fn = compile1 licm_kernel in
+    Pass.Mem2reg.run fn;
+    run fn
+  in
+  let hoisted =
+    let fn = compile1 licm_kernel in
+    Pass.Mem2reg.run fn;
+    ignore (Pass.Licm.run fn);
+    run fn
+  in
+  Alcotest.(check bool) "same results" true (plain = hoisted)
+
+let test_licm_keeps_guarded_division () =
+  (* x / n inside "if (n != 0)" must not be hoisted past the guard. *)
+  let fn =
+    compile1
+      {|__kernel void f(__global int *a, int n, int x) {
+          for (int i = 0; i < 4; i++) {
+            if (n != 0) a[i] = x / n;
+            else a[i] = 0;
+          }
+        }|}
+  in
+  Pass.Mem2reg.run fn;
+  ignore (Pass.Licm.run fn);
+  Verify.run fn;
+  (* Run with n = 0: must not trap. *)
+  let open Grover_ocl in
+  let compiled = Interp.prepare fn in
+  let mem = Memory.create () in
+  let a = Memory.alloc mem Ssa.I32 4 in
+  ignore
+    (Runtime.launch compiled
+       ~cfg:{ Runtime.global = (1, 1, 1); local = (1, 1, 1); queues = 1 }
+       ~args:[ Runtime.Abuf a; Runtime.Aint 0; Runtime.Aint 7 ]
+       ~mem ());
+  Alcotest.(check (list int)) "zeros" [ 0; 0; 0; 0 ]
+    (Array.to_list (Memory.to_int_array a))
+
+(* LICM after Grover: the re-created nGL index terms that do not depend on
+   the loop hoist out of it. *)
+let test_licm_after_grover () =
+  let src =
+    {|__kernel void f(__global float *out, __global const float *in, int n) {
+        __local float sh[64];
+        int lx = get_local_id(0);
+        float acc = 0.0f;
+        for (int t = 0; t < n / 64; t++) {
+          sh[lx] = in[t * 64 + lx];
+          barrier(CLK_LOCAL_MEM_FENCE);
+          for (int j = 0; j < 64; j++) {
+            acc += sh[j];
+          }
+          barrier(CLK_LOCAL_MEM_FENCE);
+        }
+        out[get_global_id(0)] = acc;
+      }|}
+  in
+  let fn = compile1 src in
+  Pass.Pipeline.normalize fn;
+  let o = Grover_core.Grover.run fn in
+  Alcotest.(check (list string)) "transformed" [ "sh" ] o.Grover_core.Grover.transformed;
+  Verify.run fn;
+  (* The multiplication t*64 of the nGL index is invariant in the inner j
+     loop; after cleanup (which includes LICM) the inner loop body must not
+     contain it. *)
+  let dom = Dom.compute fn in
+  let loops = Pass.Licm.find_loops fn dom in
+  Alcotest.(check bool) "loops found" true (List.length loops >= 2);
+  let inner_has_shl_or_mul =
+    List.exists
+      (fun (l : Pass.Licm.loop) ->
+        (* inner loop: contains the nGL load (from "in") *)
+        let contains_ngl = ref false and has_mul = ref false in
+        Hashtbl.iter
+          (fun bid () ->
+            match List.find_opt (fun b -> b.Ssa.bid = bid) fn.Ssa.blocks with
+            | Some b ->
+                List.iter
+                  (fun i ->
+                    match i.Ssa.op with
+                    | Ssa.Load { ptr = Ssa.Arg { a_name = "in"; _ }; _ } ->
+                        contains_ngl := true
+                    | Ssa.Binop ((Ssa.Mul | Ssa.Shl), _, Ssa.Cint (_, 64)) ->
+                        has_mul := true
+                    | _ -> ())
+                  b.Ssa.instrs
+            | None -> ())
+          l.Pass.Licm.blocks;
+        (* The inner loop contains the nGL but its t*64 was hoisted; only
+           loops that also contain the staging (outer) may keep it. *)
+        !contains_ngl && !has_mul
+        && not (Hashtbl.length l.Pass.Licm.blocks > 4))
+      loops
+  in
+  Alcotest.(check bool) "t*64 hoisted from the inner loop" false
+    inner_has_shl_or_mul
+
+let suite =
+  [ ( "canon",
+      [ Alcotest.test_case "unifies work-item calls" `Quick
+          test_canon_unifies_workitem_calls;
+        Alcotest.test_case "expands global ids" `Quick test_expand_global_ids;
+        Alcotest.test_case "expansion preserves semantics" `Quick
+          test_expansion_preserves_semantics ] );
+    ( "cse",
+      [ Alcotest.test_case "merges duplicates" `Quick test_cse_merges_duplicates;
+        Alcotest.test_case "commutative" `Quick test_cse_commutative;
+        Alcotest.test_case "does not merge loads" `Quick test_cse_does_not_merge_loads;
+        Alcotest.test_case "respects dominance" `Quick test_cse_respects_dominance ] );
+    ( "licm",
+      [ Alcotest.test_case "hoists invariants" `Quick test_licm_hoists_invariant;
+        Alcotest.test_case "preserves semantics" `Quick test_licm_preserves_semantics;
+        Alcotest.test_case "keeps guarded division" `Quick
+          test_licm_keeps_guarded_division;
+        Alcotest.test_case "after grover" `Quick test_licm_after_grover ] ) ]

@@ -1,0 +1,277 @@
+(* Unit and property tests for the exact-arithmetic substrate. *)
+
+module Q = Grover_support.Rational
+
+module Str_atom = struct
+  type t = string
+
+  let compare = String.compare
+  let pp = Format.pp_print_string
+end
+
+module Aff = Grover_support.Affine.Make (Str_atom)
+
+module Aff_space = struct
+  type t = Aff.t
+
+  let zero = Aff.zero
+  let add = Aff.add
+  let scale = Aff.scale
+end
+
+module Solver = Grover_support.Linsolve.Make (Aff_space)
+
+let q a b = Q.make a b
+
+let check_q = Alcotest.testable Q.pp Q.equal
+let check_aff = Alcotest.testable Aff.pp Aff.equal
+
+(* -- Rational unit tests -------------------------------------------------- *)
+
+let test_q_normalisation () =
+  Alcotest.check check_q "6/4 = 3/2" (q 3 2) (q 6 4);
+  Alcotest.check check_q "-6/-4 = 3/2" (q 3 2) (q (-6) (-4));
+  Alcotest.check check_q "6/-4 = -3/2" (q (-3) 2) (q 6 (-4));
+  Alcotest.check check_q "0/7 = 0" Q.zero (q 0 7)
+
+let test_q_arith () =
+  Alcotest.check check_q "1/2 + 1/3" (q 5 6) (Q.add (q 1 2) (q 1 3));
+  Alcotest.check check_q "1/2 - 1/3" (q 1 6) (Q.sub (q 1 2) (q 1 3));
+  Alcotest.check check_q "2/3 * 3/4" (q 1 2) (Q.mul (q 2 3) (q 3 4));
+  Alcotest.check check_q "(2/3) / (4/3)" (q 1 2) (Q.div (q 2 3) (q 4 3));
+  Alcotest.check_raises "div by zero" Q.Division_by_zero_q (fun () ->
+      ignore (Q.div Q.one Q.zero))
+
+let test_q_predicates () =
+  Alcotest.(check bool) "is_integer 4/2" true (Q.is_integer (q 4 2));
+  Alcotest.(check bool) "is_integer 1/2" false (Q.is_integer (q 1 2));
+  Alcotest.(check (option int)) "to_int 6/3" (Some 2) (Q.to_int (q 6 3));
+  Alcotest.(check (option int)) "to_int 1/2" None (Q.to_int (q 1 2));
+  Alcotest.(check int) "sign -5" (-1) (Q.sign (q (-5) 1));
+  Alcotest.(check int) "compare 1/3 1/2" (-1) (Q.compare (q 1 3) (q 1 2))
+
+let test_q_overflow () =
+  Alcotest.check_raises "mul overflow" Q.Overflow (fun () ->
+      ignore (Q.mul (Q.of_int max_int) (Q.of_int 2)))
+
+(* -- Rational property tests ---------------------------------------------- *)
+
+let small_q =
+  QCheck.map
+    (fun (n, d) -> q n d)
+    QCheck.(pair (int_range (-1000) 1000) (int_range 1 1000))
+
+let prop_add_comm =
+  QCheck.Test.make ~name:"q add commutative" ~count:500
+    QCheck.(pair small_q small_q)
+    (fun (a, b) -> Q.equal (Q.add a b) (Q.add b a))
+
+let prop_mul_assoc =
+  QCheck.Test.make ~name:"q mul associative" ~count:500
+    QCheck.(triple small_q small_q small_q)
+    (fun (a, b, c) -> Q.equal (Q.mul a (Q.mul b c)) (Q.mul (Q.mul a b) c))
+
+let prop_add_inverse =
+  QCheck.Test.make ~name:"q a + (-a) = 0" ~count:500 small_q (fun a ->
+      Q.is_zero (Q.add a (Q.neg a)))
+
+let prop_mul_inverse =
+  QCheck.Test.make ~name:"q a * 1/a = 1" ~count:500 small_q (fun a ->
+      QCheck.assume (not (Q.is_zero a));
+      Q.is_one (Q.mul a (Q.inv a)))
+
+let prop_distributive =
+  QCheck.Test.make ~name:"q distributivity" ~count:500
+    QCheck.(triple small_q small_q small_q)
+    (fun (a, b, c) ->
+      Q.equal (Q.mul a (Q.add b c)) (Q.add (Q.mul a b) (Q.mul a c)))
+
+(* -- Affine forms ---------------------------------------------------------- *)
+
+let x = Aff.atom "x"
+let y = Aff.atom "y"
+
+let test_affine_basics () =
+  let f = Aff.add (Aff.scale (q 2 1) x) (Aff.of_int 3) in
+  Alcotest.check check_q "coeff x" (q 2 1) (Aff.coeff "x" f);
+  Alcotest.check check_q "coeff y" Q.zero (Aff.coeff "y" f);
+  Alcotest.check check_q "const" (q 3 1) (Aff.constant f);
+  Alcotest.(check (list string)) "atoms" [ "x" ] (Aff.atoms f)
+
+let test_affine_cancellation () =
+  let f = Aff.sub (Aff.add x y) (Aff.add x y) in
+  Alcotest.(check bool) "x+y-(x+y) = 0" true (Aff.is_zero f)
+
+let test_affine_subst () =
+  (* f = 2x + y; substitute x := y + 1 gives 3y + 2. *)
+  let f = Aff.add (Aff.scale (q 2 1) x) y in
+  let g = Aff.subst "x" (Aff.add y Aff.one) f in
+  Alcotest.check check_aff "subst result"
+    (Aff.add (Aff.scale (q 3 1) y) (Aff.of_int 2))
+    g
+
+let test_affine_split () =
+  let f = Aff.add (Aff.add (Aff.scale (q 2 1) x) y) (Aff.of_int 7) in
+  let sel, rest = Aff.split ~on:(fun a -> a = "x") f in
+  Alcotest.check check_aff "selected" (Aff.scale (q 2 1) x) sel;
+  Alcotest.check check_aff "rest" (Aff.add y (Aff.of_int 7)) rest;
+  Alcotest.check check_aff "halves sum back" f (Aff.add sel rest)
+
+let test_affine_to_atom () =
+  Alcotest.(check bool) "x is atom" true (Aff.to_atom x = Some "x");
+  Alcotest.(check bool) "2x is not an atom" true
+    (Aff.to_atom (Aff.scale (q 2 1) x) = None);
+  Alcotest.(check bool) "x+1 is not an atom" true
+    (Aff.to_atom (Aff.add x Aff.one) = None)
+
+let test_affine_mul () =
+  let cx = Aff.scale (q 3 1) x in
+  (match Aff.mul cx (Aff.of_int 2) with
+  | Some r -> Alcotest.check check_aff "3x * 2 = 6x" (Aff.scale (q 6 1) x) r
+  | None -> Alcotest.fail "const multiplication should succeed");
+  Alcotest.(check bool) "x * y rejected" true (Aff.mul x y = None)
+
+let gen_affine =
+  QCheck.map
+    (fun (cx, cy, c) ->
+      Aff.add
+        (Aff.add (Aff.scale (Q.of_int cx) x) (Aff.scale (Q.of_int cy) y))
+        (Aff.of_int c))
+    QCheck.(triple (int_range (-20) 20) (int_range (-20) 20) (int_range (-20) 20))
+
+let prop_affine_add_comm =
+  QCheck.Test.make ~name:"affine add commutative" ~count:300
+    QCheck.(pair gen_affine gen_affine)
+    (fun (f, g) -> Aff.equal (Aff.add f g) (Aff.add g f))
+
+let prop_affine_scale_distributes =
+  QCheck.Test.make ~name:"affine scale distributes" ~count:300
+    QCheck.(triple small_q gen_affine gen_affine)
+    (fun (k, f, g) ->
+      Aff.equal (Aff.scale k (Aff.add f g)) (Aff.add (Aff.scale k f) (Aff.scale k g)))
+
+(* -- Linear solver --------------------------------------------------------- *)
+
+let test_solve_identity () =
+  (* x = a; y = b. *)
+  let a = [| [| Q.one; Q.zero |]; [| Q.zero; Q.one |] |] in
+  let b = [| Aff.atom "a"; Aff.atom "b" |] in
+  match Solver.solve a b with
+  | Solver.Unique sol ->
+      Alcotest.check check_aff "x" (Aff.atom "a") sol.(0);
+      Alcotest.check check_aff "y" (Aff.atom "b") sol.(1)
+  | Solver.Singular -> Alcotest.fail "identity is not singular"
+
+let test_solve_swap () =
+  (* The Matrix Transpose system of the paper (Sec. III-C):
+     lx' = y_LL, ly' = x_LL written as 0*lx + 1*ly = x_LL; 1*lx + 0*ly = y_LL. *)
+  let a = [| [| Q.zero; Q.one |]; [| Q.one; Q.zero |] |] in
+  let b = [| Aff.atom "x_LL"; Aff.atom "y_LL" |] in
+  match Solver.solve a b with
+  | Solver.Unique sol ->
+      Alcotest.check check_aff "lx = y_LL" (Aff.atom "y_LL") sol.(0);
+      Alcotest.check check_aff "ly = x_LL" (Aff.atom "x_LL") sol.(1)
+  | Solver.Singular -> Alcotest.fail "swap is not singular"
+
+let test_solve_singular () =
+  let a = [| [| Q.one; Q.one |]; [| Q.of_int 2; Q.of_int 2 |] |] in
+  let b = [| Aff.atom "p"; Aff.atom "q" |] in
+  match Solver.solve a b with
+  | Solver.Singular -> ()
+  | Solver.Unique _ -> Alcotest.fail "rank-1 system must be singular"
+
+let test_solve_3x3 () =
+  (* x + 2y + z = p ; y - z = q ; 2x + z = r  (invertible). *)
+  let a =
+    [| [| Q.one; Q.of_int 2; Q.one |];
+       [| Q.zero; Q.one; Q.of_int (-1) |];
+       [| Q.of_int 2; Q.zero; Q.one |] |]
+  in
+  let b = [| Aff.atom "p"; Aff.atom "q"; Aff.atom "r" |] in
+  match Solver.solve a b with
+  | Solver.Unique sol ->
+      (* Verify A * sol = b symbolically. *)
+      let n = 3 in
+      for i = 0 to n - 1 do
+        let lhs = ref Aff.zero in
+        for j = 0 to n - 1 do
+          lhs := Aff.add !lhs (Aff.scale a.(i).(j) sol.(j))
+        done;
+        Alcotest.check check_aff (Printf.sprintf "row %d" i) b.(i) !lhs
+      done
+  | Solver.Singular -> Alcotest.fail "3x3 system is invertible"
+
+(* Random invertible integer systems: generate random solution & matrix,
+   compute b = A*x, solve, compare. *)
+let prop_solver_roundtrip =
+  let gen =
+    QCheck.make
+      ~print:(fun (m, xs) ->
+        Printf.sprintf "matrix %s solution %s"
+          (String.concat ";"
+             (Array.to_list (Array.map (fun r ->
+                  String.concat "," (Array.to_list (Array.map string_of_int r))) m)))
+          (String.concat "," (Array.to_list (Array.map string_of_int xs))))
+      QCheck.Gen.(
+        let* n = int_range 1 3 in
+        let* m = array_size (return n) (array_size (return n) (int_range (-5) 5)) in
+        let* xs = array_size (return n) (int_range (-9) 9) in
+        return (m, xs))
+  in
+  QCheck.Test.make ~name:"solver recovers planted solution" ~count:300 gen
+    (fun (m, xs) ->
+      let n = Array.length m in
+      let a = Array.map (Array.map Q.of_int) m in
+      (* b_i = sum_j a_ij * x_j, as constant affine forms *)
+      let b =
+        Array.init n (fun i ->
+            let acc = ref Aff.zero in
+            for j = 0 to n - 1 do
+              acc := Aff.add !acc (Aff.scale a.(i).(j) (Aff.of_int xs.(j)))
+            done;
+            !acc)
+      in
+      match Solver.solve a b with
+      | Solver.Unique sol ->
+          Array.for_all2
+            (fun s x -> Aff.equal s (Aff.of_int x))
+            sol xs
+      | Solver.Singular ->
+          (* Singular matrices are legitimately rejected; check the rank is
+             actually deficient by a determinant test for n <= 3. *)
+          let det =
+            match n with
+            | 1 -> m.(0).(0)
+            | 2 -> (m.(0).(0) * m.(1).(1)) - (m.(0).(1) * m.(1).(0))
+            | _ ->
+                m.(0).(0) * ((m.(1).(1) * m.(2).(2)) - (m.(1).(2) * m.(2).(1)))
+                - m.(0).(1) * ((m.(1).(0) * m.(2).(2)) - (m.(1).(2) * m.(2).(0)))
+                + m.(0).(2) * ((m.(1).(0) * m.(2).(1)) - (m.(1).(1) * m.(2).(0)))
+          in
+          det = 0)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let suite =
+  [ ( "rational",
+      [ Alcotest.test_case "normalisation" `Quick test_q_normalisation;
+        Alcotest.test_case "arithmetic" `Quick test_q_arith;
+        Alcotest.test_case "predicates" `Quick test_q_predicates;
+        Alcotest.test_case "overflow" `Quick test_q_overflow ] );
+    qsuite "rational-props"
+      [ prop_add_comm; prop_mul_assoc; prop_add_inverse; prop_mul_inverse;
+        prop_distributive ];
+    ( "affine",
+      [ Alcotest.test_case "basics" `Quick test_affine_basics;
+        Alcotest.test_case "cancellation" `Quick test_affine_cancellation;
+        Alcotest.test_case "substitution" `Quick test_affine_subst;
+        Alcotest.test_case "split" `Quick test_affine_split;
+        Alcotest.test_case "to_atom" `Quick test_affine_to_atom;
+        Alcotest.test_case "mul" `Quick test_affine_mul ] );
+    qsuite "affine-props" [ prop_affine_add_comm; prop_affine_scale_distributes ];
+    ( "linsolve",
+      [ Alcotest.test_case "identity" `Quick test_solve_identity;
+        Alcotest.test_case "transpose swap" `Quick test_solve_swap;
+        Alcotest.test_case "singular" `Quick test_solve_singular;
+        Alcotest.test_case "3x3" `Quick test_solve_3x3 ] );
+    qsuite "linsolve-props" [ prop_solver_roundtrip ] ]
