@@ -52,12 +52,16 @@ let micro () =
 
 let () =
   let scale = ref 1 in
+  let quick = ref false in
   let todo = ref [] in
   let args = Array.to_list Sys.argv |> List.tl in
   let rec parse = function
     | [] -> ()
     | "--scale" :: v :: rest ->
         scale := int_of_string v;
+        parse rest
+    | "--quick" :: rest ->
+        quick := true;
         parse rest
     | x :: rest ->
         todo := x :: !todo;
@@ -66,6 +70,7 @@ let () =
   parse args;
   let todo = List.rev !todo in
   let scale = !scale in
+  let quick = !quick in
   let run_one = function
     | "table1" -> Exp.table1 ()
     | "table2" -> Exp.table2 ()
@@ -76,12 +81,13 @@ let () =
     | "fig10" -> ignore (Exp.fig10 ~scale ())
     | "table4" -> Exp.table4 ~scale ()
     | "micro" -> micro ()
+    | "perf" -> Perf.run ~quick ()
     | "ablation" -> Ablation.all ~scale ()
     | "predictor" -> Predictor.run ~scale ()
     | other ->
         Printf.eprintf
           "unknown experiment %s (try table1 table2 fig1 fig9 table3 fig2 \
-           fig10 table4 micro ablation predictor)\n"
+           fig10 table4 micro perf ablation predictor)\n"
           other;
         exit 2
   in
@@ -97,5 +103,6 @@ let () =
       Exp.table4 ~cmps ~scale ();
       Ablation.all ~scale ();
       Predictor.run ~scale ();
+      Perf.run ~quick ();
       micro ()
   | l -> List.iter run_one l

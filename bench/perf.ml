@@ -1,0 +1,115 @@
+(* Interpreter throughput benchmark: the closure-compiled engine vs the
+   legacy tree-walking engine on NVD-MT (matrix transpose), measured in
+   work-items/sec over a full launch (trace recording included, no
+   platform simulation). Results go to stdout and BENCH_interp.json. *)
+
+open Grover_ocl
+module H = Grover_suite.Harness
+module Kit = Grover_suite.Kit
+module Nvd_mt = Grover_suite.Nvd_mt
+
+(* The suite workload builder treats [scale] as a divisor of the 256^2
+   base problem, so the 512^2 benchmark size is built directly here. *)
+let mk_transpose ~n : Kit.workload =
+  let mem = Memory.create () in
+  let out = Memory.alloc mem Grover_ir.Ssa.F32 (n * n) in
+  let inp = Memory.alloc mem Grover_ir.Ssa.F32 (n * n) in
+  let gen = Kit.float_gen 42 in
+  Memory.fill_floats inp (fun _ -> gen ());
+  let check () =
+    let i = Memory.to_float_array inp and o = Memory.to_float_array out in
+    let expected = Array.init (n * n) (fun k -> i.((k mod n * n) + (k / n))) in
+    Kit.check_floats ~label:"NVD-MT" ~expected ~actual:o ~eps:0.0
+  in
+  {
+    Kit.mem;
+    args = [ Runtime.Abuf out; Runtime.Abuf inp; Runtime.Aint n; Runtime.Aint n ];
+    global = (n, n, 1);
+    local = (16, 16, 1);
+    check;
+  }
+
+type row = {
+  version : H.version;
+  engine : Interp.engine;
+  domains : int;
+  seconds : float;
+  wi_per_sec : float;
+}
+
+let version_name = function H.With_lm -> "with_lm" | H.Without_lm -> "without_lm"
+let engine_name = function Interp.Compiled -> "compiled" | Interp.Tree -> "tree"
+
+let measure ~(version : H.version) ~(engine : Interp.engine) ~(domains : int)
+    ~(n : int) ~(reps : int) : row =
+  let fn, _ = H.compile_version Nvd_mt.case version in
+  let compiled = Interp.prepare ~engine fn in
+  let w = mk_transpose ~n in
+  let cfg = { Runtime.global = w.Kit.global; local = w.Kit.local; queues = 1 } in
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let (_ : Trace.totals) =
+      Runtime.launch compiled ~cfg ~args:w.Kit.args ~mem:w.Kit.mem ~domains ()
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  (match w.Kit.check () with
+  | Ok () -> ()
+  | Error m -> failwith ("perf bench produced wrong output: " ^ m));
+  let n_items = n * n in
+  { version; engine; domains; seconds = !best; wi_per_sec = float_of_int n_items /. !best }
+
+let run ?(quick = false) () : unit =
+  let n = if quick then 128 else 512 in
+  let reps = if quick then 1 else 3 in
+  Exp.header
+    (Printf.sprintf
+       "Interpreter throughput: NVD-MT %dx%d, %d rep%s (work-items/sec; \
+        compiled closures vs tree walk)"
+       n n reps (if reps = 1 then "" else "s"));
+  let rows =
+    [ measure ~version:H.With_lm ~engine:Interp.Tree ~domains:1 ~n ~reps;
+      measure ~version:H.With_lm ~engine:Interp.Compiled ~domains:1 ~n ~reps;
+      measure ~version:H.Without_lm ~engine:Interp.Tree ~domains:1 ~n ~reps;
+      measure ~version:H.Without_lm ~engine:Interp.Compiled ~domains:1 ~n ~reps;
+      (* domains = 0 asks the runtime for the recommended domain count. *)
+      measure ~version:H.With_lm ~engine:Interp.Compiled ~domains:0 ~n ~reps ]
+  in
+  Printf.printf "%-12s %-10s %-8s %12s %14s\n" "version" "engine" "domains"
+    "seconds" "wi/sec";
+  List.iter
+    (fun r ->
+      Printf.printf "%-12s %-10s %-8s %12.4f %14.0f\n" (version_name r.version)
+        (engine_name r.engine)
+        (if r.domains = 0 then "auto" else string_of_int r.domains)
+        r.seconds r.wi_per_sec)
+    rows;
+  let find v e =
+    List.find (fun r -> r.version = v && r.engine = e && r.domains = 1) rows
+  in
+  let speedup v =
+    (find v Interp.Compiled).wi_per_sec /. (find v Interp.Tree).wi_per_sec
+  in
+  let sp_with = speedup H.With_lm and sp_without = speedup H.Without_lm in
+  Printf.printf "\nspeedup compiled/tree: with_lm %.2fx, without_lm %.2fx\n"
+    sp_with sp_without;
+  let oc = open_out "BENCH_interp.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"interp-throughput\",\n  \"case\": \"NVD-MT\",\n\
+    \  \"n\": %d,\n  \"reps\": %d,\n  \"rows\": [\n" n reps;
+  List.iteri
+    (fun k r ->
+      Printf.fprintf oc
+        "    {\"version\": \"%s\", \"engine\": \"%s\", \"domains\": %d, \
+         \"seconds\": %.6f, \"wi_per_sec\": %.0f}%s\n"
+        (version_name r.version) (engine_name r.engine) r.domains r.seconds
+        r.wi_per_sec
+        (if k = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc
+    "  ],\n  \"speedup_with_lm\": %.2f,\n  \"speedup_without_lm\": %.2f\n}\n"
+    sp_with sp_without;
+  close_out oc;
+  Printf.printf "wrote BENCH_interp.json\n%!"

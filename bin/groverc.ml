@@ -155,7 +155,16 @@ let autotune_cmd =
   let scale =
     Arg.(value & opt int 2 & info [ "scale" ] ~doc:"Problem-size divisor.")
   in
-  let run bench platform scale =
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Also measure host wall-clock throughput of both versions on $(docv) \
+             OCaml domains (0 = recommended domain count). The simulated timing \
+             above is unaffected.")
+  in
+  let run bench platform scale domains =
     match
       ( Grover_suite.Suite.by_id bench,
         Grover_memsim.Platform.by_name platform )
@@ -181,6 +190,21 @@ let autotune_cmd =
           (if cmp.Grover_suite.Harness.normalized > 1.0 then
              "WITHOUT local memory"
            else "WITH local memory");
+        if domains <> 1 then begin
+          Printf.printf "host throughput (%s domain%s):\n"
+            (if domains = 0 then "auto" else string_of_int domains)
+            (if domains = 1 then "" else "s");
+          List.iter
+            (fun (label, v) ->
+              let seconds, items =
+                Grover_suite.Harness.wallclock ~domains case v ~scale
+              in
+              Printf.printf "  %-21s %.3f ms, %.0f work-items/sec\n" label
+                (seconds *. 1e3)
+                (float_of_int items /. seconds))
+            [ ("with local memory:", Grover_suite.Harness.With_lm);
+              ("without local memory:", Grover_suite.Harness.Without_lm) ]
+        end;
         `Ok ()
   in
   Cmd.v
@@ -188,7 +212,7 @@ let autotune_cmd =
        ~doc:
          "Run a bundled benchmark with and without local memory on a \
           simulated platform and pick the faster version.")
-    Term.(ret (const run $ bench $ platform $ scale))
+    Term.(ret (const run $ bench $ platform $ scale $ domains))
 
 (* -- list ----------------------------------------------------------------------- *)
 

@@ -1,0 +1,16 @@
+#!/bin/sh
+# CI entry point: build, run the full test suite, then smoke-test the
+# interpreter throughput bench (writes BENCH_interp.json at a small size,
+# so the perf target cannot bit-rot).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== bench perf --quick =="
+dune exec bench/main.exe -- perf --quick

@@ -13,10 +13,17 @@
       address segments; local memory is a banked scratch-pad with conflict
       serialisation; barriers are hardware-cheap.
 
+    The [wg_stats] handed to {!consume} is a pooled buffer owned by the
+    runtime — everything needed from it is charged before returning, and
+    no reference to it (or its event arrays) is retained. Per-lane event
+    index buffers are likewise pooled in the simulator instance and reused
+    across work-groups.
+
     The total is the maximum over queues (cores run concurrently). *)
 
 open Grover_ocl
 module P = Platform
+module Varray = Grover_support.Varray
 
 type queue_state = {
   l1 : Cache.t option;
@@ -38,6 +45,8 @@ type t = {
   shared : Cache.t option;  (** LLC (CPU) or device L2 (GPU) *)
   bd : breakdown;
   mutable groups : int;
+  mutable lanes : int Varray.t array;
+      (** pooled per-lane event-index streams, reused across groups *)
 }
 
 (** [vectorized] — whether the kernel already uses explicit vector types.
@@ -67,6 +76,7 @@ let create ?(vectorized = false) (plat : P.t) : t =
     shared;
     bd = { compute = 0.0; memory = 0.0; barrier = 0.0; spm = 0.0 };
     groups = 0;
+    lanes = [||];
   }
 
 (* -- CPU engine -------------------------------------------------------------- *)
@@ -104,20 +114,26 @@ let cpu_access (t : t) (q : queue_state) (m : P.cpu_mem) ~addr ~bytes ~is_write
     !cost
   end
 
-(* Split the group's event stream into per-lane streams (event order within
-   a lane is execution order). Shared by the CPU SIMD-batch and GPU warp
-   engines. *)
-let lane_streams (s : Trace.wg_stats) : Trace.event Grover_support.Varray.t array =
-  let lanes =
-    Array.init s.Trace.wg_size (fun _ ->
-        Grover_support.Varray.create ~dummy:Trace.dummy_event)
-  in
-  Grover_support.Varray.iter
-    (fun (e : Trace.event) ->
-      if e.Trace.wi >= 0 && e.Trace.wi < s.Trace.wg_size then
-        Grover_support.Varray.push lanes.(e.Trace.wi) e)
-    s.Trace.events;
-  lanes
+(* Split the group's event stream into per-lane streams of event indices
+   (index order within a lane is execution order). The per-lane buffers are
+   pooled in [t] and reused for every group. Shared by the CPU SIMD-batch
+   and GPU warp engines. *)
+let lane_streams (t : t) (s : Trace.wg_stats) : int Varray.t array =
+  let n = s.Trace.wg_size in
+  if Array.length t.lanes < n then begin
+    let old = t.lanes in
+    t.lanes <-
+      Array.init n (fun l ->
+          if l < Array.length old then old.(l) else Varray.create ~dummy:0)
+  end;
+  for l = 0 to n - 1 do
+    Varray.clear t.lanes.(l)
+  done;
+  for k = 0 to s.Trace.n_events - 1 do
+    let wi = Trace.ev_wi s k in
+    if wi >= 0 && wi < n then Varray.push t.lanes.(wi) k
+  done;
+  t.lanes
 
 let consume_cpu (t : t) (m : P.cpu_mem) (s : Trace.wg_stats) : unit =
   let q = t.queues.(s.Trace.queue mod Array.length t.queues) in
@@ -139,7 +155,7 @@ let consume_cpu (t : t) (m : P.cpu_mem) (s : Trace.wg_stats) : unit =
      the k-th access of a lane batch coalesces into one access per distinct
      cache line (an 8-wide unit-stride load is one hardware access). *)
   let line = m.P.l1.Cache.line_bytes in
-  let lanes = lane_streams s in
+  let lanes = lane_streams t s in
   let memory = ref 0.0 in
   let n_batches = (s.Trace.wg_size + simd - 1) / simd in
   for b = 0 to n_batches - 1 do
@@ -147,18 +163,20 @@ let consume_cpu (t : t) (m : P.cpu_mem) (s : Trace.wg_stats) : unit =
     let last = min (first + simd) s.Trace.wg_size - 1 in
     let depth = ref 0 in
     for l = first to last do
-      depth := max !depth (Grover_support.Varray.length lanes.(l))
+      depth := max !depth (Varray.length lanes.(l))
     done;
     for k = 0 to !depth - 1 do
       let uniq : (int, bool) Hashtbl.t = Hashtbl.create 8 in
       for l = first to last do
-        if k < Grover_support.Varray.length lanes.(l) then begin
-          let e = Grover_support.Varray.get lanes.(l) k in
-          let l0 = e.Trace.addr / line in
-          let l1 = (e.Trace.addr + e.Trace.bytes - 1) / line in
+        if k < Varray.length lanes.(l) then begin
+          let ei = Varray.get lanes.(l) k in
+          let addr = Trace.ev_addr s ei in
+          let is_write = Trace.ev_is_write s ei in
+          let l0 = addr / line in
+          let l1 = (addr + Trace.ev_bytes s ei - 1) / line in
           for ln = l0 to l1 do
             let w = Option.value ~default:false (Hashtbl.find_opt uniq ln) in
-            Hashtbl.replace uniq ln (w || e.Trace.is_write)
+            Hashtbl.replace uniq ln (w || is_write)
           done
         end
       done;
@@ -193,30 +211,30 @@ let consume_gpu (t : t) (g : P.gpu_mem) (s : Trace.wg_stats) : unit =
   let barrier = float_of_int s.Trace.barrier_rounds *. c.P.c_barrier_round in
   (* Split events into per-lane streams, warp by warp. *)
   let n_warps = (s.Trace.wg_size + warp - 1) / warp in
-  let lanes = lane_streams s in
+  let lanes = lane_streams t s in
   let memory = ref 0.0 and spm = ref 0.0 in
   for w = 0 to n_warps - 1 do
     let first = w * warp in
     let last = min (first + warp) s.Trace.wg_size - 1 in
     let depth = ref 0 in
     for l = first to last do
-      depth := max !depth (Grover_support.Varray.length lanes.(l))
+      depth := max !depth (Varray.length lanes.(l))
     done;
     for k = 0 to !depth - 1 do
       (* Gather the k-th access of each lane of this warp. *)
       let evs = ref [] in
       for l = first to last do
-        if k < Grover_support.Varray.length lanes.(l) then
-          evs := Grover_support.Varray.get lanes.(l) k :: !evs
+        if k < Varray.length lanes.(l) then
+          evs := Varray.get lanes.(l) k :: !evs
       done;
       let evs = !evs in
       let local_evs, rest =
-        List.partition (fun e -> e.Trace.space = Grover_ir.Ssa.Local) evs
+        List.partition (fun ei -> Trace.ev_space s ei = Grover_ir.Ssa.Local) evs
       in
       let global_evs =
         List.filter
-          (fun e ->
-            match e.Trace.space with
+          (fun ei ->
+            match Trace.ev_space s ei with
             | Grover_ir.Ssa.Global | Grover_ir.Ssa.Constant -> true
             | _ -> false)
           rest
@@ -225,11 +243,12 @@ let consume_gpu (t : t) (g : P.gpu_mem) (s : Trace.wg_stats) : unit =
       if global_evs <> [] then begin
         let segs = Hashtbl.create 8 in
         List.iter
-          (fun e ->
-            let s0 = e.Trace.addr / g.P.segment in
-            let s1 = (e.Trace.addr + e.Trace.bytes - 1) / g.P.segment in
+          (fun ei ->
+            let addr = Trace.ev_addr s ei in
+            let s0 = addr / g.P.segment in
+            let s1 = (addr + Trace.ev_bytes s ei - 1) / g.P.segment in
             for seg = s0 to s1 do
-              Hashtbl.replace segs seg e.Trace.is_write
+              Hashtbl.replace segs seg (Trace.ev_is_write s ei)
             done)
           global_evs;
         Hashtbl.iter
@@ -266,11 +285,13 @@ let consume_gpu (t : t) (g : P.gpu_mem) (s : Trace.wg_stats) : unit =
         let bank_counts = Hashtbl.create 8 in
         let by_addr = Hashtbl.create 8 in
         List.iter
-          (fun e ->
+          (fun ei ->
+            let addr = Trace.ev_addr s ei in
+            let is_write = Trace.ev_is_write s ei in
             (* Lanes reading the same address broadcast. *)
-            if not (Hashtbl.mem by_addr (e.Trace.addr, e.Trace.is_write)) then begin
-              Hashtbl.replace by_addr (e.Trace.addr, e.Trace.is_write) ();
-              let bank = e.Trace.addr / 4 mod g.P.banks in
+            if not (Hashtbl.mem by_addr (addr, is_write)) then begin
+              Hashtbl.replace by_addr (addr, is_write) ();
+              let bank = addr / 4 mod g.P.banks in
               Hashtbl.replace bank_counts bank
                 (1 + Option.value ~default:0 (Hashtbl.find_opt bank_counts bank))
             end)

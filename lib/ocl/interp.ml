@@ -1,7 +1,19 @@
 (** The work-item interpreter.
 
-    Executes one kernel instance per work-item directly over the SSA IR.
-    [barrier()] gets its real OpenCL semantics from OCaml 5 effect handlers:
+    Executes one kernel instance per work-item over the SSA IR, in one of
+    two engines:
+
+    - {b Compiled} (the default): {!prepare} translates every basic block,
+      once per kernel, into an array of OCaml closures. Operand slots,
+      argument indices, branch targets, builtin dispatch and phi moves are
+      all resolved at compile time — the hot loop does no [Hashtbl]
+      lookups and no [op] pattern matching, and scalar [int]/[float]
+      results live unboxed in typed slot arrays.
+    - {b Tree}: the original tree-walking reference engine, kept as the
+      oracle for the differential test suite (and selectable with
+      [GROVER_ENGINE=tree]).
+
+    Both engines share [barrier()] semantics via OCaml 5 effect handlers:
     each work-item runs as a fiber; hitting a barrier performs
     [Barrier_hit], the group scheduler parks the continuation, and resumes
     every work-item of the group once all of them have arrived. Memory
@@ -22,33 +34,12 @@ exception Kernel_trap of string
 
 let trap fmt = Printf.ksprintf (fun m -> raise (Kernel_trap m)) fmt
 
-(* -- Compiled form ---------------------------------------------------------- *)
+type engine = Compiled | Tree
 
-type compiled = {
-  fn : func;
-  slots : (int, int) Hashtbl.t;  (** instruction id -> environment slot *)
-  n_slots : int;
-  local_allocas : instr list;  (** local arrays, allocated once per group *)
-}
-
-let prepare (fn : func) : compiled =
-  let slots = Hashtbl.create 64 in
-  let n = ref 0 in
-  iter_instrs
-    (fun i ->
-      Hashtbl.replace slots i.iid !n;
-      incr n)
-    fn;
-  let local_allocas =
-    fold_instrs
-      (fun acc i ->
-        match i.op with
-        | Alloca { aspace = Local; _ } -> i :: acc
-        | _ -> acc)
-      [] fn
-    |> List.rev
-  in
-  { fn; slots; n_slots = !n; local_allocas }
+let default_engine =
+  match Sys.getenv_opt "GROVER_ENGINE" with
+  | Some ("tree" | "Tree" | "TREE") -> Tree
+  | _ -> Compiled
 
 (* -- Work-item context ------------------------------------------------------- *)
 
@@ -99,55 +90,66 @@ let sext_of t n =
       if n >= 0x80000000 then n - 0x100000000 else n
   | _ -> n
 
-let int_binop t op a b =
-  let u x = x land mask_of t in
+(* Binop/cmp implementations resolved once per instruction at compile time. *)
+
+let int_binop_fn t op : int -> int -> int =
+  let m = mask_of t in
   match op with
-  | Add -> a + b
-  | Sub -> a - b
-  | Mul -> a * b
-  | Sdiv -> if b = 0 then trap "division by zero" else a / b
-  | Udiv -> if b = 0 then trap "division by zero" else u a / u b
-  | Srem -> if b = 0 then trap "remainder by zero" else a mod b
-  | Urem -> if b = 0 then trap "remainder by zero" else u a mod u b
-  | Shl -> a lsl (b land 63)
-  | Ashr -> a asr (b land 63)
-  | Lshr -> u a lsr (b land 63)
-  | And -> a land b
-  | Or -> a lor b
-  | Xor -> a lxor b
-  | _ -> trap "float binop on ints"
+  | Add -> ( + )
+  | Sub -> ( - )
+  | Mul -> ( * )
+  | Sdiv -> fun a b -> if b = 0 then trap "division by zero" else a / b
+  | Udiv ->
+      fun a b -> if b = 0 then trap "division by zero" else (a land m) / (b land m)
+  | Srem -> fun a b -> if b = 0 then trap "remainder by zero" else a mod b
+  | Urem ->
+      fun a b ->
+        if b = 0 then trap "remainder by zero" else (a land m) mod (b land m)
+  | Shl -> fun a b -> a lsl (b land 63)
+  | Ashr -> fun a b -> a asr (b land 63)
+  | Lshr -> fun a b -> (a land m) lsr (b land 63)
+  | And -> ( land )
+  | Or -> ( lor )
+  | Xor -> ( lxor )
+  | _ -> fun _ _ -> trap "float binop on ints"
 
-let float_binop op a b =
+let float_binop_fn op : float -> float -> float =
   match op with
-  | Fadd -> a +. b
-  | Fsub -> a -. b
-  | Fmul -> a *. b
-  | Fdiv -> a /. b
-  | Frem -> Float.rem a b
-  | _ -> trap "int binop on floats"
+  | Fadd -> ( +. )
+  | Fsub -> ( -. )
+  | Fmul -> ( *. )
+  | Fdiv -> ( /. )
+  | Frem -> Float.rem
+  | _ -> fun _ _ -> trap "int binop on floats"
 
-let icmp_op t c a b =
-  let u x = x land mask_of t in
-  match c with
-  | Ieq -> a = b
-  | Ine -> a <> b
-  | Islt -> a < b
-  | Isle -> a <= b
-  | Isgt -> a > b
-  | Isge -> a >= b
-  | Iult -> u a < u b
-  | Iule -> u a <= u b
-  | Iugt -> u a > u b
-  | Iuge -> u a >= u b
+let int_binop t op a b = int_binop_fn t op a b
+let float_binop op a b = float_binop_fn op a b
 
-let fcmp_op c a b =
+let icmp_fn t c : int -> int -> bool =
+  let m = mask_of t in
   match c with
-  | Foeq -> a = b
-  | Fone -> a <> b
-  | Folt -> a < b
-  | Fole -> a <= b
-  | Fogt -> a > b
-  | Foge -> a >= b
+  | Ieq -> ( = )
+  | Ine -> ( <> )
+  | Islt -> ( < )
+  | Isle -> ( <= )
+  | Isgt -> ( > )
+  | Isge -> ( >= )
+  | Iult -> fun a b -> a land m < b land m
+  | Iule -> fun a b -> a land m <= b land m
+  | Iugt -> fun a b -> a land m > b land m
+  | Iuge -> fun a b -> a land m >= b land m
+
+let fcmp_fn c : float -> float -> bool =
+  match c with
+  | Foeq -> ( = )
+  | Fone -> ( <> )
+  | Folt -> ( < )
+  | Fole -> ( <= )
+  | Fogt -> ( > )
+  | Foge -> ( >= )
+
+let icmp_op t c a b = icmp_fn t c a b
+let fcmp_op c a b = fcmp_fn c a b
 
 let lanes_map2 f a b = Array.init (Array.length a) (fun i -> f a.(i) b.(i))
 
@@ -158,34 +160,58 @@ let special_fns =
     "log"; "native_log"; "sin"; "native_sin"; "cos"; "native_cos"; "pow";
     "hypot"; "native_divide" ]
 
-let math1 name x =
+let math1_fn name : (float -> float) option =
   match name with
-  | "sqrt" | "native_sqrt" -> Float.sqrt x
-  | "rsqrt" | "native_rsqrt" -> 1.0 /. Float.sqrt x
-  | "fabs" -> Float.abs x
-  | "exp" | "native_exp" -> Float.exp x
-  | "log" | "native_log" -> Float.log x
-  | "sin" | "native_sin" -> Float.sin x
-  | "cos" | "native_cos" -> Float.cos x
-  | "floor" -> Float.floor x
-  | "ceil" -> Float.ceil x
-  | _ -> trap "unknown unary math builtin %s" name
+  | "sqrt" | "native_sqrt" -> Some Float.sqrt
+  | "rsqrt" | "native_rsqrt" -> Some (fun x -> 1.0 /. Float.sqrt x)
+  | "fabs" -> Some Float.abs
+  | "exp" | "native_exp" -> Some Float.exp
+  | "log" | "native_log" -> Some Float.log
+  | "sin" | "native_sin" -> Some Float.sin
+  | "cos" | "native_cos" -> Some Float.cos
+  | "floor" -> Some Float.floor
+  | "ceil" -> Some Float.ceil
+  | _ -> None
+
+let math1 name x =
+  match math1_fn name with
+  | Some f -> f x
+  | None -> trap "unknown unary math builtin %s" name
+
+let math2_fn name : (float -> float -> float) option =
+  match name with
+  | "fmax" -> Some Float.max
+  | "fmin" -> Some Float.min
+  | "pow" -> Some Float.pow
+  | "fmod" -> Some Float.rem
+  | "hypot" -> Some Float.hypot
+  | "native_divide" -> Some ( /. )
+  | _ -> None
 
 let math2 name a b =
-  match name with
-  | "fmax" -> Float.max a b
-  | "fmin" -> Float.min a b
-  | "pow" -> Float.pow a b
-  | "fmod" -> Float.rem a b
-  | "hypot" -> Float.hypot a b
-  | "native_divide" -> a /. b
-  | _ -> trap "unknown binary math builtin %s" name
+  match math2_fn name with
+  | Some f -> f a b
+  | None -> trap "unknown binary math builtin %s" name
 
-(* -- The interpreter ---------------------------------------------------------- *)
+(* -- State and compiled form -------------------------------------------------
+
+   The compiled form assigns each value-producing instruction a slot in a
+   typed environment: scalar integers in [ienv], scalar floats in [fenv]
+   (both unboxed), everything else (vectors, pointers) in [benv]. Phi moves
+   ride on CFG edges with evaluate-all-then-commit semantics, staged
+   through the per-work-item scratch arrays. *)
 
 type wi_state = {
   c : compiled;
+  (* Tree engine: one boxed slot per instruction. *)
   env : rv array;
+  (* Compiled engine: typed slot arrays + phi-move scratch. *)
+  ienv : int array;
+  fenv : float array;
+  benv : rv array;
+  iscr : int array;
+  fscr : float array;
+  bscr : rv array;
   args : rv array;
   ctx : wi_ctx;
   stats : Trace.wg_stats;
@@ -195,27 +221,52 @@ type wi_state = {
   mutable private_offset : int;  (** bump offset in the private address region *)
 }
 
-let slot st (i : instr) : int = Hashtbl.find st.c.slots i.iid
+and compiled = {
+  fn : func;
+  slots : (int, int) Hashtbl.t;  (** instruction id -> tree environment slot *)
+  n_slots : int;
+  local_allocas : instr list;  (** local arrays, allocated once per group *)
+  code : cfunc option;  (** [Some] iff the kernel was closure-compiled *)
+}
 
-let rec eval (st : wi_state) (v : value) : rv =
-  match v with
-  | Cint (t, n) -> RInt (sext_of t n)
-  | Cfloat f -> RFloat f
-  | Arg a -> st.args.(a.a_index)
-  | Vinstr i -> st.env.(slot st i)
+and cfunc = {
+  cblocks : cblock array;  (** dense; index 0 is the entry block *)
+  n_int : int;
+  n_float : int;
+  n_box : int;
+  scr_int : int;  (** max int phi moves on any edge *)
+  scr_float : int;
+  scr_box : int;
+}
 
-and record_access (st : wi_state) (b : Memory.buffer) (idx : int)
+and cblock = { body : (wi_state -> unit) array; cterm : cterm }
+
+and cterm =
+  | Tbr of edge
+  | Tcond of (wi_state -> int) * edge * edge
+  | Tret
+  | Ttrap of string
+
+and edge = {
+  e_dst : int;  (** dense index of the successor block *)
+  im_dst : int array;  (** phi destination slots, by kind *)
+  im_src : (wi_state -> int) array;
+  fm_dst : int array;
+  fm_src : (wi_state -> float) array;
+  bm_dst : int array;
+  bm_src : (wi_state -> rv) array;
+}
+
+(* -- Shared memory-access recording ----------------------------------------- *)
+
+let record_access (st : wi_state) (b : Memory.buffer) (idx : int)
     ~(is_write : bool) : unit =
-  Grover_support.Varray.push st.stats.Trace.events
-    {
-      Trace.addr = Memory.addr_of b idx;
-      bytes = b.Memory.elem_bytes;
-      is_write;
-      space = b.Memory.space;
-      wi = st.ctx.flat_lid;
-    }
+  Trace.record st.stats
+    ~addr:(Memory.addr_of b idx)
+    ~bytes:b.Memory.elem_bytes ~is_write ~space:b.Memory.space
+    ~wi:st.ctx.flat_lid
 
-and load_elem (st : wi_state) (b : Memory.buffer) (idx : int) : rv =
+let load_elem (st : wi_state) (b : Memory.buffer) (idx : int) : rv =
   record_access st b idx ~is_write:false;
   match b.Memory.elem with
   | F32 -> RFloat (Memory.get_float b idx)
@@ -224,7 +275,7 @@ and load_elem (st : wi_state) (b : Memory.buffer) (idx : int) : rv =
   | Vec (_, n) -> RVecI (Array.init n (fun l -> Memory.get_lane_int b idx l))
   | _ -> trap "load of unsupported element type"
 
-and store_elem (st : wi_state) (b : Memory.buffer) (idx : int) (v : rv) : unit =
+let store_elem (st : wi_state) (b : Memory.buffer) (idx : int) (v : rv) : unit =
   record_access st b idx ~is_write:true;
   match v with
   | RFloat f -> Memory.set_float b idx f
@@ -232,6 +283,24 @@ and store_elem (st : wi_state) (b : Memory.buffer) (idx : int) (v : rv) : unit =
   | RVecF a -> Array.iteri (fun l x -> Memory.set_lane_float b idx l x) a
   | RVecI a -> Array.iteri (fun l x -> Memory.set_lane_int b idx l x) a
   | RBuf _ -> trap "cannot store a pointer"
+
+let alloc_private (st : wi_state) elem count : Memory.buffer =
+  (* Private arrays live in a per-queue private address region; the data
+     array itself is fresh per work-item. *)
+  let base = 0x0000_1000 + (st.queue * 0x0010_0000) + st.private_offset in
+  st.private_offset <- st.private_offset + (count * ty_size_bytes elem);
+  Memory.alloc_at st.mem ~space:Private ~base_addr:base elem count
+
+(* == The tree-walking reference engine ====================================== *)
+
+let slot st (i : instr) : int = Hashtbl.find st.c.slots i.iid
+
+let rec eval (st : wi_state) (v : value) : rv =
+  match v with
+  | Cint (t, n) -> RInt (sext_of t n)
+  | Cfloat f -> RFloat f
+  | Arg a -> st.args.(a.a_index)
+  | Vinstr i -> st.env.(slot st i)
 
 and exec_call (st : wi_state) callee (args : rv list) : rv =
   let dim_of = function
@@ -353,16 +422,7 @@ and exec_instr (st : wi_state) (i : instr) : unit =
       | Some b -> set (RBuf b)
       | None -> trap "local alloca without a group buffer")
   | Alloca { aspace = Private; elem; count; _ } ->
-      (* Private arrays live in a per-queue private address region; the
-         data array itself is fresh per work-item. *)
-      let base =
-        0x0000_1000 + (st.queue * 0x0010_0000) + st.private_offset
-      in
-      st.private_offset <- st.private_offset + (count * ty_size_bytes elem);
-      let b =
-        Memory.alloc_at st.mem ~space:Private ~base_addr:base elem count
-      in
-      set (RBuf b)
+      set (RBuf (alloc_private st elem count))
   | Alloca _ -> trap "unsupported alloca space"
   | Load { ptr; index } ->
       set (load_elem st (as_buf (eval st ptr)) (as_int (eval st index)))
@@ -397,7 +457,7 @@ and exec_instr (st : wi_state) (i : instr) : unit =
       Effect.perform Barrier_hit
   | Br _ | Cond_br _ | Ret -> trap "terminator executed as body instruction"
 
-and run_workitem (st : wi_state) : unit =
+and run_tree (st : wi_state) : unit =
   let cur = ref (entry st.c.fn) in
   let prev = ref None in
   let running = ref true in
@@ -435,3 +495,712 @@ and run_workitem (st : wi_state) : unit =
     | Some { op = Ret; _ } -> running := false
     | _ -> trap "missing terminator")
   done
+
+(* == The closure compiler =================================================== *)
+
+type kind = KInt of int | KFloat of int | KBox of int
+
+let compile_fn (fn : func) : cfunc =
+  let kinds : (int, kind) Hashtbl.t = Hashtbl.create 64 in
+  let ni = ref 0 and nf = ref 0 and nb = ref 0 in
+  iter_instrs
+    (fun i ->
+      match type_of_opcode i.op with
+      | Void -> ()
+      | I1 | I8 | I16 | I32 | I64 ->
+          Hashtbl.replace kinds i.iid (KInt !ni);
+          incr ni
+      | F32 ->
+          Hashtbl.replace kinds i.iid (KFloat !nf);
+          incr nf
+      | _ ->
+          Hashtbl.replace kinds i.iid (KBox !nb);
+          incr nb
+      | exception Invalid_argument _ -> ())
+    fn;
+  let kind_of (i : instr) = Hashtbl.find_opt kinds i.iid in
+  let bidx : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iteri (fun k b -> Hashtbl.replace bidx b.bid k) fn.blocks;
+
+  (* Destination helpers: hand the slot to [mk], or trap at execution time
+     if the instruction's static type disagrees with the expected kind. *)
+  let with_int_dst (i : instr) (mk : int -> wi_state -> unit) =
+    match kind_of i with
+    | Some (KInt s) -> mk s
+    | _ -> fun _ -> trap "slot kind mismatch (int) at instruction %d" i.iid
+  in
+  let with_float_dst (i : instr) (mk : int -> wi_state -> unit) =
+    match kind_of i with
+    | Some (KFloat s) -> mk s
+    | _ -> fun _ -> trap "slot kind mismatch (float) at instruction %d" i.iid
+  in
+  let with_box_dst (i : instr) (mk : int -> wi_state -> unit) =
+    match kind_of i with
+    | Some (KBox s) -> mk s
+    | _ -> fun _ -> trap "slot kind mismatch (aggregate) at instruction %d" i.iid
+  in
+
+  (* Typed operand getters, resolved at compile time. *)
+  let iget (v : value) : wi_state -> int =
+    match v with
+    | Cint (t, n) ->
+        let k = sext_of t n in
+        fun _ -> k
+    | Cfloat f -> fun _ -> trap "expected int, got float %g" f
+    | Arg a ->
+        let j = a.a_index in
+        fun st -> as_int st.args.(j)
+    | Vinstr i -> (
+        match kind_of i with
+        | Some (KInt s) -> fun st -> st.ienv.(s)
+        | Some (KFloat s) -> fun st -> trap "expected int, got float %g" st.fenv.(s)
+        | Some (KBox s) -> fun st -> as_int st.benv.(s)
+        | None -> fun _ -> trap "use of a void value")
+  in
+  let fget (v : value) : wi_state -> float =
+    match v with
+    | Cfloat f -> fun _ -> f
+    | Cint (_, n) -> fun _ -> trap "expected float, got int %d" n
+    | Arg a ->
+        let j = a.a_index in
+        fun st -> as_float st.args.(j)
+    | Vinstr i -> (
+        match kind_of i with
+        | Some (KFloat s) -> fun st -> st.fenv.(s)
+        | Some (KInt s) -> fun st -> trap "expected float, got int %d" st.ienv.(s)
+        | Some (KBox s) -> fun st -> as_float st.benv.(s)
+        | None -> fun _ -> trap "use of a void value")
+  in
+  let bufget (v : value) : wi_state -> Memory.buffer =
+    match v with
+    | Arg a ->
+        let j = a.a_index in
+        fun st -> as_buf st.args.(j)
+    | Vinstr i -> (
+        match kind_of i with
+        | Some (KBox s) -> fun st -> as_buf st.benv.(s)
+        | _ -> fun _ -> trap "expected a pointer")
+    | _ -> fun _ -> trap "expected a pointer"
+  in
+  let vget (v : value) : wi_state -> rv =
+    match v with
+    | Cint (t, n) ->
+        let r = RInt (sext_of t n) in
+        fun _ -> r
+    | Cfloat f ->
+        let r = RFloat f in
+        fun _ -> r
+    | Arg a ->
+        let j = a.a_index in
+        fun st -> st.args.(j)
+    | Vinstr i -> (
+        match kind_of i with
+        | Some (KInt s) -> fun st -> RInt st.ienv.(s)
+        | Some (KFloat s) -> fun st -> RFloat st.fenv.(s)
+        | Some (KBox s) -> fun st -> st.benv.(s)
+        | None -> fun _ -> trap "use of a void value")
+  in
+
+  let is_int_ty = function I1 | I8 | I16 | I32 | I64 -> true | _ -> false in
+
+  let compile_call (i : instr) callee (args : value list) : wi_state -> unit =
+    let special = List.mem callee special_fns in
+    let bump st =
+      if special then
+        st.stats.Trace.special_ops <- st.stats.Trace.special_ops + 1
+      else st.stats.Trace.int_ops <- st.stats.Trace.int_ops + 1
+    in
+    let arg_tys = List.map type_of args in
+    (* Work-item index queries: resolve the selector and, when the
+       dimension is a constant (the common case after canon), the index. *)
+    let wi_query (sel : wi_ctx -> int array) =
+      match args with
+      | [ Cint (_, d) ] when d >= 0 && d < 3 ->
+          with_int_dst i (fun dst st ->
+              bump st;
+              st.ienv.(dst) <- (sel st.ctx).(d))
+      | [ dv ] ->
+          let g = iget dv in
+          with_int_dst i (fun dst st ->
+              bump st;
+              let d = g st in
+              if d < 0 || d >= 3 then trap "dimension out of range";
+              st.ienv.(dst) <- (sel st.ctx).(d))
+      | _ -> fun _ -> trap "%s expects a dimension" callee
+    in
+    let mismatch = fun _ -> trap "%s argument mismatch" callee in
+    match callee with
+    | "get_local_id" -> wi_query (fun c -> c.lid)
+    | "get_global_id" -> wi_query (fun c -> c.gid)
+    | "get_group_id" -> wi_query (fun c -> c.grp)
+    | "get_local_size" -> wi_query (fun c -> c.lsz)
+    | "get_global_size" -> wi_query (fun c -> c.gsz)
+    | "get_num_groups" -> wi_query (fun c -> c.ngr)
+    | "get_global_offset" ->
+        with_int_dst i (fun dst st ->
+            bump st;
+            st.ienv.(dst) <- 0)
+    | "get_work_dim" ->
+        with_int_dst i (fun dst st ->
+            bump st;
+            st.ienv.(dst) <- 3)
+    | "dot" -> (
+        match (args, arg_tys) with
+        | [ a; b ], [ Vec (F32, _); Vec (F32, _) ] ->
+            let ga = vget a and gb = vget b in
+            with_float_dst i (fun dst st ->
+                bump st;
+                match (ga st, gb st) with
+                | RVecF x, RVecF y ->
+                    let s = ref 0.0 in
+                    Array.iteri (fun l v -> s := !s +. (v *. y.(l))) x;
+                    st.fenv.(dst) <- !s
+                | _ -> trap "dot expects float vectors")
+        | [ a; b ], [ F32; F32 ] ->
+            let ga = fget a and gb = fget b in
+            with_float_dst i (fun dst st ->
+                bump st;
+                st.fenv.(dst) <- ga st *. gb st)
+        | _ -> fun _ -> trap "dot expects float vectors")
+    | "mad" | "fma" -> (
+        match (args, arg_tys) with
+        | [ a; b; c ], [ F32; F32; F32 ] ->
+            let ga = fget a and gb = fget b and gc = fget c in
+            with_float_dst i (fun dst st ->
+                bump st;
+                st.fenv.(dst) <- (ga st *. gb st) +. gc st)
+        | [ a; b; c ], [ Vec (F32, _); Vec (F32, _); Vec (F32, _) ] ->
+            let ga = vget a and gb = vget b and gc = vget c in
+            with_box_dst i (fun dst st ->
+                bump st;
+                match (ga st, gb st, gc st) with
+                | RVecF x, RVecF y, RVecF z ->
+                    st.benv.(dst) <-
+                      RVecF
+                        (Array.init (Array.length x) (fun l ->
+                             (x.(l) *. y.(l)) +. z.(l)))
+                | _ -> trap "mad argument mismatch")
+        | [ a; b; c ], [ ta; tb; tc ]
+          when is_int_ty ta && is_int_ty tb && is_int_ty tc ->
+            let ga = iget a and gb = iget b and gc = iget c in
+            with_int_dst i (fun dst st ->
+                bump st;
+                st.ienv.(dst) <- (ga st * gb st) + gc st)
+        | _ -> mismatch)
+    | "clamp" -> (
+        match (args, arg_tys) with
+        | [ x; lo; hi ], [ F32; F32; F32 ] ->
+            let gx = fget x and gl = fget lo and gh = fget hi in
+            with_float_dst i (fun dst st ->
+                bump st;
+                st.fenv.(dst) <- Float.min (Float.max (gx st) (gl st)) (gh st))
+        | [ x; lo; hi ], [ tx; tl; th ]
+          when is_int_ty tx && is_int_ty tl && is_int_ty th ->
+            let gx = iget x and gl = iget lo and gh = iget hi in
+            with_int_dst i (fun dst st ->
+                bump st;
+                st.ienv.(dst) <- min (max (gx st) (gl st)) (gh st))
+        | _ -> mismatch)
+    | "mix" -> (
+        match (args, arg_tys) with
+        | [ a; b; t ], [ F32; F32; F32 ] ->
+            let ga = fget a and gb = fget b and gt = fget t in
+            with_float_dst i (fun dst st ->
+                bump st;
+                let a = ga st in
+                st.fenv.(dst) <- a +. ((gb st -. a) *. gt st))
+        | _ -> mismatch)
+    | "min" | "max" -> (
+        let pick_i : int -> int -> int = if callee = "min" then min else max in
+        let pick_f : float -> float -> float =
+          if callee = "min" then Float.min else Float.max
+        in
+        match (args, arg_tys) with
+        | [ a; b ], [ ta; tb ] when is_int_ty ta && is_int_ty tb ->
+            let ga = iget a and gb = iget b in
+            with_int_dst i (fun dst st ->
+                bump st;
+                st.ienv.(dst) <- pick_i (ga st) (gb st))
+        | [ a; b ], [ F32; F32 ] ->
+            let ga = fget a and gb = fget b in
+            with_float_dst i (fun dst st ->
+                bump st;
+                st.fenv.(dst) <- pick_f (ga st) (gb st))
+        | _ -> mismatch)
+    | "abs" -> (
+        match (args, arg_tys) with
+        | [ a ], [ ta ] when is_int_ty ta ->
+            let ga = iget a in
+            with_int_dst i (fun dst st ->
+                bump st;
+                st.ienv.(dst) <- abs (ga st))
+        | [ a ], [ F32 ] ->
+            let ga = fget a in
+            with_float_dst i (fun dst st ->
+                bump st;
+                st.fenv.(dst) <- Float.abs (ga st))
+        | _ -> mismatch)
+    | "mul24" -> (
+        match (args, arg_tys) with
+        | [ a; b ], [ ta; tb ] when is_int_ty ta && is_int_ty tb ->
+            let ga = iget a and gb = iget b in
+            with_int_dst i (fun dst st ->
+                bump st;
+                st.ienv.(dst) <- ga st * gb st)
+        | _ -> mismatch)
+    | "mad24" -> (
+        match (args, arg_tys) with
+        | [ a; b; c ], [ ta; tb; tc ]
+          when is_int_ty ta && is_int_ty tb && is_int_ty tc ->
+            let ga = iget a and gb = iget b and gc = iget c in
+            with_int_dst i (fun dst st ->
+                bump st;
+                st.ienv.(dst) <- (ga st * gb st) + gc st)
+        | _ -> mismatch)
+    | "fmax" | "fmin" | "pow" | "fmod" | "hypot" | "native_divide" -> (
+        let f =
+          match math2_fn callee with Some f -> f | None -> assert false
+        in
+        match (args, arg_tys) with
+        | [ a; b ], [ F32; F32 ] ->
+            let ga = fget a and gb = fget b in
+            with_float_dst i (fun dst st ->
+                bump st;
+                st.fenv.(dst) <- f (ga st) (gb st))
+        | [ a; b ], [ Vec (F32, _); Vec (F32, _) ] ->
+            let ga = vget a and gb = vget b in
+            with_box_dst i (fun dst st ->
+                bump st;
+                match (ga st, gb st) with
+                | RVecF x, RVecF y -> st.benv.(dst) <- RVecF (lanes_map2 f x y)
+                | _ -> trap "%s argument mismatch" callee)
+        | _ -> mismatch)
+    | _ -> (
+        (* Remaining builtins are unary float math. *)
+        match (args, arg_tys, math1_fn callee) with
+        | [ a ], [ F32 ], Some f ->
+            let ga = fget a in
+            with_float_dst i (fun dst st ->
+                bump st;
+                st.fenv.(dst) <- f (ga st))
+        | [ a ], [ Vec (F32, _) ], Some f ->
+            let ga = vget a in
+            with_box_dst i (fun dst st ->
+                bump st;
+                match ga st with
+                | RVecF x -> st.benv.(dst) <- RVecF (Array.map f x)
+                | _ -> trap "unsupported call %s" callee)
+        | _ -> fun _ -> trap "unsupported call %s" callee)
+  in
+
+  let compile_instr (i : instr) : wi_state -> unit =
+    match i.op with
+    | Binop (op, a, b) -> (
+        match type_of a with
+        | (I1 | I8 | I16 | I32 | I64) as t ->
+            let ga = iget a and gb = iget b and f = int_binop_fn t op in
+            with_int_dst i (fun dst st ->
+                st.stats.Trace.int_ops <- st.stats.Trace.int_ops + 1;
+                st.ienv.(dst) <- f (ga st) (gb st))
+        | F32 ->
+            let ga = fget a and gb = fget b and f = float_binop_fn op in
+            with_float_dst i (fun dst st ->
+                st.stats.Trace.float_ops <- st.stats.Trace.float_ops + 1;
+                st.fenv.(dst) <- f (ga st) (gb st))
+        | Vec (F32, _) ->
+            let ga = vget a and gb = vget b and f = float_binop_fn op in
+            with_box_dst i (fun dst st ->
+                match (ga st, gb st) with
+                | RVecF x, RVecF y ->
+                    st.stats.Trace.float_ops <-
+                      st.stats.Trace.float_ops + Array.length x;
+                    st.benv.(dst) <- RVecF (lanes_map2 f x y)
+                | _ -> trap "binop operand mismatch")
+        | Vec (_, _) ->
+            let ga = vget a and gb = vget b and f = int_binop_fn I32 op in
+            with_box_dst i (fun dst st ->
+                match (ga st, gb st) with
+                | RVecI x, RVecI y ->
+                    st.stats.Trace.int_ops <-
+                      st.stats.Trace.int_ops + Array.length x;
+                    st.benv.(dst) <- RVecI (lanes_map2 f x y)
+                | _ -> trap "binop operand mismatch")
+        | _ -> fun _ -> trap "binop operand mismatch")
+    | Icmp (c, a, b) ->
+        let ga = iget a and gb = iget b and f = icmp_fn (type_of a) c in
+        with_int_dst i (fun dst st ->
+            st.stats.Trace.int_ops <- st.stats.Trace.int_ops + 1;
+            st.ienv.(dst) <- (if f (ga st) (gb st) then 1 else 0))
+    | Fcmp (c, a, b) ->
+        let ga = fget a and gb = fget b and f = fcmp_fn c in
+        with_int_dst i (fun dst st ->
+            st.stats.Trace.float_ops <- st.stats.Trace.float_ops + 1;
+            st.ienv.(dst) <- (if f (ga st) (gb st) then 1 else 0))
+    | Select (c, a, b) -> (
+        let gc = iget c in
+        match type_of a with
+        | I1 | I8 | I16 | I32 | I64 ->
+            let ga = iget a and gb = iget b in
+            with_int_dst i (fun dst st ->
+                st.ienv.(dst) <- (if gc st <> 0 then ga st else gb st))
+        | F32 ->
+            let ga = fget a and gb = fget b in
+            with_float_dst i (fun dst st ->
+                st.fenv.(dst) <- (if gc st <> 0 then ga st else gb st))
+        | _ ->
+            let ga = vget a and gb = vget b in
+            with_box_dst i (fun dst st ->
+                st.benv.(dst) <- (if gc st <> 0 then ga st else gb st)))
+    | Cast (k, v, t) -> (
+        let src_t = type_of v in
+        match (k, src_t) with
+        | (Sext | Bitcast), (I1 | I8 | I16 | I32 | I64) ->
+            let g = iget v in
+            with_int_dst i (fun dst st ->
+                st.stats.Trace.int_ops <- st.stats.Trace.int_ops + 1;
+                st.ienv.(dst) <- sext_of src_t (g st))
+        | Zext, (I1 | I8 | I16 | I32 | I64) ->
+            let g = iget v and m = mask_of src_t in
+            with_int_dst i (fun dst st ->
+                st.stats.Trace.int_ops <- st.stats.Trace.int_ops + 1;
+                st.ienv.(dst) <- g st land m)
+        | Trunc, (I1 | I8 | I16 | I32 | I64) ->
+            let g = iget v in
+            with_int_dst i (fun dst st ->
+                st.stats.Trace.int_ops <- st.stats.Trace.int_ops + 1;
+                st.ienv.(dst) <- sext_of t (g st))
+        | Si_to_fp, (I1 | I8 | I16 | I32 | I64) ->
+            let g = iget v in
+            with_float_dst i (fun dst st ->
+                st.stats.Trace.int_ops <- st.stats.Trace.int_ops + 1;
+                st.fenv.(dst) <- float_of_int (g st))
+        | Ui_to_fp, (I1 | I8 | I16 | I32 | I64) ->
+            let g = iget v and m = mask_of src_t in
+            with_float_dst i (fun dst st ->
+                st.stats.Trace.int_ops <- st.stats.Trace.int_ops + 1;
+                st.fenv.(dst) <- float_of_int (g st land m))
+        | Fp_to_si, F32 ->
+            let g = fget v in
+            with_int_dst i (fun dst st ->
+                st.stats.Trace.int_ops <- st.stats.Trace.int_ops + 1;
+                st.ienv.(dst) <- int_of_float (g st))
+        | Bitcast, F32 ->
+            let g = fget v in
+            with_float_dst i (fun dst st ->
+                st.stats.Trace.int_ops <- st.stats.Trace.int_ops + 1;
+                st.fenv.(dst) <- g st)
+        | Bitcast, _ ->
+            let g = vget v in
+            with_box_dst i (fun dst st ->
+                st.stats.Trace.int_ops <- st.stats.Trace.int_ops + 1;
+                st.benv.(dst) <- g st)
+        | _ -> fun _ -> trap "unsupported cast")
+    | Call { callee; args; _ } -> compile_call i callee args
+    | Alloca { aspace = Local; _ } ->
+        let iid = i.iid in
+        with_box_dst i (fun dst st ->
+            match Hashtbl.find_opt st.local_bufs iid with
+            | Some b -> st.benv.(dst) <- RBuf b
+            | None -> trap "local alloca without a group buffer")
+    | Alloca { aspace = Private; elem; count; _ } ->
+        with_box_dst i (fun dst st ->
+            st.benv.(dst) <- RBuf (alloc_private st elem count))
+    | Alloca _ -> fun _ -> trap "unsupported alloca space"
+    | Load { ptr; index } -> (
+        let gp = bufget ptr and gi = iget index in
+        match elem_of_ptr (type_of ptr) with
+        | F32 ->
+            with_float_dst i (fun dst st ->
+                let b = gp st in
+                let idx = gi st in
+                record_access st b idx ~is_write:false;
+                st.fenv.(dst) <- Memory.get_float b idx)
+        | I1 | I8 | I16 | I32 | I64 ->
+            with_int_dst i (fun dst st ->
+                let b = gp st in
+                let idx = gi st in
+                record_access st b idx ~is_write:false;
+                st.ienv.(dst) <- Memory.get_int b idx)
+        | Vec (F32, n) ->
+            with_box_dst i (fun dst st ->
+                let b = gp st in
+                let idx = gi st in
+                record_access st b idx ~is_write:false;
+                st.benv.(dst) <-
+                  RVecF (Array.init n (fun l -> Memory.get_lane_float b idx l)))
+        | Vec (_, n) ->
+            with_box_dst i (fun dst st ->
+                let b = gp st in
+                let idx = gi st in
+                record_access st b idx ~is_write:false;
+                st.benv.(dst) <-
+                  RVecI (Array.init n (fun l -> Memory.get_lane_int b idx l)))
+        | _ -> fun _ -> trap "load of unsupported element type"
+        | exception Invalid_argument _ ->
+            fun _ -> trap "load of unsupported element type")
+    | Store { ptr; index; v } -> (
+        let gp = bufget ptr and gi = iget index in
+        match type_of v with
+        | F32 ->
+            let gv = fget v in
+            fun st ->
+              let b = gp st in
+              let idx = gi st in
+              record_access st b idx ~is_write:true;
+              Memory.set_float b idx (gv st)
+        | I1 | I8 | I16 | I32 | I64 ->
+            let gv = iget v in
+            fun st ->
+              let b = gp st in
+              let idx = gi st in
+              record_access st b idx ~is_write:true;
+              Memory.set_int b idx (gv st)
+        | _ ->
+            let gv = vget v in
+            fun st -> store_elem st (gp st) (gi st) (gv st))
+    | Extract (v, lane) -> (
+        let gl = iget lane in
+        match type_of v with
+        | Vec (F32, _) ->
+            let gv = vget v in
+            with_float_dst i (fun dst st ->
+                let l = gl st in
+                match gv st with
+                | RVecF a -> st.fenv.(dst) <- a.(l)
+                | _ -> trap "extract from non-vector")
+        | Vec (_, _) ->
+            let gv = vget v in
+            with_int_dst i (fun dst st ->
+                let l = gl st in
+                match gv st with
+                | RVecI a -> st.ienv.(dst) <- a.(l)
+                | _ -> trap "extract from non-vector")
+        | _ -> fun _ -> trap "extract from non-vector")
+    | Insert (v, lane, s) ->
+        let gv = vget v and gl = iget lane and gs = vget s in
+        with_box_dst i (fun dst st ->
+            let l = gl st in
+            match (gv st, gs st) with
+            | RVecF a, RFloat x ->
+                let a = Array.copy a in
+                a.(l) <- x;
+                st.benv.(dst) <- RVecF a
+            | RVecI a, RInt x ->
+                let a = Array.copy a in
+                a.(l) <- x;
+                st.benv.(dst) <- RVecI a
+            | _ -> trap "insert mismatch")
+    | Vecbuild (t, vs) -> (
+        match t with
+        | Vec (F32, _) ->
+            let gs = Array.of_list (List.map fget vs) in
+            with_box_dst i (fun dst st ->
+                st.benv.(dst) <- RVecF (Array.map (fun g -> g st) gs))
+        | Vec (_, _) ->
+            let gs = Array.of_list (List.map iget vs) in
+            with_box_dst i (fun dst st ->
+                st.benv.(dst) <- RVecI (Array.map (fun g -> g st) gs))
+        | _ -> fun _ -> trap "vecbuild of non-vector")
+    | Phi _ -> fun _ -> trap "phi executed outside block entry"
+    | Barrier _ ->
+        fun st ->
+          st.stats.Trace.barriers <- st.stats.Trace.barriers + 1;
+          Effect.perform Barrier_hit
+    | Br _ | Cond_br _ | Ret ->
+        fun _ -> trap "terminator executed as body instruction"
+  in
+
+  (* Per-edge phi moves: evaluated against the predecessor's environment,
+     committed together (staged through the scratch arrays at run time). *)
+  let scr_i = ref 0 and scr_f = ref 0 and scr_b = ref 0 in
+  let mk_edge (src : block) (dst : block) : edge =
+    let im = ref [] and fm = ref [] and bm = ref [] in
+    List.iter
+      (fun (pi : instr) ->
+        match pi.op with
+        | Phi { incoming; _ } -> (
+            match List.find_opt (fun (b, _) -> b.bid = src.bid) incoming with
+            | None ->
+                im :=
+                  (0, fun _ -> trap "phi has no incoming for predecessor")
+                  :: !im
+            | Some (_, v) -> (
+                match kind_of pi with
+                | Some (KInt s) -> im := (s, iget v) :: !im
+                | Some (KFloat s) -> fm := (s, fget v) :: !fm
+                | Some (KBox s) -> bm := (s, vget v) :: !bm
+                | None -> ()))
+        | _ -> ())
+      dst.instrs;
+    let im = Array.of_list (List.rev !im)
+    and fm = Array.of_list (List.rev !fm)
+    and bm = Array.of_list (List.rev !bm) in
+    scr_i := max !scr_i (Array.length im);
+    scr_f := max !scr_f (Array.length fm);
+    scr_b := max !scr_b (Array.length bm);
+    {
+      e_dst = Hashtbl.find bidx dst.bid;
+      im_dst = Array.map fst im;
+      im_src = Array.map snd im;
+      fm_dst = Array.map fst fm;
+      fm_src = Array.map snd fm;
+      bm_dst = Array.map fst bm;
+      bm_src = Array.map snd bm;
+    }
+  in
+
+  let compile_block (k : int) (b : block) : cblock =
+    let body =
+      List.filter_map
+        (fun (i : instr) ->
+          match i.op with Phi _ -> None | _ -> Some (compile_instr i))
+        b.instrs
+    in
+    let body =
+      (* Phis are only written by incoming edges; a phi in the entry block
+         has no incoming edge and is malformed IR. *)
+      if k = 0 && List.exists (fun i -> match i.op with Phi _ -> true | _ -> false) b.instrs
+      then (fun _ -> trap "phi in entry block") :: body
+      else body
+    in
+    let cterm =
+      match b.term with
+      | Some { op = Br target; _ } -> Tbr (mk_edge b target)
+      | Some { op = Cond_br (c, t, e); _ } ->
+          Tcond (iget c, mk_edge b t, mk_edge b e)
+      | Some { op = Ret; _ } -> Tret
+      | _ -> Ttrap "missing terminator"
+    in
+    { body = Array.of_list body; cterm }
+  in
+  let cblocks = Array.of_list (List.mapi compile_block fn.blocks) in
+  {
+    cblocks;
+    n_int = !ni;
+    n_float = !nf;
+    n_box = !nb;
+    scr_int = !scr_i;
+    scr_float = !scr_f;
+    scr_box = !scr_b;
+  }
+
+(* -- The compiled-engine hot loop ------------------------------------------- *)
+
+let take_edge (st : wi_state) (e : edge) : int =
+  let ni = Array.length e.im_dst in
+  if ni > 0 then begin
+    for k = 0 to ni - 1 do
+      st.iscr.(k) <- e.im_src.(k) st
+    done;
+    for k = 0 to ni - 1 do
+      st.ienv.(e.im_dst.(k)) <- st.iscr.(k)
+    done
+  end;
+  let nf = Array.length e.fm_dst in
+  if nf > 0 then begin
+    for k = 0 to nf - 1 do
+      st.fscr.(k) <- e.fm_src.(k) st
+    done;
+    for k = 0 to nf - 1 do
+      st.fenv.(e.fm_dst.(k)) <- st.fscr.(k)
+    done
+  end;
+  let nb = Array.length e.bm_dst in
+  if nb > 0 then begin
+    for k = 0 to nb - 1 do
+      st.bscr.(k) <- e.bm_src.(k) st
+    done;
+    for k = 0 to nb - 1 do
+      st.benv.(e.bm_dst.(k)) <- st.bscr.(k)
+    done
+  end;
+  e.e_dst
+
+let run_compiled (st : wi_state) (cf : cfunc) : unit =
+  let blocks = cf.cblocks in
+  let cur = ref 0 in
+  while !cur >= 0 do
+    let b = blocks.(!cur) in
+    let body = b.body in
+    for k = 0 to Array.length body - 1 do
+      body.(k) st
+    done;
+    cur :=
+      (match b.cterm with
+      | Tbr e -> take_edge st e
+      | Tcond (g, t, e) ->
+          st.stats.Trace.branches <- st.stats.Trace.branches + 1;
+          if g st <> 0 then take_edge st t else take_edge st e
+      | Tret -> -1
+      | Ttrap m -> trap "%s" m)
+  done
+
+(* -- Public interface -------------------------------------------------------- *)
+
+let prepare ?engine (fn : func) : compiled =
+  let engine = Option.value engine ~default:default_engine in
+  let slots = Hashtbl.create 64 in
+  let n = ref 0 in
+  iter_instrs
+    (fun i ->
+      Hashtbl.replace slots i.iid !n;
+      incr n)
+    fn;
+  let local_allocas =
+    fold_instrs
+      (fun acc i ->
+        match i.op with
+        | Alloca { aspace = Local; _ } -> i :: acc
+        | _ -> acc)
+      [] fn
+    |> List.rev
+  in
+  let code = match engine with Compiled -> Some (compile_fn fn) | Tree -> None in
+  { fn; slots; n_slots = !n; local_allocas; code }
+
+let engine_of (c : compiled) : engine =
+  match c.code with Some _ -> Compiled | None -> Tree
+
+let make_state (c : compiled) ~(args : rv array) ~(ctx : wi_ctx)
+    ~(stats : Trace.wg_stats) ~(local_bufs : (int, Memory.buffer) Hashtbl.t)
+    ~(mem : Memory.t) ~(queue : int) : wi_state =
+  match c.code with
+  | Some cf ->
+      {
+        c;
+        env = [||];
+        ienv = Array.make cf.n_int 0;
+        fenv = Array.make cf.n_float 0.0;
+        benv = Array.make cf.n_box (RInt 0);
+        iscr = Array.make cf.scr_int 0;
+        fscr = Array.make cf.scr_float 0.0;
+        bscr = Array.make cf.scr_box (RInt 0);
+        args;
+        ctx;
+        stats;
+        local_bufs;
+        mem;
+        queue;
+        private_offset = 0;
+      }
+  | None ->
+      {
+        c;
+        env = Array.make c.n_slots (RInt 0);
+        ienv = [||];
+        fenv = [||];
+        benv = [||];
+        iscr = [||];
+        fscr = [||];
+        bscr = [||];
+        args;
+        ctx;
+        stats;
+        local_bufs;
+        mem;
+        queue;
+        private_offset = 0;
+      }
+
+let run_workitem (st : wi_state) : unit =
+  match st.c.code with Some cf -> run_compiled st cf | None -> run_tree st

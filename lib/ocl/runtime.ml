@@ -57,19 +57,7 @@ let run_group (c : Interp.compiled) ~(args : Interp.rv array)
     let ctx =
       { Interp.lid; gid; grp; lsz; gsz; ngr; flat_lid = flat }
     in
-    let st =
-      {
-        Interp.c;
-        env = Array.make c.Interp.n_slots (Interp.RInt 0);
-        args;
-        ctx;
-        stats;
-        local_bufs;
-        mem;
-        queue;
-        private_offset = 0;
-      }
-    in
+    let st = Interp.make_state c ~args ~ctx ~stats ~local_bufs ~mem ~queue in
     match_with
       (fun () ->
         Interp.run_workitem st;
@@ -106,8 +94,9 @@ let run_group (c : Interp.compiled) ~(args : Interp.rv array)
     fail "work-group did not run to completion in %s" c.Interp.fn.f_name
 
 let run_one_group (c : Interp.compiled) ~(rv_args : Interp.rv array)
-    ~(scratch : Memory.t) ~(wg : int) ~(ngr : int array) ~(lsz : int array)
-    ~(gsz : int array) ~(queue : int) : Trace.wg_stats =
+    ~(scratch : Memory.t) ~(stats : Trace.wg_stats) ~(wg : int)
+    ~(ngr : int array) ~(lsz : int array) ~(gsz : int array) ~(queue : int) :
+    unit =
   let grp =
     [| wg mod ngr.(0); wg / ngr.(0) mod ngr.(1); wg / (ngr.(0) * ngr.(1)) |]
   in
@@ -124,28 +113,34 @@ let run_one_group (c : Interp.compiled) ~(rv_args : Interp.rv array)
           Hashtbl.replace local_bufs i.iid b
       | _ -> ())
     c.Interp.local_allocas;
-  let stats =
-    Trace.fresh_stats ~wg_id:wg ~queue ~wg_size:(lsz.(0) * lsz.(1) * lsz.(2))
-  in
+  Trace.reset stats ~wg_id:wg ~queue ~wg_size:(lsz.(0) * lsz.(1) * lsz.(2));
   run_group c ~args:rv_args ~grp ~lsz ~gsz ~ngr ~stats ~local_bufs
-    ~mem:scratch ~queue;
-  stats
+    ~mem:scratch ~queue
 
 (** Launch a compiled kernel over the NDRange. [on_group] receives each
     work-group's statistics (with its raw memory events) as soon as the
     group finishes — the performance simulator consumes them streamingly.
+    The [wg_stats] record is a pooled buffer reused for the next group:
+    [on_group] must extract what it needs before returning and must not
+    retain the record.
 
     [domains > 1] runs work-groups concurrently on that many OCaml domains
-    (true multicore execution). This is for correctness/throughput runs:
-    it requires [on_group] to be [None] (the performance simulator needs a
-    deterministic group order) and assumes work-groups write disjoint
-    output elements, as well-formed data-parallel kernels do.
+    (true multicore execution); [domains = 0] asks for
+    [Domain.recommended_domain_count ()], clamped to a sane range. This is
+    for correctness/throughput runs: it requires [on_group] to be [None]
+    (the performance simulator needs a deterministic group order) and
+    assumes work-groups write disjoint output elements, as well-formed
+    data-parallel kernels do.
 
     Returns aggregate totals. *)
 let launch (c : Interp.compiled) ~(cfg : launch_config)
     ~(args : arg_binding list) ~(mem : Memory.t)
     ?(on_group : (Trace.wg_stats -> unit) option) ?(domains = 1) () :
     Trace.totals =
+  let domains =
+    if domains = 0 then max 1 (min 64 (Domain.recommended_domain_count ()))
+    else domains
+  in
   let gx, gy, gz = cfg.global and lx, ly, lz = cfg.local in
   if lx <= 0 || ly <= 0 || lz <= 0 then fail "work-group sizes must be positive";
   if gx mod lx <> 0 || gy mod ly <> 0 || gz mod lz <> 0 then
@@ -157,11 +152,12 @@ let launch (c : Interp.compiled) ~(cfg : launch_config)
   let totals = Trace.empty_totals () in
   let n_groups = ngr.(0) * ngr.(1) * ngr.(2) in
   if domains <= 1 || n_groups < 2 then begin
+    (* One pooled stats buffer for the whole launch; its event arrays keep
+       their capacity across groups. *)
+    let stats = Trace.fresh_stats ~wg_id:0 ~queue:0 ~wg_size:0 in
     for wg = 0 to n_groups - 1 do
       let queue = wg mod max 1 cfg.queues in
-      let stats =
-        run_one_group c ~rv_args ~scratch:mem ~wg ~ngr ~lsz ~gsz ~queue
-      in
+      run_one_group c ~rv_args ~scratch:mem ~stats ~wg ~ngr ~lsz ~gsz ~queue;
       Trace.accumulate totals stats;
       match on_group with Some f -> f stats | None -> ()
     done;
@@ -176,12 +172,12 @@ let launch (c : Interp.compiled) ~(cfg : launch_config)
          allocations; global buffers (inside rv_args) are shared, and
          well-formed kernels write disjoint elements. *)
       let scratch = Memory.create () in
+      let stats = Trace.fresh_stats ~wg_id:0 ~queue:k ~wg_size:0 in
       let local = Trace.empty_totals () in
       let wg = ref k in
       while !wg < n_groups do
-        let stats =
-          run_one_group c ~rv_args ~scratch ~wg:!wg ~ngr ~lsz ~gsz ~queue:k
-        in
+        run_one_group c ~rv_args ~scratch ~stats ~wg:!wg ~ngr ~lsz ~gsz
+          ~queue:k;
         Trace.accumulate local stats;
         wg := !wg + d
       done;

@@ -1,8 +1,21 @@
 (** Memory-access traces and per-work-group execution statistics, the
-    interface between the execution engine and the performance simulator. *)
+    interface between the execution engine and the performance simulator.
+
+    Events are stored in struct-of-arrays form — three parallel [int]
+    arrays instead of one boxed record per access — so recording an event
+    in the interpreter hot loop is three unboxed array writes and no
+    allocation. A [wg_stats] value is a {b pooled} buffer: the runtime
+    creates one per execution context (launch, or domain worker) and
+    {!reset}s it between work-groups, so its capacity is reused across the
+    whole NDRange. Consumers receiving a [wg_stats] through a streaming
+    hook (e.g. [Runtime.launch ~on_group]) must therefore extract whatever
+    they need before returning and never retain the record itself. *)
 
 open Grover_ir
 
+(** A single memory access, as a plain record. The packed arrays below are
+    the storage format; this record is the convenience view used by tests
+    and by {!push_event}/{!get_event}. *)
 type event = {
   addr : int;  (** byte address *)
   bytes : int;
@@ -14,17 +27,34 @@ type event = {
 let dummy_event =
   { addr = 0; bytes = 0; is_write = false; space = Ssa.Global; wi = 0 }
 
+(* Packed event info word: [wi lsl 3 lor space lsl 1 lor is_write]. *)
+
+let space_code = function
+  | Ssa.Global -> 0
+  | Ssa.Local -> 1
+  | Ssa.Constant -> 2
+  | Ssa.Private -> 3
+
+let space_of_code = function
+  | 0 -> Ssa.Global
+  | 1 -> Ssa.Local
+  | 2 -> Ssa.Constant
+  | _ -> Ssa.Private
+
 type wg_stats = {
-  wg_id : int;
-  queue : int;  (** hardware queue (core / CU) the group ran on *)
-  wg_size : int;
+  mutable wg_id : int;
+  mutable queue : int;  (** hardware queue (core / CU) the group ran on *)
+  mutable wg_size : int;
   mutable int_ops : int;
   mutable float_ops : int;
   mutable special_ops : int;  (** sqrt/rsqrt/exp/... *)
   mutable branches : int;
   mutable barriers : int;  (** barrier *instances* (per work-item) *)
   mutable barrier_rounds : int;  (** barrier sites crossed by the group *)
-  events : event Grover_support.Varray.t;
+  mutable n_events : int;
+  mutable ev_addr : int array;
+  mutable ev_bytes : int array;
+  mutable ev_info : int array;
 }
 
 let fresh_stats ~wg_id ~queue ~wg_size : wg_stats =
@@ -38,8 +68,71 @@ let fresh_stats ~wg_id ~queue ~wg_size : wg_stats =
     branches = 0;
     barriers = 0;
     barrier_rounds = 0;
-    events = Grover_support.Varray.create ~dummy:dummy_event;
+    n_events = 0;
+    ev_addr = Array.make 64 0;
+    ev_bytes = Array.make 64 0;
+    ev_info = Array.make 64 0;
   }
+
+(** Rewind a pooled stats buffer for the next work-group: zero the
+    counters and the event count, keep the event arrays' capacity. *)
+let reset (s : wg_stats) ~wg_id ~queue ~wg_size : unit =
+  s.wg_id <- wg_id;
+  s.queue <- queue;
+  s.wg_size <- wg_size;
+  s.int_ops <- 0;
+  s.float_ops <- 0;
+  s.special_ops <- 0;
+  s.branches <- 0;
+  s.barriers <- 0;
+  s.barrier_rounds <- 0;
+  s.n_events <- 0
+
+let grow (s : wg_stats) : unit =
+  let cap = Array.length s.ev_addr in
+  let cap' = cap * 2 in
+  let extend a =
+    let a' = Array.make cap' 0 in
+    Array.blit a 0 a' 0 cap;
+    a'
+  in
+  s.ev_addr <- extend s.ev_addr;
+  s.ev_bytes <- extend s.ev_bytes;
+  s.ev_info <- extend s.ev_info
+
+let record (s : wg_stats) ~addr ~bytes ~is_write ~space ~wi : unit =
+  let n = s.n_events in
+  if n = Array.length s.ev_addr then grow s;
+  s.ev_addr.(n) <- addr;
+  s.ev_bytes.(n) <- bytes;
+  s.ev_info.(n) <- (wi lsl 3) lor (space_code space lsl 1) lor Bool.to_int is_write;
+  s.n_events <- n + 1
+
+(* Per-event accessors over the packed arrays. *)
+let ev_addr (s : wg_stats) k = s.ev_addr.(k)
+let ev_bytes (s : wg_stats) k = s.ev_bytes.(k)
+let ev_is_write (s : wg_stats) k = s.ev_info.(k) land 1 <> 0
+let ev_space (s : wg_stats) k = space_of_code ((s.ev_info.(k) lsr 1) land 3)
+let ev_wi (s : wg_stats) k = s.ev_info.(k) lsr 3
+
+(** Record-view helpers for tests and debugging. *)
+let push_event (s : wg_stats) (e : event) : unit =
+  record s ~addr:e.addr ~bytes:e.bytes ~is_write:e.is_write ~space:e.space
+    ~wi:e.wi
+
+let get_event (s : wg_stats) k : event =
+  {
+    addr = ev_addr s k;
+    bytes = ev_bytes s k;
+    is_write = ev_is_write s k;
+    space = ev_space s k;
+    wi = ev_wi s k;
+  }
+
+let iter_events (f : event -> unit) (s : wg_stats) : unit =
+  for k = 0 to s.n_events - 1 do
+    f (get_event s k)
+  done
 
 (** Aggregated totals over a whole launch (correctness runs often only need
     these, not the raw events). *)
@@ -75,10 +168,10 @@ let accumulate (tot : totals) (s : wg_stats) : unit =
   tot.t_branches <- tot.t_branches + s.branches;
   tot.t_barriers <- tot.t_barriers + s.barriers;
   tot.t_groups <- tot.t_groups + 1;
-  Grover_support.Varray.iter
-    (fun e ->
-      if e.is_write then tot.t_stores <- tot.t_stores + 1
-      else tot.t_loads <- tot.t_loads + 1;
-      if e.space = Ssa.Local then
-        tot.t_local_accesses <- tot.t_local_accesses + 1)
-    s.events
+  for k = 0 to s.n_events - 1 do
+    let info = s.ev_info.(k) in
+    if info land 1 <> 0 then tot.t_stores <- tot.t_stores + 1
+    else tot.t_loads <- tot.t_loads + 1;
+    if (info lsr 1) land 3 = 1 then
+      tot.t_local_accesses <- tot.t_local_accesses + 1
+  done

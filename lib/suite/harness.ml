@@ -77,11 +77,11 @@ let uses_vector_types (fn : Ssa.func) : bool =
          | _ -> false)
        false fn
 
-let execute ?vectorized_override (case : Kit.case) (fn : Ssa.func)
-    ~(scale : int) ~(platform : P.t option) :
+let execute ?vectorized_override ?engine ?(domains = 1) (case : Kit.case)
+    (fn : Ssa.func) ~(scale : int) ~(platform : P.t option) :
     float * Trace.totals * Sim.result option * (unit, string) result =
   let w = case.Kit.mk ~scale in
-  let compiled = Interp.prepare fn in
+  let compiled = Interp.prepare ?engine fn in
   let queues = match platform with Some p -> p.P.cores | None -> 1 in
   let vectorized =
     match vectorized_override with
@@ -93,18 +93,18 @@ let execute ?vectorized_override (case : Kit.case) (fn : Ssa.func)
   let totals =
     Runtime.launch compiled
       ~cfg:{ Runtime.global = w.Kit.global; local = w.Kit.local; queues }
-      ~args:w.Kit.args ~mem:w.Kit.mem ?on_group ()
+      ~args:w.Kit.args ~mem:w.Kit.mem ?on_group ~domains ()
   in
   let result = Option.map Sim.result sim in
   let seconds = match result with Some r -> r.Sim.seconds | None -> 0.0 in
   (seconds, totals, result, w.Kit.check ())
 
-let run_version ?vectorized_override (case : Kit.case) (v : version)
-    ~(scale : int) ~(platform : P.t option) :
+let run_version ?vectorized_override ?engine ?domains (case : Kit.case)
+    (v : version) ~(scale : int) ~(platform : P.t option) :
     run * Grover_core.Grover.outcome option =
   let fn, outcome = compile_version case v in
   let seconds, totals, sim, valid =
-    execute ?vectorized_override case fn ~scale ~platform
+    execute ?vectorized_override ?engine ?domains case fn ~scale ~platform
   in
   ( {
       version = v;
@@ -115,6 +115,23 @@ let run_version ?vectorized_override (case : Kit.case) (v : version)
       sim;
     },
     outcome )
+
+(** Wall-clock execution of one version on the host (no platform
+    simulation): returns (seconds, work-items executed). Used by the
+    interpreter-throughput bench and [groverc autotune --domains]. *)
+let wallclock ?engine ?(domains = 1) (case : Kit.case) (v : version)
+    ~(scale : int) : float * int =
+  let fn, _ = compile_version case v in
+  let compiled = Interp.prepare ?engine fn in
+  let w = case.Kit.mk ~scale in
+  let gx, gy, gz = w.Kit.global in
+  let t0 = Unix.gettimeofday () in
+  let (_ : Trace.totals) =
+    Runtime.launch compiled
+      ~cfg:{ Runtime.global = w.Kit.global; local = w.Kit.local; queues = 1 }
+      ~args:w.Kit.args ~mem:w.Kit.mem ~domains ()
+  in
+  (Unix.gettimeofday () -. t0, gx * gy * gz)
 
 (** The full experiment for one (benchmark, platform) test case. *)
 let compare ?vectorized_override (case : Kit.case) ~(platform : P.t)

@@ -89,9 +89,9 @@ let prop_cache_miss_bound =
 
 (* -- Synthetic traces through the simulator ---------------------------------- *)
 
-let mk_stats ~wg_size events =
-  let s = Grover_ocl.Trace.fresh_stats ~wg_id:0 ~queue:0 ~wg_size in
-  List.iter (fun e -> Grover_support.Varray.push s.Trace.events e) events;
+let mk_stats ?(queue = 0) ~wg_size events =
+  let s = Grover_ocl.Trace.fresh_stats ~wg_id:0 ~queue ~wg_size in
+  List.iter (fun e -> Trace.push_event s e) events;
   s
 
 let ev ~wi ~addr ?(bytes = 4) ?(write = false) ?(space = Grover_ir.Ssa.Global) () =
@@ -192,7 +192,7 @@ let test_platform_structure () =
 
 let test_simulate_accumulates_queues () =
   let sim = Sim.create P.snb in
-  let mk q = { (mk_stats ~wg_size:1 [ ev ~wi:0 ~addr:0 () ]) with Trace.queue = q } in
+  let mk q = mk_stats ~queue:q ~wg_size:1 [ ev ~wi:0 ~addr:0 () ] in
   Sim.consume sim (mk 0);
   Sim.consume sim (mk 1);
   let r = Sim.result sim in

@@ -269,6 +269,99 @@ let test_parallel_rejects_tracing () =
   | exception Runtime.Launch_error _ -> ()
   | _ -> Alcotest.fail "tracing + parallel must be rejected"
 
+(* -- Differential: compiled engine vs the tree-walk oracle --------------------
+   Every suite kernel, in both versions, must produce bit-identical buffers
+   and identical launch totals under the closure-compiled engine and the
+   legacy tree-walking engine (kept exactly for this test). *)
+
+module H = Grover_suite.Harness
+module Kit = Grover_suite.Kit
+
+(* Buffer contents by allocation id; Private/Local scratch included, so the
+   comparison also covers local staging and private spill arrays. [compare]
+   rather than [=] so NaN payloads compare deterministically. *)
+let snapshot_buffers (mem : Memory.t) : (int * Ssa.space * Memory.storage) list =
+  mem.Memory.buffers
+  |> List.map (fun (b : Memory.buffer) -> (b.Memory.bid, b.Memory.space, b.Memory.st))
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let run_engine (case : Kit.case) (v : H.version) ~(engine : Interp.engine) :
+    Trace.totals * (int * Ssa.space * Memory.storage) list * (unit, string) result =
+  let fn, _ = H.compile_version case v in
+  let compiled = Interp.prepare ~engine fn in
+  let w = case.Kit.mk ~scale:8 in
+  let totals =
+    Runtime.launch compiled
+      ~cfg:{ Runtime.global = w.Kit.global; local = w.Kit.local; queues = 1 }
+      ~args:w.Kit.args ~mem:w.Kit.mem ()
+  in
+  (totals, snapshot_buffers w.Kit.mem, w.Kit.check ())
+
+let check_engines_agree (case : Kit.case) (v : H.version) () =
+  let t_tot, t_bufs, t_valid = run_engine case v ~engine:Interp.Tree in
+  let c_tot, c_bufs, c_valid = run_engine case v ~engine:Interp.Compiled in
+  (match t_valid with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "tree engine invalid output: %s" m);
+  (match c_valid with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "compiled engine invalid output: %s" m);
+  Alcotest.(check bool) "identical launch totals" true (t_tot = c_tot);
+  Alcotest.(check bool) "bit-identical buffers" true (compare t_bufs c_bufs = 0)
+
+let differential_cases =
+  List.concat_map
+    (fun (case : Kit.case) ->
+      List.map
+        (fun (v, vn) ->
+          Alcotest.test_case
+            (Printf.sprintf "%s %s" case.Kit.id vn)
+            `Quick
+            (check_engines_agree case v))
+        [ (H.With_lm, "with-lm"); (H.Without_lm, "grover") ])
+    Grover_suite.Suite.all
+
+let diff_prop_source =
+  {|__kernel void k(__global float *out, __global const float *a, int n) {
+      __local float tmp[8];
+      int l = get_local_id(0);
+      int g = get_global_id(0);
+      tmp[l] = a[g] * 0.5f;
+      barrier(CLK_LOCAL_MEM_FENCE);
+      float acc = 0.0f;
+      for (int i = 0; i <= l; i++) acc += tmp[i];
+      if (g % 2 == 0) out[g] = acc; else out[g] = -acc + (float)n;
+    }|}
+
+let prop_engines_agree =
+  QCheck.Test.make ~name:"engines agree on random launch shapes" ~count:25
+    QCheck.(pair (int_range 1 8) (int_range 1 8))
+    (fun (groups, wg) ->
+      let n = groups * wg in
+      let run engine =
+        let fn =
+          match Lower.compile diff_prop_source with
+          | [ f ] -> f
+          | _ -> assert false
+        in
+        Grover_passes.Pipeline.normalize fn;
+        let c = Interp.prepare ~engine fn in
+        let mem = Memory.create () in
+        let out = Memory.alloc mem Ssa.F32 n in
+        let a = Memory.alloc mem Ssa.F32 n in
+        Memory.fill_floats a (fun i -> float_of_int (i - 3) /. 7.0);
+        let totals =
+          Runtime.launch c
+            ~cfg:{ Runtime.global = (n, 1, 1); local = (wg, 1, 1); queues = 1 }
+            ~args:[ Runtime.Abuf out; Runtime.Abuf a; Runtime.Aint n ]
+            ~mem ()
+        in
+        (totals, Memory.to_float_array out)
+      in
+      let t_tot, t_out = run Interp.Tree in
+      let c_tot, c_out = run Interp.Compiled in
+      t_tot = c_tot && compare t_out c_out = 0)
+
 (* -- Launch validation -------------------------------------------------------- *)
 
 let test_launch_bad_sizes () =
@@ -344,4 +437,7 @@ let suite =
     ( "launch-validation",
       [ Alcotest.test_case "bad sizes" `Quick test_launch_bad_sizes;
         Alcotest.test_case "bad args" `Quick test_launch_bad_args;
-        Alcotest.test_case "out of bounds" `Quick test_out_of_bounds_trapped ] ) ]
+        Alcotest.test_case "out of bounds" `Quick test_out_of_bounds_trapped ] );
+    ("engine-differential", differential_cases);
+    ( "engine-differential-props",
+      [ QCheck_alcotest.to_alcotest prop_engines_agree ] ) ]
