@@ -6,12 +6,22 @@
      groverc transform kernel.cl
      groverc transform kernel.cl --only As --define S=16
      groverc report kernel.cl
-     groverc autotune kernel.cl --platform SNB ... (needs embedded workloads,
-       so autotune runs the bundled benchmark suite by id instead)
      groverc autotune NVD-MT --platform SNB
-*)
+     groverc passes                       (list the registered passes)
+     groverc pipeline kernel.cl --passes=canon,mem2reg,dce --time-passes
+     groverc -passes=canon,mem2reg,simplify,cse,dce --time-passes --verify-each
+       (no subcommand: runs the pass pipeline over all bundled suite kernels)
+
+   All commands accept --diag-format=json to emit machine-readable
+   diagnostics and pass statistics for the bench/autotune layer. *)
 
 open Cmdliner
+module Diag = Grover_support.Diag
+module Pass = Grover_passes.Pass
+
+(* Referencing the Grover pass forces Grover_core to link, which registers
+   "grover" in the pass registry for -passes= pipelines. *)
+let grover_pass = Grover_core.Grover.pass
 
 let read_file path =
   let ic = open_in_bin path in
@@ -28,6 +38,100 @@ let parse_defines defs =
           (String.sub d 0 i, String.sub d (i + 1) (String.length d - i - 1))
       | None -> (d, "1"))
     defs
+
+(* -- Diagnostics and instrumentation flags (shared by the commands) ---------- *)
+
+type diag_format = Text | Json
+
+let diag_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", Text); ("json", Json) ]) Text
+    & info [ "diag-format" ] ~docv:"FMT"
+        ~doc:"Diagnostic output format: $(b,text) (file:line:col: severity: \
+              message, on stderr) or $(b,json) (one JSON object per line, on \
+              stdout).")
+
+let passes_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "passes" ] ~docv:"LIST"
+        ~doc:
+          "Comma-separated pass pipeline to run instead of the default (see \
+           $(b,groverc passes) for the registry). Also accepted as \
+           $(b,-passes=LIST).")
+
+let time_passes_arg =
+  Arg.(
+    value & flag
+    & info [ "time-passes" ]
+        ~doc:"Print an aggregated per-pass timing table (wall-clock time, \
+              instruction-count delta, changed/unchanged).")
+
+let print_changed_arg =
+  Arg.(
+    value & flag
+    & info [ "print-changed" ]
+        ~doc:"Print the IR after every pass that changed it.")
+
+let verify_each_arg =
+  Arg.(
+    value & flag
+    & info [ "verify-each" ]
+        ~doc:"Re-run the IR verifier after every pass and fail on the first \
+              pass that breaks the IR.")
+
+let emit_diag fmt ?file (d : Diag.t) : unit =
+  match fmt with
+  | Text -> prerr_endline (Diag.to_string ?file d)
+  | Json -> print_endline (Diag.to_json ?file d)
+
+let emit_diags fmt ?file ds = List.iter (emit_diag fmt ?file) ds
+
+let emit_timing fmt (c : Pass.ctx) : unit =
+  match fmt with
+  | Text ->
+      print_string "=== pass timing ===\n";
+      print_string (Pass.timing_table c)
+  | Json -> List.iter print_endline (Pass.stats_json c)
+
+(** Run [f]; on a front-end / verifier / internal error print one located
+    diagnostic in the requested format and exit 1 (never a backtrace). *)
+let guarded fmt ?file (f : unit -> unit) : unit Term.ret =
+  try
+    f ();
+    `Ok ()
+  with
+  | Grover_clc.Loc.Error (l, m) ->
+      emit_diag fmt ?file (Diag.of_loc_error l m);
+      exit 1
+  | Diag.Fatal d ->
+      emit_diag fmt ?file d;
+      exit 1
+  | Grover_ir.Verify.Invalid_ir m ->
+      emit_diag fmt ?file (Diag.errorf ~pass:"verify" "invalid IR: %s" m);
+      exit 1
+  | Grover_ir.Emit_c.Unstructured m ->
+      emit_diag fmt ?file (Diag.errorf ~pass:"emit-c" "cannot emit OpenCL C: %s" m);
+      exit 1
+
+let parse_pipeline fmt ?file (spec : string) : Pass.t list =
+  match Pass.parse spec with
+  | Ok ps -> ps
+  | Error d ->
+      emit_diag fmt ?file d;
+      exit 1
+
+let mk_ctx ~verify_each ~print_changed () =
+  Pass.ctx ~verify_each ~print_changed ~print:print_string ()
+
+(* After everything ran: surface collected diagnostics and timing, and fail
+   if anything reached error severity. *)
+let finish fmt ?file ~time_passes (c : Pass.ctx) : unit =
+  emit_diags fmt ?file (Pass.diags c);
+  if time_passes then emit_timing fmt c;
+  if Pass.errors c <> [] then exit 1
 
 (* -- transform ---------------------------------------------------------------- *)
 
@@ -60,47 +164,56 @@ let transform_cmd =
             "Print the transformed kernel as OpenCL C source (for a vendor \
              runtime) instead of IR.")
   in
-  let run file only defines show_before emit_c =
+  let run file only defines show_before emit_c passes time_passes print_changed
+      verify_each fmt =
     let src = read_file file in
     let defines = parse_defines defines in
     let only = if only = [] then None else Some only in
-    try
-      let fns = Grover_ir.Lower.compile ~defines src in
-      List.iter
-        (fun fn ->
-          Grover_passes.Pipeline.normalize fn;
-          if show_before then begin
-            Printf.printf "; === %s (with local memory) ===\n"
-              fn.Grover_ir.Ssa.f_name;
-            print_string (Grover_ir.Printer.func_to_string fn)
-          end;
-          let o = Grover_core.Grover.run ?only fn in
-          List.iter
-            (fun e ->
-              print_endline (Grover_core.Report.to_string e))
-            o.Grover_core.Grover.reports;
-          List.iter
-            (fun (n, r) -> Printf.printf "; rejected %s: %s\n" n r)
-            o.Grover_core.Grover.rejected;
-          Printf.printf "; === %s (local memory disabled: %s) ===\n"
-            fn.Grover_ir.Ssa.f_name
-            (if o.Grover_core.Grover.transformed = [] then "nothing to do"
-             else String.concat ", " o.Grover_core.Grover.transformed);
-          if emit_c then print_string (Grover_ir.Emit_c.kernel_to_c fn)
-          else print_string (Grover_ir.Printer.func_to_string fn))
-        fns;
-      `Ok ()
-    with
-    | Grover_clc.Loc.Error (l, m) ->
-        `Error (false, Format.asprintf "%s:%a: %s" file Grover_clc.Loc.pp l m)
-    | Grover_ir.Verify.Invalid_ir m -> `Error (false, "internal: " ^ m)
-    | Grover_ir.Emit_c.Unstructured m ->
-        `Error (false, "cannot emit OpenCL C: " ^ m)
+    let custom =
+      Option.map (fun spec -> parse_pipeline fmt ~file spec) passes
+    in
+    guarded fmt ~file (fun () ->
+        let ctx = mk_ctx ~verify_each ~print_changed () in
+        let fns = Grover_ir.Lower.compile ~defines src in
+        List.iter
+          (fun fn ->
+            (match custom with
+            | Some ps -> ignore (Pass.run_pipeline ctx ps fn)
+            | None -> Grover_passes.Pipeline.normalize ~ctx fn);
+            if show_before then begin
+              Printf.printf "; === %s (with local memory) ===\n"
+                fn.Grover_ir.Ssa.f_name;
+              print_string (Grover_ir.Printer.func_to_string fn)
+            end;
+            (* With a custom pipeline the user decides where (and whether)
+               Grover runs; the default path runs it after normalisation. *)
+            (match custom with
+            | Some _ -> ()
+            | None ->
+                let o = Grover_core.Grover.run ?only ~ctx fn in
+                List.iter
+                  (fun e -> print_endline (Grover_core.Report.to_string e))
+                  o.Grover_core.Grover.reports;
+                List.iter
+                  (fun (n, r) -> Printf.printf "; rejected %s: %s\n" n r)
+                  o.Grover_core.Grover.rejected;
+                Printf.printf "; === %s (local memory disabled: %s) ===\n"
+                  fn.Grover_ir.Ssa.f_name
+                  (if o.Grover_core.Grover.transformed = [] then "nothing to do"
+                   else String.concat ", " o.Grover_core.Grover.transformed));
+            if emit_c then print_string (Grover_ir.Emit_c.kernel_to_c fn)
+            else print_string (Grover_ir.Printer.func_to_string fn))
+          fns;
+        finish fmt ~file ~time_passes ctx)
   in
   Cmd.v
     (Cmd.info "transform"
        ~doc:"Disable local memory usage in an OpenCL kernel file.")
-    Term.(ret (const run $ file $ only $ defines $ show_before $ emit_c))
+    Term.(
+      ret
+        (const run $ file $ only $ defines $ show_before $ emit_c $ passes_arg
+       $ time_passes_arg $ print_changed_arg $ verify_each_arg
+       $ diag_format_arg))
 
 (* -- report -------------------------------------------------------------------- *)
 
@@ -114,28 +227,132 @@ let report_cmd =
       & info [ "define"; "D" ] ~docv:"NAME=VALUE"
           ~doc:"Preprocessor definition.")
   in
-  let run file defines =
+  let run file defines fmt =
     let src = read_file file in
     let defines = parse_defines defines in
-    try
-      List.iter
-        (fun (fn, o) ->
-          Printf.printf "kernel %s:\n" fn.Grover_ir.Ssa.f_name;
-          List.iter
-            (fun e -> print_endline (Grover_core.Report.to_string e))
-            o.Grover_core.Grover.reports;
-          List.iter
-            (fun (n, r) -> Printf.printf "  rejected %s: %s\n" n r)
-            o.Grover_core.Grover.rejected)
-        (Grover_core.Grover.run_on_source ~defines src);
-      `Ok ()
-    with Grover_clc.Loc.Error (l, m) ->
-      `Error (false, Format.asprintf "%s:%a: %s" file Grover_clc.Loc.pp l m)
+    guarded fmt ~file (fun () ->
+        List.iter
+          (fun (fn, o) ->
+            Printf.printf "kernel %s:\n" fn.Grover_ir.Ssa.f_name;
+            List.iter
+              (fun e -> print_endline (Grover_core.Report.to_string e))
+              o.Grover_core.Grover.reports;
+            List.iter
+              (fun (n, r) -> Printf.printf "  rejected %s: %s\n" n r)
+              o.Grover_core.Grover.rejected)
+          (Grover_core.Grover.run_on_source ~defines src))
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:"Print the GL/LS/LL/nGL index analysis without transforming.")
-    Term.(ret (const run $ file $ defines))
+    Term.(ret (const run $ file $ defines $ diag_format_arg))
+
+(* -- pipeline (also the default command) --------------------------------------- *)
+
+(* What to run the pipeline over: a kernel file on disk, a bundled
+   benchmark id, or "all" = every case of the paper's Table I suite. *)
+let pipeline_targets fmt (target : string) (defines : (string * string) list) :
+    (string * string option * (string * string) list * string) list =
+  (* (display name, file, defines, source) *)
+  if Sys.file_exists target then
+    [ (target, Some target, defines, read_file target) ]
+  else if String.lowercase_ascii target = "all" then
+    List.map
+      (fun (c : Grover_suite.Kit.case) ->
+        (c.Grover_suite.Kit.id, None, c.Grover_suite.Kit.defines,
+         c.Grover_suite.Kit.source))
+      Grover_suite.Suite.all
+  else
+    match Grover_suite.Suite.by_id target with
+    | Some c ->
+        [ (c.Grover_suite.Kit.id, None, c.Grover_suite.Kit.defines,
+           c.Grover_suite.Kit.source) ]
+    | None ->
+        emit_diag fmt
+          (Diag.errorf
+             "unknown pipeline target %s (expected a kernel file, a \
+              benchmark id or \"all\"); try: %s"
+             target
+             (String.concat ", "
+                (List.map
+                   (fun c -> c.Grover_suite.Kit.id)
+                   Grover_suite.Suite.all)));
+        exit 1
+
+let pipeline_term =
+  let target =
+    Arg.(
+      value & pos 0 string "all"
+      & info [] ~docv:"TARGET"
+          ~doc:
+            "A kernel file, a bundled benchmark id (see $(b,groverc list)) or \
+             $(b,all) for the whole suite.")
+  in
+  let defines =
+    Arg.(
+      value & opt_all string []
+      & info [ "define"; "D" ] ~docv:"NAME=VALUE"
+          ~doc:"Preprocessor definition (file targets only).")
+  in
+  let run target defines passes time_passes print_changed verify_each fmt =
+    ignore grover_pass;
+    let defines = parse_defines defines in
+    let ps =
+      match passes with
+      | Some spec -> parse_pipeline fmt spec
+      | None -> [ Grover_passes.Pipeline.normalize_pass ]
+    in
+    let ctx = mk_ctx ~verify_each ~print_changed () in
+    let targets = pipeline_targets fmt target defines in
+    guarded fmt (fun () ->
+        List.iter
+          (fun (name, file, defines, src) ->
+            let fns =
+              try Grover_ir.Lower.compile ~defines src
+              with Grover_clc.Loc.Error (l, m) ->
+                emit_diag fmt ?file
+                  (Diag.of_loc_error ?file:(Some (Option.value ~default:name file)) l m);
+                exit 1
+            in
+            List.iter
+              (fun fn ->
+                let before = Pass.instr_count fn in
+                let changed = Pass.run_pipeline ctx ps fn in
+                Printf.printf "%-12s %-24s %4d -> %4d instrs  %s\n" name
+                  fn.Grover_ir.Ssa.f_name before (Pass.instr_count fn)
+                  (if changed then "changed" else "unchanged"))
+              fns)
+          targets;
+        finish fmt ~time_passes ctx)
+  in
+  Term.(
+    ret
+      (const run $ target $ defines $ passes_arg $ time_passes_arg
+     $ print_changed_arg $ verify_each_arg $ diag_format_arg))
+
+let pipeline_cmd =
+  Cmd.v
+    (Cmd.info "pipeline"
+       ~doc:
+         "Run a pass pipeline (default: normalize) over a kernel file, a \
+          bundled benchmark or the whole suite, with per-pass diagnostics \
+          and timing. This is also the default command: \
+          $(b,groverc -passes=... --time-passes) runs over the whole suite.")
+    pipeline_term
+
+(* -- passes --------------------------------------------------------------------- *)
+
+let passes_cmd =
+  let run () =
+    ignore grover_pass;
+    List.iter
+      (fun p -> Printf.printf "%-14s %s\n" (Pass.name p) (Pass.descr p))
+      (Pass.all ());
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "passes" ~doc:"List the registered passes and combinators.")
+    Term.(ret (const run $ const ()))
 
 (* -- autotune ------------------------------------------------------------------- *)
 
@@ -229,9 +446,27 @@ let list_cmd =
     (Cmd.info "list" ~doc:"List the bundled benchmarks.")
     Term.(ret (const run $ const ()))
 
+(* -- main ----------------------------------------------------------------------- *)
+
+(* LLVM-style single-dash spelling: -passes=... is rewritten to the
+   cmdliner-standard --passes=... before parsing. *)
+let argv =
+  Array.map
+    (fun a ->
+      if String.length a >= 7
+         && String.sub a 0 7 = "-passes"
+         && not (String.length a >= 8 && String.sub a 0 8 = "--passes")
+      then "-" ^ a
+      else a)
+    Sys.argv
+
 let () =
   let info =
     Cmd.info "groverc" ~version:"1.0.0"
       ~doc:"Disable local memory usage in OpenCL kernels (Grover, ICPP 2014)."
   in
-  exit (Cmd.eval (Cmd.group info [ transform_cmd; report_cmd; autotune_cmd; list_cmd ]))
+  exit
+    (Cmd.eval ~argv
+       (Cmd.group info ~default:pipeline_term
+          [ transform_cmd; report_cmd; pipeline_cmd; passes_cmd; autotune_cmd;
+            list_cmd ]))

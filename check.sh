@@ -1,16 +1,32 @@
 #!/bin/sh
-# CI entry point: build, run the full test suite, then smoke-test the
-# interpreter throughput bench (writes BENCH_interp.json at a small size,
-# so the perf target cannot bit-rot).
+# CI entry point: build everything, run the full test suite under both
+# interpreter engines, smoke-test groverc (--verify-each over the example
+# kernels; any error-severity diagnostic makes groverc exit non-zero and
+# fails the run), then the interpreter throughput bench at a small size so
+# the perf target cannot bit-rot.
 set -eu
 
 cd "$(dirname "$0")"
 
-echo "== dune build =="
-dune build
+echo "== dune build @all =="
+dune build @all
 
-echo "== dune runtest =="
-dune runtest
+echo "== dune runtest (closure engine) =="
+GROVER_ENGINE=closure dune runtest --force
+
+echo "== dune runtest (tree engine) =="
+GROVER_ENGINE=tree dune runtest --force
+
+echo "== groverc --verify-each smoke (examples/kernels) =="
+for f in examples/kernels/*.cl; do
+  echo "-- $f"
+  dune exec bin/groverc.exe -- transform "$f" --verify-each > /dev/null
+done
+
+echo "== groverc custom pipeline smoke (suite, all kernels) =="
+dune exec bin/groverc.exe -- pipeline all \
+  -passes=canon,mem2reg,simplify,cse,dce --time-passes --verify-each \
+  > /dev/null
 
 echo "== bench perf --quick =="
 dune exec bench/main.exe -- perf --quick

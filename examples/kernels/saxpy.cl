@@ -1,0 +1,9 @@
+/* No local memory at all: exercises the pipeline (and --verify-each) on a
+   kernel where Grover has no candidates and must change nothing. */
+__kernel void saxpy(__global float *y, __global const float *x, float a,
+                    int n) {
+  int i = get_global_id(0);
+  if (i < n) {
+    y[i] = a * x[i] + y[i];
+  }
+}

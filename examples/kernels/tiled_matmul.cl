@@ -1,0 +1,24 @@
+/* Tiled matrix multiply: both operand tiles are staged in local memory
+   (the classic software-cache pattern Grover undoes). Used by check.sh as
+   a --verify-each smoke test for the full transform pipeline. */
+#define T 8
+__kernel void tiled_matmul(__global float *C, __global const float *A,
+                           __global const float *B, int N) {
+  __local float Asub[T][T];
+  __local float Bsub[T][T];
+  int lx = get_local_id(0);
+  int ly = get_local_id(1);
+  int gx = get_global_id(0);
+  int gy = get_global_id(1);
+  float acc = 0.0f;
+  for (int t = 0; t < N / T; t++) {
+    Asub[ly][lx] = A[gy * N + t * T + lx];
+    Bsub[ly][lx] = B[(t * T + ly) * N + gx];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int k = 0; k < T; k++) {
+      acc = acc + Asub[ly][k] * Bsub[k][lx];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  C[gy * N + gx] = acc;
+}

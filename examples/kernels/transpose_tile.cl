@@ -1,0 +1,14 @@
+/* Matrix transpose through a local tile, so both the global read and the
+   global write stay row-contiguous (the paper's Fig. 1 motivation). */
+#define S 16
+__kernel void transpose_tile(__global float *out, __global const float *in,
+                             int W, int H) {
+  __local float tile[S][S];
+  int lx = get_local_id(0);
+  int ly = get_local_id(1);
+  int wx = get_group_id(0);
+  int wy = get_group_id(1);
+  tile[ly][lx] = in[(wx * S + ly) * W + (wy * S + lx)];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[get_global_id(1) * H + get_global_id(0)] = tile[lx][ly];
+}

@@ -1,12 +1,5 @@
-(** Source locations for diagnostics. *)
+(** Source locations for diagnostics. The definition lives in
+    {!Grover_support.Loc} so lower layers can carry locations too; this
+    module re-exports it unchanged (same type, same [Error] exception). *)
 
-type t = { line : int; col : int }
-
-let dummy = { line = 0; col = 0 }
-let pp ppf { line; col } = Format.fprintf ppf "%d:%d" line col
-
-exception Error of t * string
-(** The front-end's single error channel: lexing, parsing and semantic
-    errors all carry a location and a human-readable message. *)
-
-let errorf loc fmt = Format.kasprintf (fun msg -> raise (Error (loc, msg))) fmt
+include Grover_support.Loc

@@ -18,7 +18,9 @@
     and reported with the reason, mirroring the paper's §VI-D limitations. *)
 
 open Grover_ir
-module Pass = Grover_passes
+module Passes = Grover_passes
+module Pass = Grover_passes.Pass
+module Diag = Grover_support.Diag
 
 type outcome = {
   transformed : string list;  (** candidate names rewritten *)
@@ -29,12 +31,37 @@ type outcome = {
 
 let no_candidates = { transformed = []; rejected = []; reports = []; barriers_removed = 0 }
 
+(* Table-III-style outcomes become structured remarks on the pass-manager
+   context instead of ad-hoc strings. *)
+let emit_remarks (ctx : Pass.ctx option) (fn : Ssa.func) (o : outcome) : unit =
+  match ctx with
+  | None -> ()
+  | Some c ->
+      List.iter
+        (fun name ->
+          Pass.remarkf c ~pass:"grover" "%s: disabled local memory usage of '%s'"
+            fn.Ssa.f_name name)
+        o.transformed;
+      List.iter
+        (fun (name, reason) ->
+          Pass.remarkf c ~pass:"grover" "%s: kept local buffer '%s': %s"
+            fn.Ssa.f_name name reason)
+        o.rejected;
+      if o.barriers_removed > 0 then
+        Pass.remarkf c ~pass:"grover" "%s: removed %d redundant local barrier%s"
+          fn.Ssa.f_name o.barriers_removed
+          (if o.barriers_removed = 1 then "" else "s")
+
 (** Transform [fn] in place.
 
     @param only restrict the rewrite to local buffers with these source
     names (e.g. [["As"]] to reproduce NVD-MM-A). Buffers not selected are
-    preserved untouched and do not appear in [rejected]. *)
-let run ?(only : string list option) (fn : Ssa.func) : outcome =
+    preserved untouched and do not appear in [rejected].
+    @param ctx pass-manager context: Grover's internal cleanup pipelines are
+    instrumented through it and the per-candidate outcomes are emitted as
+    [remark] diagnostics. *)
+let run ?(only : string list option) ?(ctx : Pass.ctx option) (fn : Ssa.func) :
+    outcome =
   Atom.assign_phi_names fn;
   let selected name =
     match only with None -> true | Some names -> List.mem name names
@@ -58,14 +85,18 @@ let run ?(only : string list option) (fn : Ssa.func) : outcome =
       ([], []) classified
   in
   let plans = List.rev plans and rejected = List.rev rejected in
-  if plans = [] then { no_candidates with rejected }
+  if plans = [] then begin
+    let o = { no_candidates with rejected } in
+    emit_remarks ctx fn o;
+    o
+  end
   else begin
     let applied = List.map (fun plan -> (plan, Rewrite.apply fn plan)) plans in
     (* The staging code is now dead; remove it, then the barriers that only
        guarded it. *)
-    Pass.Pipeline.cleanup fn;
+    Passes.Pipeline.cleanup ?ctx fn;
     let barriers_removed = Rewrite.remove_local_barriers fn in
-    Pass.Pipeline.cleanup fn;
+    Passes.Pipeline.cleanup ?ctx fn;
     Verify.run fn;
     let reports =
       List.map
@@ -73,19 +104,36 @@ let run ?(only : string list option) (fn : Ssa.func) : outcome =
           Report.of_plan ~kernel:fn.Ssa.f_name ~barriers_removed plan ~ngls)
         applied
     in
-    {
-      transformed = List.map (fun (p, _) -> p.Rewrite.cand.Access.cand_name) applied;
-      rejected;
-      reports;
-      barriers_removed;
-    }
+    let o =
+      {
+        transformed =
+          List.map (fun (p, _) -> p.Rewrite.cand.Access.cand_name) applied;
+        rejected;
+        reports;
+        barriers_removed;
+      }
+    in
+    emit_remarks ctx fn o;
+    o
   end
 
 (** Compile + normalise + transform: the whole Fig. 9 pipeline on source.
     Returns one (function, outcome) per kernel in the source. *)
-let run_on_source ?defines ?only (src : string) : (Ssa.func * outcome) list =
+let run_on_source ?defines ?only ?ctx (src : string) : (Ssa.func * outcome) list =
   Lower.compile ?defines src
   |> List.map (fun fn ->
-         Pass.Pipeline.normalize fn;
-         let o = run ?only fn in
+         Passes.Pipeline.normalize ?ctx fn;
+         let o = run ?only ?ctx fn in
          (fn, o))
+
+(** Grover as a registered pass ("grover"), so custom [-passes=...]
+    pipelines can place the transformation anywhere. The per-candidate
+    outcome is reported through the context as remarks; the boolean is
+    "did anything get rewritten". *)
+let pass : Pass.t =
+  Pass.register
+    (Pass.make "grover"
+       ~descr:"disable local memory usage (the paper's transformation)"
+       (fun ctx fn ->
+         let o = run ~ctx fn in
+         o.transformed <> [] || o.barriers_removed > 0))

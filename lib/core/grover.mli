@@ -14,17 +14,29 @@ type outcome = {
   barriers_removed : int;
 }
 
-val run : ?only:string list -> Grover_ir.Ssa.func -> outcome
-(** [run ?only fn] disables local memory usage in [fn].
+val run :
+  ?only:string list ->
+  ?ctx:Grover_passes.Pass.ctx ->
+  Grover_ir.Ssa.func ->
+  outcome
+(** [run ?only ?ctx fn] disables local memory usage in [fn].
 
     @param only restrict the rewrite to local buffers with these source
     names (e.g. [["As"]] reproduces the paper's NVD-MM-A case). Unselected
-    buffers are preserved untouched and do not appear in [rejected]. *)
+    buffers are preserved untouched and do not appear in [rejected].
+    @param ctx pass-manager context: internal cleanup pipelines are
+    instrumented through it and per-candidate outcomes (the paper's
+    Table-III "why rejected" reasons) are emitted as [remark]
+    diagnostics. *)
 
 val run_on_source :
   ?defines:(string * string) list ->
   ?only:string list ->
+  ?ctx:Grover_passes.Pass.ctx ->
   string ->
   (Grover_ir.Ssa.func * outcome) list
 (** The whole paper-Fig.-9 pipeline: compile OpenCL C, normalise, transform.
     Returns one (function, outcome) pair per kernel in the source. *)
+
+val pass : Grover_passes.Pass.t
+(** Grover registered as the pass ["grover"], for custom pipelines. *)

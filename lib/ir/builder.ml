@@ -3,18 +3,24 @@
     and return the instruction's value. *)
 
 open Ssa
+module Loc = Grover_support.Loc
 
-type t = { fn : func; mutable cur : block }
+type t = { fn : func; mutable cur : block; mutable loc : Loc.t }
 
 let create_function ~name ~args : func * t =
   let entry = fresh_block "entry" in
   let fn = { f_name = name; f_args = args; blocks = [ entry ] } in
-  (fn, { fn; cur = entry })
+  (fn, { fn; cur = entry; loc = Loc.dummy })
 
-let on_function (fn : func) : t = { fn; cur = entry fn }
+let on_function (fn : func) : t = { fn; cur = entry fn; loc = Loc.dummy }
 
 let current (b : t) : block = b.cur
 let set_block (b : t) (blk : block) : unit = b.cur <- blk
+
+(** Source span stamped onto every instruction built from here on; the
+    lowering sets it as it walks the AST so pass diagnostics and verifier
+    failures can cite the original OpenCL C construct. *)
+let set_loc (b : t) (loc : Loc.t) : unit = b.loc <- loc
 
 let new_block (b : t) (name : string) : block =
   let blk = fresh_block name in
@@ -22,7 +28,7 @@ let new_block (b : t) (name : string) : block =
   blk
 
 let add (b : t) (op : opcode) : value =
-  let i = fresh_instr op in
+  let i = fresh_instr ~loc:b.loc op in
   append_instr b.cur i;
   Vinstr i
 
@@ -31,7 +37,7 @@ let add_unit (b : t) (op : opcode) : unit = ignore (add b op)
 let terminate (b : t) (op : opcode) : unit =
   match b.cur.term with
   | Some _ -> invalid_arg "terminate: block already terminated"
-  | None -> set_term b.cur (fresh_instr op)
+  | None -> set_term b.cur (fresh_instr ~loc:b.loc op)
 
 let is_terminated (b : t) : bool = b.cur.term <> None
 

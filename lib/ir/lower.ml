@@ -22,7 +22,14 @@ type env = {
   mutable loop_stack : (block * block) list;  (** (continue target, break target) *)
 }
 
+module Diag = Grover_support.Diag
+
 let err loc fmt = Loc.errorf loc fmt
+
+(* Internal invariant violations (not user errors): a structured Diag
+   instead of a bare invalid_arg, so drivers print a located diagnostic
+   and exit instead of dumping a backtrace. *)
+let bug fmt = Diag.fatalf ~pass:"lower" fmt
 
 (* -- Type mapping --------------------------------------------------------- *)
 
@@ -58,14 +65,14 @@ let push_scope env = env.scopes <- Hashtbl.create 8 :: env.scopes
 let pop_scope env =
   match env.scopes with
   | _ :: rest -> env.scopes <- rest
-  | [] -> invalid_arg "pop_scope on empty stack"
+  | [] -> bug "pop_scope on empty stack"
 
 let bind env loc name b =
   match env.scopes with
   | scope :: _ ->
       if Hashtbl.mem scope name then err loc "redeclaration of %s" name
       else Hashtbl.add scope name b
-  | [] -> invalid_arg "no scope"
+  | [] -> bug "no scope open at %a binding %s" Loc.pp loc name
 
 let lookup env name : binding option =
   let rec go = function
@@ -354,6 +361,7 @@ and lower_call env loc name (args : A.expr list) : A.ty * value =
   end
 
 and lower_expr env (e : A.expr) : A.ty * value =
+  Builder.set_loc env.bld e.A.loc;
   match e.A.desc with
   | A.Int_lit n -> (A.Scalar A.Int, Builder.i32 n)
   | A.Float_lit f -> (A.Scalar A.Float, Builder.f32 f)
@@ -455,7 +463,7 @@ and zero_of env (t : A.ty) : value =
   | A.Vector (s, n) ->
       let z = if s = A.Float then Builder.f32 0.0 else Cint (ir_scalar s, 0) in
       Builder.vecbuild env.bld (Vec (ir_scalar s, n)) (List.init n (fun _ -> z))
-  | _ -> invalid_arg "zero_of"
+  | _ -> bug "zero_of: no zero for type %s" (A.ty_name t)
 
 and incr_value env loc t v up =
   match t with
@@ -468,6 +476,7 @@ and incr_value env loc t v up =
 (* -- Statements ------------------------------------------------------------ *)
 
 let rec lower_stmt env (s : A.stmt) : unit =
+  Builder.set_loc env.bld s.A.s_loc;
   if Builder.is_terminated env.bld then begin
     (* Code after return/break: emit into a fresh dead block, pruned later. *)
     let b = Builder.new_block env.bld "dead" in

@@ -56,6 +56,9 @@ and instr = {
   iid : int;  (** unique within a process; dense enough for arrays *)
   mutable op : opcode;
   mutable parent : block option;
+  mutable iloc : Grover_support.Loc.t;
+      (** source span of the construct this instruction was lowered from;
+          [Loc.dummy] for synthesised instructions *)
 }
 
 and opcode =
@@ -103,9 +106,9 @@ and func = {
 let instr_counter = ref 0
 let block_counter = ref 0
 
-let fresh_instr op =
+let fresh_instr ?(loc = Grover_support.Loc.dummy) op =
   incr instr_counter;
-  { iid = !instr_counter; op; parent = None }
+  { iid = !instr_counter; op; parent = None; iloc = loc }
 
 let fresh_block name =
   incr block_counter;

@@ -2,13 +2,27 @@
     mutating a function; tests call it on everything they build. *)
 
 open Ssa
+module Loc = Grover_support.Loc
 
 exception Invalid_ir of string
 
 let fail fmt = Format.kasprintf (fun m -> raise (Invalid_ir m)) fmt
 
+(* Same, but citing the source span the instruction was lowered from, so a
+   broken pass points back at the OpenCL C construct involved. *)
+let fail_at (loc : Loc.t) fmt =
+  Format.kasprintf
+    (fun m ->
+      let m =
+        if Loc.is_dummy loc then m
+        else Format.asprintf "%s (from source %a)" m Loc.pp loc
+      in
+      raise (Invalid_ir m))
+    fmt
+
 let check_types (i : instr) : unit =
   let t v = type_of v in
+  let fail fmt = fail_at i.iloc fmt in
   match i.op with
   | Binop (b, x, y) ->
       if t x <> t y then

@@ -103,7 +103,11 @@ let run (fn : func) : bool =
                       changed := true;
                       continue_ := true
                     end)
-              (Hashtbl.fold (fun k () acc -> k :: acc) loop.blocks [])
+              (* Sorted so hoisting order follows block creation order:
+                 hashtable order depends on absolute bid values and would
+                 make two compiles of the same source diverge. *)
+              (List.sort compare
+                 (Hashtbl.fold (fun k () acc -> k :: acc) loop.blocks []))
           done)
     loops;
   !changed

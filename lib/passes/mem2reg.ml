@@ -47,7 +47,7 @@ let zero_value (t : ty) : value =
       Vinstr (fresh_instr (Vecbuild (t, List.init n (fun _ -> Cint (e, 0)))))
   | _ -> Cint (t, 0)
 
-let rec run (fn : func) : unit =
+let rec run (fn : func) : bool =
   let allocas =
     fold_instrs (fun acc i -> if promotable fn i then i :: acc else acc) [] fn
   in
@@ -183,7 +183,8 @@ let rec run (fn : func) : unit =
             blk.instrs)
       fn.blocks
   end;
-  remove_trivial_phis fn
+  remove_trivial_phis fn;
+  allocas <> []
 
 (* A phi is trivial if every incoming value is either the phi itself or one
    common value v; the phi then just names v. *)

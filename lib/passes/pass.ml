@@ -1,0 +1,319 @@
+(** First-class pass manager.
+
+    Every transform registers here under a stable name with a uniform
+    interface: [ctx -> Ssa.func -> bool], where the boolean reports whether
+    the function changed. The manager threads a {!ctx} carrying
+
+    - structured diagnostics ({!Grover_support.Diag}), so passes emit
+      located errors and Table-III-style remarks instead of ad-hoc strings;
+    - per-pass instrumentation: wall-clock time, instruction-count delta,
+      changed/unchanged, and optional IR snapshot printing;
+    - optional re-verification ([Verify.run]) after every pass.
+
+    Combinators ({!seq}, {!fixpoint}, {!until_stable}) replace the
+    hand-written driver loops that used to live in {!Pipeline}; drivers can
+    assemble custom pipelines by name with {!parse}. *)
+
+open Grover_ir
+module Diag = Grover_support.Diag
+module Loc = Grover_support.Loc
+
+(* -- Instrumentation ------------------------------------------------------- *)
+
+type stat = {
+  st_pass : string;
+  st_seconds : float;  (** wall-clock time of this run of the pass *)
+  st_changed : bool;
+  st_before : int;  (** instruction count before the pass *)
+  st_after : int;  (** instruction count after the pass *)
+}
+
+type ctx = {
+  mutable diags : Diag.t list;  (** newest first *)
+  mutable stats : stat list;  (** newest first; one entry per pass run *)
+  verify_each : bool;  (** run [Verify.run] after every pass *)
+  print_changed : bool;  (** print the IR whenever a pass changes it *)
+  print : string -> unit;  (** sink for [print_changed] output *)
+}
+
+let ctx ?(verify_each = false) ?(print_changed = false)
+    ?(print = prerr_string) () =
+  { diags = []; stats = []; verify_each; print_changed; print }
+
+let diag (c : ctx) (d : Diag.t) : unit = c.diags <- d :: c.diags
+
+let remarkf (c : ctx) ?loc ~pass fmt =
+  Format.kasprintf (fun m -> diag c (Diag.make ?loc ~pass Diag.Remark m)) fmt
+
+(** Diagnostics in emission order. *)
+let diags (c : ctx) : Diag.t list = List.rev c.diags
+
+let errors (c : ctx) : Diag.t list = List.filter Diag.is_error (diags c)
+
+(** Pass runs in execution order. *)
+let stats (c : ctx) : stat list = List.rev c.stats
+
+(* -- The pass type and registry ------------------------------------------- *)
+
+type t = {
+  p_name : string;
+  p_descr : string;
+  p_run : ctx -> Ssa.func -> bool;
+}
+
+let name (p : t) = p.p_name
+let descr (p : t) = p.p_descr
+
+let make p_name ~descr p_run = { p_name; p_descr = descr; p_run }
+
+(** A pass that neither emits diagnostics nor needs the context. *)
+let simple p_name ~descr run = make p_name ~descr (fun _ fn -> run fn)
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+let registered_order : string list ref = ref []
+
+let register (p : t) : t =
+  if not (Hashtbl.mem registry p.p_name) then
+    registered_order := p.p_name :: !registered_order;
+  Hashtbl.replace registry p.p_name p;
+  p
+
+let find (name : string) : t option = Hashtbl.find_opt registry name
+
+(** All registered passes, in registration order. *)
+let all () : t list =
+  List.rev_map (fun n -> Hashtbl.find registry n) !registered_order
+
+let names () : string list = List.map (fun p -> p.p_name) (all ())
+
+(* -- The instrumented runner ---------------------------------------------- *)
+
+let instr_count (fn : Ssa.func) : int =
+  Ssa.fold_instrs (fun n _ -> n + 1) 0 fn
+
+let record (c : ctx) p ~seconds ~changed ~before ~after =
+  c.stats <-
+    { st_pass = p.p_name; st_seconds = seconds; st_changed = changed;
+      st_before = before; st_after = after }
+    :: c.stats
+
+let verify_after (c : ctx) (p : t) (fn : Ssa.func) : unit =
+  try Verify.run fn
+  with Verify.Invalid_ir m ->
+    let d =
+      Diag.errorf ~pass:p.p_name "invalid IR after pass '%s': %s" p.p_name m
+    in
+    diag c d;
+    raise (Diag.Fatal d)
+
+(** Run one pass under the manager: time it, count instructions, record a
+    {!stat}, optionally print the changed IR and re-verify. Exceptions from
+    the pass body are converted to error diagnostics and re-raised as
+    {!Diag.Fatal} so drivers print one located line instead of a trace. *)
+let run_pass (c : ctx) (p : t) (fn : Ssa.func) : bool =
+  let before = instr_count fn in
+  let t0 = Unix.gettimeofday () in
+  let changed =
+    try p.p_run c fn with
+    | Verify.Invalid_ir m ->
+        let d = Diag.errorf ~pass:p.p_name "invalid IR in pass '%s': %s" p.p_name m in
+        diag c d;
+        record c p ~seconds:(Unix.gettimeofday () -. t0) ~changed:false
+          ~before ~after:(instr_count fn);
+        raise (Diag.Fatal d)
+    | Diag.Fatal d ->
+        diag c d;
+        record c p ~seconds:(Unix.gettimeofday () -. t0) ~changed:false
+          ~before ~after:(instr_count fn);
+        raise (Diag.Fatal d)
+  in
+  let seconds = Unix.gettimeofday () -. t0 in
+  let after = instr_count fn in
+  record c p ~seconds ~changed ~before ~after;
+  if c.print_changed && changed then
+    c.print
+      (Printf.sprintf "; IR after %s (%+d instrs)\n%s" p.p_name (after - before)
+         (Printer.func_to_string fn));
+  if c.verify_each then verify_after c p fn;
+  changed
+
+(** Run a pass list in order; true if any member changed the function. *)
+let run_pipeline (c : ctx) (ps : t list) (fn : Ssa.func) : bool =
+  List.fold_left
+    (fun acc p ->
+      let changed = run_pass c p fn in
+      acc || changed)
+    false ps
+
+(* -- Combinators ----------------------------------------------------------- *)
+
+(** Run the members once each, in order. *)
+let seq name ?descr (ps : t list) : t =
+  let descr =
+    match descr with
+    | Some d -> d
+    | None ->
+        Printf.sprintf "sequence: %s"
+          (String.concat " -> " (List.map (fun p -> p.p_name) ps))
+  in
+  make name ~descr (fun c fn -> run_pipeline c ps fn)
+
+(* A runaway rewrite ping-pong would otherwise loop forever; no legitimate
+   pipeline needs anywhere near this many rounds. *)
+let fixpoint_fuel = 1000
+
+(** Repeat the member list until a full round reports no change. *)
+let fixpoint name ?descr (ps : t list) : t =
+  let descr =
+    match descr with
+    | Some d -> d
+    | None ->
+        Printf.sprintf "fixpoint of: %s"
+          (String.concat ", " (List.map (fun p -> p.p_name) ps))
+  in
+  make name ~descr (fun c fn ->
+      let changed = ref false in
+      let continue_ = ref true in
+      let rounds = ref 0 in
+      while !continue_ do
+        incr rounds;
+        if !rounds > fixpoint_fuel then begin
+          diag c
+            (Diag.warningf ~pass:name
+               "fixpoint '%s' did not stabilise after %d rounds; stopping"
+               name fixpoint_fuel);
+          continue_ := false
+        end
+        else begin
+          let round = run_pipeline c ps fn in
+          if round then changed := true else continue_ := false
+        end
+      done;
+      !changed)
+
+(** Repeat one pass until it reports no change. *)
+let until_stable (p : t) : t = fixpoint (p.p_name ^ "*") [ p ]
+
+(* -- Pipeline parsing ------------------------------------------------------ *)
+
+(** Parse a comma-separated pipeline specification ("canon,mem2reg,dce")
+    against the registry. *)
+let parse (spec : string) : (t list, Diag.t) result =
+  let requested =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  if requested = [] then
+    Result.Error (Diag.errorf "empty pass pipeline specification")
+  else
+    let rec go acc = function
+      | [] -> Result.Ok (List.rev acc)
+      | n :: rest -> (
+          match find n with
+          | Some p -> go (p :: acc) rest
+          | None ->
+              Result.Error
+                (Diag.errorf "unknown pass '%s'; available: %s" n
+                   (String.concat ", " (names ()))))
+    in
+    go [] requested
+
+(* -- Timing report --------------------------------------------------------- *)
+
+type summary = {
+  sm_pass : string;
+  sm_runs : int;
+  sm_seconds : float;
+  sm_changed : int;  (** number of runs that changed the function *)
+  sm_delta : int;  (** net instruction-count delta over all runs *)
+}
+
+(** Aggregate the per-run stats by pass name, ordered by total time. *)
+let summarize (c : ctx) : summary list =
+  let tbl : (string, summary) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun st ->
+      match Hashtbl.find_opt tbl st.st_pass with
+      | None ->
+          order := st.st_pass :: !order;
+          Hashtbl.add tbl st.st_pass
+            { sm_pass = st.st_pass; sm_runs = 1; sm_seconds = st.st_seconds;
+              sm_changed = (if st.st_changed then 1 else 0);
+              sm_delta = st.st_after - st.st_before }
+      | Some s ->
+          Hashtbl.replace tbl st.st_pass
+            { s with
+              sm_runs = s.sm_runs + 1;
+              sm_seconds = s.sm_seconds +. st.st_seconds;
+              sm_changed = (s.sm_changed + if st.st_changed then 1 else 0);
+              sm_delta = s.sm_delta + (st.st_after - st.st_before) })
+    (stats c);
+  List.rev !order
+  |> List.map (fun n -> Hashtbl.find tbl n)
+  |> List.sort (fun a b -> compare b.sm_seconds a.sm_seconds)
+
+(** Human-readable aggregated timing table (LLVM's -time-passes style). *)
+let timing_table (c : ctx) : string =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "%-14s %6s %12s %9s %8s\n" "pass" "runs" "time(ms)"
+       "Δinstrs" "changed");
+  List.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf "%-14s %6d %12.3f %9d %8d\n" s.sm_pass s.sm_runs
+           (s.sm_seconds *. 1e3) s.sm_delta s.sm_changed))
+    (summarize c);
+  Buffer.contents b
+
+(** One JSON object per pass (aggregated), for machine consumers. *)
+let stats_json (c : ctx) : string list =
+  List.map
+    (fun s ->
+      Printf.sprintf
+        "{\"type\": \"pass-stat\", \"pass\": %S, \"runs\": %d, \"seconds\": \
+         %.6f, \"instr_delta\": %d, \"changed_runs\": %d}"
+        s.sm_pass s.sm_runs s.sm_seconds s.sm_delta s.sm_changed)
+    (summarize c)
+
+(* -- The registered base passes -------------------------------------------- *)
+
+let canon =
+  register
+    (simple "canon" ~descr:"canonicalise work-item builtin calls" Canon.run)
+
+let expand_gids =
+  register
+    (simple "expand-gids"
+       ~descr:"rewrite get_global_id(d) as group_id*local_size+local_id"
+       Canon.expand_global_ids)
+
+let mem2reg =
+  register
+    (simple "mem2reg" ~descr:"promote private alloca slots to SSA registers"
+       Mem2reg.run)
+
+let simplify =
+  register
+    (simple "simplify" ~descr:"constant folding and algebraic simplification"
+       Simplify.run)
+
+let cse =
+  register
+    (simple "cse" ~descr:"dominator-scoped common-subexpression elimination"
+       Cse.run)
+
+let dce =
+  register (simple "dce" ~descr:"dead-code elimination" Dce.run)
+
+let licm =
+  register (simple "licm" ~descr:"loop-invariant code motion" Licm.run)
+
+let verify =
+  register
+    (simple "verify" ~descr:"IR well-formedness check (never changes the IR)"
+       (fun fn ->
+         Verify.run fn;
+         false))

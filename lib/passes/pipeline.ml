@@ -1,38 +1,47 @@
 (** Pass orchestration. [normalize] is the pipeline every kernel goes
-    through before Grover's analysis; [cleanup] runs after its rewriting. *)
+    through before Grover's analysis; [cleanup] runs after its rewriting.
+
+    Both are expressed with the {!Pass} combinators — the simplify/CSE/DCE
+    fixpoint that used to be copy-pasted here is now one registered
+    [fixpoint] pass, and drivers can run either pipeline (or any custom
+    [-passes=...] list) under an instrumented {!Pass.ctx}. *)
 
 open Grover_ir
 
-let fixpoint (fn : Ssa.func) : unit =
-  let continue_ = ref true in
-  while !continue_ do
-    let a = Simplify.run fn in
-    let b = Cse.run fn in
-    let c = Dce.run fn in
-    continue_ := a || b || c
-  done;
-  if Licm.run fn then begin
-    let continue_ = ref true in
-    while !continue_ do
-      let a = Simplify.run fn in
-      let b = Cse.run fn in
-      let c = Dce.run fn in
-      continue_ := a || b || c
-    done
-  end
+(** simplify/cse/dce to a fixpoint — the classic cleanup loop. *)
+let simplify_fix =
+  Pass.register
+    (Pass.fixpoint "simplify-fix" [ Pass.simplify; Pass.cse; Pass.dce ])
+
+(** The post-transformation cleanup: the fixpoint, then LICM (which may
+    re-expose work, e.g. hoisted subterms becoming CSE-able), then the
+    fixpoint again. DCE here removes the dead local stores/allocas the
+    Grover rewrite leaves behind. *)
+let cleanup_pass =
+  Pass.register
+    (Pass.seq "cleanup"
+       ~descr:"simplify/cse/dce fixpoint, LICM, fixpoint again"
+       [ simplify_fix; Pass.licm; simplify_fix ])
+
+(** Work-item-call canonicalisation + mem2reg + the cleanup loop. *)
+let normalize_pass =
+  Pass.register
+    (Pass.seq "normalize"
+       ~descr:"canonicalise, promote to SSA and clean up to a fixpoint"
+       [ Pass.canon; Pass.expand_gids; Pass.canon; Pass.mem2reg;
+         simplify_fix; Pass.licm; simplify_fix ])
 
 (** Work-item-call canonicalisation + mem2reg + simplify/DCE to fixpoint;
-    verified on exit. *)
-let normalize (fn : Ssa.func) : unit =
-  ignore (Canon.run fn);
-  ignore (Canon.expand_global_ids fn);
-  ignore (Canon.run fn);
-  Mem2reg.run fn;
-  fixpoint fn;
+    verified on exit. Pass [?ctx] to collect per-pass statistics and
+    diagnostics; without one, behaviour is exactly the historical
+    hard-wired sequence. *)
+let normalize ?ctx (fn : Ssa.func) : unit =
+  let c = match ctx with Some c -> c | None -> Pass.ctx () in
+  ignore (Pass.run_pass c normalize_pass fn);
   Verify.run fn
 
-(** Post-transformation cleanup: the same fixpoint (DCE removes the dead
-    local stores/allocas the rewrite left behind). *)
-let cleanup (fn : Ssa.func) : unit =
-  fixpoint fn;
+(** Post-transformation cleanup; verified on exit. *)
+let cleanup ?ctx (fn : Ssa.func) : unit =
+  let c = match ctx with Some c -> c | None -> Pass.ctx () in
+  ignore (Pass.run_pass c cleanup_pass fn);
   Verify.run fn

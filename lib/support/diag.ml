@@ -1,0 +1,112 @@
+(** Structured diagnostics.
+
+    One record per message, with a severity, an optional source span
+    ({!Loc.t}, propagated from the front-end through lowering into the IR),
+    the component that produced it (a pass name, "lower", "verify", ...)
+    and the text. Replaces the bare [failwith]/[invalid_arg] strings the
+    compiler half used to abort with: drivers render a diagnostic either
+    as the classic [file:line:col: error: message] line or as JSON for
+    machine consumers (the bench/autotune layer). *)
+
+type severity = Remark | Note | Warning | Error
+
+type t = {
+  severity : severity;
+  loc : Loc.t option;  (** source span, when one is known *)
+  file : string option;  (** source file, when the driver knows it *)
+  pass : string option;  (** producing component ("lower", "cse", "grover", ...) *)
+  message : string;
+}
+
+exception Fatal of t
+(** Raised for unrecoverable diagnostics (internal invariant violations,
+    front-end errors re-wrapped by the driver). Carries the full record so
+    the driver can still print [file:line:col: error: ...] and exit 1
+    instead of dumping a backtrace. *)
+
+let severity_name = function
+  | Remark -> "remark"
+  | Note -> "note"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let make ?loc ?file ?pass severity message = { severity; loc; file; pass; message }
+
+let makef ?loc ?file ?pass severity fmt =
+  Format.kasprintf (fun message -> make ?loc ?file ?pass severity message) fmt
+
+let remarkf ?loc ?file ?pass fmt = makef ?loc ?file ?pass Remark fmt
+let warningf ?loc ?file ?pass fmt = makef ?loc ?file ?pass Warning fmt
+let errorf ?loc ?file ?pass fmt = makef ?loc ?file ?pass Error fmt
+
+let fatalf ?loc ?file ?pass fmt =
+  Format.kasprintf
+    (fun message -> raise (Fatal (make ?loc ?file ?pass Error message)))
+    fmt
+
+let is_error d = d.severity = Error
+
+(** Attach [file] (and/or a location) after the fact — the front-end knows
+    the span, only the driver knows the file name. *)
+let with_file file d = { d with file = Some file }
+
+let of_loc_error ?file (loc : Loc.t) (message : string) : t =
+  make ~loc ?file Error message
+
+(* -- Rendering ------------------------------------------------------------ *)
+
+(** [file:line:col: severity: [pass] message], degrading gracefully when the
+    span or file is unknown. *)
+let to_string ?file d =
+  let file = match file with Some _ as f -> f | None -> d.file in
+  let b = Buffer.create 80 in
+  (match (file, d.loc) with
+  | Some f, Some l when not (Loc.is_dummy l) ->
+      Buffer.add_string b (Printf.sprintf "%s:%d:%d: " f l.Loc.line l.Loc.col)
+  | Some f, _ -> Buffer.add_string b (f ^ ": ")
+  | None, Some l when not (Loc.is_dummy l) ->
+      Buffer.add_string b (Printf.sprintf "%d:%d: " l.Loc.line l.Loc.col)
+  | None, _ -> ());
+  Buffer.add_string b (severity_name d.severity);
+  Buffer.add_string b ": ";
+  (match d.pass with
+  | Some p -> Buffer.add_string b (Printf.sprintf "[%s] " p)
+  | None -> ());
+  Buffer.add_string b d.message;
+  Buffer.contents b
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(** One JSON object per diagnostic (a JSON-lines stream when printed). *)
+let to_json ?file d =
+  let file = match file with Some _ as f -> f | None -> d.file in
+  let fields = ref [] in
+  let add k v = fields := (k, v) :: !fields in
+  let quote v = "\"" ^ json_escape v ^ "\"" in
+  add "severity" (quote (severity_name d.severity));
+  (match file with Some f -> add "file" (quote f) | None -> ());
+  (match d.loc with
+  | Some l when not (Loc.is_dummy l) ->
+      add "line" (string_of_int l.Loc.line);
+      add "col" (string_of_int l.Loc.col)
+  | _ -> ());
+  (match d.pass with Some p -> add "pass" (quote p) | None -> ());
+  add "message" (quote d.message);
+  "{"
+  ^ String.concat ", "
+      (List.rev_map (fun (k, v) -> Printf.sprintf "\"%s\": %s" k v) !fields)
+  ^ "}"

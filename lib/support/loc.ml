@@ -1,0 +1,17 @@
+(** Source locations for diagnostics.
+
+    Lives in [Grover_support] (the bottom layer) so both the front-end and
+    the IR/pass layers can carry locations without depending on the
+    front-end; [Grover_clc.Loc] re-exports this module unchanged. *)
+
+type t = { line : int; col : int }
+
+let dummy = { line = 0; col = 0 }
+let is_dummy l = l.line = 0 && l.col = 0
+let pp ppf { line; col } = Format.fprintf ppf "%d:%d" line col
+
+exception Error of t * string
+(** The front-end's single error channel: lexing, parsing and semantic
+    errors all carry a location and a human-readable message. *)
+
+let errorf loc fmt = Format.kasprintf (fun msg -> raise (Error (loc, msg))) fmt

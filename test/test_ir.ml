@@ -112,7 +112,7 @@ let test_lower_unknown_var () =
 
 let test_mem2reg_promotes_scalars () =
   let fn = compile1 mt_source in
-  Pass.Mem2reg.run fn;
+  ignore (Pass.Mem2reg.run fn);
   Verify.run fn;
   (* All private single slots promoted: remaining allocas are local only. *)
   Ssa.iter_instrs
@@ -128,7 +128,7 @@ let test_mem2reg_loop_phi () =
     compile1
       "__kernel void f(__global int *a, int n) { int s = 0; for (int i = 0; i < n; i++) s = s + i; a[0] = s; }"
   in
-  Pass.Mem2reg.run fn;
+  ignore (Pass.Mem2reg.run fn);
   Verify.run fn;
   Alcotest.(check bool) "loop-carried phi exists" true (count_op is_phi fn > 0)
 
@@ -137,7 +137,7 @@ let test_mem2reg_if_phi () =
     compile1
       "__kernel void f(__global int *a, int n) { int v; if (n > 0) v = 1; else v = 2; a[0] = v; }"
   in
-  Pass.Mem2reg.run fn;
+  ignore (Pass.Mem2reg.run fn);
   Verify.run fn;
   Alcotest.(check int) "one merge phi" 1 (count_op is_phi fn)
 
@@ -149,7 +149,7 @@ let test_mem2reg_no_trivial_phi () =
     compile1
       "__kernel void f(__global int *a, int n) { int c = 7; if (n > 0) a[0] = c; else a[1] = c; a[2] = c; }"
   in
-  Pass.Mem2reg.run fn;
+  ignore (Pass.Mem2reg.run fn);
   Verify.run fn;
   Alcotest.(check int) "no phi for the invariant" 0 (count_op is_phi fn)
 
@@ -158,7 +158,7 @@ let test_mem2reg_keeps_arrays () =
     compile1
       "__kernel void f(__global int *a) { int t[4]; t[0] = 1; t[1] = 2; a[0] = t[0] + t[1]; }"
   in
-  Pass.Mem2reg.run fn;
+  ignore (Pass.Mem2reg.run fn);
   Verify.run fn;
   Alcotest.(check bool) "array alloca kept" true (count_op is_alloca fn > 0)
 

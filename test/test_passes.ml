@@ -66,7 +66,7 @@ let test_cse_merges_duplicates () =
     compile1
       "__kernel void f(__global int *a, int x, int y) { a[0] = (x + y) * (x + y); }"
   in
-  Pass.Mem2reg.run fn;
+  ignore (Pass.Mem2reg.run fn);
   ignore (Pass.Cse.run fn);
   ignore (Pass.Dce.run fn);
   Verify.run fn;
@@ -78,7 +78,7 @@ let test_cse_commutative () =
     compile1
       "__kernel void f(__global int *a, int x, int y) { a[0] = (x + y) + (y + x); }"
   in
-  Pass.Mem2reg.run fn;
+  ignore (Pass.Mem2reg.run fn);
   ignore (Pass.Cse.run fn);
   ignore (Pass.Dce.run fn);
   Verify.run fn;
@@ -105,7 +105,7 @@ let test_cse_respects_dominance () =
           if (n > 0) a[0] = x * 7; else a[1] = x * 7;
         }|}
   in
-  Pass.Mem2reg.run fn;
+  ignore (Pass.Mem2reg.run fn);
   ignore (Pass.Cse.run fn);
   Verify.run fn;
   Alcotest.(check int) "both multiplications survive" 2
@@ -143,7 +143,7 @@ let in_loop_muls fn =
 
 let test_licm_hoists_invariant () =
   let fn = compile1 licm_kernel in
-  Pass.Mem2reg.run fn;
+  ignore (Pass.Mem2reg.run fn);
   let before = in_loop_muls fn in
   ignore (Pass.Licm.run fn);
   Verify.run fn;
@@ -167,12 +167,12 @@ let test_licm_preserves_semantics () =
   in
   let plain =
     let fn = compile1 licm_kernel in
-    Pass.Mem2reg.run fn;
+    ignore (Pass.Mem2reg.run fn);
     run fn
   in
   let hoisted =
     let fn = compile1 licm_kernel in
-    Pass.Mem2reg.run fn;
+    ignore (Pass.Mem2reg.run fn);
     ignore (Pass.Licm.run fn);
     run fn
   in
@@ -189,7 +189,7 @@ let test_licm_keeps_guarded_division () =
           }
         }|}
   in
-  Pass.Mem2reg.run fn;
+  ignore (Pass.Mem2reg.run fn);
   ignore (Pass.Licm.run fn);
   Verify.run fn;
   (* Run with n = 0: must not trap. *)
