@@ -53,6 +53,7 @@ let micro () =
 let () =
   let scale = ref 1 in
   let quick = ref false in
+  let check_scaling = ref false in
   let todo = ref [] in
   let args = Array.to_list Sys.argv |> List.tl in
   let rec parse = function
@@ -63,6 +64,9 @@ let () =
     | "--quick" :: rest ->
         quick := true;
         parse rest
+    | "--check-scaling" :: rest ->
+        check_scaling := true;
+        parse rest
     | x :: rest ->
         todo := x :: !todo;
         parse rest
@@ -71,6 +75,7 @@ let () =
   let todo = List.rev !todo in
   let scale = !scale in
   let quick = !quick in
+  let check_scaling = !check_scaling in
   let run_one = function
     | "table1" -> Exp.table1 ()
     | "table2" -> Exp.table2 ()
@@ -81,7 +86,7 @@ let () =
     | "fig10" -> ignore (Exp.fig10 ~scale ())
     | "table4" -> Exp.table4 ~scale ()
     | "micro" -> micro ()
-    | "perf" -> Perf.run ~quick ()
+    | "perf" -> Perf.run ~quick ~check_scaling ()
     | "ablation" -> Ablation.all ~scale ()
     | "predictor" -> Predictor.run ~scale ()
     | other ->
@@ -103,6 +108,6 @@ let () =
       Exp.table4 ~cmps ~scale ();
       Ablation.all ~scale ();
       Predictor.run ~scale ();
-      Perf.run ~quick ();
+      Perf.run ~quick ~check_scaling ();
       micro ()
   | l -> List.iter run_one l

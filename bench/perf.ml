@@ -1,7 +1,19 @@
-(* Interpreter throughput benchmark: the closure-compiled engine vs the
-   legacy tree-walking engine on NVD-MT (matrix transpose), measured in
-   work-items/sec over a full launch (trace recording included, no
-   platform simulation). Results go to stdout and BENCH_interp.json. *)
+(* Interpreter throughput benchmark on NVD-MT (matrix transpose), measured
+   in work-items/sec over a full launch (trace recording included, no
+   platform simulation):
+
+   - the closure-compiled engine vs the legacy tree-walking engine, and
+   - a domain-scaling sweep — (1, 2, 4, 0=auto) requested domains x
+     (fiberless fast path, forced fiber scheduler) on the barrier-free
+     Grover-transformed version — exercising the persistent domain pool
+     and the chunked group scheduler.
+
+   Every row records which execution path ran and how many pool domains
+   were actually used, so the numbers feeding tuning decisions are
+   auditable. Results go to stdout and BENCH_interp.json; with
+   [check_scaling] the run fails if the auto-domain row is >10% slower
+   than the single-domain row (the regression the persistent pool
+   exists to prevent). *)
 
 open Grover_ocl
 module H = Grover_suite.Harness
@@ -32,7 +44,9 @@ let mk_transpose ~n : Kit.workload =
 type row = {
   version : H.version;
   engine : Interp.engine;
-  domains : int;
+  domains : int;  (** requested (0 = auto) *)
+  path : string;  (** execution path actually taken: fiber / fiberless *)
+  pool_domains : int;  (** domains actually used, incl. the caller *)
   seconds : float;
   wi_per_sec : float;
 }
@@ -40,17 +54,26 @@ type row = {
 let version_name = function H.With_lm -> "with_lm" | H.Without_lm -> "without_lm"
 let engine_name = function Interp.Compiled -> "compiled" | Interp.Tree -> "tree"
 
-let measure ~(version : H.version) ~(engine : Interp.engine) ~(domains : int)
-    ~(n : int) ~(reps : int) : row =
+let measure ~(version : H.version) ~(engine : Interp.engine)
+    ?(force_fibers = false) ~(domains : int) ~(n : int) ~(reps : int) () : row =
   let fn, _ = H.compile_version Nvd_mt.case version in
   let compiled = Interp.prepare ~engine fn in
   let w = mk_transpose ~n in
   let cfg = { Runtime.global = w.Kit.global; local = w.Kit.local; queues = 1 } in
+  let p = Runtime.plan compiled ~cfg ~force_fibers ~domains () in
+  (* One untimed warm-up launch: first-touch page faults, pool-domain
+     spawning and GC ramp-up otherwise land on whichever row runs first
+     and skew the scaling comparison at small sizes. *)
+  let (_ : Trace.totals) =
+    Runtime.launch compiled ~cfg ~args:w.Kit.args ~mem:w.Kit.mem ~domains
+      ~force_fibers ()
+  in
   let best = ref infinity in
   for _ = 1 to reps do
     let t0 = Unix.gettimeofday () in
     let (_ : Trace.totals) =
-      Runtime.launch compiled ~cfg ~args:w.Kit.args ~mem:w.Kit.mem ~domains ()
+      Runtime.launch compiled ~cfg ~args:w.Kit.args ~mem:w.Kit.mem ~domains
+        ~force_fibers ()
     in
     let dt = Unix.gettimeofday () -. t0 in
     if dt < !best then best := dt
@@ -59,42 +82,79 @@ let measure ~(version : H.version) ~(engine : Interp.engine) ~(domains : int)
   | Ok () -> ()
   | Error m -> failwith ("perf bench produced wrong output: " ^ m));
   let n_items = n * n in
-  { version; engine; domains; seconds = !best; wi_per_sec = float_of_int n_items /. !best }
+  {
+    version;
+    engine;
+    domains;
+    path = Runtime.path_name p;
+    pool_domains = p.Runtime.domains_used;
+    seconds = !best;
+    wi_per_sec = float_of_int n_items /. !best;
+  }
 
-let run ?(quick = false) () : unit =
-  let n = if quick then 128 else 512 in
-  let reps = if quick then 1 else 3 in
+let run ?(quick = false) ?(check_scaling = false) () : unit =
+  (* Quick mode still needs runs long enough for the 10% scaling gate:
+     at 128^2 a row finishes in ~3 ms and timer noise alone exceeds the
+     gate, so quick uses 256^2 with best-of-5. *)
+  let n = if quick then 256 else 512 in
+  let reps = if quick then 5 else 3 in
   Exp.header
     (Printf.sprintf
-       "Interpreter throughput: NVD-MT %dx%d, %d rep%s (work-items/sec; \
-        compiled closures vs tree walk)"
-       n n reps (if reps = 1 then "" else "s"));
-  let rows =
-    [ measure ~version:H.With_lm ~engine:Interp.Tree ~domains:1 ~n ~reps;
-      measure ~version:H.With_lm ~engine:Interp.Compiled ~domains:1 ~n ~reps;
-      measure ~version:H.Without_lm ~engine:Interp.Tree ~domains:1 ~n ~reps;
-      measure ~version:H.Without_lm ~engine:Interp.Compiled ~domains:1 ~n ~reps;
+       "Interpreter throughput: NVD-MT %dx%d, %d reps (work-items/sec; \
+        compiled closures vs tree walk; domain-scaling sweep on the \
+        persistent pool)"
+       n n reps);
+  let m = measure ~n ~reps in
+  let engine_rows =
+    [ m ~version:H.With_lm ~engine:Interp.Tree ~domains:1 ();
+      m ~version:H.With_lm ~engine:Interp.Compiled ~domains:1 ();
+      m ~version:H.Without_lm ~engine:Interp.Tree ~domains:1 ();
+      m ~version:H.Without_lm ~engine:Interp.Compiled ~domains:1 ();
       (* domains = 0 asks the runtime for the recommended domain count. *)
-      measure ~version:H.With_lm ~engine:Interp.Compiled ~domains:0 ~n ~reps ]
+      m ~version:H.With_lm ~engine:Interp.Compiled ~domains:0 () ]
   in
-  Printf.printf "%-12s %-10s %-8s %12s %14s\n" "version" "engine" "domains"
-    "seconds" "wi/sec";
+  (* The scaling sweep: the Grover-transformed (barrier-free) version on
+     the compiled engine, fiberless vs forced fibers, across requested
+     domain counts. *)
+  let sweep_rows =
+    List.concat_map
+      (fun force_fibers ->
+        List.map
+          (fun domains ->
+            m ~version:H.Without_lm ~engine:Interp.Compiled ~force_fibers
+              ~domains ())
+          [ 1; 2; 4; 0 ])
+      [ false; true ]
+  in
+  let rows = engine_rows @ sweep_rows in
+  Printf.printf "%-12s %-10s %-8s %-10s %6s %12s %14s\n" "version" "engine"
+    "domains" "path" "pool" "seconds" "wi/sec";
   List.iter
     (fun r ->
-      Printf.printf "%-12s %-10s %-8s %12.4f %14.0f\n" (version_name r.version)
-        (engine_name r.engine)
+      Printf.printf "%-12s %-10s %-8s %-10s %6d %12.4f %14.0f\n"
+        (version_name r.version) (engine_name r.engine)
         (if r.domains = 0 then "auto" else string_of_int r.domains)
-        r.seconds r.wi_per_sec)
+        r.path r.pool_domains r.seconds r.wi_per_sec)
     rows;
-  let find v e =
-    List.find (fun r -> r.version = v && r.engine = e && r.domains = 1) rows
+  let find ?(path = "") v e d =
+    List.find
+      (fun r ->
+        r.version = v && r.engine = e && r.domains = d
+        && (path = "" || r.path = path))
+      rows
   in
   let speedup v =
-    (find v Interp.Compiled).wi_per_sec /. (find v Interp.Tree).wi_per_sec
+    (find v Interp.Compiled 1).wi_per_sec /. (find v Interp.Tree 1).wi_per_sec
   in
   let sp_with = speedup H.With_lm and sp_without = speedup H.Without_lm in
-  Printf.printf "\nspeedup compiled/tree: with_lm %.2fx, without_lm %.2fx\n"
-    sp_with sp_without;
+  let fiberless_1 = find ~path:"fiberless" H.Without_lm Interp.Compiled 1 in
+  let fiber_1 = find ~path:"fiber" H.Without_lm Interp.Compiled 1 in
+  let sp_fiberless = fiberless_1.wi_per_sec /. fiber_1.wi_per_sec in
+  Printf.printf
+    "\nspeedup compiled/tree: with_lm %.2fx, without_lm %.2fx\n\
+     fiberless fast path vs forced fibers (without_lm, 1 domain): %.2fx\n"
+    sp_with sp_without sp_fiberless;
+  if not quick then begin
   let oc = open_out "BENCH_interp.json" in
   Printf.fprintf oc
     "{\n  \"bench\": \"interp-throughput\",\n  \"case\": \"NVD-MT\",\n\
@@ -103,13 +163,86 @@ let run ?(quick = false) () : unit =
     (fun k r ->
       Printf.fprintf oc
         "    {\"version\": \"%s\", \"engine\": \"%s\", \"domains\": %d, \
-         \"seconds\": %.6f, \"wi_per_sec\": %.0f}%s\n"
-        (version_name r.version) (engine_name r.engine) r.domains r.seconds
-        r.wi_per_sec
+         \"path\": \"%s\", \"pool_domains\": %d, \"seconds\": %.6f, \
+         \"wi_per_sec\": %.0f}%s\n"
+        (version_name r.version) (engine_name r.engine) r.domains r.path
+        r.pool_domains r.seconds r.wi_per_sec
         (if k = List.length rows - 1 then "" else ","))
     rows;
   Printf.fprintf oc
-    "  ],\n  \"speedup_with_lm\": %.2f,\n  \"speedup_without_lm\": %.2f\n}\n"
-    sp_with sp_without;
+    "  ],\n  \"speedup_with_lm\": %.2f,\n  \"speedup_without_lm\": %.2f,\n\
+    \  \"speedup_fiberless_over_fiber\": %.2f\n}\n"
+    sp_with sp_without sp_fiberless;
   close_out oc;
   Printf.printf "wrote BENCH_interp.json\n%!"
+  end;
+  if check_scaling then begin
+    (* The regression gate: auto-domain parallel execution must not be
+       slower than serial beyond noise (>10%) on any measured
+       configuration — the exact failure mode the per-launch Domain.spawn
+       runtime exhibited. *)
+    let checks =
+      [ ("with_lm compiled", H.With_lm, false);
+        ("without_lm fiberless", H.Without_lm, false);
+        ("without_lm fiber", H.Without_lm, true) ]
+    in
+    (* The table rows above are measured minutes apart, so a background
+       load spike on a shared machine can depress one side of a
+       comparison by far more than 10%. The gate therefore re-times each
+       pair with interleaved launches — serial, auto, serial, auto, ... —
+       so both sides sample the same load profile, and compares best-of. *)
+    let measure_pair ~version ~force_fibers =
+      let fn, _ = H.compile_version Nvd_mt.case version in
+      let compiled = Interp.prepare ~engine:Interp.Compiled fn in
+      let w = mk_transpose ~n in
+      let cfg = { Runtime.global = w.Kit.global; local = w.Kit.local; queues = 1 } in
+      let time domains =
+        let t0 = Unix.gettimeofday () in
+        let (_ : Trace.totals) =
+          Runtime.launch compiled ~cfg ~args:w.Kit.args ~mem:w.Kit.mem ~domains
+            ~force_fibers ()
+        in
+        Unix.gettimeofday () -. t0
+      in
+      ignore (time 1);
+      ignore (time 0);
+      let best_serial = ref infinity and best_auto = ref infinity in
+      for _ = 1 to reps do
+        let s = time 1 in
+        if s < !best_serial then best_serial := s;
+        let a = time 0 in
+        if a < !best_auto then best_auto := a
+      done;
+      let items = float_of_int (n * n) in
+      (items /. !best_serial, items /. !best_auto)
+    in
+    let failed =
+      List.filter_map
+        (fun (label, version, force_fibers) ->
+          let path =
+            if force_fibers || version = H.With_lm then "fiber" else "fiberless"
+          in
+          let auto_row = find ~path version Interp.Compiled 0 in
+          (* Three attempts: a genuine regression (the per-launch spawn
+             runtime was ~2x slower) fails every one; an unlucky load
+             burst does not. *)
+          let rec attempt k =
+            let serial, auto = measure_pair ~version ~force_fibers in
+            if auto >= 0.9 *. serial then None
+            else if k < 3 then attempt (k + 1)
+            else
+              Some
+                (Printf.sprintf
+                   "%s: domains=auto (%d pool domains) runs at %.0f wi/sec, \
+                    >10%% below domains=1 at %.0f wi/sec"
+                   label auto_row.pool_domains auto serial)
+          in
+          attempt 1)
+        checks
+    in
+    match failed with
+    | [] -> Printf.printf "scaling check: ok (auto >= 0.9x serial on all paths)\n%!"
+    | msgs ->
+        List.iter (Printf.eprintf "scaling check FAILED: %s\n") msgs;
+        exit 1
+  end

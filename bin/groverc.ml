@@ -398,27 +398,34 @@ let autotune_cmd =
     | Some case, Some plat ->
         let cmp = Grover_suite.Harness.compare case ~platform:plat ~scale in
         Printf.printf "%s on %s:\n" cmp.Grover_suite.Harness.case_id platform;
-        Printf.printf "  with local memory:    %.3f ms\n"
-          (cmp.Grover_suite.Harness.with_lm.Grover_suite.Harness.seconds *. 1e3);
-        Printf.printf "  without local memory: %.3f ms\n"
-          (cmp.Grover_suite.Harness.without_lm.Grover_suite.Harness.seconds *. 1e3);
+        Printf.printf "  with local memory:    %.3f ms [%s path]\n"
+          (cmp.Grover_suite.Harness.with_lm.Grover_suite.Harness.seconds *. 1e3)
+          cmp.Grover_suite.Harness.with_lm.Grover_suite.Harness.path;
+        Printf.printf "  without local memory: %.3f ms [%s path]\n"
+          (cmp.Grover_suite.Harness.without_lm.Grover_suite.Harness.seconds *. 1e3)
+          cmp.Grover_suite.Harness.without_lm.Grover_suite.Harness.path;
         Printf.printf "  normalized perf:      %.2f -> keep the version %s\n"
           cmp.Grover_suite.Harness.normalized
           (if cmp.Grover_suite.Harness.normalized > 1.0 then
              "WITHOUT local memory"
            else "WITH local memory");
         if domains <> 1 then begin
-          Printf.printf "host throughput (%s domain%s):\n"
+          Printf.printf "host throughput (%s domain%s requested):\n"
             (if domains = 0 then "auto" else string_of_int domains)
             (if domains = 1 then "" else "s");
           List.iter
             (fun (label, v) ->
-              let seconds, items =
-                Grover_suite.Harness.wallclock ~domains case v ~scale
-              in
-              Printf.printf "  %-21s %.3f ms, %.0f work-items/sec\n" label
-                (seconds *. 1e3)
-                (float_of_int items /. seconds))
+              let r = Grover_suite.Harness.wallclock ~domains case v ~scale in
+              Printf.printf
+                "  %-21s %.3f ms, %.0f work-items/sec [%s path, %d pool \
+                 domain%s]\n"
+                label
+                (r.Grover_suite.Harness.wc_seconds *. 1e3)
+                (float_of_int r.Grover_suite.Harness.wc_items
+                /. r.Grover_suite.Harness.wc_seconds)
+                r.Grover_suite.Harness.wc_path
+                r.Grover_suite.Harness.wc_domains
+                (if r.Grover_suite.Harness.wc_domains = 1 then "" else "s"))
             [ ("with local memory:", Grover_suite.Harness.With_lm);
               ("without local memory:", Grover_suite.Harness.Without_lm) ]
         end;

@@ -28,5 +28,15 @@ dune exec bin/groverc.exe -- pipeline all \
   -passes=canon,mem2reg,simplify,cse,dce --time-passes --verify-each \
   > /dev/null
 
-echo "== bench perf --quick =="
-dune exec bench/main.exe -- perf --quick
+echo "== autotune with auto domains, both engines (validated wallclock) =="
+# The host-throughput phase verifies kernel output per measured run, so a
+# chunked-parallel miscompute fails this step (not just slows it down).
+GROVER_ENGINE=closure dune exec bin/groverc.exe -- autotune NVD-MT --domains 0 \
+  > /dev/null
+GROVER_ENGINE=tree dune exec bin/groverc.exe -- autotune NVD-MT --domains 0 \
+  > /dev/null
+
+echo "== bench perf --quick --check-scaling =="
+# --check-scaling fails the run if the auto-domain row is >10% slower
+# than domains=1 on any measured path.
+dune exec bench/main.exe -- perf --quick --check-scaling

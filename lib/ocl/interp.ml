@@ -44,13 +44,13 @@ let default_engine =
 (* -- Work-item context ------------------------------------------------------- *)
 
 type wi_ctx = {
-  lid : int array;  (** 3 entries *)
+  lid : int array;  (** 3 entries; rewritten in place between work-items *)
   gid : int array;
-  grp : int array;
+  grp : int array;  (** shared with the group runner, rewritten per group *)
   lsz : int array;
   gsz : int array;
   ngr : int array;
-  flat_lid : int;  (** linear id within the group, for traces *)
+  mutable flat_lid : int;  (** linear id within the group, for traces *)
 }
 
 type _ Effect.t += Barrier_hit : unit Effect.t
@@ -215,9 +215,11 @@ type wi_state = {
   args : rv array;
   ctx : wi_ctx;
   stats : Trace.wg_stats;
-  local_bufs : (int, Memory.buffer) Hashtbl.t;  (** alloca iid -> group buffer *)
+  mutable local_bufs : (int, Memory.buffer) Hashtbl.t;
+      (** alloca iid -> group buffer; swapped by the runtime when the
+          executing queue changes *)
   mem : Memory.t;
-  queue : int;
+  mutable queue : int;
   mutable private_offset : int;  (** bump offset in the private address region *)
 }
 
@@ -226,6 +228,9 @@ and compiled = {
   slots : (int, int) Hashtbl.t;  (** instruction id -> tree environment slot *)
   n_slots : int;
   local_allocas : instr list;  (** local arrays, allocated once per group *)
+  has_barrier : bool;
+      (** statically true iff the kernel contains a [Barrier] instruction;
+          barrier-free kernels take the fiberless fast path *)
   code : cfunc option;  (** [Some] iff the kernel was closure-compiled *)
 }
 
@@ -239,7 +244,16 @@ and cfunc = {
   scr_box : int;
 }
 
-and cblock = { body : (wi_state -> unit) array; cterm : cterm }
+and cblock = {
+  body : (wi_state -> unit) array;
+  cterm : cterm;
+  (* Op counts are only observable at group granularity, so the
+     statically-known per-instruction costs are summed once per block at
+     compile time and bumped in one go per block execution. *)
+  b_int : int;
+  b_float : int;
+  b_special : int;
+}
 
 and cterm =
   | Tbr of edge
@@ -604,12 +618,6 @@ let compile_fn (fn : func) : cfunc =
   let is_int_ty = function I1 | I8 | I16 | I32 | I64 -> true | _ -> false in
 
   let compile_call (i : instr) callee (args : value list) : wi_state -> unit =
-    let special = List.mem callee special_fns in
-    let bump st =
-      if special then
-        st.stats.Trace.special_ops <- st.stats.Trace.special_ops + 1
-      else st.stats.Trace.int_ops <- st.stats.Trace.int_ops + 1
-    in
     let arg_tys = List.map type_of args in
     (* Work-item index queries: resolve the selector and, when the
        dimension is a constant (the common case after canon), the index. *)
@@ -617,12 +625,10 @@ let compile_fn (fn : func) : cfunc =
       match args with
       | [ Cint (_, d) ] when d >= 0 && d < 3 ->
           with_int_dst i (fun dst st ->
-              bump st;
               st.ienv.(dst) <- (sel st.ctx).(d))
       | [ dv ] ->
           let g = iget dv in
           with_int_dst i (fun dst st ->
-              bump st;
               let d = g st in
               if d < 0 || d >= 3 then trap "dimension out of range";
               st.ienv.(dst) <- (sel st.ctx).(d))
@@ -638,18 +644,15 @@ let compile_fn (fn : func) : cfunc =
     | "get_num_groups" -> wi_query (fun c -> c.ngr)
     | "get_global_offset" ->
         with_int_dst i (fun dst st ->
-            bump st;
             st.ienv.(dst) <- 0)
     | "get_work_dim" ->
         with_int_dst i (fun dst st ->
-            bump st;
             st.ienv.(dst) <- 3)
     | "dot" -> (
         match (args, arg_tys) with
         | [ a; b ], [ Vec (F32, _); Vec (F32, _) ] ->
             let ga = vget a and gb = vget b in
             with_float_dst i (fun dst st ->
-                bump st;
                 match (ga st, gb st) with
                 | RVecF x, RVecF y ->
                     let s = ref 0.0 in
@@ -659,7 +662,6 @@ let compile_fn (fn : func) : cfunc =
         | [ a; b ], [ F32; F32 ] ->
             let ga = fget a and gb = fget b in
             with_float_dst i (fun dst st ->
-                bump st;
                 st.fenv.(dst) <- ga st *. gb st)
         | _ -> fun _ -> trap "dot expects float vectors")
     | "mad" | "fma" -> (
@@ -667,12 +669,10 @@ let compile_fn (fn : func) : cfunc =
         | [ a; b; c ], [ F32; F32; F32 ] ->
             let ga = fget a and gb = fget b and gc = fget c in
             with_float_dst i (fun dst st ->
-                bump st;
                 st.fenv.(dst) <- (ga st *. gb st) +. gc st)
         | [ a; b; c ], [ Vec (F32, _); Vec (F32, _); Vec (F32, _) ] ->
             let ga = vget a and gb = vget b and gc = vget c in
             with_box_dst i (fun dst st ->
-                bump st;
                 match (ga st, gb st, gc st) with
                 | RVecF x, RVecF y, RVecF z ->
                     st.benv.(dst) <-
@@ -684,7 +684,6 @@ let compile_fn (fn : func) : cfunc =
           when is_int_ty ta && is_int_ty tb && is_int_ty tc ->
             let ga = iget a and gb = iget b and gc = iget c in
             with_int_dst i (fun dst st ->
-                bump st;
                 st.ienv.(dst) <- (ga st * gb st) + gc st)
         | _ -> mismatch)
     | "clamp" -> (
@@ -692,13 +691,11 @@ let compile_fn (fn : func) : cfunc =
         | [ x; lo; hi ], [ F32; F32; F32 ] ->
             let gx = fget x and gl = fget lo and gh = fget hi in
             with_float_dst i (fun dst st ->
-                bump st;
                 st.fenv.(dst) <- Float.min (Float.max (gx st) (gl st)) (gh st))
         | [ x; lo; hi ], [ tx; tl; th ]
           when is_int_ty tx && is_int_ty tl && is_int_ty th ->
             let gx = iget x and gl = iget lo and gh = iget hi in
             with_int_dst i (fun dst st ->
-                bump st;
                 st.ienv.(dst) <- min (max (gx st) (gl st)) (gh st))
         | _ -> mismatch)
     | "mix" -> (
@@ -706,7 +703,6 @@ let compile_fn (fn : func) : cfunc =
         | [ a; b; t ], [ F32; F32; F32 ] ->
             let ga = fget a and gb = fget b and gt = fget t in
             with_float_dst i (fun dst st ->
-                bump st;
                 let a = ga st in
                 st.fenv.(dst) <- a +. ((gb st -. a) *. gt st))
         | _ -> mismatch)
@@ -719,12 +715,10 @@ let compile_fn (fn : func) : cfunc =
         | [ a; b ], [ ta; tb ] when is_int_ty ta && is_int_ty tb ->
             let ga = iget a and gb = iget b in
             with_int_dst i (fun dst st ->
-                bump st;
                 st.ienv.(dst) <- pick_i (ga st) (gb st))
         | [ a; b ], [ F32; F32 ] ->
             let ga = fget a and gb = fget b in
             with_float_dst i (fun dst st ->
-                bump st;
                 st.fenv.(dst) <- pick_f (ga st) (gb st))
         | _ -> mismatch)
     | "abs" -> (
@@ -732,12 +726,10 @@ let compile_fn (fn : func) : cfunc =
         | [ a ], [ ta ] when is_int_ty ta ->
             let ga = iget a in
             with_int_dst i (fun dst st ->
-                bump st;
                 st.ienv.(dst) <- abs (ga st))
         | [ a ], [ F32 ] ->
             let ga = fget a in
             with_float_dst i (fun dst st ->
-                bump st;
                 st.fenv.(dst) <- Float.abs (ga st))
         | _ -> mismatch)
     | "mul24" -> (
@@ -745,7 +737,6 @@ let compile_fn (fn : func) : cfunc =
         | [ a; b ], [ ta; tb ] when is_int_ty ta && is_int_ty tb ->
             let ga = iget a and gb = iget b in
             with_int_dst i (fun dst st ->
-                bump st;
                 st.ienv.(dst) <- ga st * gb st)
         | _ -> mismatch)
     | "mad24" -> (
@@ -754,7 +745,6 @@ let compile_fn (fn : func) : cfunc =
           when is_int_ty ta && is_int_ty tb && is_int_ty tc ->
             let ga = iget a and gb = iget b and gc = iget c in
             with_int_dst i (fun dst st ->
-                bump st;
                 st.ienv.(dst) <- (ga st * gb st) + gc st)
         | _ -> mismatch)
     | "fmax" | "fmin" | "pow" | "fmod" | "hypot" | "native_divide" -> (
@@ -765,12 +755,10 @@ let compile_fn (fn : func) : cfunc =
         | [ a; b ], [ F32; F32 ] ->
             let ga = fget a and gb = fget b in
             with_float_dst i (fun dst st ->
-                bump st;
                 st.fenv.(dst) <- f (ga st) (gb st))
         | [ a; b ], [ Vec (F32, _); Vec (F32, _) ] ->
             let ga = vget a and gb = vget b in
             with_box_dst i (fun dst st ->
-                bump st;
                 match (ga st, gb st) with
                 | RVecF x, RVecF y -> st.benv.(dst) <- RVecF (lanes_map2 f x y)
                 | _ -> trap "%s argument mismatch" callee)
@@ -781,12 +769,10 @@ let compile_fn (fn : func) : cfunc =
         | [ a ], [ F32 ], Some f ->
             let ga = fget a in
             with_float_dst i (fun dst st ->
-                bump st;
                 st.fenv.(dst) <- f (ga st))
         | [ a ], [ Vec (F32, _) ], Some f ->
             let ga = vget a in
             with_box_dst i (fun dst st ->
-                bump st;
                 match ga st with
                 | RVecF x -> st.benv.(dst) <- RVecF (Array.map f x)
                 | _ -> trap "unsupported call %s" callee)
@@ -800,20 +786,16 @@ let compile_fn (fn : func) : cfunc =
         | (I1 | I8 | I16 | I32 | I64) as t ->
             let ga = iget a and gb = iget b and f = int_binop_fn t op in
             with_int_dst i (fun dst st ->
-                st.stats.Trace.int_ops <- st.stats.Trace.int_ops + 1;
                 st.ienv.(dst) <- f (ga st) (gb st))
         | F32 ->
             let ga = fget a and gb = fget b and f = float_binop_fn op in
             with_float_dst i (fun dst st ->
-                st.stats.Trace.float_ops <- st.stats.Trace.float_ops + 1;
                 st.fenv.(dst) <- f (ga st) (gb st))
         | Vec (F32, _) ->
             let ga = vget a and gb = vget b and f = float_binop_fn op in
             with_box_dst i (fun dst st ->
                 match (ga st, gb st) with
                 | RVecF x, RVecF y ->
-                    st.stats.Trace.float_ops <-
-                      st.stats.Trace.float_ops + Array.length x;
                     st.benv.(dst) <- RVecF (lanes_map2 f x y)
                 | _ -> trap "binop operand mismatch")
         | Vec (_, _) ->
@@ -821,20 +803,16 @@ let compile_fn (fn : func) : cfunc =
             with_box_dst i (fun dst st ->
                 match (ga st, gb st) with
                 | RVecI x, RVecI y ->
-                    st.stats.Trace.int_ops <-
-                      st.stats.Trace.int_ops + Array.length x;
                     st.benv.(dst) <- RVecI (lanes_map2 f x y)
                 | _ -> trap "binop operand mismatch")
         | _ -> fun _ -> trap "binop operand mismatch")
     | Icmp (c, a, b) ->
         let ga = iget a and gb = iget b and f = icmp_fn (type_of a) c in
         with_int_dst i (fun dst st ->
-            st.stats.Trace.int_ops <- st.stats.Trace.int_ops + 1;
             st.ienv.(dst) <- (if f (ga st) (gb st) then 1 else 0))
     | Fcmp (c, a, b) ->
         let ga = fget a and gb = fget b and f = fcmp_fn c in
         with_int_dst i (fun dst st ->
-            st.stats.Trace.float_ops <- st.stats.Trace.float_ops + 1;
             st.ienv.(dst) <- (if f (ga st) (gb st) then 1 else 0))
     | Select (c, a, b) -> (
         let gc = iget c in
@@ -857,42 +835,34 @@ let compile_fn (fn : func) : cfunc =
         | (Sext | Bitcast), (I1 | I8 | I16 | I32 | I64) ->
             let g = iget v in
             with_int_dst i (fun dst st ->
-                st.stats.Trace.int_ops <- st.stats.Trace.int_ops + 1;
                 st.ienv.(dst) <- sext_of src_t (g st))
         | Zext, (I1 | I8 | I16 | I32 | I64) ->
             let g = iget v and m = mask_of src_t in
             with_int_dst i (fun dst st ->
-                st.stats.Trace.int_ops <- st.stats.Trace.int_ops + 1;
                 st.ienv.(dst) <- g st land m)
         | Trunc, (I1 | I8 | I16 | I32 | I64) ->
             let g = iget v in
             with_int_dst i (fun dst st ->
-                st.stats.Trace.int_ops <- st.stats.Trace.int_ops + 1;
                 st.ienv.(dst) <- sext_of t (g st))
         | Si_to_fp, (I1 | I8 | I16 | I32 | I64) ->
             let g = iget v in
             with_float_dst i (fun dst st ->
-                st.stats.Trace.int_ops <- st.stats.Trace.int_ops + 1;
                 st.fenv.(dst) <- float_of_int (g st))
         | Ui_to_fp, (I1 | I8 | I16 | I32 | I64) ->
             let g = iget v and m = mask_of src_t in
             with_float_dst i (fun dst st ->
-                st.stats.Trace.int_ops <- st.stats.Trace.int_ops + 1;
                 st.fenv.(dst) <- float_of_int (g st land m))
         | Fp_to_si, F32 ->
             let g = fget v in
             with_int_dst i (fun dst st ->
-                st.stats.Trace.int_ops <- st.stats.Trace.int_ops + 1;
                 st.ienv.(dst) <- int_of_float (g st))
         | Bitcast, F32 ->
             let g = fget v in
             with_float_dst i (fun dst st ->
-                st.stats.Trace.int_ops <- st.stats.Trace.int_ops + 1;
                 st.fenv.(dst) <- g st)
         | Bitcast, _ ->
             let g = vget v in
             with_box_dst i (fun dst st ->
-                st.stats.Trace.int_ops <- st.stats.Trace.int_ops + 1;
                 st.benv.(dst) <- g st)
         | _ -> fun _ -> trap "unsupported cast")
     | Call { callee; args; _ } -> compile_call i callee args
@@ -1049,6 +1019,23 @@ let compile_fn (fn : func) : cfunc =
     }
   in
 
+  (* Static op cost of one instruction, (int, float, special) — mirrors
+     the per-instruction bumps of the tree engine exactly. *)
+  let op_cost (i : instr) : int * int * int =
+    match i.op with
+    | Binop (_, a, _) -> (
+        match type_of a with
+        | F32 -> (0, 1, 0)
+        | Vec (F32, n) -> (0, n, 0)
+        | Vec (_, n) -> (n, 0, 0)
+        | _ -> (1, 0, 0))
+    | Icmp _ | Cast _ -> (1, 0, 0)
+    | Fcmp _ -> (0, 1, 0)
+    | Call { callee; _ } ->
+        if List.mem callee special_fns then (0, 0, 1) else (1, 0, 0)
+    | _ -> (0, 0, 0)
+  in
+
   let compile_block (k : int) (b : block) : cblock =
     let body =
       List.filter_map
@@ -1071,7 +1058,24 @@ let compile_fn (fn : func) : cfunc =
       | Some { op = Ret; _ } -> Tret
       | _ -> Ttrap "missing terminator"
     in
-    { body = Array.of_list body; cterm }
+    let b_int = ref 0 and b_float = ref 0 and b_special = ref 0 in
+    List.iter
+      (fun (i : instr) ->
+        match i.op with
+        | Phi _ -> ()
+        | _ ->
+            let ci, cf, cs = op_cost i in
+            b_int := !b_int + ci;
+            b_float := !b_float + cf;
+            b_special := !b_special + cs)
+      b.instrs;
+    {
+      body = Array.of_list body;
+      cterm;
+      b_int = !b_int;
+      b_float = !b_float;
+      b_special = !b_special;
+    }
   in
   let cblocks = Array.of_list (List.mapi compile_block fn.blocks) in
   {
@@ -1119,8 +1123,12 @@ let take_edge (st : wi_state) (e : edge) : int =
 let run_compiled (st : wi_state) (cf : cfunc) : unit =
   let blocks = cf.cblocks in
   let cur = ref 0 in
+  let stats = st.stats in
   while !cur >= 0 do
     let b = blocks.(!cur) in
+    stats.Trace.int_ops <- stats.Trace.int_ops + b.b_int;
+    stats.Trace.float_ops <- stats.Trace.float_ops + b.b_float;
+    stats.Trace.special_ops <- stats.Trace.special_ops + b.b_special;
     let body = b.body in
     for k = 0 to Array.length body - 1 do
       body.(k) st
@@ -1155,8 +1163,13 @@ let prepare ?engine (fn : func) : compiled =
       [] fn
     |> List.rev
   in
+  let has_barrier =
+    fold_instrs
+      (fun acc i -> acc || match i.op with Barrier _ -> true | _ -> false)
+      false fn
+  in
   let code = match engine with Compiled -> Some (compile_fn fn) | Tree -> None in
-  { fn; slots; n_slots = !n; local_allocas; code }
+  { fn; slots; n_slots = !n; local_allocas; has_barrier; code }
 
 let engine_of (c : compiled) : engine =
   match c.code with Some _ -> Compiled | None -> Tree
@@ -1201,6 +1214,26 @@ let make_state (c : compiled) ~(args : rv array) ~(ctx : wi_ctx)
         queue;
         private_offset = 0;
       }
+
+(** Re-aim a pooled state at work-item [flat] of the group currently held
+    in [st.ctx.grp]: recompute [lid]/[gid] in place and rewind the private
+    bump allocator. Slot arrays are deliberately {e not} cleared — SSA
+    dominance guarantees every use is preceded by a def on any execution
+    path, so a stale slot from the previous work-item is unobservable. *)
+let reset_item (st : wi_state) ~(flat : int) : unit =
+  let ctx = st.ctx in
+  let lsz = ctx.lsz and grp = ctx.grp in
+  let lx = flat mod lsz.(0)
+  and ly = flat / lsz.(0) mod lsz.(1)
+  and lz = flat / (lsz.(0) * lsz.(1)) in
+  ctx.lid.(0) <- lx;
+  ctx.lid.(1) <- ly;
+  ctx.lid.(2) <- lz;
+  ctx.gid.(0) <- (grp.(0) * lsz.(0)) + lx;
+  ctx.gid.(1) <- (grp.(1) * lsz.(1)) + ly;
+  ctx.gid.(2) <- (grp.(2) * lsz.(2)) + lz;
+  ctx.flat_lid <- flat;
+  st.private_offset <- 0
 
 let run_workitem (st : wi_state) : unit =
   match st.c.code with Some cf -> run_compiled st cf | None -> run_tree st

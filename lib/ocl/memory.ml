@@ -81,6 +81,15 @@ let alloc_local (m : t) ~(queue : int) ~(offset : int) (elem : ty) (n : int) :
   let base = local_region_base + (queue * local_region_size) + offset in
   alloc_at m ~space:Local ~base_addr:base elem n
 
+(** Zero a buffer's storage in place. The runtime reuses one local-memory
+    allocation per (queue, launch) across all the work-groups that run on
+    that queue; clearing it at group start restores the fresh-buffer
+    semantics groups observed when each one allocated its own storage. *)
+let clear (b : buffer) : unit =
+  match b.st with
+  | F a -> Array.fill a 0 (Array.length a) 0.0
+  | I a -> Array.fill a 0 (Array.length a) 0
+
 (* -- Element access ------------------------------------------------------- *)
 
 let addr_of (b : buffer) (idx : int) : int = b.base_addr + (idx * b.elem_bytes)

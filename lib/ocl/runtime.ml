@@ -1,5 +1,14 @@
-(** Kernel launch: NDRange iteration, per-group local-memory allocation,
-    and the barrier-aware group scheduler built on effect handlers. *)
+(** Kernel launch: NDRange iteration, per-queue local-memory allocation,
+    pooled work-item states, and two group schedulers — the barrier-aware
+    fiber scheduler built on effect handlers, and a fiberless fast path
+    for statically barrier-free kernels (every Grover-transformed kernel,
+    and any original that never synchronizes).
+
+    Parallel launches run on a {e persistent} domain pool: worker domains
+    are spawned once (lazily, grown on demand) and reused across launches,
+    and work-groups are distributed by atomic chunk-claiming rather than a
+    fixed stride, so repeated launches — the autotune / bench pattern —
+    pay neither [Domain.spawn] nor load-imbalance costs. *)
 
 open Grover_ir
 open Ssa
@@ -38,26 +47,160 @@ let bind_args (fn : func) (bindings : arg_binding list) : Interp.rv array =
          | _, _ -> fail "argument %s: binding type mismatch" a.a_name)
        fn.f_args bindings)
 
-(* Execute one work-group: spawn every work-item as a fiber; park them at
-   barriers; resume in rounds until all are done. *)
-let run_group (c : Interp.compiled) ~(args : Interp.rv array)
-    ~(grp : int array) ~(lsz : int array) ~(gsz : int array)
-    ~(ngr : int array) ~(stats : Trace.wg_stats)
-    ~(local_bufs : (int, Memory.buffer) Hashtbl.t) ~(mem : Memory.t)
-    ~(queue : int) : unit =
-  let open Effect.Deep in
+(* -- Execution plan ----------------------------------------------------------- *)
+
+(** How a launch will execute: which group scheduler, and on how many
+    domains (including the calling one). Computed by {!plan} with the
+    exact rules {!launch} applies, so benches and autotuners can report
+    auditable execution metadata without re-deriving the policy. *)
+type exec_plan = {
+  fibers : bool;
+      (** effect-handler fiber scheduler (kernel contains a barrier, or
+          fibers were forced) vs. the fiberless fast path *)
+  domains_used : int;  (** parallel domains, including the caller *)
+}
+
+let max_domains = 64
+
+let resolve_domains (domains : int) : int =
+  if domains = 0 then
+    max 1 (min max_domains (Domain.recommended_domain_count ()))
+  else domains
+
+let plan (c : Interp.compiled) ~(cfg : launch_config) ?(force_fibers = false)
+    ?(domains = 1) () : exec_plan =
+  let gx, gy, gz = cfg.global and lx, ly, lz = cfg.local in
+  let n_groups =
+    if lx <= 0 || ly <= 0 || lz <= 0 then 0
+    else gx / lx * (gy / ly) * (gz / lz)
+  in
+  let d = resolve_domains domains in
+  let d = if n_groups < 2 then 1 else min d n_groups in
+  { fibers = force_fibers || c.Interp.has_barrier; domains_used = d }
+
+let path_name (p : exec_plan) : string =
+  if p.fibers then "fiber" else "fiberless"
+
+(* -- Per-(launch x domain) execution context ---------------------------------
+
+   Everything a domain needs to run work-groups, allocated once per launch
+   per domain and reused across all its groups: the pooled work-item
+   states (one per group slot under fibers, a single one on the fiberless
+   path), the reused [grp] coordinate array shared by every state's
+   context, the per-queue local-memory allocations, and the parked-
+   continuation queue of the fiber scheduler. *)
+
+type local_set = {
+  ls_tab : (int, Memory.buffer) Hashtbl.t;  (** alloca iid -> buffer *)
+  ls_bufs : Memory.buffer list;  (** same buffers, for per-group clearing *)
+}
+
+(* Kernels with no local allocas share one immutable empty table: no
+   Hashtbl.create, no per-group setup at all. *)
+let no_locals : local_set = { ls_tab = Hashtbl.create 1; ls_bufs = [] }
+
+type exec_ctx = {
+  xc : Interp.compiled;
+  scratch : Memory.t;  (** local / private allocations land here *)
+  stats : Trace.wg_stats;  (** pooled; reset per group *)
+  lsz : int array;
+  ngr : int array;
+  grp : int array;  (** shared by all states' contexts; rewritten per group *)
+  states : Interp.wi_state array;
+      (** pooled work-item states: [n_items] under fibers (work-items of a
+          group are live concurrently between barriers), 1 fiberless *)
+  n_items : int;
+  fibers : bool;
+  parked : (unit, unit) Effect.Deep.continuation Queue.t;
+  mutable local_sets : local_set option array;  (** per queue, lazy *)
+  mutable cur_queue : int;  (** queue the states are currently aimed at *)
+}
+
+let make_ctx (c : Interp.compiled) ~(rv_args : Interp.rv array)
+    ~(scratch : Memory.t) ~(stats : Trace.wg_stats) ~(lsz : int array)
+    ~(gsz : int array) ~(ngr : int array) ~(fibers : bool) : exec_ctx =
   let n_items = lsz.(0) * lsz.(1) * lsz.(2) in
-  let parked : (unit, unit) continuation Queue.t = Queue.create () in
+  let grp = [| 0; 0; 0 |] in
+  let n_states = if fibers then n_items else 1 in
+  let states =
+    Array.init n_states (fun _ ->
+        let ctx =
+          {
+            Interp.lid = [| 0; 0; 0 |];
+            gid = [| 0; 0; 0 |];
+            grp;
+            lsz;
+            gsz;
+            ngr;
+            flat_lid = 0;
+          }
+        in
+        Interp.make_state c ~args:rv_args ~ctx ~stats
+          ~local_bufs:no_locals.ls_tab ~mem:scratch ~queue:0)
+  in
+  {
+    xc = c;
+    scratch;
+    stats;
+    lsz;
+    ngr;
+    grp;
+    states;
+    n_items;
+    fibers;
+    parked = Queue.create ();
+    local_sets = [||];
+    cur_queue = -1;
+  }
+
+(* Local buffers are allocated once per (launch, queue) — their addresses
+   recycle per queue exactly as before, but the storage is now reused and
+   cleared per group instead of reallocated. *)
+let local_set_for (x : exec_ctx) (queue : int) : local_set =
+  if x.xc.Interp.local_allocas = [] then no_locals
+  else begin
+    if queue >= Array.length x.local_sets then begin
+      let a = Array.make (queue + 1) None in
+      Array.blit x.local_sets 0 a 0 (Array.length x.local_sets);
+      x.local_sets <- a
+    end;
+    match x.local_sets.(queue) with
+    | Some ls -> ls
+    | None ->
+        let tab = Hashtbl.create 4 in
+        let offset = ref 0 in
+        let bufs =
+          List.map
+            (fun (i : instr) ->
+              match i.op with
+              | Alloca { elem; count; _ } ->
+                  let b =
+                    Memory.alloc_local x.scratch ~queue ~offset:!offset elem
+                      count
+                  in
+                  offset := !offset + (count * ty_size_bytes elem);
+                  Hashtbl.replace tab i.iid b;
+                  b
+              | _ -> assert false)
+            x.xc.Interp.local_allocas
+        in
+        let ls = { ls_tab = tab; ls_bufs = bufs } in
+        x.local_sets.(queue) <- Some ls;
+        ls
+  end
+
+(* -- Group schedulers --------------------------------------------------------- *)
+
+(* Barrier-aware scheduler: every work-item runs as a fiber; hitting a
+   barrier performs [Barrier_hit], the handler parks the continuation, and
+   the group resumes in rounds once all still-running items have arrived. *)
+let run_group_fibers (x : exec_ctx) : unit =
+  let open Effect.Deep in
+  let parked = x.parked in
   let finished = ref 0 in
-  let start_item flat =
-    let lid =
-      [| flat mod lsz.(0); flat / lsz.(0) mod lsz.(1); flat / (lsz.(0) * lsz.(1)) |]
-    in
-    let gid = Array.init 3 (fun d -> (grp.(d) * lsz.(d)) + lid.(d)) in
-    let ctx =
-      { Interp.lid; gid; grp; lsz; gsz; ngr; flat_lid = flat }
-    in
-    let st = Interp.make_state c ~args ~ctx ~stats ~local_bufs ~mem ~queue in
+  for flat = 0 to x.n_items - 1 do
+    let st = x.states.(flat) in
+    Interp.reset_item st ~flat;
     match_with
       (fun () ->
         Interp.run_workitem st;
@@ -70,52 +213,146 @@ let run_group (c : Interp.compiled) ~(args : Interp.rv array)
           (fun (type a) (eff : a Effect.t) ->
             match eff with
             | Interp.Barrier_hit ->
-                Some
-                  (fun (k : (a, unit) continuation) -> Queue.add k parked)
+                Some (fun (k : (a, unit) continuation) -> Queue.add k parked)
             | _ -> None);
       }
-  in
-  for flat = 0 to n_items - 1 do
-    start_item flat
   done;
   (* Barrier rounds: every still-running work-item must have parked. *)
   while not (Queue.is_empty parked) do
     let waiting = Queue.length parked in
-    if waiting + !finished <> n_items then
-      fail
-        "barrier divergence in %s: %d of %d work-items reached the barrier"
-        c.Interp.fn.f_name waiting (n_items - !finished);
-    stats.Trace.barrier_rounds <- stats.Trace.barrier_rounds + 1;
+    if waiting + !finished <> x.n_items then
+      fail "barrier divergence in %s: %d of %d work-items reached the barrier"
+        x.xc.Interp.fn.f_name waiting
+        (x.n_items - !finished);
+    x.stats.Trace.barrier_rounds <- x.stats.Trace.barrier_rounds + 1;
     let batch = Queue.create () in
     Queue.transfer parked batch;
     Queue.iter (fun k -> continue k ()) batch
   done;
-  if !finished <> n_items then
-    fail "work-group did not run to completion in %s" c.Interp.fn.f_name
+  if !finished <> x.n_items then
+    fail "work-group did not run to completion in %s" x.xc.Interp.fn.f_name
 
-let run_one_group (c : Interp.compiled) ~(rv_args : Interp.rv array)
-    ~(scratch : Memory.t) ~(stats : Trace.wg_stats) ~(wg : int)
-    ~(ngr : int array) ~(lsz : int array) ~(gsz : int array) ~(queue : int) :
-    unit =
-  let grp =
-    [| wg mod ngr.(0); wg / ngr.(0) mod ngr.(1); wg / (ngr.(0) * ngr.(1)) |]
-  in
-  (* Per-group local buffers; addresses recycle per queue (vendor CPU
-     runtimes map local memory to a per-thread allocation). *)
-  let local_bufs = Hashtbl.create 4 in
-  let offset = ref 0 in
-  List.iter
-    (fun (i : instr) ->
-      match i.op with
-      | Alloca { elem; count; _ } ->
-          let b = Memory.alloc_local scratch ~queue ~offset:!offset elem count in
-          offset := !offset + (count * ty_size_bytes elem);
-          Hashtbl.replace local_bufs i.iid b
-      | _ -> ())
-    c.Interp.local_allocas;
-  Trace.reset stats ~wg_id:wg ~queue ~wg_size:(lsz.(0) * lsz.(1) * lsz.(2));
-  run_group c ~args:rv_args ~grp ~lsz ~gsz ~ngr ~stats ~local_bufs
-    ~mem:scratch ~queue
+(* Fiberless fast path: the kernel provably performs no [Barrier_hit], so
+   work-items are just a loop over one pooled state — no [match_with], no
+   fiber stacks, no continuation queue. *)
+let run_group_fiberless (x : exec_ctx) : unit =
+  let st = x.states.(0) in
+  for flat = 0 to x.n_items - 1 do
+    Interp.reset_item st ~flat;
+    Interp.run_workitem st
+  done
+
+let run_one_group (x : exec_ctx) ~(wg : int) ~(queue : int) : unit =
+  let ngr = x.ngr in
+  x.grp.(0) <- wg mod ngr.(0);
+  x.grp.(1) <- wg / ngr.(0) mod ngr.(1);
+  x.grp.(2) <- wg / (ngr.(0) * ngr.(1));
+  let ls = local_set_for x queue in
+  if queue <> x.cur_queue then begin
+    Array.iter
+      (fun (st : Interp.wi_state) ->
+        st.Interp.queue <- queue;
+        st.Interp.local_bufs <- ls.ls_tab)
+      x.states;
+    x.cur_queue <- queue
+  end;
+  (* Fresh local memory per group, matching the former per-group
+     allocation semantics. *)
+  List.iter Memory.clear ls.ls_bufs;
+  Trace.reset x.stats ~wg_id:wg ~queue ~wg_size:x.n_items;
+  if x.fibers then run_group_fibers x else run_group_fiberless x
+
+(* -- The persistent domain pool -----------------------------------------------
+
+   Worker domains are spawned lazily, kept parked on a condition variable
+   between launches, and reused forever; a launch that wants d domains
+   publishes one job and participates as worker 0 itself. Jobs receive the
+   worker's stable 1-based index; workers beyond the launch's requested
+   width no-op (they still take part in the completion count). Exceptions
+   raised inside a job are captured and re-raised on the launching domain.
+   Only the main launching domain may dispatch (no nested parallel
+   launches from inside a kernel). *)
+
+module Pool = struct
+  type t = {
+    m : Mutex.t;
+    work : Condition.t;  (** a new job was published *)
+    idle : Condition.t;  (** all workers finished the current job *)
+    mutable job : (int -> unit) option;
+    mutable seq : int;  (** job sequence number *)
+    mutable pending : int;  (** workers yet to finish the current job *)
+    mutable n : int;  (** spawned worker domains *)
+    mutable error : exn option;  (** first exception raised by a worker *)
+  }
+
+  let t =
+    {
+      m = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      job = None;
+      seq = 0;
+      pending = 0;
+      n = 0;
+      error = None;
+    }
+
+  (** How many worker domains have ever been spawned (for reporting). *)
+  let size () = t.n
+
+  let worker ~seen0 idx () =
+    let seen = ref seen0 in
+    while true do
+      Mutex.lock t.m;
+      while t.seq = !seen do
+        Condition.wait t.work t.m
+      done;
+      seen := t.seq;
+      let job = match t.job with Some j -> j | None -> assert false in
+      Mutex.unlock t.m;
+      (try job idx
+       with e ->
+         Mutex.lock t.m;
+         if t.error = None then t.error <- Some e;
+         Mutex.unlock t.m);
+      Mutex.lock t.m;
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.broadcast t.idle;
+      Mutex.unlock t.m
+    done
+
+  (* Grow the pool to [n] workers. Called from the launching domain only,
+     and never concurrently with a dispatch, so reading [t.seq] for the
+     new worker's baseline is race-free. *)
+  let ensure (n : int) : unit =
+    while t.n < min n max_domains do
+      t.n <- t.n + 1;
+      ignore (Domain.spawn (worker ~seen0:t.seq t.n))
+    done
+
+  let dispatch ~(workers : int) (job : int -> unit) : unit =
+    ensure workers;
+    Mutex.lock t.m;
+    t.job <- Some (fun idx -> if idx <= workers then job idx);
+    t.pending <- t.n;
+    t.seq <- t.seq + 1;
+    t.error <- None;
+    Condition.broadcast t.work;
+    Mutex.unlock t.m
+
+  let wait () : exn option =
+    Mutex.lock t.m;
+    while t.pending > 0 do
+      Condition.wait t.idle t.m
+    done;
+    let e = t.error in
+    t.error <- None;
+    t.job <- None;
+    Mutex.unlock t.m;
+    e
+end
+
+(* -- Launch -------------------------------------------------------------------- *)
 
 (** Launch a compiled kernel over the NDRange. [on_group] receives each
     work-group's statistics (with its raw memory events) as soon as the
@@ -125,22 +362,22 @@ let run_one_group (c : Interp.compiled) ~(rv_args : Interp.rv array)
     retain the record.
 
     [domains > 1] runs work-groups concurrently on that many OCaml domains
-    (true multicore execution); [domains = 0] asks for
+    (true multicore execution, on the persistent pool, with atomic
+    chunk-claimed group distribution); [domains = 0] asks for
     [Domain.recommended_domain_count ()], clamped to a sane range. This is
     for correctness/throughput runs: it requires [on_group] to be [None]
     (the performance simulator needs a deterministic group order) and
     assumes work-groups write disjoint output elements, as well-formed
     data-parallel kernels do.
 
+    [force_fibers] runs a barrier-free kernel under the fiber scheduler
+    anyway — the differential test hook for the fast path.
+
     Returns aggregate totals. *)
 let launch (c : Interp.compiled) ~(cfg : launch_config)
     ~(args : arg_binding list) ~(mem : Memory.t)
-    ?(on_group : (Trace.wg_stats -> unit) option) ?(domains = 1) () :
-    Trace.totals =
-  let domains =
-    if domains = 0 then max 1 (min 64 (Domain.recommended_domain_count ()))
-    else domains
-  in
+    ?(on_group : (Trace.wg_stats -> unit) option) ?(domains = 1)
+    ?(force_fibers = false) () : Trace.totals =
   let gx, gy, gz = cfg.global and lx, ly, lz = cfg.local in
   if lx <= 0 || ly <= 0 || lz <= 0 then fail "work-group sizes must be positive";
   if gx mod lx <> 0 || gy mod ly <> 0 || gz mod lz <> 0 then
@@ -151,13 +388,16 @@ let launch (c : Interp.compiled) ~(cfg : launch_config)
   let ngr = [| gx / lx; gy / ly; gz / lz |] in
   let totals = Trace.empty_totals () in
   let n_groups = ngr.(0) * ngr.(1) * ngr.(2) in
-  if domains <= 1 || n_groups < 2 then begin
-    (* One pooled stats buffer for the whole launch; its event arrays keep
-       their capacity across groups. *)
+  let { fibers; domains_used = d } = plan c ~cfg ~force_fibers ~domains () in
+  if d <= 1 then begin
+    (* One pooled execution context for the whole launch: states, stats
+       event arrays and local allocations all keep their capacity across
+       groups. *)
     let stats = Trace.fresh_stats ~wg_id:0 ~queue:0 ~wg_size:0 in
+    let x = make_ctx c ~rv_args ~scratch:mem ~stats ~lsz ~gsz ~ngr ~fibers in
     for wg = 0 to n_groups - 1 do
       let queue = wg mod max 1 cfg.queues in
-      run_one_group c ~rv_args ~scratch:mem ~stats ~wg ~ngr ~lsz ~gsz ~queue;
+      run_one_group x ~wg ~queue;
       Trace.accumulate totals stats;
       match on_group with Some f -> f stats | None -> ()
     done;
@@ -166,39 +406,38 @@ let launch (c : Interp.compiled) ~(cfg : launch_config)
   else begin
     if on_group <> None then
       fail "parallel launches cannot stream per-group traces";
-    let d = min domains n_groups in
-    let worker k () =
+    (* Atomic chunk-claiming: workers grab ranges of [chunk] groups until
+       the NDRange is exhausted, so a slow domain cannot stall the launch
+       the way the old fixed-stride assignment could. *)
+    let next = Atomic.make 0 in
+    let chunk = max 1 (n_groups / (d * 8)) in
+    let partial = Array.init d (fun _ -> Trace.empty_totals ()) in
+    let work k =
       (* Each domain gets its own scratch memory for local/private
          allocations; global buffers (inside rv_args) are shared, and
          well-formed kernels write disjoint elements. *)
       let scratch = Memory.create () in
       let stats = Trace.fresh_stats ~wg_id:0 ~queue:k ~wg_size:0 in
-      let local = Trace.empty_totals () in
-      let wg = ref k in
-      while !wg < n_groups do
-        run_one_group c ~rv_args ~scratch ~stats ~wg:!wg ~ngr ~lsz ~gsz
-          ~queue:k;
-        Trace.accumulate local stats;
-        wg := !wg + d
-      done;
-      local
+      let x = make_ctx c ~rv_args ~scratch ~stats ~lsz ~gsz ~ngr ~fibers in
+      let local = partial.(k) in
+      let running = ref true in
+      while !running do
+        let g0 = Atomic.fetch_and_add next chunk in
+        if g0 >= n_groups then running := false
+        else
+          for wg = g0 to min (g0 + chunk) n_groups - 1 do
+            run_one_group x ~wg ~queue:k;
+            Trace.accumulate local stats
+          done
+      done
     in
-    let spawned = List.init (d - 1) (fun k -> Domain.spawn (worker (k + 1))) in
-    let mine = worker 0 () in
-    let merge (a : Trace.totals) (b : Trace.totals) =
-      a.Trace.t_int_ops <- a.Trace.t_int_ops + b.Trace.t_int_ops;
-      a.Trace.t_float_ops <- a.Trace.t_float_ops + b.Trace.t_float_ops;
-      a.Trace.t_special_ops <- a.Trace.t_special_ops + b.Trace.t_special_ops;
-      a.Trace.t_branches <- a.Trace.t_branches + b.Trace.t_branches;
-      a.Trace.t_barriers <- a.Trace.t_barriers + b.Trace.t_barriers;
-      a.Trace.t_loads <- a.Trace.t_loads + b.Trace.t_loads;
-      a.Trace.t_stores <- a.Trace.t_stores + b.Trace.t_stores;
-      a.Trace.t_local_accesses <-
-        a.Trace.t_local_accesses + b.Trace.t_local_accesses;
-      a.Trace.t_groups <- a.Trace.t_groups + b.Trace.t_groups
-    in
-    merge totals mine;
-    List.iter (fun h -> merge totals (Domain.join h)) spawned;
+    Pool.dispatch ~workers:(d - 1) work;
+    let caller_error = (try work 0; None with e -> Some e) in
+    let pool_error = Pool.wait () in
+    (match (caller_error, pool_error) with
+    | Some e, _ | None, Some e -> raise e
+    | None, None -> ());
+    Array.iter (fun p -> Trace.merge_totals totals p) partial;
     totals
   end
 

@@ -161,6 +161,21 @@ let empty_totals () =
     t_groups = 0;
   }
 
+(** Fold [b] into [a] (all counters are additive). Used to combine the
+    per-domain partial totals of a parallel launch; since every field is a
+    plain sum, the result is independent of how work-groups were
+    distributed over domains. *)
+let merge_totals (a : totals) (b : totals) : unit =
+  a.t_int_ops <- a.t_int_ops + b.t_int_ops;
+  a.t_float_ops <- a.t_float_ops + b.t_float_ops;
+  a.t_special_ops <- a.t_special_ops + b.t_special_ops;
+  a.t_branches <- a.t_branches + b.t_branches;
+  a.t_barriers <- a.t_barriers + b.t_barriers;
+  a.t_loads <- a.t_loads + b.t_loads;
+  a.t_stores <- a.t_stores + b.t_stores;
+  a.t_local_accesses <- a.t_local_accesses + b.t_local_accesses;
+  a.t_groups <- a.t_groups + b.t_groups
+
 let accumulate (tot : totals) (s : wg_stats) : unit =
   tot.t_int_ops <- tot.t_int_ops + s.int_ops;
   tot.t_float_ops <- tot.t_float_ops + s.float_ops;

@@ -18,6 +18,7 @@ type run = {
   valid : (unit, string) result;
   totals : Trace.totals;
   sim : Sim.result option;
+  path : string;  (** execution path taken: "fiber" or "fiberless" *)
 }
 
 type comparison = {
@@ -79,7 +80,7 @@ let uses_vector_types (fn : Ssa.func) : bool =
 
 let execute ?vectorized_override ?engine ?(domains = 1) (case : Kit.case)
     (fn : Ssa.func) ~(scale : int) ~(platform : P.t option) :
-    float * Trace.totals * Sim.result option * (unit, string) result =
+    float * Trace.totals * Sim.result option * (unit, string) result * string =
   let w = case.Kit.mk ~scale in
   let compiled = Interp.prepare ?engine fn in
   let queues = match platform with Some p -> p.P.cores | None -> 1 in
@@ -90,20 +91,21 @@ let execute ?vectorized_override ?engine ?(domains = 1) (case : Kit.case)
   in
   let sim = Option.map (Sim.create ~vectorized) platform in
   let on_group = Option.map (fun s -> fun g -> Sim.consume s g) sim in
+  let cfg = { Runtime.global = w.Kit.global; local = w.Kit.local; queues } in
   let totals =
-    Runtime.launch compiled
-      ~cfg:{ Runtime.global = w.Kit.global; local = w.Kit.local; queues }
-      ~args:w.Kit.args ~mem:w.Kit.mem ?on_group ~domains ()
+    Runtime.launch compiled ~cfg ~args:w.Kit.args ~mem:w.Kit.mem ?on_group
+      ~domains ()
   in
   let result = Option.map Sim.result sim in
   let seconds = match result with Some r -> r.Sim.seconds | None -> 0.0 in
-  (seconds, totals, result, w.Kit.check ())
+  let path = Runtime.path_name (Runtime.plan compiled ~cfg ~domains ()) in
+  (seconds, totals, result, w.Kit.check (), path)
 
 let run_version ?vectorized_override ?engine ?domains (case : Kit.case)
     (v : version) ~(scale : int) ~(platform : P.t option) :
     run * Grover_core.Grover.outcome option =
   let fn, outcome = compile_version case v in
-  let seconds, totals, sim, valid =
+  let seconds, totals, sim, valid, path =
     execute ?vectorized_override ?engine ?domains case fn ~scale ~platform
   in
   ( {
@@ -113,25 +115,50 @@ let run_version ?vectorized_override ?engine ?domains (case : Kit.case)
       valid;
       totals;
       sim;
+      path;
     },
     outcome )
 
-(** Wall-clock execution of one version on the host (no platform
-    simulation): returns (seconds, work-items executed). Used by the
-    interpreter-throughput bench and [groverc autotune --domains]. *)
-let wallclock ?engine ?(domains = 1) (case : Kit.case) (v : version)
-    ~(scale : int) : float * int =
+(** One wall-clock execution of one version on the host (no platform
+    simulation), with the execution metadata needed to audit a tuning
+    decision. Used by the interpreter-throughput bench and
+    [groverc autotune --domains]. *)
+type wallclock_run = {
+  wc_seconds : float;
+  wc_items : int;  (** work-items executed *)
+  wc_path : string;  (** "fiber" or "fiberless" *)
+  wc_domains : int;  (** parallel domains actually used (incl. the caller) *)
+}
+
+let wallclock ?engine ?(domains = 1) ?(force_fibers = false) (case : Kit.case)
+    (v : version) ~(scale : int) : wallclock_run =
   let fn, _ = compile_version case v in
   let compiled = Interp.prepare ?engine fn in
   let w = case.Kit.mk ~scale in
   let gx, gy, gz = w.Kit.global in
+  let cfg = { Runtime.global = w.Kit.global; local = w.Kit.local; queues = 1 } in
+  let p = Runtime.plan compiled ~cfg ~force_fibers ~domains () in
   let t0 = Unix.gettimeofday () in
   let (_ : Trace.totals) =
-    Runtime.launch compiled
-      ~cfg:{ Runtime.global = w.Kit.global; local = w.Kit.local; queues = 1 }
-      ~args:w.Kit.args ~mem:w.Kit.mem ~domains ()
+    Runtime.launch compiled ~cfg ~args:w.Kit.args ~mem:w.Kit.mem ~domains
+      ~force_fibers ()
   in
-  (Unix.gettimeofday () -. t0, gx * gy * gz)
+  let dt = Unix.gettimeofday () -. t0 in
+  (match w.Kit.check () with
+  | Ok () -> ()
+  | Error m ->
+      raise
+        (Harness_error
+           (Printf.sprintf "%s (%s, %d domain%s): wrong output: %s" case.Kit.id
+              (Runtime.path_name p) p.Runtime.domains_used
+              (if p.Runtime.domains_used = 1 then "" else "s")
+              m)));
+  {
+    wc_seconds = dt;
+    wc_items = gx * gy * gz;
+    wc_path = Runtime.path_name p;
+    wc_domains = p.Runtime.domains_used;
+  }
 
 (** The full experiment for one (benchmark, platform) test case. *)
 let compare ?vectorized_override (case : Kit.case) ~(platform : P.t)

@@ -362,6 +362,138 @@ let prop_engines_agree =
       let c_tot, c_out = run Interp.Compiled in
       t_tot = c_tot && compare t_out c_out = 0)
 
+(* -- Differential: fiberless fast path vs the fiber scheduler -----------------
+   Statically barrier-free kernels (every Grover-transformed suite version,
+   plus barrier-free originals) execute without fibers; [~force_fibers:true]
+   runs the same launch under the effect-handler scheduler. Both paths must
+   produce bit-identical buffers and identical totals. Kernels with
+   barriers take the fiber path either way, so the check is uniform over
+   the whole suite x both versions. *)
+
+let run_path (case : Kit.case) (v : H.version) ~(force_fibers : bool) :
+    Trace.totals * (int * Ssa.space * Memory.storage) list * (unit, string) result =
+  let fn, _ = H.compile_version case v in
+  let compiled = Interp.prepare fn in
+  let w = case.Kit.mk ~scale:8 in
+  let totals =
+    Runtime.launch compiled
+      ~cfg:{ Runtime.global = w.Kit.global; local = w.Kit.local; queues = 1 }
+      ~args:w.Kit.args ~mem:w.Kit.mem ~force_fibers ()
+  in
+  (totals, snapshot_buffers w.Kit.mem, w.Kit.check ())
+
+let check_paths_agree (case : Kit.case) (v : H.version) () =
+  let f_tot, f_bufs, f_valid = run_path case v ~force_fibers:false in
+  let s_tot, s_bufs, s_valid = run_path case v ~force_fibers:true in
+  (match f_valid with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "fast path invalid output: %s" m);
+  (match s_valid with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "fiber path invalid output: %s" m);
+  Alcotest.(check bool) "identical launch totals" true (f_tot = s_tot);
+  Alcotest.(check bool) "bit-identical buffers" true (compare f_bufs s_bufs = 0)
+
+let fastpath_cases =
+  List.concat_map
+    (fun (case : Kit.case) ->
+      List.map
+        (fun (v, vn) ->
+          Alcotest.test_case
+            (Printf.sprintf "%s %s" case.Kit.id vn)
+            `Quick
+            (check_paths_agree case v))
+        [ (H.With_lm, "with-lm"); (H.Without_lm, "grover") ])
+    Grover_suite.Suite.all
+
+(* -- Differential: chunked parallel execution vs serial -----------------------
+   Work-groups distributed over pool domains by atomic chunk-claiming must
+   produce the same global buffers and totals as the serial launch. Local
+   and private scratch lives in per-domain memory under parallel execution,
+   so only Global/Constant buffers (the kernel-visible results) are
+   compared. *)
+
+let snapshot_globals (mem : Memory.t) : (int * Ssa.space * Memory.storage) list =
+  snapshot_buffers mem
+  |> List.filter (fun (_, sp, _) ->
+         match sp with Ssa.Global | Ssa.Constant -> true | _ -> false)
+
+let run_domains (case : Kit.case) (v : H.version) ~(domains : int) :
+    Trace.totals * (int * Ssa.space * Memory.storage) list * (unit, string) result =
+  let fn, _ = H.compile_version case v in
+  let compiled = Interp.prepare fn in
+  let w = case.Kit.mk ~scale:8 in
+  let totals =
+    Runtime.launch compiled
+      ~cfg:{ Runtime.global = w.Kit.global; local = w.Kit.local; queues = 1 }
+      ~args:w.Kit.args ~mem:w.Kit.mem ~domains ()
+  in
+  (totals, snapshot_globals w.Kit.mem, w.Kit.check ())
+
+let check_parallel_agrees (case : Kit.case) (v : H.version) () =
+  let s_tot, s_bufs, s_valid = run_domains case v ~domains:1 in
+  let p_tot, p_bufs, p_valid = run_domains case v ~domains:4 in
+  (match s_valid with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "serial launch invalid output: %s" m);
+  (match p_valid with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "parallel launch invalid output: %s" m);
+  Alcotest.(check bool) "identical launch totals" true (s_tot = p_tot);
+  Alcotest.(check bool) "bit-identical global buffers" true
+    (compare s_bufs p_bufs = 0)
+
+let parallel_cases =
+  List.concat_map
+    (fun (case : Kit.case) ->
+      List.map
+        (fun (v, vn) ->
+          Alcotest.test_case
+            (Printf.sprintf "%s %s" case.Kit.id vn)
+            `Quick
+            (check_parallel_agrees case v))
+        [ (H.With_lm, "with-lm"); (H.Without_lm, "grover") ])
+    Grover_suite.Suite.all
+
+(* Totals must be invariant in the domain count (and in the chunk
+   partition it induces) over random NDRange / work-group shapes. *)
+let prop_domain_count_invariant =
+  QCheck.Test.make ~name:"totals are domain-count invariant" ~count:20
+    QCheck.(triple (int_range 1 8) (int_range 1 8) (int_range 1 4))
+    (fun (groups, wg, wg_y) ->
+      let n = groups * wg in
+      let run domains =
+        let fn =
+          match Lower.compile diff_prop_source with
+          | [ f ] -> f
+          | _ -> assert false
+        in
+        Grover_passes.Pipeline.normalize fn;
+        let c = Interp.prepare fn in
+        let mem = Memory.create () in
+        let out = Memory.alloc mem Ssa.F32 (n * wg_y) in
+        let a = Memory.alloc mem Ssa.F32 (n * wg_y) in
+        Memory.fill_floats a (fun i -> float_of_int (i - 3) /. 7.0);
+        let totals =
+          Runtime.launch c
+            ~cfg:
+              {
+                Runtime.global = (n, wg_y, 1);
+                local = (wg, wg_y, 1);
+                queues = 1;
+              }
+            ~args:[ Runtime.Abuf out; Runtime.Abuf a; Runtime.Aint n ]
+            ~mem ~domains ()
+        in
+        (totals, Memory.to_float_array out)
+      in
+      let t1, o1 = run 1 in
+      List.for_all
+        (fun d ->
+          let td, od = run d in
+          t1 = td && compare o1 od = 0)
+        [ 2; 4; 0 ])
+
 (* -- Launch validation -------------------------------------------------------- *)
 
 let test_launch_bad_sizes () =
@@ -439,5 +571,8 @@ let suite =
         Alcotest.test_case "bad args" `Quick test_launch_bad_args;
         Alcotest.test_case "out of bounds" `Quick test_out_of_bounds_trapped ] );
     ("engine-differential", differential_cases);
+    ("fastpath-differential", fastpath_cases);
+    ("parallel-differential", parallel_cases);
     ( "engine-differential-props",
-      [ QCheck_alcotest.to_alcotest prop_engines_agree ] ) ]
+      [ QCheck_alcotest.to_alcotest prop_engines_agree;
+        QCheck_alcotest.to_alcotest prop_domain_count_invariant ] ) ]
