@@ -47,6 +47,7 @@ type row = {
   domains : int;  (** requested (0 = auto) *)
   path : string;  (** execution path actually taken: fiber / fiberless *)
   pool_domains : int;  (** domains actually used, incl. the caller *)
+  sanitize : bool;  (** launched through the shadow-memory sanitizer *)
   seconds : float;
   wi_per_sec : float;
 }
@@ -55,26 +56,35 @@ let version_name = function H.With_lm -> "with_lm" | H.Without_lm -> "without_lm
 let engine_name = function Interp.Compiled -> "compiled" | Interp.Tree -> "tree"
 
 let measure ~(version : H.version) ~(engine : Interp.engine)
-    ?(force_fibers = false) ~(domains : int) ~(n : int) ~(reps : int) () : row =
+    ?(force_fibers = false) ?(sanitize = false) ~(domains : int) ~(n : int)
+    ~(reps : int) () : row =
   let fn, _ = H.compile_version Nvd_mt.case version in
   let compiled = Interp.prepare ~engine fn in
   let w = mk_transpose ~n in
   let cfg = { Runtime.global = w.Kit.global; local = w.Kit.local; queues = 1 } in
   let p = Runtime.plan compiled ~cfg ~force_fibers ~domains () in
+  let one_launch () =
+    if sanitize then begin
+      (* A fresh shadow state per launch, as `groverc sanitize` would pay. *)
+      let _totals, findings =
+        Runtime.run_sanitized compiled ~cfg ~args:w.Kit.args ~mem:w.Kit.mem
+          ~force_fibers ()
+      in
+      if findings <> [] then failwith "perf bench: unexpected sanitizer finding"
+    end
+    else
+      ignore
+        (Runtime.launch compiled ~cfg ~args:w.Kit.args ~mem:w.Kit.mem ~domains
+           ~force_fibers ())
+  in
   (* One untimed warm-up launch: first-touch page faults, pool-domain
      spawning and GC ramp-up otherwise land on whichever row runs first
      and skew the scaling comparison at small sizes. *)
-  let (_ : Trace.totals) =
-    Runtime.launch compiled ~cfg ~args:w.Kit.args ~mem:w.Kit.mem ~domains
-      ~force_fibers ()
-  in
+  one_launch ();
   let best = ref infinity in
   for _ = 1 to reps do
     let t0 = Unix.gettimeofday () in
-    let (_ : Trace.totals) =
-      Runtime.launch compiled ~cfg ~args:w.Kit.args ~mem:w.Kit.mem ~domains
-        ~force_fibers ()
-    in
+    one_launch ();
     let dt = Unix.gettimeofday () -. t0 in
     if dt < !best then best := dt
   done;
@@ -88,6 +98,7 @@ let measure ~(version : H.version) ~(engine : Interp.engine)
     domains;
     path = Runtime.path_name p;
     pool_domains = p.Runtime.domains_used;
+    sanitize;
     seconds = !best;
     wi_per_sec = float_of_int n_items /. !best;
   }
@@ -113,6 +124,14 @@ let run ?(quick = false) ?(check_scaling = false) () : unit =
       (* domains = 0 asks the runtime for the recommended domain count. *)
       m ~version:H.With_lm ~engine:Interp.Compiled ~domains:0 () ]
   in
+  (* Sanitizer overhead: the same launch through the shadow-memory
+     sanitizer (always single-domain — the shadow state is not
+     thread-safe), against the plain 1-domain compiled rows above. *)
+  let sanitize_rows =
+    [ m ~version:H.With_lm ~engine:Interp.Compiled ~domains:1 ~sanitize:true ();
+      m ~version:H.Without_lm ~engine:Interp.Compiled ~domains:1 ~sanitize:true
+        () ]
+  in
   (* The scaling sweep: the Grover-transformed (barrier-free) version on
      the compiled engine, fiberless vs forced fibers, across requested
      domain counts. *)
@@ -126,20 +145,23 @@ let run ?(quick = false) ?(check_scaling = false) () : unit =
           [ 1; 2; 4; 0 ])
       [ false; true ]
   in
-  let rows = engine_rows @ sweep_rows in
-  Printf.printf "%-12s %-10s %-8s %-10s %6s %12s %14s\n" "version" "engine"
-    "domains" "path" "pool" "seconds" "wi/sec";
+  let rows = engine_rows @ sanitize_rows @ sweep_rows in
+  Printf.printf "%-12s %-10s %-8s %-10s %6s %9s %12s %14s\n" "version" "engine"
+    "domains" "path" "pool" "sanitize" "seconds" "wi/sec";
   List.iter
     (fun r ->
-      Printf.printf "%-12s %-10s %-8s %-10s %6d %12.4f %14.0f\n"
+      Printf.printf "%-12s %-10s %-8s %-10s %6d %9s %12.4f %14.0f\n"
         (version_name r.version) (engine_name r.engine)
         (if r.domains = 0 then "auto" else string_of_int r.domains)
-        r.path r.pool_domains r.seconds r.wi_per_sec)
+        r.path r.pool_domains
+        (if r.sanitize then "yes" else "no")
+        r.seconds r.wi_per_sec)
     rows;
-  let find ?(path = "") v e d =
+  let find ?(path = "") ?(sanitize = false) v e d =
     List.find
       (fun r ->
         r.version = v && r.engine = e && r.domains = d
+        && r.sanitize = sanitize
         && (path = "" || r.path = path))
       rows
   in
@@ -150,10 +172,17 @@ let run ?(quick = false) ?(check_scaling = false) () : unit =
   let fiberless_1 = find ~path:"fiberless" H.Without_lm Interp.Compiled 1 in
   let fiber_1 = find ~path:"fiber" H.Without_lm Interp.Compiled 1 in
   let sp_fiberless = fiberless_1.wi_per_sec /. fiber_1.wi_per_sec in
+  let overhead v =
+    (find v Interp.Compiled 1).wi_per_sec
+    /. (find ~sanitize:true v Interp.Compiled 1).wi_per_sec
+  in
+  let ov_with = overhead H.With_lm and ov_without = overhead H.Without_lm in
   Printf.printf
     "\nspeedup compiled/tree: with_lm %.2fx, without_lm %.2fx\n\
-     fiberless fast path vs forced fibers (without_lm, 1 domain): %.2fx\n"
-    sp_with sp_without sp_fiberless;
+     fiberless fast path vs forced fibers (without_lm, 1 domain): %.2fx\n\
+     sanitizer overhead (plain / sanitized wi/sec): with_lm %.2fx, \
+     without_lm %.2fx\n"
+    sp_with sp_without sp_fiberless ov_with ov_without;
   if not quick then begin
   let oc = open_out "BENCH_interp.json" in
   Printf.fprintf oc
@@ -163,16 +192,18 @@ let run ?(quick = false) ?(check_scaling = false) () : unit =
     (fun k r ->
       Printf.fprintf oc
         "    {\"version\": \"%s\", \"engine\": \"%s\", \"domains\": %d, \
-         \"path\": \"%s\", \"pool_domains\": %d, \"seconds\": %.6f, \
-         \"wi_per_sec\": %.0f}%s\n"
+         \"path\": \"%s\", \"pool_domains\": %d, \"sanitize\": %b, \
+         \"seconds\": %.6f, \"wi_per_sec\": %.0f}%s\n"
         (version_name r.version) (engine_name r.engine) r.domains r.path
-        r.pool_domains r.seconds r.wi_per_sec
+        r.pool_domains r.sanitize r.seconds r.wi_per_sec
         (if k = List.length rows - 1 then "" else ","))
     rows;
   Printf.fprintf oc
     "  ],\n  \"speedup_with_lm\": %.2f,\n  \"speedup_without_lm\": %.2f,\n\
-    \  \"speedup_fiberless_over_fiber\": %.2f\n}\n"
-    sp_with sp_without sp_fiberless;
+    \  \"speedup_fiberless_over_fiber\": %.2f,\n\
+    \  \"sanitizer_overhead_with_lm\": %.2f,\n\
+    \  \"sanitizer_overhead_without_lm\": %.2f\n}\n"
+    sp_with sp_without sp_fiberless ov_with ov_without;
   close_out oc;
   Printf.printf "wrote BENCH_interp.json\n%!"
   end;

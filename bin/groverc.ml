@@ -20,8 +20,10 @@ module Diag = Grover_support.Diag
 module Pass = Grover_passes.Pass
 
 (* Referencing the Grover pass forces Grover_core to link, which registers
-   "grover" in the pass registry for -passes= pipelines. *)
+   "grover" in the pass registry for -passes= pipelines; likewise the
+   analysis passes (barrier-check, race-check, bounds-check, analyze). *)
 let grover_pass = Grover_core.Grover.pass
+let analyze_pass = Grover_analysis.Analysis.analyze_pass
 
 let read_file path =
   let ic = open_in_bin path in
@@ -81,6 +83,32 @@ let verify_each_arg =
     & info [ "verify-each" ]
         ~doc:"Re-run the IR verifier after every pass and fail on the first \
               pass that breaks the IR.")
+
+(* "X", "X,Y" or "X,Y,Z" -> a work-size triple (missing dimensions are 1). *)
+let size_conv : (int * int * int) Arg.conv =
+  let parse s =
+    let parts = String.split_on_char ',' s |> List.map String.trim in
+    let dims = List.map int_of_string_opt parts in
+    if List.exists (fun d -> match d with Some d -> d <= 0 | None -> true) dims
+    then Error (`Msg (Printf.sprintf "invalid work size %S (want X[,Y[,Z]])" s))
+    else
+      match List.filter_map Fun.id dims with
+      | [ x ] -> Ok (x, 1, 1)
+      | [ x; y ] -> Ok (x, y, 1)
+      | [ x; y; z ] -> Ok (x, y, z)
+      | _ -> Error (`Msg (Printf.sprintf "invalid work size %S (want X[,Y[,Z]])" s))
+  in
+  let print ppf (x, y, z) = Format.fprintf ppf "%d,%d,%d" x y z in
+  Arg.conv (parse, print)
+
+let local_arg =
+  Arg.(
+    value
+    & opt (some size_conv) None
+    & info [ "local" ] ~docv:"X[,Y[,Z]]"
+        ~doc:
+          "Work-group size the kernel is launched with. The static analyses \
+           assume 16 per thread-indexed dimension when not given.")
 
 let emit_diag fmt ?file (d : Diag.t) : unit =
   match fmt with
@@ -227,25 +255,257 @@ let report_cmd =
       & info [ "define"; "D" ] ~docv:"NAME=VALUE"
           ~doc:"Preprocessor definition.")
   in
-  let run file defines fmt =
+  let run file defines local fmt =
     let src = read_file file in
     let defines = parse_defines defines in
     guarded fmt ~file (fun () ->
+        let saw_error = ref false in
+        let fns = Grover_ir.Lower.compile ~defines src in
         List.iter
-          (fun (fn, o) ->
+          (fun fn ->
+            Grover_passes.Pipeline.normalize fn;
+            (* The legality verdict describes the *original* kernel, so the
+               static analyses run before Grover rewrites the locals away. *)
+            let actx = mk_ctx ~verify_each:false ~print_changed:false () in
+            Grover_analysis.Analysis.analyze ?local_size:local actx fn;
+            let legality =
+              Grover_analysis.Analysis.legality (Pass.diags actx)
+            in
+            let o = Grover_core.Grover.run fn in
             Printf.printf "kernel %s:\n" fn.Grover_ir.Ssa.f_name;
             List.iter
               (fun e -> print_endline (Grover_core.Report.to_string e))
               o.Grover_core.Grover.reports;
             List.iter
               (fun (n, r) -> Printf.printf "  rejected %s: %s\n" n r)
-              o.Grover_core.Grover.rejected)
-          (Grover_core.Grover.run_on_source ~defines src))
+              o.Grover_core.Grover.rejected;
+            Printf.printf "  legality: %s\n" legality;
+            emit_diags fmt ~file (Pass.diags actx);
+            if Pass.errors actx <> [] then saw_error := true)
+          fns;
+        if !saw_error then exit 1)
   in
   Cmd.v
     (Cmd.info "report"
-       ~doc:"Print the GL/LS/LL/nGL index analysis without transforming.")
-    Term.(ret (const run $ file $ defines $ diag_format_arg))
+       ~doc:
+         "Print the GL/LS/LL/nGL index analysis and the static legality \
+          verdict (barrier-check, race-check, bounds-check) without \
+          transforming.")
+    Term.(ret (const run $ file $ defines $ local_arg $ diag_format_arg))
+
+(* -- sanitize ------------------------------------------------------------------- *)
+
+(* Run the static passes on a normalised kernel; returns true if they
+   reached error severity. Diagnostics are emitted immediately. *)
+let static_half fmt ?file ~local (fn : Grover_ir.Ssa.func) : bool =
+  let actx = mk_ctx ~verify_each:false ~print_changed:false () in
+  Grover_analysis.Analysis.analyze ?local_size:local actx fn;
+  emit_diags fmt ?file (Pass.diags actx);
+  Pass.errors actx <> []
+
+(* Sanitize a kernel file by synthesizing a launch: one work-group (races
+   are intra-group), every pointer argument bound to a fresh buffer with
+   deterministic contents, scalar arguments from --arg or defaults. *)
+let sanitize_file fmt ~(file : string) ~(kernel : string option)
+    ~(global : (int * int * int) option) ~(local : (int * int * int) option)
+    ~(elems : int option) ~(scalars : (string * float) list)
+    ~(defines : (string * string) list) : bool =
+  let module Ssa = Grover_ir.Ssa in
+  let src = read_file file in
+  let fns = Grover_ir.Lower.compile ~defines src in
+  let fn =
+    match kernel with
+    | Some k -> (
+        match List.find_opt (fun f -> f.Ssa.f_name = k) fns with
+        | Some f -> f
+        | None ->
+            emit_diag fmt ~file (Diag.errorf "kernel %s not found in %s" k file);
+            exit 1)
+    | None -> (
+        match fns with
+        | f :: _ -> f
+        | [] ->
+            emit_diag fmt ~file (Diag.errorf "no kernels in %s" file);
+            exit 1)
+  in
+  Grover_passes.Pipeline.normalize fn;
+  let static_errors = static_half fmt ~file ~local fn in
+  let local =
+    match local with
+    | Some l -> l
+    | None -> fst (Grover_analysis.Config.box_for fn)
+  in
+  let global = Option.value global ~default:local in
+  let gx, gy, gz = global in
+  let elems = match elems with Some n -> n | None -> max 64 (4 * gx * gy * gz) in
+  let mem = Grover_ocl.Memory.create () in
+  let args =
+    List.map
+      (fun (a : Ssa.arg) ->
+        match a.Ssa.a_ty with
+        | Ssa.Ptr (_, elem_ty) ->
+            let buf =
+              Grover_ocl.Memory.alloc mem ~name:a.Ssa.a_name elem_ty elems
+            in
+            if Ssa.ty_is_float elem_ty then
+              Grover_ocl.Memory.fill_floats buf (fun i ->
+                  float_of_int (i mod 17) *. 0.25)
+            else Grover_ocl.Memory.fill_ints buf (fun i -> i mod 13);
+            Grover_ocl.Runtime.Abuf buf
+        | t when Ssa.ty_is_integer t ->
+            Grover_ocl.Runtime.Aint
+              (match List.assoc_opt a.Ssa.a_name scalars with
+              | Some v -> int_of_float v
+              | None -> gx)
+        | _ ->
+            Grover_ocl.Runtime.Afloat
+              (Option.value (List.assoc_opt a.Ssa.a_name scalars) ~default:1.0))
+      fn.Ssa.f_args
+  in
+  let compiled = Grover_ocl.Interp.prepare fn in
+  let cfg = { Grover_ocl.Runtime.global; local; queues = 1 } in
+  let dyn =
+    try
+      let _totals, findings =
+        Grover_ocl.Runtime.run_sanitized compiled ~cfg ~args ~mem ()
+      in
+      List.map (Grover_ocl.Sanitize.to_diag ~file) findings
+    with Grover_ocl.Runtime.Launch_error m ->
+      [ Diag.errorf ~file ~pass:"sanitize" ~code:"GRV-SAN-DIV" "%s" m ]
+  in
+  emit_diags fmt dyn;
+  Printf.printf "%s: %s\n" fn.Ssa.f_name
+    (match List.length dyn with
+    | 0 -> "sanitizer clean"
+    | 1 -> "1 sanitizer finding"
+    | n -> Printf.sprintf "%d sanitizer findings" n);
+  static_errors || dyn <> []
+
+(* Sanitize a bundled benchmark: its real workload, geometry and output
+   validation, via the suite harness. *)
+let sanitize_case fmt (case : Grover_suite.Kit.case) ~(scale : int) : bool =
+  let r =
+    Grover_suite.Harness.sanitize_run ~scale case Grover_suite.Harness.With_lm
+  in
+  let static_errors =
+    static_half fmt ~local:(Some r.Grover_suite.Harness.sz_local)
+      r.Grover_suite.Harness.sz_fn
+  in
+  let dyn =
+    List.map
+      (fun f -> Grover_ocl.Sanitize.to_diag f)
+      r.Grover_suite.Harness.sz_findings
+  in
+  emit_diags fmt dyn;
+  let check_failed =
+    match r.Grover_suite.Harness.sz_check with
+    | Ok () -> false
+    | Error m ->
+        emit_diag fmt
+          (Diag.errorf ~pass:"sanitize" "sanitized run produced wrong output: %s"
+             m);
+        true
+  in
+  Printf.printf "%-11s %s\n" case.Grover_suite.Kit.id
+    (match List.length dyn with
+    | 0 -> "sanitizer clean"
+    | 1 -> "1 sanitizer finding"
+    | n -> Printf.sprintf "%d sanitizer findings" n);
+  static_errors || dyn <> [] || check_failed
+
+let sanitize_cmd =
+  let target =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TARGET"
+          ~doc:
+            "A kernel file, a bundled benchmark id (see $(b,groverc list)) or \
+             $(b,all) for the whole suite.")
+  in
+  let kernel =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kernel" ] ~docv:"NAME"
+          ~doc:"Kernel to launch (file targets; default: the first one).")
+  in
+  let global =
+    Arg.(
+      value
+      & opt (some size_conv) None
+      & info [ "global" ] ~docv:"X[,Y[,Z]]"
+          ~doc:"Global work size (file targets; default: one work-group).")
+  in
+  let elems =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "elems" ] ~docv:"N"
+          ~doc:
+            "Elements per synthesized buffer argument (file targets; default: \
+             4x the global work size).")
+  in
+  let scalars =
+    Arg.(
+      value
+      & opt_all (pair ~sep:'=' string float) []
+      & info [ "arg" ] ~docv:"NAME=VALUE"
+          ~doc:
+            "Value for a scalar kernel argument (file targets; default: the \
+             x-extent of the global size for ints, 1.0 for floats).")
+  in
+  let defines =
+    Arg.(
+      value & opt_all string []
+      & info [ "define"; "D" ] ~docv:"NAME=VALUE"
+          ~doc:"Preprocessor definition (file targets only).")
+  in
+  let scale =
+    Arg.(
+      value & opt int 4
+      & info [ "scale" ]
+          ~doc:"Problem-size divisor (benchmark targets only).")
+  in
+  let run target kernel global local elems scalars defines scale fmt =
+    ignore analyze_pass;
+    let defines = parse_defines defines in
+    guarded fmt (fun () ->
+        let failed =
+          try
+            if Sys.file_exists target then
+              sanitize_file fmt ~file:target ~kernel ~global ~local ~elems
+                ~scalars ~defines
+            else if String.lowercase_ascii target = "all" then
+              List.fold_left
+                (fun acc c -> sanitize_case fmt c ~scale || acc)
+                false Grover_suite.Suite.all
+            else
+              match Grover_suite.Suite.by_id target with
+              | Some c -> sanitize_case fmt c ~scale
+              | None ->
+                  emit_diag fmt
+                    (Diag.errorf
+                       "unknown sanitize target %s (expected a kernel file, a \
+                        benchmark id or \"all\")"
+                       target);
+                  exit 1
+          with Grover_suite.Harness.Harness_error m ->
+            emit_diag fmt (Diag.errorf ~pass:"sanitize" "%s" m);
+            true
+        in
+        if failed then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "sanitize"
+       ~doc:
+         "Execute a kernel under the dynamic race/out-of-bounds sanitizer \
+          (shadow memory with per-work-item last-accessor metadata), after \
+          running the static legality passes. Exits 1 on any finding.")
+    Term.(
+      ret
+        (const run $ target $ kernel $ global $ local_arg $ elems $ scalars
+       $ defines $ scale $ diag_format_arg))
 
 (* -- pipeline (also the default command) --------------------------------------- *)
 
@@ -475,5 +735,5 @@ let () =
   exit
     (Cmd.eval ~argv
        (Cmd.group info ~default:pipeline_term
-          [ transform_cmd; report_cmd; pipeline_cmd; passes_cmd; autotune_cmd;
-            list_cmd ]))
+          [ transform_cmd; report_cmd; sanitize_cmd; pipeline_cmd; passes_cmd;
+            autotune_cmd; list_cmd ]))

@@ -11,6 +11,14 @@ cd "$(dirname "$0")"
 echo "== dune build @all =="
 dune build @all
 
+echo "== dune build @fmt =="
+# Formatting gate, skipped when the container lacks ocamlformat.
+if command -v ocamlformat >/dev/null 2>&1; then
+  dune build @fmt
+else
+  echo "(ocamlformat not installed; skipped)"
+fi
+
 echo "== dune runtest (closure engine) =="
 GROVER_ENGINE=closure dune runtest --force
 
@@ -27,6 +35,33 @@ echo "== groverc custom pipeline smoke (suite, all kernels) =="
 dune exec bin/groverc.exe -- pipeline all \
   -passes=canon,mem2reg,simplify,cse,dce --time-passes --verify-each \
   > /dev/null
+
+echo "== sanitizer smoke: good corpus and suite must be clean =="
+# Static legality passes + shadow-memory sanitizer; any finding exits 1.
+dune exec bin/groverc.exe -- sanitize examples/kernels/saxpy.cl > /dev/null
+dune exec bin/groverc.exe -- sanitize examples/kernels/transpose_tile.cl \
+  --local 16,16 > /dev/null
+dune exec bin/groverc.exe -- sanitize examples/kernels/tiled_matmul.cl \
+  --global 16,16 --local 8,8 > /dev/null
+dune exec bin/groverc.exe -- sanitize all --scale 8 > /dev/null
+
+echo "== sanitizer smoke: bad corpus must be rejected with the right codes =="
+expect_bad() {
+  f="examples/kernels/$1"; shift
+  if out=$(dune exec bin/groverc.exe -- sanitize "$f" --local 16 2>&1); then
+    echo "FAIL: $f exited 0 but must be rejected"; exit 1
+  fi
+  for code in "$@"; do
+    case "$out" in
+      *"$code"*) ;;
+      *) echo "FAIL: $f diagnostics lack $code"; echo "$out"; exit 1 ;;
+    esac
+  done
+  echo "-- $f rejected ($*)"
+}
+expect_bad bad_racy_store.cl GRV-RACE-MUST GRV-SAN-WW
+expect_bad bad_divergent_barrier.cl GRV-BARRIER-DIV GRV-SAN-DIV
+expect_bad bad_oob_index.cl GRV-OOB-STATIC GRV-SAN-OOB
 
 echo "== autotune with auto domains, both engines (validated wallclock) =="
 # The host-throughput phase verifies kernel output per measured run, so a

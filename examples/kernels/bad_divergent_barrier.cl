@@ -1,0 +1,16 @@
+/* Negative test: the barrier sits under a work-item-dependent branch, so
+   half the work-group waits at a barrier the other half never reaches —
+   undefined behaviour in OpenCL, a hang on real hardware.
+
+   Expected findings (groverc report / sanitize --local 16):
+     static:  GRV-BARRIER-DIV  (barrier-check)
+     dynamic: GRV-SAN-DIV      (launch aborts with barrier divergence)   */
+__kernel void divergent_barrier(__global float *out, __global const float *in) {
+  __local float tmp[16];
+  int lx = get_local_id(0);
+  tmp[lx] = in[lx];
+  if (lx < 8) {
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  out[lx] = tmp[15 - lx];
+}

@@ -1,0 +1,13 @@
+/* Negative test: the staging store runs one element past the declared
+   extent of the local tile (work-item 15 writes tmp[16] of tmp[0..15]).
+
+   Expected findings (groverc report / sanitize --local 16):
+     static:  GRV-OOB-STATIC  (bounds-check)
+     dynamic: GRV-SAN-OOB     (sanitize; the access aborts the launch)   */
+__kernel void oob_index(__global float *out, __global const float *in) {
+  __local float tmp[16];
+  int lx = get_local_id(0);
+  tmp[lx + 1] = in[lx];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[lx] = tmp[lx];
+}

@@ -1,0 +1,13 @@
+/* Negative test: every work-item of the group stores to the same __local
+   element with no reduction protocol — a write/write data race.
+
+   Expected findings (groverc report / sanitize --local 16):
+     static:  GRV-RACE-MUST  (race-check)
+     dynamic: GRV-SAN-WW     (sanitize)                                  */
+__kernel void racy_store(__global float *out, __global const float *in) {
+  __local float acc[16];
+  int lx = get_local_id(0);
+  acc[0] = in[lx];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[lx] = acc[0];
+}

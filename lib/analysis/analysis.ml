@@ -1,0 +1,133 @@
+(** The registered correctness passes and the combined [analyze] pipeline.
+
+    Three analysis passes (they never change the IR):
+
+    - [barrier-check]: every barrier must be reached uniformly by the
+      work-items of a group ([GRV-BARRIER-DIV] on violation);
+    - [race-check]: per-[__local]-buffer race verdicts ([GRV-RACE-MUST] /
+      [GRV-RACE-MAY] / [GRV-RACE-FREE]);
+    - [bounds-check]: affine indices vs declared extents
+      ([GRV-OOB-STATIC]).
+
+    Severity policy: a definite finding is an error when the work-group
+    size is known (installed via {!Config.with_local}) and a warning when
+    it had to be assumed — an assumed box can flag accesses a smaller real
+    work-group never makes. *)
+
+open Grover_ir
+module Pass = Grover_passes.Pass
+module Diag = Grover_support.Diag
+module Loc = Grover_support.Loc
+
+let loc_opt (i : Ssa.instr) : Loc.t option =
+  if Loc.is_dummy i.Ssa.iloc then None else Some i.Ssa.iloc
+
+let box_note ~(assumed : bool) ((x, y, z) : int * int * int) : string =
+  if assumed then
+    Printf.sprintf
+      " (assuming a %dx%dx%d work-group; pass the real local size for a \
+       definitive verdict)"
+      x y z
+  else ""
+
+let barrier_check =
+  Pass.register
+    (Pass.make "barrier-check"
+       ~descr:"check that every barrier is reached uniformly" (fun c fn ->
+         let div = Divergence.compute fn in
+         let total = ref 0 and bad = ref 0 in
+         Ssa.iter_instrs
+           (fun i ->
+             match i.Ssa.op with
+             | Ssa.Barrier _ ->
+                 incr total;
+                 let divergent =
+                   match i.Ssa.parent with
+                   | Some b -> Divergence.block_divergent div b
+                   | None -> false
+                 in
+                 if divergent then begin
+                   incr bad;
+                   Pass.errf c ?loc:(loc_opt i) ~code:"GRV-BARRIER-DIV"
+                     ~pass:"barrier-check"
+                     "barrier inside work-item-dependent control flow: not \
+                      every work-item of the group is guaranteed to reach it"
+                 end
+             | _ -> ())
+           fn;
+         if !total > 0 && !bad = 0 then
+           Pass.remarkf c ~code:"GRV-BARRIER-OK" ~pass:"barrier-check"
+             "%s: all %d barrier%s reached uniformly" fn.Ssa.f_name !total
+             (if !total = 1 then "" else "s");
+         false))
+
+let race_check =
+  Pass.register
+    (Pass.make "race-check"
+       ~descr:"classify every __local buffer as must/may/race-free" (fun c fn ->
+         let reports, box, assumed = Race.analyse fn in
+         let note = box_note ~assumed box in
+         List.iter
+           (fun (r : Race.report) ->
+             let loc = if Loc.is_dummy r.r_loc then None else Some r.r_loc in
+             match r.r_verdict with
+             | Race.Must_race ->
+                 let emit = if assumed then Pass.warnf else Pass.errf in
+                 emit c ?loc ~code:"GRV-RACE-MUST" ~pass:"race-check"
+                   "data race on __local buffer '%s': %s%s" r.r_name r.r_detail
+                   note
+             | Race.May_race ->
+                 Pass.warnf c ?loc ~code:"GRV-RACE-MAY" ~pass:"race-check"
+                   "possible data race on __local buffer '%s': %s%s" r.r_name
+                   r.r_detail note
+             | Race.Race_free ->
+                 Pass.remarkf c ?loc ~code:"GRV-RACE-FREE" ~pass:"race-check"
+                   "__local buffer '%s' is race-free (%d access%s analysed)%s"
+                   r.r_name r.r_accesses
+                   (if r.r_accesses = 1 then "" else "es")
+                   note)
+           reports;
+         false))
+
+let bounds_check =
+  Pass.register
+    (Pass.make "bounds-check"
+       ~descr:"check affine indices against declared buffer extents"
+       (fun c fn ->
+         let findings, box, assumed = Bounds.check fn in
+         let note = box_note ~assumed box in
+         List.iter
+           (fun (f : Bounds.finding) ->
+             let loc = if Loc.is_dummy f.b_loc then None else Some f.b_loc in
+             let emit =
+               if f.b_exact && not assumed then Pass.errf else Pass.warnf
+             in
+             emit c ?loc ~code:"GRV-OOB-STATIC" ~pass:"bounds-check"
+               "out-of-bounds %s on buffer '%s': work-item %s accesses element \
+                %d of %d%s"
+               (if f.b_store then "store" else "load")
+               f.b_name (Race.pp_wi f.b_wi) f.b_index f.b_count note)
+           findings;
+         false))
+
+let analyze_pass =
+  Pass.register
+    (Pass.seq "analyze"
+       ~descr:"static kernel legality: barrier-check, race-check, bounds-check"
+       [ barrier_check; race_check; bounds_check ])
+
+(** Run the full static-analysis pipeline on (already normalised) [fn],
+    optionally under a known work-group size. *)
+let analyze ?(local_size : (int * int * int) option) (c : Pass.ctx)
+    (fn : Ssa.func) : unit =
+  Config.with_local local_size (fun () -> ignore (Pass.run_pass c analyze_pass fn))
+
+(** Collapse a diagnostic list into the legality verdict recorded per
+    Table-III candidate. *)
+let legality (ds : Diag.t list) : string =
+  let has code = List.exists (fun d -> d.Diag.code = Some code) ds in
+  if has "GRV-BARRIER-DIV" then "barrier-divergent"
+  else if has "GRV-RACE-MUST" then "must-race"
+  else if has "GRV-OOB-STATIC" then "out-of-bounds"
+  else if has "GRV-RACE-MAY" then "may-race"
+  else "race-free"

@@ -1,0 +1,96 @@
+(** Static bounds check for affine accesses to fixed-extent buffers.
+
+    Covers every load/store whose pointer is an alloca (local or private
+    arrays — the buffers whose extents the IR declares) and whose index is
+    affine in the local thread ids with a constant remainder. The index is
+    then evaluated at every work-item of the {!Config} box that satisfies
+    the access's branch {!Guard}s; any value outside [0, count) is an
+    out-of-bounds finding with a concrete work-item witness.
+
+    Indices with argument- or loop-dependent parts are left to the dynamic
+    sanitizer — a static verdict would be guesswork. *)
+
+open Grover_ir
+open Grover_core
+module Form = Atom.Form
+module R = Grover_support.Rational
+module Loc = Grover_support.Loc
+
+type finding = {
+  b_loc : Loc.t;  (** access location *)
+  b_name : string;  (** buffer source name *)
+  b_store : bool;
+  b_index : int;  (** offending element index *)
+  b_count : int;  (** declared extent in elements *)
+  b_wi : int * int * int;  (** witness work-item *)
+  b_exact : bool;  (** guards were exact (no divergent guard dropped) *)
+}
+
+let check (fn : Ssa.func) : finding list * (int * int * int) * bool =
+  let box, assumed = Config.box_for fn in
+  let bx, by, bz = box in
+  let findings = ref [] in
+  if bx * by * bz <= Config.max_box_volume then begin
+    let div = Divergence.compute fn in
+    let dom = Dom.compute fn in
+    let guard_cache = Hashtbl.create 16 in
+    let guards_of (b : Ssa.block) =
+      match Hashtbl.find_opt guard_cache b.Ssa.bid with
+      | Some g -> g
+      | None ->
+          let g = Guard.at dom div b in
+          Hashtbl.add guard_cache b.Ssa.bid g;
+          g
+    in
+    let check_access (i : Ssa.instr) ~(store : bool) (ptr : Ssa.value)
+        (index : Ssa.value) : unit =
+      match ptr with
+      | Ssa.Vinstr { op = Ssa.Alloca { count; aname; _ }; _ } -> (
+          match Affine_index.form_of index with
+          | None -> ()
+          | Some f -> (
+              let lid_part, rest = Affine_index.split_lid f in
+              match Form.to_const rest with
+              | None -> ()
+              | Some rc ->
+                  let guards, exact =
+                    match i.Ssa.parent with
+                    | Some b -> guards_of b
+                    | None -> ([], false)
+                  in
+                  let hit = ref None in
+                  Race.iter_box box (fun l ->
+                      if !hit = None && Guard.all_hold guards ~lids:l then begin
+                        let v = R.add (Guard.eval_at lid_part l) rc in
+                        match R.to_int v with
+                        | Some idx when idx < 0 || idx >= count ->
+                            hit := Some (idx, l)
+                        | _ -> ()
+                      end);
+                  match !hit with
+                  | None -> ()
+                  | Some (idx, l) ->
+                      findings :=
+                        {
+                          b_loc = i.Ssa.iloc;
+                          b_name =
+                            (if aname <> "" then aname
+                             else Printf.sprintf "local.%d" i.Ssa.iid);
+                          b_store = store;
+                          b_index = idx;
+                          b_count = count;
+                          b_wi = l;
+                          b_exact = exact;
+                        }
+                        :: !findings))
+      | _ -> ()
+    in
+    Ssa.iter_instrs
+      (fun i ->
+        match i.Ssa.op with
+        | Ssa.Load { ptr; index } -> check_access i ~store:false ptr index
+        | Ssa.Store { ptr; index; _ } -> check_access i ~store:true ptr index
+        | _ -> ())
+      fn
+  end;
+  (List.rev !findings, box, assumed)

@@ -1,0 +1,55 @@
+(** Work-group-size assumptions for the static analyses.
+
+    The race and bounds checks enumerate work-item pairs over the local
+    size, which a bare kernel file does not declare. Drivers that know the
+    real size (the suite harness, [groverc --local]) install it via
+    {!with_local}; otherwise each dimension the kernel actually indexes by
+    thread id is assumed to span {!default_dim_size} work-items and the
+    emitted diagnostics say so. *)
+
+open Grover_ir
+
+let assumed_local : (int * int * int) option ref = ref None
+
+(** Run [f] with the given local size installed (when [Some]); restores
+    the previous assumption afterwards. *)
+let with_local (ls : (int * int * int) option) (f : unit -> 'a) : 'a =
+  match ls with
+  | None -> f ()
+  | Some _ ->
+      let old = !assumed_local in
+      assumed_local := ls;
+      Fun.protect ~finally:(fun () -> assumed_local := old) f
+
+let default_dim_size = 16
+
+(* Which dimensions the kernel distinguishes work-items on. Runs on both
+   raw and normalised IR: after expand-gids only get_local_id calls
+   remain, before it get_global_id counts too. *)
+let used_dims (fn : Ssa.func) : bool array =
+  let used = Array.make 3 false in
+  Ssa.iter_instrs
+    (fun i ->
+      match i.op with
+      | Ssa.Call
+          { callee = "get_local_id" | "get_global_id";
+            args = [ Ssa.Cint (_, d) ]; _ }
+        when d >= 0 && d < 3 ->
+          used.(d) <- true
+      | _ -> ())
+    fn;
+  used
+
+(** The local-size box to analyse under, and whether it was assumed
+    (true) rather than supplied by the driver (false). *)
+let box_for (fn : Ssa.func) : (int * int * int) * bool =
+  match !assumed_local with
+  | Some b -> (b, false)
+  | None ->
+      let used = used_dims fn in
+      let s d = if used.(d) then default_dim_size else 1 in
+      ((s 0, s 1, s 2), true)
+
+(** Enumeration ceiling: boxes beyond this many work-items make the pair
+    test give up with a may-race rather than stall the pipeline. *)
+let max_box_volume = 65536

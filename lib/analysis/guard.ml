@@ -1,0 +1,114 @@
+(** Branch guards that constrain the local thread ids at a block.
+
+    For a block [B], every strictly dominating conditional branch whose
+    taken side leads unavoidably to [B] contributes its condition (or its
+    negation) as a fact that holds whenever a work-item executes [B] —
+    e.g. the store under [if (lx < 2)] in a halo-staging stencil.
+
+    Only conditions that are signed integer comparisons of affine forms in
+    the local thread ids convert to guards; anything else is dropped. The
+    [exact] flag reports whether a *divergent* condition was dropped: a
+    dropped divergent guard over-approximates the set of work-items that
+    reach [B], which keeps race-free/no-OOB verdicts sound but downgrades
+    a found must-race witness to a may-race. *)
+
+open Grover_ir
+open Grover_core
+module Form = Atom.Form
+module R = Grover_support.Rational
+
+type t = { g_pred : Ssa.icmp; g_form : Form.t }
+(** The fact [g_form `g_pred` 0], with [g_form] affine in lid atoms. *)
+
+let negate_pred = function
+  | Ssa.Ieq -> Some Ssa.Ine
+  | Ssa.Ine -> Some Ssa.Ieq
+  | Ssa.Islt -> Some Ssa.Isge
+  | Ssa.Isge -> Some Ssa.Islt
+  | Ssa.Isle -> Some Ssa.Isgt
+  | Ssa.Isgt -> Some Ssa.Isle
+  | Ssa.Iult | Ssa.Iule | Ssa.Iugt | Ssa.Iuge -> None
+
+let signed = function
+  | Ssa.Ieq | Ssa.Ine | Ssa.Islt | Ssa.Isle | Ssa.Isgt | Ssa.Isge -> true
+  | _ -> false
+
+let convert (pred : Ssa.icmp) (a : Ssa.value) (b : Ssa.value) : t option =
+  if not (signed pred) then None
+  else
+    match (Affine_index.form_of a, Affine_index.form_of b) with
+    | Some fa, Some fb ->
+        let f = Form.sub fa fb in
+        if List.for_all Atom.is_lid (Form.atoms f) then
+          Some { g_pred = pred; g_form = f }
+        else None
+    | _ -> None
+
+(** Guards holding at [b], and whether the set is exact (no divergent
+    condition was dropped along the way). *)
+let at (dom : Dom.t) (div : Divergence.t) (b : Ssa.block) : t list * bool =
+  let guards = ref [] and exact = ref true in
+  let cfg = dom.Dom.cfg in
+  (* [target] guards [b] if every path from the branch to [b] runs through
+     it: target dominates b, and target is entered only from the branch
+     block (loop back-edges from inside target's own region are fine). *)
+  let guards_b d target =
+    Dom.dominates dom target b
+    && List.for_all
+         (fun p -> p.Ssa.bid = d.Ssa.bid || Dom.dominates dom target p)
+         (Cfg.preds cfg target)
+  in
+  List.iter
+    (fun d ->
+      if d.Ssa.bid <> b.Ssa.bid then
+        match d.Ssa.term with
+        | Some { op = Ssa.Cond_br (c, tt, ee); _ } when tt.Ssa.bid <> ee.Ssa.bid
+          ->
+            let take g =
+              match g with
+              | Some g -> guards := g :: !guards
+              | None -> if Divergence.value_divergent div c then exact := false
+            in
+            let cond_parts =
+              match c with
+              | Ssa.Vinstr { op = Ssa.Icmp (p, x, y); _ } -> Some (p, x, y)
+              | _ -> None
+            in
+            if guards_b d tt then
+              take
+                (Option.bind cond_parts (fun (p, x, y) -> convert p x y))
+            else if guards_b d ee then
+              take
+                (Option.bind cond_parts (fun (p, x, y) ->
+                     Option.bind (negate_pred p) (fun np -> convert np x y)))
+        | _ -> ())
+    (Dom.dominators dom b);
+  (!guards, !exact)
+
+(** Evaluate an affine-in-lids form at a concrete work-item. *)
+let eval_at (f : Form.t) ((x, y, z) : int * int * int) : R.t =
+  Form.fold
+    (fun a c acc ->
+      let lv =
+        match Atom.lid_dim a with
+        | Some 0 -> x
+        | Some 1 -> y
+        | Some 2 -> z
+        | _ -> 0
+      in
+      R.add acc (R.mul c (R.of_int lv)))
+    f (Form.constant f)
+
+let holds (g : t) ~(lids : int * int * int) : bool =
+  let s = R.sign (eval_at g.g_form lids) in
+  match g.g_pred with
+  | Ssa.Islt -> s < 0
+  | Ssa.Isle -> s <= 0
+  | Ssa.Isgt -> s > 0
+  | Ssa.Isge -> s >= 0
+  | Ssa.Ieq -> s = 0
+  | Ssa.Ine -> s <> 0
+  | Ssa.Iult | Ssa.Iule | Ssa.Iugt | Ssa.Iuge -> true
+
+let all_hold (gs : t list) ~(lids : int * int * int) : bool =
+  List.for_all (fun g -> holds g ~lids) gs

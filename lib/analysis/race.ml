@@ -1,0 +1,313 @@
+(** Static local-memory race analysis (the legality half of Grover).
+
+    For every [__local] alloca, every pair of accesses with at least one
+    store that can execute in the same barrier interval ({!Segment}) is
+    tested for index overlap between two *distinct* work-items:
+
+    - both index expressions must be affine ({!Affine_index.form_of});
+    - the non-thread-id remainder of each form may only mention values
+      that are provably equal across the work-items of one group — kernel
+      arguments and launch-geometry builtins. A loop phi or a loaded
+      value in an index defeats the comparison (two work-items can sit at
+      different loop iterations inside one barrier-free interval), so the
+      pair degrades to a may-race;
+    - the remainder difference must fold to a rational constant [D]; the
+      pair then races iff some [l1 ≠ l2] inside the work-group box (and
+      satisfying each side's branch {!Guard}s) solves
+      [lid_a(l1) - lid_b(l2) = D]. The solver enumerates one side into a
+      hash table keyed by exact rational index value and probes it with
+      the other — O(box) instead of O(box²).
+
+    Verdicts per buffer: [Must_race] (a concrete work-item pair is
+    reported), [May_race] (analysis gave up or guards were inexact), or
+    [Race_free]. A Grover-transformed kernel has no local allocas left,
+    so it is trivially race-free. *)
+
+open Grover_ir
+open Grover_core
+module Form = Atom.Form
+module R = Grover_support.Rational
+module Loc = Grover_support.Loc
+
+type verdict = Must_race | May_race | Race_free
+
+type report = {
+  r_name : string;  (** source name of the local buffer *)
+  r_verdict : verdict;
+  r_loc : Loc.t;  (** location to attach the diagnostic to *)
+  r_detail : string;  (** witness pair or reason, human-readable *)
+  r_accesses : int;  (** accesses analysed for this buffer *)
+}
+
+type access = {
+  ac_instr : Ssa.instr;
+  ac_store : bool;
+  ac_form : Form.t option;
+  ac_seg : int option;
+  ac_guards : Guard.t list;
+  ac_exact : bool;
+}
+
+(* Values equal across all work-items of one group for a whole launch. *)
+let launch_const_call = function
+  | "get_group_id" | "get_local_size" | "get_global_size" | "get_num_groups"
+  | "get_work_dim" ->
+      true
+  | _ -> false
+
+let shared_atom (v : Ssa.value) : bool =
+  match v with
+  | Ssa.Arg _ -> true
+  | Ssa.Vinstr { op = Ssa.Call { callee; _ }; _ } -> launch_const_call callee
+  | _ -> false
+
+let pp_wi (x, y, z) = Printf.sprintf "(%d,%d,%d)" x y z
+
+let line_of (i : Ssa.instr) : string =
+  if Loc.is_dummy i.Ssa.iloc then "?" else string_of_int i.Ssa.iloc.Loc.line
+
+(* -- The pair test --------------------------------------------------------- *)
+
+type pair_result =
+  | Pr_free
+  | Pr_may of string
+  | Pr_must of string  (** rendered witness *)
+
+let iter_box ((bx, by, bz) : int * int * int) (f : int * int * int -> unit) :
+    unit =
+  for z = 0 to bz - 1 do
+    for y = 0 to by - 1 do
+      for x = 0 to bx - 1 do
+        f (x, y, z)
+      done
+    done
+  done
+
+(* Find l1 <> l2 in [box] with [la l1 - lb l2 = d], each side satisfying
+   its guards. Buckets cap at two work-items: one suffices unless it is
+   the probe itself. *)
+let find_pair ~box ~(ga : Guard.t list) ~(gb : Guard.t list) ~(la : Form.t)
+    ~(lb : Form.t) ~(d : R.t) :
+    ((int * int * int) * (int * int * int)) option =
+  let tbl : (R.t, (int * int * int) list) Hashtbl.t = Hashtbl.create 97 in
+  iter_box box (fun l ->
+      if Guard.all_hold ga ~lids:l then
+        let k = Guard.eval_at la l in
+        match Hashtbl.find_opt tbl k with
+        | None -> Hashtbl.add tbl k [ l ]
+        | Some [ l0 ] when l0 <> l -> Hashtbl.replace tbl k [ l0; l ]
+        | Some _ -> ());
+  let found = ref None in
+  iter_box box (fun l2 ->
+      if !found = None && Guard.all_hold gb ~lids:l2 then
+        let k = R.add (Guard.eval_at lb l2) d in
+        match Hashtbl.find_opt tbl k with
+        | Some bucket -> (
+            match List.find_opt (fun l1 -> l1 <> l2) bucket with
+            | Some l1 -> found := Some (l1, l2)
+            | None -> ())
+        | None -> ());
+  !found
+
+let analyse_pair (a : access) (b : access) ~(box : int * int * int) :
+    pair_result =
+  match (a.ac_form, b.ac_form) with
+  | None, _ | _, None -> Pr_may "a non-affine index expression"
+  | Some fa, Some fb -> (
+      let la, ra = Affine_index.split_lid fa in
+      let lb, rb = Affine_index.split_lid fb in
+      let unshared f =
+        List.filter (fun at -> not (shared_atom at)) (Form.atoms f)
+      in
+      match unshared ra @ unshared rb with
+      | at :: _ ->
+          Pr_may
+            (Printf.sprintf
+               "an index depending on '%s', which two work-items may evaluate \
+                differently within one barrier interval"
+               (Atom.name at))
+      | [] -> (
+          (* idxA = la(l1) + ra, idxB = lb(l2) + rb: equality means
+             la(l1) - lb(l2) = rb - ra. *)
+          match Form.to_const (Form.sub rb ra) with
+          | None ->
+              Pr_may
+                "index offsets that differ by an unknown argument-dependent \
+                 amount"
+          | Some d -> (
+              let bx, by, bz = box in
+              if bx * by * bz > Config.max_box_volume then
+                Pr_may "a work-group too large to enumerate"
+              else
+                match
+                  find_pair ~box ~ga:a.ac_guards ~gb:b.ac_guards ~la ~lb ~d
+                with
+                | None -> Pr_free
+                | Some (l1, l2) ->
+                    let w =
+                      Printf.sprintf
+                        "work-items %s and %s access the same element (%s at \
+                         line %s, %s at line %s) in one barrier interval"
+                        (pp_wi l1) (pp_wi l2)
+                        (if a.ac_store then "store" else "load")
+                        (line_of a.ac_instr)
+                        (if b.ac_store then "store" else "load")
+                        (line_of b.ac_instr)
+                    in
+                    if a.ac_exact && b.ac_exact then Pr_must w
+                    else Pr_may (w ^ ", under dropped branch guards"))))
+
+(* -- Per-buffer analysis ---------------------------------------------------- *)
+
+(* Does the alloca value appear anywhere other than as the [ptr] of a
+   load/store? If so the buffer escapes the index analysis. *)
+let escapes (fn : Ssa.func) (a : Ssa.instr) : bool =
+  let is_a v = match v with Ssa.Vinstr i -> i.Ssa.iid = a.Ssa.iid | _ -> false in
+  Ssa.fold_instrs
+    (fun acc i ->
+      acc
+      ||
+      match i.Ssa.op with
+      | Ssa.Load { ptr = _; index } -> is_a index
+      | Ssa.Store { ptr = _; index; v } -> is_a index || is_a v
+      | op -> List.exists is_a (Ssa.operands op))
+    false fn
+
+let local_allocas (fn : Ssa.func) : Ssa.instr list =
+  Ssa.fold_instrs
+    (fun acc i ->
+      match i.Ssa.op with
+      | Ssa.Alloca { aspace = Ssa.Local; _ } -> i :: acc
+      | _ -> acc)
+    [] fn
+  |> List.rev
+
+let accesses_of (fn : Ssa.func) (a : Ssa.instr) ~(seg : Segment.t)
+    ~(dom : Dom.t) ~(div : Divergence.t) : access list =
+  let guard_cache = Hashtbl.create 16 in
+  let guards_of (b : Ssa.block) =
+    match Hashtbl.find_opt guard_cache b.Ssa.bid with
+    | Some g -> g
+    | None ->
+        let g = Guard.at dom div b in
+        Hashtbl.add guard_cache b.Ssa.bid g;
+        g
+  in
+  let points_here v =
+    match v with Ssa.Vinstr i -> i.Ssa.iid = a.Ssa.iid | _ -> false
+  in
+  Ssa.fold_instrs
+    (fun acc i ->
+      let mk ~store index =
+        let guards, exact =
+          match i.Ssa.parent with
+          | Some b -> guards_of b
+          | None -> ([], false)
+        in
+        {
+          ac_instr = i;
+          ac_store = store;
+          ac_form = Affine_index.form_of index;
+          ac_seg = Segment.segment_of seg i;
+          ac_guards = guards;
+          ac_exact = exact;
+        }
+        :: acc
+      in
+      match i.Ssa.op with
+      | Ssa.Load { ptr; index } when points_here ptr -> mk ~store:false index
+      | Ssa.Store { ptr; index; _ } when points_here ptr -> mk ~store:true index
+      | _ -> acc)
+    [] fn
+  |> List.rev
+
+let name_of_alloca (a : Ssa.instr) : string =
+  match a.Ssa.op with
+  | Ssa.Alloca { aname; _ } when aname <> "" -> aname
+  | _ -> Printf.sprintf "local.%d" a.Ssa.iid
+
+let analyse_buffer (fn : Ssa.func) (a : Ssa.instr) ~(seg : Segment.t)
+    ~(dom : Dom.t) ~(div : Divergence.t) ~(box : int * int * int)
+    ~(barriers_uniform : bool) : report =
+  let name = name_of_alloca a in
+  let accs = accesses_of fn a ~seg ~dom ~div in
+  let finish verdict loc detail =
+    {
+      r_name = name;
+      r_verdict = verdict;
+      r_loc = loc;
+      r_detail = detail;
+      r_accesses = List.length accs;
+    }
+  in
+  if escapes fn a then
+    finish May_race a.Ssa.iloc
+      "the buffer address escapes the load/store index analysis"
+  else if not barriers_uniform then
+    finish May_race a.Ssa.iloc
+      "barrier divergence defeats the barrier-interval analysis"
+  else begin
+    (* Worst pair wins: any must-race witness beats any may, beats free. *)
+    let worst = ref Pr_free and worst_loc = ref a.Ssa.iloc in
+    let consider (x : access) (y : access) =
+      match !worst with
+      | Pr_must _ -> ()
+      | _ ->
+          let conc =
+            match (x.ac_seg, y.ac_seg) with
+            | Some sa, Some sb -> Segment.concurrent seg sa sb
+            | _ -> true
+          in
+          if conc then
+            match analyse_pair x y ~box with
+            | Pr_free -> ()
+            | Pr_may _ as r ->
+                if !worst = Pr_free then begin
+                  worst := r;
+                  worst_loc := y.ac_instr.Ssa.iloc
+                end
+            | Pr_must _ as r ->
+                worst := r;
+                worst_loc := y.ac_instr.Ssa.iloc
+    in
+    let rec pairs = function
+      | [] -> ()
+      | x :: rest ->
+          if x.ac_store then consider x x;
+          List.iter (fun y -> if x.ac_store || y.ac_store then consider x y) rest;
+          pairs rest
+    in
+    pairs accs;
+    match !worst with
+    | Pr_free -> finish Race_free a.Ssa.iloc "no overlapping pair"
+    | Pr_may why -> finish May_race !worst_loc why
+    | Pr_must w -> finish Must_race !worst_loc w
+  end
+
+(** Analyse every [__local] buffer of [fn] under the current
+    {!Config} work-group box. Returns the per-buffer reports, the box
+    used, and whether it was assumed rather than supplied. *)
+let analyse (fn : Ssa.func) : report list * (int * int * int) * bool =
+  let box, assumed = Config.box_for fn in
+  let allocas = local_allocas fn in
+  if allocas = [] then ([], box, assumed)
+  else begin
+    let div = Divergence.compute fn in
+    let seg = Segment.compute fn in
+    let dom = Dom.compute fn in
+    let barriers_uniform =
+      Ssa.fold_instrs
+        (fun ok i ->
+          ok
+          &&
+          match (i.Ssa.op, i.Ssa.parent) with
+          | Ssa.Barrier _, Some b -> not (Divergence.block_divergent div b)
+          | _ -> true)
+        true fn
+    in
+    ( List.map
+        (fun a -> analyse_buffer fn a ~seg ~dom ~div ~box ~barriers_uniform)
+        allocas,
+      box,
+      assumed )
+  end

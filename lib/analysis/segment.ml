@@ -1,0 +1,94 @@
+(** Barrier-interval segmentation of a kernel CFG.
+
+    A segment is a maximal barrier-free run of instructions inside one
+    basic block; a block with [k] barriers contributes [k+1] segments.
+    Segment edges follow CFG edges (last segment of a block to the first
+    segment of each successor) — there is deliberately *no* edge across a
+    barrier, so "reachable in the segment graph" means "reachable without
+    passing a barrier".
+
+    Two accesses by *different* work-items of one group can be unordered
+    exactly when their segments lie in a common barrier interval. An
+    interval starts at an epoch-start segment — the entry segment (kernel
+    launch) or any segment that begins just after a barrier — so
+
+      [concurrent a b  =  ∃ epoch-start s. reach s a ∧ reach s b].
+
+    This is sound provided every barrier is reached uniformly, which
+    {!Divergence} checks separately; with divergent barriers the caller
+    must fall back to "everything is concurrent". *)
+
+open Grover_ir
+
+type t = {
+  n_segs : int;
+  of_instr : (int, int) Hashtbl.t;  (** iid -> segment id *)
+  starts : int list;  (** epoch-start segment ids *)
+  reach : (int, bool array) Hashtbl.t;  (** start id -> reachable segments *)
+}
+
+let compute (fn : Ssa.func) : t =
+  let next = ref 0 in
+  let of_instr = Hashtbl.create 64 in
+  let first_of_block = Hashtbl.create 16 in
+  let last_of_block = Hashtbl.create 16 in
+  let seg_block = Hashtbl.create 16 in
+  let starts = ref [] in
+  let entry_bid = (Ssa.entry fn).Ssa.bid in
+  List.iter
+    (fun b ->
+      let fresh pos =
+        let id = !next in
+        incr next;
+        Hashtbl.replace seg_block id b;
+        if pos = 0 then Hashtbl.replace first_of_block b.Ssa.bid id;
+        Hashtbl.replace last_of_block b.Ssa.bid id;
+        if pos > 0 || b.Ssa.bid = entry_bid then starts := id :: !starts;
+        id
+      in
+      let pos = ref 0 in
+      let cur = ref (fresh 0) in
+      List.iter
+        (fun i ->
+          match i.Ssa.op with
+          | Ssa.Barrier _ ->
+              incr pos;
+              cur := fresh !pos
+          | _ -> Hashtbl.replace of_instr i.Ssa.iid !cur)
+        (Ssa.all_instrs b))
+    fn.Ssa.blocks;
+  let succs id =
+    let b = Hashtbl.find seg_block id in
+    if Hashtbl.find last_of_block b.Ssa.bid = id then
+      List.filter_map
+        (fun s -> Hashtbl.find_opt first_of_block s.Ssa.bid)
+        (Ssa.successors b)
+    else []
+  in
+  let reach = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      let r = Array.make !next false in
+      let rec dfs id =
+        if not r.(id) then begin
+          r.(id) <- true;
+          List.iter dfs (succs id)
+        end
+      in
+      dfs s;
+      Hashtbl.replace reach s r)
+    !starts;
+  { n_segs = !next; of_instr; starts = !starts; reach }
+
+let segment_of (t : t) (i : Ssa.instr) : int option =
+  Hashtbl.find_opt t.of_instr i.Ssa.iid
+
+(** Can two work-items of one group execute segments [a] and [b] within
+    the same barrier interval? Reflexive: any segment is concurrent with
+    itself (two work-items run it side by side). *)
+let concurrent (t : t) (a : int) (b : int) : bool =
+  List.exists
+    (fun s ->
+      let r = Hashtbl.find t.reach s in
+      r.(a) && r.(b))
+    t.starts

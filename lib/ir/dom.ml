@@ -76,6 +76,14 @@ let compute (fn : func) : t =
   done;
   { cfg; idom; children; frontier }
 
+(** The dominator chain of [b]: entry first, [b] last (reflexive). *)
+let dominators (t : t) (b : block) : block list =
+  let rec up i acc =
+    let acc = t.cfg.Cfg.order.(i) :: acc in
+    if i = 0 then acc else up t.idom.(i) acc
+  in
+  up (Cfg.rpo_index t.cfg b) []
+
 (** Does block [a] dominate block [b]? (Reflexive.) *)
 let dominates (t : t) (a : block) (b : block) : bool =
   let ia = Cfg.rpo_index t.cfg a and ib = Cfg.rpo_index t.cfg b in

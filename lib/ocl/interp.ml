@@ -221,6 +221,8 @@ type wi_state = {
   mem : Memory.t;
   mutable queue : int;
   mutable private_offset : int;  (** bump offset in the private address region *)
+  mutable san : Sanitize.t option;
+      (** installed by [Runtime.launch ~sanitizer]; [None] on normal runs *)
 }
 
 and compiled = {
@@ -280,8 +282,19 @@ let record_access (st : wi_state) (b : Memory.buffer) (idx : int)
     ~bytes:b.Memory.elem_bytes ~is_write ~space:b.Memory.space
     ~wi:st.ctx.flat_lid
 
-let load_elem (st : wi_state) (b : Memory.buffer) (idx : int) : rv =
+(* Sanitizer tap on the same access stream. Runs before the actual memory
+   operation so an out-of-bounds index becomes a located finding rather
+   than an [Invalid_argument] crash from [Memory.check]. *)
+let san_access (st : wi_state) (b : Memory.buffer) (idx : int)
+    ~(is_write : bool) ~(loc : Grover_support.Loc.t) : unit =
+  match st.san with
+  | None -> ()
+  | Some s -> Sanitize.access s ~buf:b ~idx ~is_write ~wi:st.ctx.flat_lid ~loc
+
+let load_elem (st : wi_state) (b : Memory.buffer) (idx : int)
+    ~(loc : Grover_support.Loc.t) : rv =
   record_access st b idx ~is_write:false;
+  san_access st b idx ~is_write:false ~loc;
   match b.Memory.elem with
   | F32 -> RFloat (Memory.get_float b idx)
   | I1 | I8 | I16 | I32 | I64 -> RInt (Memory.get_int b idx)
@@ -289,8 +302,10 @@ let load_elem (st : wi_state) (b : Memory.buffer) (idx : int) : rv =
   | Vec (_, n) -> RVecI (Array.init n (fun l -> Memory.get_lane_int b idx l))
   | _ -> trap "load of unsupported element type"
 
-let store_elem (st : wi_state) (b : Memory.buffer) (idx : int) (v : rv) : unit =
+let store_elem (st : wi_state) (b : Memory.buffer) (idx : int)
+    ~(loc : Grover_support.Loc.t) (v : rv) : unit =
   record_access st b idx ~is_write:true;
+  san_access st b idx ~is_write:true ~loc;
   match v with
   | RFloat f -> Memory.set_float b idx f
   | RInt n -> Memory.set_int b idx n
@@ -439,9 +454,12 @@ and exec_instr (st : wi_state) (i : instr) : unit =
       set (RBuf (alloc_private st elem count))
   | Alloca _ -> trap "unsupported alloca space"
   | Load { ptr; index } ->
-      set (load_elem st (as_buf (eval st ptr)) (as_int (eval st index)))
+      set
+        (load_elem st (as_buf (eval st ptr)) (as_int (eval st index))
+           ~loc:i.iloc)
   | Store { ptr; index; v } ->
-      store_elem st (as_buf (eval st ptr)) (as_int (eval st index)) (eval st v)
+      store_elem st (as_buf (eval st ptr)) (as_int (eval st index)) ~loc:i.iloc
+        (eval st v)
   | Extract (v, lane) -> (
       let l = as_int (eval st lane) in
       match eval st v with
@@ -878,24 +896,28 @@ let compile_fn (fn : func) : cfunc =
     | Alloca _ -> fun _ -> trap "unsupported alloca space"
     | Load { ptr; index } -> (
         let gp = bufget ptr and gi = iget index in
+        let loc = i.iloc in
         match elem_of_ptr (type_of ptr) with
         | F32 ->
             with_float_dst i (fun dst st ->
                 let b = gp st in
                 let idx = gi st in
                 record_access st b idx ~is_write:false;
+                san_access st b idx ~is_write:false ~loc;
                 st.fenv.(dst) <- Memory.get_float b idx)
         | I1 | I8 | I16 | I32 | I64 ->
             with_int_dst i (fun dst st ->
                 let b = gp st in
                 let idx = gi st in
                 record_access st b idx ~is_write:false;
+                san_access st b idx ~is_write:false ~loc;
                 st.ienv.(dst) <- Memory.get_int b idx)
         | Vec (F32, n) ->
             with_box_dst i (fun dst st ->
                 let b = gp st in
                 let idx = gi st in
                 record_access st b idx ~is_write:false;
+                san_access st b idx ~is_write:false ~loc;
                 st.benv.(dst) <-
                   RVecF (Array.init n (fun l -> Memory.get_lane_float b idx l)))
         | Vec (_, n) ->
@@ -903,6 +925,7 @@ let compile_fn (fn : func) : cfunc =
                 let b = gp st in
                 let idx = gi st in
                 record_access st b idx ~is_write:false;
+                san_access st b idx ~is_write:false ~loc;
                 st.benv.(dst) <-
                   RVecI (Array.init n (fun l -> Memory.get_lane_int b idx l)))
         | _ -> fun _ -> trap "load of unsupported element type"
@@ -910,6 +933,7 @@ let compile_fn (fn : func) : cfunc =
             fun _ -> trap "load of unsupported element type")
     | Store { ptr; index; v } -> (
         let gp = bufget ptr and gi = iget index in
+        let loc = i.iloc in
         match type_of v with
         | F32 ->
             let gv = fget v in
@@ -917,6 +941,7 @@ let compile_fn (fn : func) : cfunc =
               let b = gp st in
               let idx = gi st in
               record_access st b idx ~is_write:true;
+              san_access st b idx ~is_write:true ~loc;
               Memory.set_float b idx (gv st)
         | I1 | I8 | I16 | I32 | I64 ->
             let gv = iget v in
@@ -924,10 +949,11 @@ let compile_fn (fn : func) : cfunc =
               let b = gp st in
               let idx = gi st in
               record_access st b idx ~is_write:true;
+              san_access st b idx ~is_write:true ~loc;
               Memory.set_int b idx (gv st)
         | _ ->
             let gv = vget v in
-            fun st -> store_elem st (gp st) (gi st) (gv st))
+            fun st -> store_elem st (gp st) (gi st) ~loc (gv st))
     | Extract (v, lane) -> (
         let gl = iget lane in
         match type_of v with
@@ -1195,6 +1221,7 @@ let make_state (c : compiled) ~(args : rv array) ~(ctx : wi_ctx)
         mem;
         queue;
         private_offset = 0;
+        san = None;
       }
   | None ->
       {
@@ -1213,6 +1240,7 @@ let make_state (c : compiled) ~(args : rv array) ~(ctx : wi_ctx)
         mem;
         queue;
         private_offset = 0;
+        san = None;
       }
 
 (** Re-aim a pooled state at work-item [flat] of the group currently held

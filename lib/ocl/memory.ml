@@ -14,6 +14,10 @@ type storage = F of float array | I of int array
 
 type buffer = {
   bid : int;
+  mutable bname : string;
+      (** best-known source name: the [__local] variable or the kernel
+          argument the buffer is bound to ("" until known); diagnostics
+          only, never used for lookup *)
   elem : ty;  (** element type (may be a vector) *)
   lanes : int;  (** scalar lanes per element (1 for scalars) *)
   elem_bytes : int;
@@ -47,12 +51,13 @@ let storage_for (elem : ty) (slots : int) : storage =
 
 let align_up n a = (n + a - 1) / a * a
 
-let alloc_at (m : t) ~(space : space) ~(base_addr : int) (elem : ty) (n : int)
-    : buffer =
+let alloc_at (m : t) ?(name = "") ~(space : space) ~(base_addr : int)
+    (elem : ty) (n : int) : buffer =
   let lanes = lanes_of elem in
   let b =
     {
       bid = m.next_bid;
+      bname = name;
       elem;
       lanes;
       elem_bytes = ty_size_bytes elem;
@@ -67,19 +72,32 @@ let alloc_at (m : t) ~(space : space) ~(base_addr : int) (elem : ty) (n : int)
   b
 
 (** Allocate a global (or constant) buffer of [n] elements. *)
-let alloc (m : t) ?(space = Global) (elem : ty) (n : int) : buffer =
+let alloc (m : t) ?name ?(space = Global) (elem : ty) (n : int) : buffer =
   let base = align_up m.next_addr 256 in
-  let b = alloc_at m ~space ~base_addr:base elem n in
+  let b = alloc_at m ?name ~space ~base_addr:base elem n in
   m.next_addr <- base + (n * ty_size_bytes elem);
   b
 
 (** Allocate a local buffer whose addresses live in [queue]'s local region
     at byte offset [offset] (so a queue re-uses the same local addresses
     for every work-group it runs). *)
-let alloc_local (m : t) ~(queue : int) ~(offset : int) (elem : ty) (n : int) :
-    buffer =
+let alloc_local (m : t) ?name ~(queue : int) ~(offset : int) (elem : ty)
+    (n : int) : buffer =
   let base = local_region_base + (queue * local_region_size) + offset in
-  alloc_at m ~space:Local ~base_addr:base elem n
+  alloc_at m ?name ~space:Local ~base_addr:base elem n
+
+(** A short human label for diagnostics: the source name when known,
+    otherwise the address space plus buffer id. *)
+let describe (b : buffer) : string =
+  let space =
+    match b.space with
+    | Global -> "global"
+    | Local -> "local"
+    | Constant -> "constant"
+    | Private -> "private"
+  in
+  if b.bname <> "" then Printf.sprintf "%s buffer '%s'" space b.bname
+  else Printf.sprintf "%s buffer #%d" space b.bid
 
 (** Zero a buffer's storage in place. The runtime reuses one local-memory
     allocation per (queue, launch) across all the work-groups that run on

@@ -41,6 +41,9 @@ let bind_args (fn : func) (bindings : arg_binding list) : Interp.rv array =
                fail "argument %s: buffer element type mismatch" a.a_name;
              if sp <> buf.Memory.space && not (sp = Global && buf.Memory.space = Constant)
              then fail "argument %s: address space mismatch" a.a_name;
+             (* Diagnostics (the sanitizer in particular) name buffers
+                after the kernel argument they are bound to. *)
+             if buf.Memory.bname = "" then buf.Memory.bname <- a.a_name;
              Interp.RBuf buf
          | (I8 | I16 | I32 | I64), Aint n -> Interp.RInt n
          | F32, Afloat f -> Interp.RFloat f
@@ -114,11 +117,13 @@ type exec_ctx = {
   parked : (unit, unit) Effect.Deep.continuation Queue.t;
   mutable local_sets : local_set option array;  (** per queue, lazy *)
   mutable cur_queue : int;  (** queue the states are currently aimed at *)
+  san : Sanitize.t option;
 }
 
 let make_ctx (c : Interp.compiled) ~(rv_args : Interp.rv array)
     ~(scratch : Memory.t) ~(stats : Trace.wg_stats) ~(lsz : int array)
-    ~(gsz : int array) ~(ngr : int array) ~(fibers : bool) : exec_ctx =
+    ~(gsz : int array) ~(ngr : int array) ~(fibers : bool)
+    ?(san : Sanitize.t option) () : exec_ctx =
   let n_items = lsz.(0) * lsz.(1) * lsz.(2) in
   let grp = [| 0; 0; 0 |] in
   let n_states = if fibers then n_items else 1 in
@@ -135,8 +140,12 @@ let make_ctx (c : Interp.compiled) ~(rv_args : Interp.rv array)
             flat_lid = 0;
           }
         in
-        Interp.make_state c ~args:rv_args ~ctx ~stats
-          ~local_bufs:no_locals.ls_tab ~mem:scratch ~queue:0)
+        let st =
+          Interp.make_state c ~args:rv_args ~ctx ~stats
+            ~local_bufs:no_locals.ls_tab ~mem:scratch ~queue:0
+        in
+        st.Interp.san <- san;
+        st)
   in
   {
     xc = c;
@@ -151,6 +160,7 @@ let make_ctx (c : Interp.compiled) ~(rv_args : Interp.rv array)
     parked = Queue.create ();
     local_sets = [||];
     cur_queue = -1;
+    san;
   }
 
 (* Local buffers are allocated once per (launch, queue) — their addresses
@@ -173,10 +183,10 @@ let local_set_for (x : exec_ctx) (queue : int) : local_set =
           List.map
             (fun (i : instr) ->
               match i.op with
-              | Alloca { elem; count; _ } ->
+              | Alloca { elem; count; aname; _ } ->
                   let b =
-                    Memory.alloc_local x.scratch ~queue ~offset:!offset elem
-                      count
+                    Memory.alloc_local x.scratch ~name:aname ~queue
+                      ~offset:!offset elem count
                   in
                   offset := !offset + (count * ty_size_bytes elem);
                   Hashtbl.replace tab i.iid b;
@@ -217,14 +227,19 @@ let run_group_fibers (x : exec_ctx) : unit =
             | _ -> None);
       }
   done;
-  (* Barrier rounds: every still-running work-item must have parked. *)
+  (* Barrier rounds: a released barrier must have been reached by every
+     work-item of the group. A work-item that already finished performed
+     fewer barrier crossings than the parked ones are about to — barrier
+     divergence, undefined behaviour in OpenCL. *)
   while not (Queue.is_empty parked) do
     let waiting = Queue.length parked in
-    if waiting + !finished <> x.n_items then
+    if !finished > 0 then
       fail "barrier divergence in %s: %d of %d work-items reached the barrier"
-        x.xc.Interp.fn.f_name waiting
-        (x.n_items - !finished);
+        x.xc.Interp.fn.f_name waiting x.n_items;
     x.stats.Trace.barrier_rounds <- x.stats.Trace.barrier_rounds + 1;
+    (* All work-items synchronized: accesses after this point are ordered
+       against everything before it. *)
+    (match x.san with Some s -> Sanitize.barrier_round s | None -> ());
     let batch = Queue.create () in
     Queue.transfer parked batch;
     Queue.iter (fun k -> continue k ()) batch
@@ -243,6 +258,7 @@ let run_group_fiberless (x : exec_ctx) : unit =
   done
 
 let run_one_group (x : exec_ctx) ~(wg : int) ~(queue : int) : unit =
+  (match x.san with Some s -> Sanitize.enter_group s ~group:wg | None -> ());
   let ngr = x.ngr in
   x.grp.(0) <- wg mod ngr.(0);
   x.grp.(1) <- wg / ngr.(0) mod ngr.(1);
@@ -373,11 +389,18 @@ end
     [force_fibers] runs a barrier-free kernel under the fiber scheduler
     anyway — the differential test hook for the fast path.
 
+    [sanitizer] installs a {!Sanitize.t} on every work-item state: each
+    load/store is checked for intra-group races and out-of-bounds indices
+    (findings accumulate in the sanitizer; the run's buffers are
+    unaffected). Sanitized launches run on one domain — the shadow state
+    is not thread-safe, so a larger [domains] request is clamped.
+
     Returns aggregate totals. *)
 let launch (c : Interp.compiled) ~(cfg : launch_config)
     ~(args : arg_binding list) ~(mem : Memory.t)
     ?(on_group : (Trace.wg_stats -> unit) option) ?(domains = 1)
-    ?(force_fibers = false) () : Trace.totals =
+    ?(force_fibers = false) ?(sanitizer : Sanitize.t option) () : Trace.totals
+    =
   let gx, gy, gz = cfg.global and lx, ly, lz = cfg.local in
   if lx <= 0 || ly <= 0 || lz <= 0 then fail "work-group sizes must be positive";
   if gx mod lx <> 0 || gy mod ly <> 0 || gz mod lz <> 0 then
@@ -388,13 +411,17 @@ let launch (c : Interp.compiled) ~(cfg : launch_config)
   let ngr = [| gx / lx; gy / ly; gz / lz |] in
   let totals = Trace.empty_totals () in
   let n_groups = ngr.(0) * ngr.(1) * ngr.(2) in
+  let domains = if sanitizer <> None then 1 else domains in
   let { fibers; domains_used = d } = plan c ~cfg ~force_fibers ~domains () in
   if d <= 1 then begin
     (* One pooled execution context for the whole launch: states, stats
        event arrays and local allocations all keep their capacity across
        groups. *)
     let stats = Trace.fresh_stats ~wg_id:0 ~queue:0 ~wg_size:0 in
-    let x = make_ctx c ~rv_args ~scratch:mem ~stats ~lsz ~gsz ~ngr ~fibers in
+    let x =
+      make_ctx c ~rv_args ~scratch:mem ~stats ~lsz ~gsz ~ngr ~fibers
+        ?san:sanitizer ()
+    in
     for wg = 0 to n_groups - 1 do
       let queue = wg mod max 1 cfg.queues in
       run_one_group x ~wg ~queue;
@@ -418,7 +445,7 @@ let launch (c : Interp.compiled) ~(cfg : launch_config)
          well-formed kernels write disjoint elements. *)
       let scratch = Memory.create () in
       let stats = Trace.fresh_stats ~wg_id:0 ~queue:k ~wg_size:0 in
-      let x = make_ctx c ~rv_args ~scratch ~stats ~lsz ~gsz ~ngr ~fibers in
+      let x = make_ctx c ~rv_args ~scratch ~stats ~lsz ~gsz ~ngr ~fibers () in
       let local = partial.(k) in
       let running = ref true in
       while !running do
@@ -440,6 +467,22 @@ let launch (c : Interp.compiled) ~(cfg : launch_config)
     Array.iter (fun p -> Trace.merge_totals totals p) partial;
     totals
   end
+
+(** Launch under the sanitizer and return the totals plus every finding.
+    An out-of-bounds access aborts the launch after being recorded (normal
+    mode would have crashed on the same access); runtime barrier
+    divergence still raises {!Launch_error} — drivers render it as a
+    diagnostic of its own. The execution itself is bit-identical to a
+    normal [launch]. *)
+let run_sanitized (c : Interp.compiled) ~(cfg : launch_config)
+    ~(args : arg_binding list) ~(mem : Memory.t) ?(force_fibers = false) () :
+    Trace.totals * Sanitize.finding list =
+  let san = Sanitize.create () in
+  let totals =
+    try launch c ~cfg ~args ~mem ~force_fibers ~sanitizer:san ()
+    with Sanitize.Abort _ -> Trace.empty_totals ()
+  in
+  (totals, Sanitize.findings san)
 
 (** Compile OpenCL C source into launchable kernels (normalised IR). *)
 let compile_source ?defines (src : string) : (string * Interp.compiled) list =

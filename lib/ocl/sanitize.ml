@@ -1,0 +1,204 @@
+(** Dynamic memory sanitizer: shadow every buffer with last-accessor
+    metadata and flag intra-group races and out-of-bounds accesses while a
+    kernel runs.
+
+    Each buffer element gets a shadow cell recording the last writer and
+    the last reader as [(flat work-item id, epoch stamp)]. The epoch is a
+    single monotone counter bumped when a work-group starts and again after
+    every barrier round, so two accesses carry the same stamp iff they were
+    made by the same work-group inside the same barrier interval — exactly
+    the window in which the OpenCL memory model gives no ordering between
+    distinct work-items. The checks are then local and O(1) per access:
+
+    - write after write by another work-item in the same epoch: a
+      write/write race;
+    - write after read, or read after write, by another work-item in the
+      same epoch: a read/write race (on [__local] buffers this is the
+      classic missing-barrier bug);
+    - index outside [0, n): an out-of-bounds access, reported with the
+      source span and aborted (normal mode would crash on the same
+      access).
+
+    Private buffers are skipped: they are per-work-item by construction.
+    The sanitizer only observes — it never changes what is read or
+    written, so sanitized runs are bit-identical to normal runs. One
+    finding is kept per (kind, source location, buffer); the interpreter
+    feeds accesses through {!access} only when a sanitizer is installed,
+    so normal runs pay one mutable-field test per access. *)
+
+module Loc = Grover_support.Loc
+
+type kind = Write_write | Read_write | Out_of_bounds
+
+let code_of_kind = function
+  | Write_write -> "GRV-SAN-WW"
+  | Read_write -> "GRV-SAN-RW"
+  | Out_of_bounds -> "GRV-SAN-OOB"
+
+type finding = {
+  f_kind : kind;
+  f_loc : Loc.t;  (** source span of the access that completed the race *)
+  f_buffer : string;  (** [Memory.describe] of the buffer *)
+  f_space : Grover_ir.Ssa.space;
+  f_index : int;  (** element index both work-items touched *)
+  f_extent : int;  (** buffer size in elements, for OOB messages *)
+  f_group : int;  (** flat work-group id *)
+  f_wi1 : int;  (** flat local id of the earlier conflicting work-item *)
+  f_wi2 : int;  (** flat local id of the work-item whose access fired *)
+}
+
+exception Abort of finding
+(** Raised on an out-of-bounds access after recording it: execution cannot
+    meaningfully continue past the access. *)
+
+(* Per-element shadow state. Epoch [-1] means "never accessed", and the
+   live epoch counter starts at 1, so fresh cells can never alias a real
+   stamp. *)
+type shadow = {
+  sw_wi : int array;  (** last writer: flat local id *)
+  sw_ep : int array;  (** last writer: epoch stamp *)
+  sr_wi : int array;  (** last reader: flat local id *)
+  sr_ep : int array;  (** last reader: epoch stamp *)
+}
+
+type t = {
+  shadows : (int, shadow) Hashtbl.t;  (** buffer id -> shadow arrays *)
+  seen : (string * int * int * string, unit) Hashtbl.t;
+      (** (code, line, col, buffer) already reported *)
+  mutable findings : finding list;  (** newest first *)
+  mutable n_findings : int;
+  mutable epoch : int;
+  mutable group : int;
+  max_findings : int;
+}
+
+let create ?(max_findings = 64) () : t =
+  {
+    shadows = Hashtbl.create 8;
+    seen = Hashtbl.create 8;
+    findings = [];
+    n_findings = 0;
+    epoch = 1;
+    group = 0;
+    max_findings;
+  }
+
+(** Findings in detection order. *)
+let findings (t : t) : finding list = List.rev t.findings
+
+let clear (t : t) : unit =
+  Hashtbl.reset t.shadows;
+  Hashtbl.reset t.seen;
+  t.findings <- [];
+  t.n_findings <- 0;
+  t.epoch <- 1;
+  t.group <- 0
+
+(** The runtime is about to run work-group [group]. *)
+let enter_group (t : t) ~(group : int) : unit =
+  t.group <- group;
+  t.epoch <- t.epoch + 1
+
+(** All work-items of the current group reached a barrier and are about to
+    resume. *)
+let barrier_round (t : t) : unit = t.epoch <- t.epoch + 1
+
+let record (t : t) (f : finding) : unit =
+  let key =
+    (code_of_kind f.f_kind, f.f_loc.Loc.line, f.f_loc.Loc.col, f.f_buffer)
+  in
+  if (not (Hashtbl.mem t.seen key)) && t.n_findings < t.max_findings then begin
+    Hashtbl.add t.seen key ();
+    t.findings <- f :: t.findings;
+    t.n_findings <- t.n_findings + 1
+  end
+
+let shadow_for (t : t) (b : Memory.buffer) : shadow =
+  match Hashtbl.find_opt t.shadows b.Memory.bid with
+  | Some s -> s
+  | None ->
+      let n = b.Memory.n in
+      let s =
+        {
+          sw_wi = Array.make n (-1);
+          sw_ep = Array.make n (-1);
+          sr_wi = Array.make n (-1);
+          sr_ep = Array.make n (-1);
+        }
+      in
+      Hashtbl.add t.shadows b.Memory.bid s;
+      s
+
+(** Observe one element access. Must run before the actual memory
+    operation so that an out-of-bounds index is reported (and aborted)
+    instead of crashing the interpreter. *)
+let access (t : t) ~(buf : Memory.buffer) ~(idx : int) ~(is_write : bool)
+    ~(wi : int) ~(loc : Loc.t) : unit =
+  let mk kind wi1 =
+    {
+      f_kind = kind;
+      f_loc = loc;
+      f_buffer = Memory.describe buf;
+      f_space = buf.Memory.space;
+      f_index = idx;
+      f_extent = buf.Memory.n;
+      f_group = t.group;
+      f_wi1 = wi1;
+      f_wi2 = wi;
+    }
+  in
+  if idx < 0 || idx >= buf.Memory.n then begin
+    let f = mk Out_of_bounds wi in
+    record t f;
+    raise (Abort f)
+  end;
+  match buf.Memory.space with
+  | Grover_ir.Ssa.Private -> ()
+  | _ ->
+      let s = shadow_for t buf in
+      let ep = t.epoch in
+      if is_write then begin
+        if s.sw_ep.(idx) = ep && s.sw_wi.(idx) <> wi then
+          record t (mk Write_write s.sw_wi.(idx));
+        if s.sr_ep.(idx) = ep && s.sr_wi.(idx) <> wi then
+          record t (mk Read_write s.sr_wi.(idx));
+        s.sw_ep.(idx) <- ep;
+        s.sw_wi.(idx) <- wi
+      end
+      else begin
+        if s.sw_ep.(idx) = ep && s.sw_wi.(idx) <> wi then
+          record t (mk Read_write s.sw_wi.(idx));
+        s.sr_ep.(idx) <- ep;
+        s.sr_wi.(idx) <- wi
+      end
+
+(* -- Rendering -------------------------------------------------------------- *)
+
+let message (f : finding) : string =
+  let local_hint =
+    match f.f_space with
+    | Grover_ir.Ssa.Local -> " (unsynchronized local-memory use: missing barrier?)"
+    | _ -> ""
+  in
+  match f.f_kind with
+  | Write_write ->
+      Printf.sprintf
+        "data race: work-items %d and %d of group %d both write element %d \
+         of %s within one barrier interval%s"
+        f.f_wi1 f.f_wi2 f.f_group f.f_index f.f_buffer local_hint
+  | Read_write ->
+      Printf.sprintf
+        "data race: work-items %d and %d of group %d read and write element \
+         %d of %s within one barrier interval%s"
+        f.f_wi1 f.f_wi2 f.f_group f.f_index f.f_buffer local_hint
+  | Out_of_bounds ->
+      Printf.sprintf
+        "out-of-bounds access: work-item %d of group %d accesses element %d \
+         of %s (valid range [0,%d))"
+        f.f_wi2 f.f_group f.f_index f.f_buffer f.f_extent
+
+let to_diag ?file (f : finding) : Grover_support.Diag.t =
+  Grover_support.Diag.make ?file
+    ?loc:(if Loc.is_dummy f.f_loc then None else Some f.f_loc)
+    ~pass:"sanitize" ~code:(code_of_kind f.f_kind) Grover_support.Diag.Error
+    (message f)

@@ -42,8 +42,14 @@ let ctx ?(verify_each = false) ?(print_changed = false)
 
 let diag (c : ctx) (d : Diag.t) : unit = c.diags <- d :: c.diags
 
-let remarkf (c : ctx) ?loc ~pass fmt =
-  Format.kasprintf (fun m -> diag c (Diag.make ?loc ~pass Diag.Remark m)) fmt
+let remarkf (c : ctx) ?loc ?code ~pass fmt =
+  Format.kasprintf (fun m -> diag c (Diag.make ?loc ?code ~pass Diag.Remark m)) fmt
+
+let warnf (c : ctx) ?loc ?code ~pass fmt =
+  Format.kasprintf (fun m -> diag c (Diag.make ?loc ?code ~pass Diag.Warning m)) fmt
+
+let errf (c : ctx) ?loc ?code ~pass fmt =
+  Format.kasprintf (fun m -> diag c (Diag.make ?loc ?code ~pass Diag.Error m)) fmt
 
 (** Diagnostics in emission order. *)
 let diags (c : ctx) : Diag.t list = List.rev c.diags

@@ -160,6 +160,33 @@ let wallclock ?engine ?(domains = 1) ?(force_fibers = false) (case : Kit.case)
     wc_domains = p.Runtime.domains_used;
   }
 
+(** One sanitized execution of one version of a benchmark: the kernel runs
+    under the dynamic race/OOB sanitizer with the case's real work-group
+    geometry. A correct kernel must report no findings *and* still produce
+    the reference output (the sanitizer only observes). *)
+type sanitize_run = {
+  sz_findings : Sanitize.finding list;
+  sz_check : (unit, string) result;  (** output validation of the sanitized run *)
+  sz_local : int * int * int;  (** work-group size the case launches with *)
+  sz_fn : Ssa.func;  (** the normalised kernel, for the static passes *)
+}
+
+let sanitize_run ?engine ?(scale = 4) (case : Kit.case) (v : version) :
+    sanitize_run =
+  let fn, _ = compile_version case v in
+  let compiled = Interp.prepare ?engine fn in
+  let w = case.Kit.mk ~scale in
+  let cfg = { Runtime.global = w.Kit.global; local = w.Kit.local; queues = 1 } in
+  let _totals, findings =
+    Runtime.run_sanitized compiled ~cfg ~args:w.Kit.args ~mem:w.Kit.mem ()
+  in
+  {
+    sz_findings = findings;
+    sz_check = w.Kit.check ();
+    sz_local = w.Kit.local;
+    sz_fn = fn;
+  }
+
 (** The full experiment for one (benchmark, platform) test case. *)
 let compare ?vectorized_override (case : Kit.case) ~(platform : P.t)
     ~(scale : int) : comparison =

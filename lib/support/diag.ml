@@ -15,6 +15,9 @@ type t = {
   loc : Loc.t option;  (** source span, when one is known *)
   file : string option;  (** source file, when the driver knows it *)
   pass : string option;  (** producing component ("lower", "cse", "grover", ...) *)
+  code : string option;
+      (** stable machine-readable finding code ("GRV-RACE-MUST", ...) so CI
+          can grep for a class of diagnostic without parsing prose *)
   message : string;
 }
 
@@ -30,18 +33,19 @@ let severity_name = function
   | Warning -> "warning"
   | Error -> "error"
 
-let make ?loc ?file ?pass severity message = { severity; loc; file; pass; message }
+let make ?loc ?file ?pass ?code severity message =
+  { severity; loc; file; pass; code; message }
 
-let makef ?loc ?file ?pass severity fmt =
-  Format.kasprintf (fun message -> make ?loc ?file ?pass severity message) fmt
+let makef ?loc ?file ?pass ?code severity fmt =
+  Format.kasprintf (fun message -> make ?loc ?file ?pass ?code severity message) fmt
 
-let remarkf ?loc ?file ?pass fmt = makef ?loc ?file ?pass Remark fmt
-let warningf ?loc ?file ?pass fmt = makef ?loc ?file ?pass Warning fmt
-let errorf ?loc ?file ?pass fmt = makef ?loc ?file ?pass Error fmt
+let remarkf ?loc ?file ?pass ?code fmt = makef ?loc ?file ?pass ?code Remark fmt
+let warningf ?loc ?file ?pass ?code fmt = makef ?loc ?file ?pass ?code Warning fmt
+let errorf ?loc ?file ?pass ?code fmt = makef ?loc ?file ?pass ?code Error fmt
 
-let fatalf ?loc ?file ?pass fmt =
+let fatalf ?loc ?file ?pass ?code fmt =
   Format.kasprintf
-    (fun message -> raise (Fatal (make ?loc ?file ?pass Error message)))
+    (fun message -> raise (Fatal (make ?loc ?file ?pass ?code Error message)))
     fmt
 
 let is_error d = d.severity = Error
@@ -73,6 +77,9 @@ let to_string ?file d =
   | Some p -> Buffer.add_string b (Printf.sprintf "[%s] " p)
   | None -> ());
   Buffer.add_string b d.message;
+  (match d.code with
+  | Some c -> Buffer.add_string b (Printf.sprintf " [%s]" c)
+  | None -> ());
   Buffer.contents b
 
 let json_escape s =
@@ -105,6 +112,7 @@ let to_json ?file d =
       add "col" (string_of_int l.Loc.col)
   | _ -> ());
   (match d.pass with Some p -> add "pass" (quote p) | None -> ());
+  (match d.code with Some c -> add "code" (quote c) | None -> ());
   add "message" (quote d.message);
   "{"
   ^ String.concat ", "

@@ -1,0 +1,205 @@
+(* Correctness-subsystem tests: the static race/barrier/bounds passes must
+   certify every suite kernel race-free under its true work-group size and
+   reject each kernel of the negative corpus with the right finding code;
+   the dynamic sanitizer must stay silent on the whole suite (both kernel
+   versions, both engines) and must not perturb results — sanitized output
+   buffers are bit-identical to a plain launch. *)
+
+open Grover_ocl
+module H = Grover_suite.Harness
+module Kit = Grover_suite.Kit
+module Pass = Grover_passes.Pass
+module Diag = Grover_support.Diag
+module Analysis = Grover_analysis.Analysis
+
+let scale = 4
+
+let codes_of (ds : Diag.t list) : string list =
+  List.filter_map (fun d -> d.Diag.code) ds
+
+let analyze_fn ?local_size (fn : Grover_ir.Ssa.func) : Diag.t list =
+  let c = Pass.ctx () in
+  Analysis.analyze ?local_size c fn;
+  Pass.diags c
+
+(* -- Static: the 11 suite kernels are race-free ----------------------------- *)
+
+let test_static_race_free (case : Kit.case) () =
+  let fn, _ = H.compile_version case H.With_lm in
+  let local = (case.Kit.mk ~scale).Kit.local in
+  let ds = analyze_fn ~local_size:local fn in
+  let codes = codes_of ds in
+  List.iter
+    (fun bad ->
+      if List.mem bad codes then
+        Alcotest.failf "%s: unexpected %s under local size %s" case.Kit.id bad
+          (let x, y, z = local in
+           Printf.sprintf "%dx%dx%d" x y z))
+    [ "GRV-RACE-MUST"; "GRV-RACE-MAY"; "GRV-BARRIER-DIV"; "GRV-OOB-STATIC" ];
+  (* Every local buffer must be positively certified, not just un-flagged. *)
+  let frees = List.length (List.filter (( = ) "GRV-RACE-FREE") codes) in
+  let n_locals =
+    Grover_ir.Ssa.fold_instrs
+      (fun n i ->
+        match i.Grover_ir.Ssa.op with
+        | Grover_ir.Ssa.Alloca { aspace = Grover_ir.Ssa.Local; _ } -> n + 1
+        | _ -> n)
+      0 fn
+  in
+  Alcotest.(check int) (case.Kit.id ^ " race-free buffers") n_locals frees
+
+(* -- Static: the negative corpus is rejected -------------------------------- *)
+
+let bad_racy_store =
+  {|__kernel void racy_store(__global float *out, __global const float *in) {
+  __local float acc[16];
+  int lx = get_local_id(0);
+  acc[0] = in[lx];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[lx] = acc[0];
+}|}
+
+let bad_divergent_barrier =
+  {|__kernel void divergent_barrier(__global float *out, __global const float *in) {
+  __local float tmp[16];
+  int lx = get_local_id(0);
+  tmp[lx] = in[lx];
+  if (lx < 8) {
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  out[lx] = tmp[15 - lx];
+}|}
+
+let bad_oob_index =
+  {|__kernel void oob_index(__global float *out, __global const float *in) {
+  __local float tmp[16];
+  int lx = get_local_id(0);
+  tmp[lx + 1] = in[lx];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[lx] = tmp[lx];
+}|}
+
+let compile_one (src : string) : Grover_ir.Ssa.func =
+  match Grover_ir.Lower.compile src with
+  | [ fn ] ->
+      Grover_passes.Pipeline.normalize fn;
+      fn
+  | _ -> Alcotest.fail "bad-corpus source must contain exactly one kernel"
+
+let test_bad_kernel (name : string) (src : string) (expected : string) () =
+  let fn = compile_one src in
+  let ds = analyze_fn ~local_size:(16, 1, 1) fn in
+  let codes = codes_of ds in
+  if not (List.mem expected codes) then
+    Alcotest.failf "%s: expected %s, got [%s]" name expected
+      (String.concat "; " codes);
+  (* With the true local size supplied the finding must be a hard error. *)
+  let errs = List.filter Diag.is_error ds in
+  Alcotest.(check bool)
+    (name ^ " is an error")
+    true
+    (List.exists (fun d -> d.Diag.code = Some expected) errs)
+
+(* -- Dynamic: the sanitizer is silent on the whole suite -------------------- *)
+
+let test_sanitize_clean (case : Kit.case) (v : H.version) (eng : Interp.engine)
+    () =
+  let r = H.sanitize_run ~engine:eng ~scale case v in
+  (match r.H.sz_check with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "%s: sanitized run invalid: %s" case.Kit.id m);
+  match r.H.sz_findings with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "%s: sanitizer finding: %s" case.Kit.id
+        (Sanitize.message f)
+
+(* -- Dynamic: sanitizing must not perturb results --------------------------- *)
+
+let buffers_of (args : Runtime.arg_binding list) : Memory.buffer list =
+  List.filter_map (function Runtime.Abuf b -> Some b | _ -> None) args
+
+let storage_bits (b : Memory.buffer) : string =
+  (* Compare through Marshal so float payloads (NaNs included) are
+     compared bit-for-bit, not through (=) on possibly-boxed floats. *)
+  Marshal.to_string (Memory.to_float_array b, Memory.to_int_array b) []
+
+let run_pair (case : Kit.case) (v : H.version) (eng : Interp.engine) :
+    string list * string list =
+  let fn, _ = H.compile_version case v in
+  let compiled = Interp.prepare ~engine:eng fn in
+  let mk () =
+    let w = case.Kit.mk ~scale in
+    ( { Runtime.global = w.Kit.global; local = w.Kit.local; queues = 1 },
+      w.Kit.args,
+      w.Kit.mem )
+  in
+  let cfg, args, mem = mk () in
+  ignore (Runtime.launch compiled ~cfg ~args ~mem ());
+  let plain = List.map storage_bits (buffers_of args) in
+  let cfg2, args2, mem2 = mk () in
+  let _totals, findings =
+    Runtime.run_sanitized compiled ~cfg:cfg2 ~args:args2 ~mem:mem2 ()
+  in
+  Alcotest.(check int) (case.Kit.id ^ " findings") 0 (List.length findings);
+  (plain, List.map storage_bits (buffers_of args2))
+
+let qcheck_bit_identity =
+  let cases = Array.of_list Grover_suite.Suite.all in
+  let gen =
+    QCheck.Gen.(
+      triple
+        (int_bound (Array.length cases - 1))
+        (oneofl [ H.With_lm; H.Without_lm ])
+        (oneofl [ Interp.Compiled; Interp.Tree ]))
+  in
+  let print (i, v, e) =
+    Printf.sprintf "%s/%s/%s" cases.(i).Kit.id
+      (match v with H.With_lm -> "lm" | H.Without_lm -> "grover")
+      (match e with Interp.Compiled -> "compiled" | Interp.Tree -> "tree")
+  in
+  QCheck.Test.make ~name:"sanitized runs are bit-identical to plain runs"
+    ~count:16
+    (QCheck.make ~print gen)
+    (fun (i, v, e) ->
+      let plain, sanitized = run_pair cases.(i) v e in
+      plain = sanitized)
+
+let suite =
+  let static =
+    List.map
+      (fun case ->
+        Alcotest.test_case (case.Kit.id ^ " race-free") `Quick
+          (test_static_race_free case))
+      Grover_suite.Suite.all
+    @ [
+        Alcotest.test_case "bad: racy store" `Quick
+          (test_bad_kernel "racy_store" bad_racy_store "GRV-RACE-MUST");
+        Alcotest.test_case "bad: divergent barrier" `Quick
+          (test_bad_kernel "divergent_barrier" bad_divergent_barrier
+             "GRV-BARRIER-DIV");
+        Alcotest.test_case "bad: oob index" `Quick
+          (test_bad_kernel "oob_index" bad_oob_index "GRV-OOB-STATIC");
+      ]
+  in
+  let dynamic =
+    List.concat_map
+      (fun case ->
+        List.concat_map
+          (fun (vn, v) ->
+            List.map
+              (fun (en, e) ->
+                Alcotest.test_case
+                  (Printf.sprintf "%s %s/%s clean" case.Kit.id vn en)
+                  `Quick
+                  (test_sanitize_clean case v e))
+              [ ("compiled", Interp.Compiled); ("tree", Interp.Tree) ])
+          [ ("lm", H.With_lm); ("grover", H.Without_lm) ])
+      Grover_suite.Suite.all
+  in
+  [
+    ("analysis-static", static);
+    ("analysis-sanitize", dynamic);
+    ( "analysis-props",
+      [ QCheck_alcotest.to_alcotest qcheck_bit_identity ] );
+  ]
