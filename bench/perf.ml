@@ -2,18 +2,22 @@
    in work-items/sec over a full launch (trace recording included, no
    platform simulation):
 
-   - the closure-compiled engine vs the legacy tree-walking engine, and
+   - the closure-compiled engine vs the legacy tree-walking engine,
+   - barrier-region execution (wg-loop) vs the forced fiber scheduler on
+     the barrier-carrying with_lm version, and
    - a domain-scaling sweep — (1, 2, 4, 0=auto) requested domains x
-     (fiberless fast path, forced fiber scheduler) on the barrier-free
-     Grover-transformed version — exercising the persistent domain pool
+     (wg-loop on with_lm; fiberless and forced fibers on the barrier-free
+     Grover-transformed version) — exercising the persistent domain pool
      and the chunked group scheduler.
 
-   Every row records which execution path ran and how many pool domains
-   were actually used, so the numbers feeding tuning decisions are
-   auditable. Results go to stdout and BENCH_interp.json; with
-   [check_scaling] the run fails if the auto-domain row is >10% slower
-   than the single-domain row (the regression the persistent pool
-   exists to prevent). *)
+   Every row records which execution path ran (wg-loop / fiberless /
+   fiber) and how many pool domains were actually used, so the numbers
+   feeding tuning decisions are auditable. The run *fails* if no with_lm
+   row actually took the wg-loop path — the bench doubles as the gate
+   that region formation keeps succeeding on the flagship barrier kernel.
+   Results go to stdout and BENCH_interp.json; with [check_scaling] the
+   run fails if the auto-domain row is >10% slower than the single-domain
+   row (the regression the persistent pool exists to prevent). *)
 
 open Grover_ocl
 module H = Grover_suite.Harness
@@ -45,7 +49,7 @@ type row = {
   version : H.version;
   engine : Interp.engine;
   domains : int;  (** requested (0 = auto) *)
-  path : string;  (** execution path actually taken: fiber / fiberless *)
+  path : string;  (** execution path actually taken: wg-loop / fiberless / fiber *)
   pool_domains : int;  (** domains actually used, incl. the caller *)
   sanitize : bool;  (** launched through the shadow-memory sanitizer *)
   seconds : float;
@@ -118,7 +122,12 @@ let run ?(quick = false) ?(check_scaling = false) () : unit =
   let m = measure ~n ~reps in
   let engine_rows =
     [ m ~version:H.With_lm ~engine:Interp.Tree ~domains:1 ();
+      (* Default path for the compiled with_lm version: wg-loop. *)
       m ~version:H.With_lm ~engine:Interp.Compiled ~domains:1 ();
+      (* The fiber oracle on the same kernel — the pair quantifies what
+         barrier-region execution buys over the effect-handler scheduler. *)
+      m ~version:H.With_lm ~engine:Interp.Compiled ~domains:1
+        ~force_fibers:true ();
       m ~version:H.Without_lm ~engine:Interp.Tree ~domains:1 ();
       m ~version:H.Without_lm ~engine:Interp.Compiled ~domains:1 ();
       (* domains = 0 asks the runtime for the recommended domain count. *)
@@ -132,18 +141,17 @@ let run ?(quick = false) ?(check_scaling = false) () : unit =
       m ~version:H.Without_lm ~engine:Interp.Compiled ~domains:1 ~sanitize:true
         () ]
   in
-  (* The scaling sweep: the Grover-transformed (barrier-free) version on
-     the compiled engine, fiberless vs forced fibers, across requested
-     domain counts. *)
+  (* The scaling sweep: wg-loop on the with_lm version, then the
+     Grover-transformed (barrier-free) version fiberless vs forced
+     fibers, across requested domain counts. *)
   let sweep_rows =
     List.concat_map
-      (fun force_fibers ->
+      (fun (version, force_fibers) ->
         List.map
           (fun domains ->
-            m ~version:H.Without_lm ~engine:Interp.Compiled ~force_fibers
-              ~domains ())
+            m ~version ~engine:Interp.Compiled ~force_fibers ~domains ())
           [ 1; 2; 4; 0 ])
-      [ false; true ]
+      [ (H.With_lm, false); (H.Without_lm, false); (H.Without_lm, true) ]
   in
   let rows = engine_rows @ sanitize_rows @ sweep_rows in
   Printf.printf "%-12s %-10s %-8s %-10s %6s %9s %12s %14s\n" "version" "engine"
@@ -165,6 +173,21 @@ let run ?(quick = false) ?(check_scaling = false) () : unit =
         && (path = "" || r.path = path))
       rows
   in
+  (* Region formation must keep succeeding on the flagship barrier
+     kernel: if no with_lm row ran on wg-loop, the fast path silently
+     rotted and every "speedup from disabling local memory" number would
+     conflate the paper's effect with scheduler overhead again. *)
+  if
+    not
+      (List.exists
+         (fun r -> r.version = H.With_lm && r.path = "wg-loop" && not r.sanitize)
+         rows)
+  then begin
+    Printf.eprintf
+      "perf bench FAILED: no with_lm row took the wg-loop path (region \
+       formation fell back to fibers?)\n";
+    exit 1
+  end;
   let speedup v =
     (find v Interp.Compiled 1).wi_per_sec /. (find v Interp.Tree 1).wi_per_sec
   in
@@ -172,6 +195,9 @@ let run ?(quick = false) ?(check_scaling = false) () : unit =
   let fiberless_1 = find ~path:"fiberless" H.Without_lm Interp.Compiled 1 in
   let fiber_1 = find ~path:"fiber" H.Without_lm Interp.Compiled 1 in
   let sp_fiberless = fiberless_1.wi_per_sec /. fiber_1.wi_per_sec in
+  let wgloop_1 = find ~path:"wg-loop" H.With_lm Interp.Compiled 1 in
+  let wl_fiber_1 = find ~path:"fiber" H.With_lm Interp.Compiled 1 in
+  let sp_wgloop = wgloop_1.wi_per_sec /. wl_fiber_1.wi_per_sec in
   let overhead v =
     (find v Interp.Compiled 1).wi_per_sec
     /. (find ~sanitize:true v Interp.Compiled 1).wi_per_sec
@@ -179,10 +205,11 @@ let run ?(quick = false) ?(check_scaling = false) () : unit =
   let ov_with = overhead H.With_lm and ov_without = overhead H.Without_lm in
   Printf.printf
     "\nspeedup compiled/tree: with_lm %.2fx, without_lm %.2fx\n\
+     wg-loop vs forced fibers (with_lm, 1 domain): %.2fx\n\
      fiberless fast path vs forced fibers (without_lm, 1 domain): %.2fx\n\
      sanitizer overhead (plain / sanitized wi/sec): with_lm %.2fx, \
      without_lm %.2fx\n"
-    sp_with sp_without sp_fiberless ov_with ov_without;
+    sp_with sp_without sp_wgloop sp_fiberless ov_with ov_without;
   if not quick then begin
   let oc = open_out "BENCH_interp.json" in
   Printf.fprintf oc
@@ -200,10 +227,11 @@ let run ?(quick = false) ?(check_scaling = false) () : unit =
     rows;
   Printf.fprintf oc
     "  ],\n  \"speedup_with_lm\": %.2f,\n  \"speedup_without_lm\": %.2f,\n\
+    \  \"speedup_wgloop_over_fiber\": %.2f,\n\
     \  \"speedup_fiberless_over_fiber\": %.2f,\n\
     \  \"sanitizer_overhead_with_lm\": %.2f,\n\
     \  \"sanitizer_overhead_without_lm\": %.2f\n}\n"
-    sp_with sp_without sp_fiberless ov_with ov_without;
+    sp_with sp_without sp_wgloop sp_fiberless ov_with ov_without;
   close_out oc;
   Printf.printf "wrote BENCH_interp.json\n%!"
   end;
@@ -213,7 +241,7 @@ let run ?(quick = false) ?(check_scaling = false) () : unit =
        configuration — the exact failure mode the per-launch Domain.spawn
        runtime exhibited. *)
     let checks =
-      [ ("with_lm compiled", H.With_lm, false);
+      [ ("with_lm wg-loop", H.With_lm, false);
         ("without_lm fiberless", H.Without_lm, false);
         ("without_lm fiber", H.Without_lm, true) ]
     in
@@ -251,7 +279,9 @@ let run ?(quick = false) ?(check_scaling = false) () : unit =
       List.filter_map
         (fun (label, version, force_fibers) ->
           let path =
-            if force_fibers || version = H.With_lm then "fiber" else "fiberless"
+            if force_fibers then "fiber"
+            else if version = H.With_lm then "wg-loop"
+            else "fiberless"
           in
           let auto_row = find ~path version Interp.Compiled 0 in
           (* Three attempts: a genuine regression (the per-launch spawn

@@ -245,6 +245,21 @@ let transform_cmd =
 
 (* -- report -------------------------------------------------------------------- *)
 
+(* The execution path the compiled engine would pick for [fn] — the same
+   policy as [Runtime.plan] with no overrides, derived statically from
+   barrier-region formation. Nothing is executed. *)
+let path_line (fn : Grover_ir.Ssa.func) : string =
+  let v = Grover_ir.Regions.form fn in
+  let path =
+    match v with
+    | Grover_ir.Regions.Formed i
+      when Array.length i.Grover_ir.Regions.barriers = 0 ->
+        "fiberless"
+    | Grover_ir.Regions.Formed _ -> "wg-loop"
+    | Grover_ir.Regions.Fallback _ -> "fiber"
+  in
+  Printf.sprintf "%s (%s)" path (Grover_ir.Regions.describe v)
+
 let report_cmd =
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"KERNEL.cl")
@@ -271,7 +286,11 @@ let report_cmd =
             let legality =
               Grover_analysis.Analysis.legality (Pass.diags actx)
             in
+            (* [Grover.run] mutates [fn] into the without_lm version, so
+               the original's execution path must be derived first. *)
+            let with_lm_path = path_line fn in
             let o = Grover_core.Grover.run fn in
+            let without_lm_path = path_line fn in
             Printf.printf "kernel %s:\n" fn.Grover_ir.Ssa.f_name;
             List.iter
               (fun e -> print_endline (Grover_core.Report.to_string e))
@@ -280,6 +299,10 @@ let report_cmd =
               (fun (n, r) -> Printf.printf "  rejected %s: %s\n" n r)
               o.Grover_core.Grover.rejected;
             Printf.printf "  legality: %s\n" legality;
+            Printf.printf "  execution path (with local memory): %s\n"
+              with_lm_path;
+            Printf.printf "  execution path (local memory disabled): %s\n"
+              without_lm_path;
             emit_diags fmt ~file (Pass.diags actx);
             if Pass.errors actx <> [] then saw_error := true)
           fns;

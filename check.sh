@@ -25,6 +25,31 @@ GROVER_ENGINE=closure dune runtest --force
 echo "== dune runtest (tree engine) =="
 GROVER_ENGINE=tree dune runtest --force
 
+echo "== suite under every forced execution path =="
+# GROVER_FORCE_PATH pins the group scheduler; kernels that cannot take the
+# requested path degrade to the strongest one they can. Executing the whole
+# suite (both kernel versions, outputs validated, sanitizer on) under each
+# mode gates all three schedulers — wg-loop, fiberless, fiber — on every
+# kernel shape we have.
+for mode in wg-loop fiberless fiber; do
+  echo "-- GROVER_FORCE_PATH=$mode"
+  GROVER_FORCE_PATH=$mode dune exec bin/groverc.exe -- sanitize all --scale 8 \
+    > /dev/null
+done
+
+echo "== uniform-branch barrier qualifies for wg-loop =="
+# A barrier under *group-uniform* control flow must still take the
+# region path (guards against over-conservative region formation), and
+# must execute cleanly under the sanitizer on that path.
+out=$(dune exec bin/groverc.exe -- report examples/kernels/uniform_branch_barrier.cl)
+case "$out" in
+  *"execution path (with local memory): wg-loop"*) ;;
+  *) echo "FAIL: uniform_branch_barrier.cl did not plan as wg-loop"
+     echo "$out"; exit 1 ;;
+esac
+dune exec bin/groverc.exe -- sanitize examples/kernels/uniform_branch_barrier.cl \
+  --local 16 > /dev/null
+
 echo "== groverc --verify-each smoke (examples/kernels) =="
 for f in examples/kernels/*.cl; do
   echo "-- $f"

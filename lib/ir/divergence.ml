@@ -14,9 +14,12 @@
       and phis at the join merge values from divergent paths.
 
     The whole analysis runs to a fixpoint, so divergence feeding back
-    through phis and nested branches is handled. *)
+    through phis and nested branches is handled.
 
-open Grover_ir
+    Lives in [Grover_ir] (rather than the analysis library that consumes
+    it for race/barrier checking) because barrier-region formation
+    ({!Regions}) needs the same uniformity facts at kernel-compile time. *)
+
 module H = Hashtbl
 
 type t = {

@@ -1,0 +1,223 @@
+(** Barrier-region formation: the static side of pocl-style work-item
+    loops.
+
+    A kernel's CFG is partitioned at its [Barrier] instructions into
+    {e parallel regions}: maximal stretches of code between two barriers
+    (or between kernel entry / exit and the nearest barrier). When every
+    barrier sits under group-uniform control flow, a work-group can be
+    executed without any scheduler at all — each region runs as a plain
+    [for]-loop over the group's work-items, and the loop only advances to
+    the next region once the sweep finishes, which {e is} the barrier
+    ("pocl: A Performance-Portable OpenCL Implementation" calls these
+    work-item loops).
+
+    This module answers the two static questions that executor needs:
+
+    - {b verification}: is every (reachable) barrier in group-uniform
+      control flow? Uses {!Divergence} — a barrier inside a block that
+      work-items may disagree on executing cannot be a region boundary
+      (OpenCL calls it undefined behaviour; our fiber scheduler keeps
+      handling it dynamically, so such kernels fall back to fibers);
+    - {b spill sets}: which SSA values are live {e across} each barrier?
+      Work-items of one group share a single slot environment under the
+      region executor, so values that cross a region boundary must be
+      saved to (and restored from) a per-work-item context array.
+
+    Liveness is the standard backward block-level dataflow over
+    instruction results (phi operands count as uses on the incoming edge,
+    phi results as definitions at the head of their block), refined to the
+    exact barrier position by a backward scan inside the barrier's block. *)
+
+open Ssa
+module ISet = Set.Make (Int)
+
+type info = {
+  barriers : instr array;
+      (** dense, in block order then body order — the "barrier index"
+          shared with the compiled executor *)
+  live_across : int array array;
+      (** per barrier: iids of the instruction results still live at the
+          barrier's continuation point, sorted ascending *)
+  n_regions : int;  (** barrier count + 1 *)
+}
+
+type verdict =
+  | Formed of info
+  | Fallback of string
+      (** why region execution is unavailable; the fiber scheduler
+          remains the (dynamically checked) execution path *)
+
+let is_barrier (i : instr) = match i.op with Barrier _ -> true | _ -> false
+
+(* An instruction defines a value iff its opcode has a non-void result.
+   [type_of_opcode] can raise on malformed aggregates; treat those as
+   non-defining, matching the closure compiler's slot assignment. *)
+let defines (i : instr) : bool =
+  match type_of_opcode i.op with
+  | Void -> false
+  | _ -> true
+  | exception Invalid_argument _ -> false
+
+(* iids of instruction-result operands. Phi operands are excluded here —
+   they are uses on the incoming edge, charged to the predecessor. *)
+let use_iids (i : instr) : int list =
+  match i.op with
+  | Phi _ -> []
+  | op ->
+      List.filter_map
+        (function Vinstr u -> Some u.iid | _ -> None)
+        (operands op)
+
+(* Values used by [s]'s phis along the edge [pred -> s]. *)
+let phi_edge_uses (s : block) (pred_bid : int) : ISet.t =
+  List.fold_left
+    (fun acc (i : instr) ->
+      match i.op with
+      | Phi { incoming; _ } ->
+          List.fold_left
+            (fun acc (b, v) ->
+              match v with
+              | Vinstr u when b.bid = pred_bid -> ISet.add u.iid acc
+              | _ -> acc)
+            acc incoming
+      | _ -> acc)
+    ISet.empty s.instrs
+
+(* Block-level liveness to a fixpoint; returns bid -> live-out set. *)
+let block_live_out (fn : func) : (int, ISet.t) Hashtbl.t =
+  let gen : (int, ISet.t) Hashtbl.t = Hashtbl.create 16 in
+  let def : (int, ISet.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      let defined = ref ISet.empty and g = ref ISet.empty in
+      let visit (i : instr) =
+        List.iter
+          (fun u -> if not (ISet.mem u !defined) then g := ISet.add u !g)
+          (use_iids i);
+        if defines i then defined := ISet.add i.iid !defined
+      in
+      List.iter visit b.instrs;
+      (match b.term with Some t -> visit t | None -> ());
+      Hashtbl.replace gen b.bid !g;
+      Hashtbl.replace def b.bid !defined)
+    fn.blocks;
+  let live_in : (int, ISet.t) Hashtbl.t = Hashtbl.create 16 in
+  let live_out : (int, ISet.t) Hashtbl.t = Hashtbl.create 16 in
+  let get tbl bid =
+    match Hashtbl.find_opt tbl bid with Some s -> s | None -> ISet.empty
+  in
+  let rev_blocks = List.rev fn.blocks in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        let lo =
+          List.fold_left
+            (fun acc s ->
+              ISet.union acc
+                (ISet.union (get live_in s.bid) (phi_edge_uses s b.bid)))
+            ISet.empty (successors b)
+        in
+        let li = ISet.union (get gen b.bid) (ISet.diff lo (get def b.bid)) in
+        if not (ISet.equal lo (get live_out b.bid)) then begin
+          Hashtbl.replace live_out b.bid lo;
+          changed := true
+        end;
+        if not (ISet.equal li (get live_in b.bid)) then begin
+          Hashtbl.replace live_in b.bid li;
+          changed := true
+        end)
+      rev_blocks
+  done;
+  live_out
+
+(* Refine block live-out to the program point just after [bar]: walk the
+   terminator and every instruction after the barrier backwards, removing
+   definitions and adding uses. *)
+let live_after_barrier (b : block) (bar : instr) (live_out : ISet.t) : ISet.t =
+  let rec after = function
+    | [] -> []
+    | (i : instr) :: tl -> if i.iid = bar.iid then tl else after tl
+  in
+  let live = ref live_out in
+  let visit (i : instr) =
+    if defines i then live := ISet.remove i.iid !live;
+    List.iter (fun u -> live := ISet.add u !live) (use_iids i)
+  in
+  (match b.term with Some t -> visit t | None -> ());
+  List.iter visit (List.rev (after b.instrs));
+  !live
+
+let form (fn : func) : verdict =
+  let barriers =
+    List.concat_map
+      (fun b ->
+        List.filter_map
+          (fun i -> if is_barrier i then Some (b, i) else None)
+          b.instrs)
+      fn.blocks
+  in
+  if barriers = [] then
+    Formed { barriers = [||]; live_across = [||]; n_regions = 1 }
+  else begin
+    let cfg = Cfg.compute fn in
+    let div = Divergence.compute fn in
+    match
+      List.find_opt
+        (fun ((b : block), _) ->
+          Cfg.is_reachable cfg b && Divergence.block_divergent div b)
+        barriers
+    with
+    | Some (_, (i : instr)) ->
+        Fallback
+          (if Grover_support.Loc.is_dummy i.iloc then
+             "barrier under divergent control flow"
+           else
+             Format.asprintf "barrier at %a under divergent control flow"
+               Grover_support.Loc.pp i.iloc)
+    | None ->
+        let live_out = block_live_out fn in
+        let live_across =
+          Array.of_list
+            (List.map
+               (fun ((b : block), bar) ->
+                 let lo =
+                   match Hashtbl.find_opt live_out b.bid with
+                   | Some s -> s
+                   | None -> ISet.empty
+                 in
+                 Array.of_list (ISet.elements (live_after_barrier b bar lo)))
+               barriers)
+        in
+        Formed
+          {
+            barriers = Array.of_list (List.map snd barriers);
+            live_across;
+            n_regions = List.length barriers + 1;
+          }
+  end
+
+(** Distinct values live across any region boundary — the per-work-item
+    context footprint of the region executor. *)
+let spill_footprint (i : info) : int =
+  Array.fold_left
+    (fun acc a -> Array.fold_left (fun acc iid -> ISet.add iid acc) acc a)
+    ISet.empty i.live_across
+  |> ISet.cardinal
+
+let describe (v : verdict) : string =
+  match v with
+  | Formed i when Array.length i.barriers = 0 ->
+      "barrier-free: one parallel region"
+  | Formed i ->
+      let nb = Array.length i.barriers in
+      let nl = spill_footprint i in
+      Printf.sprintf
+        "%d uniform barrier%s -> %d parallel regions, %d value%s live across \
+         region boundaries"
+        nb
+        (if nb = 1 then "" else "s")
+        i.n_regions nl
+        (if nl = 1 then "" else "s")
+  | Fallback reason -> reason

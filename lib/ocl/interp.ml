@@ -13,12 +13,21 @@
       oracle for the differential test suite (and selectable with
       [GROVER_ENGINE=tree]).
 
-    Both engines share [barrier()] semantics via OCaml 5 effect handlers:
-    each work-item runs as a fiber; hitting a barrier performs
-    [Barrier_hit], the group scheduler parks the continuation, and resumes
-    every work-item of the group once all of them have arrived. Memory
-    accesses stream into the group's {!Trace.wg_stats} for the performance
-    simulator. *)
+    [barrier()] semantics come in two flavours:
+
+    - {b fibers} (the fallback, and the only option for the tree engine):
+      each work-item runs as an OCaml 5 fiber; hitting a barrier performs
+      [Barrier_hit], the group scheduler parks the continuation, and
+      resumes every work-item of the group once all of them have arrived;
+    - {b work-group loops} (compiled engine, when {!Grover_ir.Regions}
+      verifies every barrier is group-uniform): the kernel is compiled
+      into barrier-split {e segments}; the runtime sweeps a plain
+      [for]-loop over the group's work-items once per barrier-delimited
+      region, spilling the SSA values that cross a region boundary into
+      per-work-item context arrays. No effect handlers, no fiber stacks.
+
+    Memory accesses stream into the group's {!Trace.wg_stats} for the
+    performance simulator either way, in the same order. *)
 
 open Grover_ir
 open Ssa
@@ -233,25 +242,33 @@ and compiled = {
   has_barrier : bool;
       (** statically true iff the kernel contains a [Barrier] instruction;
           barrier-free kernels take the fiberless fast path *)
+  regions : Regions.verdict;
+      (** barrier-region formation result, for path reporting; the
+          compiled spill metadata derived from it lives in [code.wg] *)
   code : cfunc option;  (** [Some] iff the kernel was closure-compiled *)
 }
 
 and cfunc = {
-  cblocks : cblock array;  (** dense; index 0 is the entry block *)
+  csegs : cseg array;
+      (** basic blocks split at barriers; index 0 is the kernel entry,
+          each block's segments are contiguous in block order *)
   n_int : int;
   n_float : int;
   n_box : int;
   scr_int : int;  (** max int phi moves on any edge *)
   scr_float : int;
   scr_box : int;
+  wg : cwg option;
+      (** region-execution metadata; [Some] iff {!Regions.form} verified
+          every barrier group-uniform (trivially for barrier-free code) *)
 }
 
-and cblock = {
+and cseg = {
   body : (wi_state -> unit) array;
   cterm : cterm;
   (* Op counts are only observable at group granularity, so the
-     statically-known per-instruction costs are summed once per block at
-     compile time and bumped in one go per block execution. *)
+     statically-known per-instruction costs are summed once per segment at
+     compile time and bumped in one go per segment execution. *)
   b_int : int;
   b_float : int;
   b_special : int;
@@ -261,10 +278,32 @@ and cterm =
   | Tbr of edge
   | Tcond of (wi_state -> int) * edge * edge
   | Tret
+  | Tbarrier of { bar : int; next : int }
+      (** barrier [bar] (dense {!Regions} index); [next] is the
+          continuation segment right after it. The fiber executor performs
+          [Barrier_hit] and continues at [next]; the region executor
+          returns [bar] to the group sweep instead. *)
   | Ttrap of string
 
+(** Per-work-item spill plan of the region executor. Every SSA value live
+    across some barrier owns one column in a per-kind context matrix
+    ([n_items] rows of width [ctx_*]); per barrier, the (env slot, context
+    column) pairs to copy are precompiled into parallel arrays. *)
+and cwg = {
+  bar_entry : int array;  (** barrier index -> continuation segment *)
+  sp_i_env : int array array;  (** per barrier: int env slots to spill *)
+  sp_i_ctx : int array array;  (** per barrier: matching context columns *)
+  sp_f_env : int array array;
+  sp_f_ctx : int array array;
+  sp_b_env : int array array;
+  sp_b_ctx : int array array;
+  ctx_i : int;  (** context row width per kind *)
+  ctx_f : int;
+  ctx_b : int;
+}
+
 and edge = {
-  e_dst : int;  (** dense index of the successor block *)
+  e_dst : int;  (** dense index of the successor block's entry segment *)
   im_dst : int array;  (** phi destination slots, by kind *)
   im_src : (wi_state -> int) array;
   fm_dst : int array;
@@ -532,7 +571,7 @@ and run_tree (st : wi_state) : unit =
 
 type kind = KInt of int | KFloat of int | KBox of int
 
-let compile_fn (fn : func) : cfunc =
+let compile_fn (fn : func) (regions : Regions.verdict) : cfunc =
   let kinds : (int, kind) Hashtbl.t = Hashtbl.create 64 in
   let ni = ref 0 and nf = ref 0 and nb = ref 0 in
   iter_instrs
@@ -551,8 +590,31 @@ let compile_fn (fn : func) : cfunc =
       | exception Invalid_argument _ -> ())
     fn;
   let kind_of (i : instr) = Hashtbl.find_opt kinds i.iid in
+  (* Segment layout: each block contributes an entry segment plus one
+     continuation segment per barrier it contains, laid out contiguously.
+     [bidx] maps a block id to its entry segment (branch edges can only
+     target block entries); [bar_index]/[bar_entry] number barriers
+     densely in block-then-body order, matching {!Regions.form}. *)
   let bidx : (int, int) Hashtbl.t = Hashtbl.create 8 in
-  List.iteri (fun k b -> Hashtbl.replace bidx b.bid k) fn.blocks;
+  let bar_index : (int, int) Hashtbl.t = Hashtbl.create 4 in
+  let n_segs = ref 0 and n_bars = ref 0 in
+  let bar_entry_rev = ref [] in
+  List.iter
+    (fun b ->
+      Hashtbl.replace bidx b.bid !n_segs;
+      incr n_segs;
+      List.iter
+        (fun (i : instr) ->
+          match i.op with
+          | Barrier _ ->
+              Hashtbl.replace bar_index i.iid !n_bars;
+              incr n_bars;
+              bar_entry_rev := !n_segs :: !bar_entry_rev;
+              incr n_segs
+          | _ -> ())
+        b.instrs)
+    fn.blocks;
+  let bar_entry = Array.of_list (List.rev !bar_entry_rev) in
 
   (* Destination helpers: hand the slot to [mk], or trap at execution time
      if the instruction's static type disagrees with the expected kind. *)
@@ -999,9 +1061,8 @@ let compile_fn (fn : func) : cfunc =
         | _ -> fun _ -> trap "vecbuild of non-vector")
     | Phi _ -> fun _ -> trap "phi executed outside block entry"
     | Barrier _ ->
-        fun st ->
-          st.stats.Trace.barriers <- st.stats.Trace.barriers + 1;
-          Effect.perform Barrier_hit
+        (* Barriers end a segment; they never appear in a segment body. *)
+        fun _ -> trap "barrier executed as a body instruction"
     | Br _ | Cond_br _ | Ret ->
         fun _ -> trap "terminator executed as body instruction"
   in
@@ -1062,21 +1123,11 @@ let compile_fn (fn : func) : cfunc =
     | _ -> (0, 0, 0)
   in
 
-  let compile_block (k : int) (b : block) : cblock =
-    let body =
-      List.filter_map
-        (fun (i : instr) ->
-          match i.op with Phi _ -> None | _ -> Some (compile_instr i))
-        b.instrs
-    in
-    let body =
-      (* Phis are only written by incoming edges; a phi in the entry block
-         has no incoming edge and is malformed IR. *)
-      if k = 0 && List.exists (fun i -> match i.op with Phi _ -> true | _ -> false) b.instrs
-      then (fun _ -> trap "phi in entry block") :: body
-      else body
-    in
-    let cterm =
+  (* One block compiles to 1 + (barriers in block) segments: the body is
+     cut at each barrier, non-final chunks terminate in [Tbarrier], the
+     final chunk carries the block's real terminator. *)
+  let compile_block (k : int) (b : block) : cseg list =
+    let final_term =
       match b.term with
       | Some { op = Br target; _ } -> Tbr (mk_edge b target)
       | Some { op = Cond_br (c, t, e); _ } ->
@@ -1084,34 +1135,150 @@ let compile_fn (fn : func) : cfunc =
       | Some { op = Ret; _ } -> Tret
       | _ -> Ttrap "missing terminator"
     in
-    let b_int = ref 0 and b_float = ref 0 and b_special = ref 0 in
-    List.iter
-      (fun (i : instr) ->
-        match i.op with
-        | Phi _ -> ()
-        | _ ->
-            let ci, cf, cs = op_cost i in
-            b_int := !b_int + ci;
-            b_float := !b_float + cf;
-            b_special := !b_special + cs)
-      b.instrs;
-    {
-      body = Array.of_list body;
-      cterm;
-      b_int = !b_int;
-      b_float = !b_float;
-      b_special = !b_special;
-    }
+    let rec cut acc cur = function
+      | [] -> List.rev ((List.rev cur, None) :: acc)
+      | (i : instr) :: tl when (match i.op with Barrier _ -> true | _ -> false)
+        ->
+          cut ((List.rev cur, Some i) :: acc) [] tl
+      | i :: tl -> cut acc (i :: cur) tl
+    in
+    let mk_seg (j : int) ((instrs : instr list), (bar : instr option)) : cseg =
+      let body =
+        List.filter_map
+          (fun (i : instr) ->
+            match i.op with Phi _ -> None | _ -> Some (compile_instr i))
+          instrs
+      in
+      let body =
+        (* Phis are only written by incoming edges; a phi in the entry
+           block has no incoming edge and is malformed IR. *)
+        if
+          j = 0 && k = 0
+          && List.exists
+               (fun i -> match i.op with Phi _ -> true | _ -> false)
+               instrs
+        then (fun _ -> trap "phi in entry block") :: body
+        else body
+      in
+      let cterm =
+        match bar with
+        | Some bi ->
+            let bar = Hashtbl.find bar_index bi.iid in
+            Tbarrier { bar; next = bar_entry.(bar) }
+        | None -> final_term
+      in
+      let c_int = ref 0 and c_float = ref 0 and c_special = ref 0 in
+      List.iter
+        (fun (i : instr) ->
+          match i.op with
+          | Phi _ -> ()
+          | _ ->
+              let ci, cf, cs = op_cost i in
+              c_int := !c_int + ci;
+              c_float := !c_float + cf;
+              c_special := !c_special + cs)
+        instrs;
+      {
+        body = Array.of_list body;
+        cterm;
+        b_int = !c_int;
+        b_float = !c_float;
+        b_special = !c_special;
+      }
+    in
+    List.mapi mk_seg (cut [] [] b.instrs)
   in
-  let cblocks = Array.of_list (List.mapi compile_block fn.blocks) in
+  let csegs =
+    Array.of_list (List.concat (List.mapi compile_block fn.blocks))
+  in
+  assert (Array.length csegs = !n_segs);
+  (* Spill plan for the region executor: give every value that is live
+     across {e some} barrier one context column of its kind, then
+     precompile each barrier's (env slot, column) copy lists. *)
+  let wg =
+    match regions with
+    | Regions.Fallback _ -> None
+    | Regions.Formed info ->
+        let enumeration_matches =
+          Array.length info.barriers = !n_bars
+          && Array.for_all
+               (fun (bi : instr) ->
+                 match Hashtbl.find_opt bar_index bi.iid with
+                 | Some _ -> true
+                 | None -> false)
+               info.barriers
+        in
+        if not enumeration_matches then None
+        else begin
+          let ctx_col : (int, int) Hashtbl.t = Hashtbl.create 16 in
+          let ci = ref 0 and cf = ref 0 and cb = ref 0 in
+          Array.iter
+            (Array.iter (fun iid ->
+                 if not (Hashtbl.mem ctx_col iid) then
+                   match Hashtbl.find_opt kinds iid with
+                   | Some (KInt _) ->
+                       Hashtbl.replace ctx_col iid !ci;
+                       incr ci
+                   | Some (KFloat _) ->
+                       Hashtbl.replace ctx_col iid !cf;
+                       incr cf
+                   | Some (KBox _) ->
+                       Hashtbl.replace ctx_col iid !cb;
+                       incr cb
+                   | None -> ()))
+            info.live_across;
+          let n = !n_bars in
+          let sp_i_env = Array.make n [||] and sp_i_ctx = Array.make n [||] in
+          let sp_f_env = Array.make n [||] and sp_f_ctx = Array.make n [||] in
+          let sp_b_env = Array.make n [||] and sp_b_ctx = Array.make n [||] in
+          Array.iteri
+            (fun j (bi : instr) ->
+              let at = Hashtbl.find bar_index bi.iid in
+              let ie = ref [] and fe = ref [] and be = ref [] in
+              Array.iter
+                (fun iid ->
+                  match Hashtbl.find_opt kinds iid with
+                  | Some (KInt s) ->
+                      ie := (s, Hashtbl.find ctx_col iid) :: !ie
+                  | Some (KFloat s) ->
+                      fe := (s, Hashtbl.find ctx_col iid) :: !fe
+                  | Some (KBox s) ->
+                      be := (s, Hashtbl.find ctx_col iid) :: !be
+                  | None -> ())
+                info.live_across.(j);
+              let fill env ctx l =
+                let a = Array.of_list (List.rev l) in
+                env.(at) <- Array.map fst a;
+                ctx.(at) <- Array.map snd a
+              in
+              fill sp_i_env sp_i_ctx !ie;
+              fill sp_f_env sp_f_ctx !fe;
+              fill sp_b_env sp_b_ctx !be)
+            info.barriers;
+          Some
+            {
+              bar_entry;
+              sp_i_env;
+              sp_i_ctx;
+              sp_f_env;
+              sp_f_ctx;
+              sp_b_env;
+              sp_b_ctx;
+              ctx_i = !ci;
+              ctx_f = !cf;
+              ctx_b = !cb;
+            }
+        end
+  in
   {
-    cblocks;
+    csegs;
     n_int = !ni;
     n_float = !nf;
     n_box = !nb;
     scr_int = !scr_i;
     scr_float = !scr_f;
     scr_box = !scr_b;
+    wg;
   }
 
 (* -- The compiled-engine hot loop ------------------------------------------- *)
@@ -1147,11 +1314,11 @@ let take_edge (st : wi_state) (e : edge) : int =
   e.e_dst
 
 let run_compiled (st : wi_state) (cf : cfunc) : unit =
-  let blocks = cf.cblocks in
+  let segs = cf.csegs in
   let cur = ref 0 in
   let stats = st.stats in
   while !cur >= 0 do
-    let b = blocks.(!cur) in
+    let b = segs.(!cur) in
     stats.Trace.int_ops <- stats.Trace.int_ops + b.b_int;
     stats.Trace.float_ops <- stats.Trace.float_ops + b.b_float;
     stats.Trace.special_ops <- stats.Trace.special_ops + b.b_special;
@@ -1166,7 +1333,87 @@ let run_compiled (st : wi_state) (cf : cfunc) : unit =
           st.stats.Trace.branches <- st.stats.Trace.branches + 1;
           if g st <> 0 then take_edge st t else take_edge st e
       | Tret -> -1
+      | Tbarrier { bar = _; next } ->
+          stats.Trace.barriers <- stats.Trace.barriers + 1;
+          Effect.perform Barrier_hit;
+          next
       | Ttrap m -> trap "%s" m)
+  done
+
+(* -- The region executor ------------------------------------------------------
+
+   The runtime's wg-loop scheduler drives one work-item at a time through
+   the current parallel region: [run_region] runs from segment [from]
+   until the work-item either returns (result -1) or reaches a barrier
+   (result = the barrier's dense index; the sweep continues the whole
+   group at [cwg.bar_entry.(bar)] once every work-item arrived there).
+   Values live across the boundary are copied between the shared slot
+   environment and the work-item's row of the group's context matrices by
+   [spill_save]/[spill_restore]. *)
+
+let run_region (st : wi_state) (cf : cfunc) ~(from : int) : int =
+  let segs = cf.csegs in
+  let cur = ref from in
+  let exitc = ref (-1) in
+  let running = ref true in
+  let stats = st.stats in
+  while !running do
+    let b = segs.(!cur) in
+    stats.Trace.int_ops <- stats.Trace.int_ops + b.b_int;
+    stats.Trace.float_ops <- stats.Trace.float_ops + b.b_float;
+    stats.Trace.special_ops <- stats.Trace.special_ops + b.b_special;
+    let body = b.body in
+    for k = 0 to Array.length body - 1 do
+      body.(k) st
+    done;
+    match b.cterm with
+    | Tbr e -> cur := take_edge st e
+    | Tcond (g, t, e) ->
+        stats.Trace.branches <- stats.Trace.branches + 1;
+        cur := (if g st <> 0 then take_edge st t else take_edge st e)
+    | Tret -> running := false
+    | Tbarrier { bar; next = _ } ->
+        stats.Trace.barriers <- stats.Trace.barriers + 1;
+        exitc := bar;
+        running := false
+    | Ttrap m -> trap "%s" m
+  done;
+  !exitc
+
+let spill_save (st : wi_state) (w : cwg) ~(bar : int) ~(ictx : int array)
+    ~(fctx : float array) ~(bctx : rv array) ~(flat : int) : unit =
+  let env = w.sp_i_env.(bar) and col = w.sp_i_ctx.(bar) in
+  let base = flat * w.ctx_i in
+  for k = 0 to Array.length env - 1 do
+    ictx.(base + col.(k)) <- st.ienv.(env.(k))
+  done;
+  let env = w.sp_f_env.(bar) and col = w.sp_f_ctx.(bar) in
+  let base = flat * w.ctx_f in
+  for k = 0 to Array.length env - 1 do
+    fctx.(base + col.(k)) <- st.fenv.(env.(k))
+  done;
+  let env = w.sp_b_env.(bar) and col = w.sp_b_ctx.(bar) in
+  let base = flat * w.ctx_b in
+  for k = 0 to Array.length env - 1 do
+    bctx.(base + col.(k)) <- st.benv.(env.(k))
+  done
+
+let spill_restore (st : wi_state) (w : cwg) ~(bar : int) ~(ictx : int array)
+    ~(fctx : float array) ~(bctx : rv array) ~(flat : int) : unit =
+  let env = w.sp_i_env.(bar) and col = w.sp_i_ctx.(bar) in
+  let base = flat * w.ctx_i in
+  for k = 0 to Array.length env - 1 do
+    st.ienv.(env.(k)) <- ictx.(base + col.(k))
+  done;
+  let env = w.sp_f_env.(bar) and col = w.sp_f_ctx.(bar) in
+  let base = flat * w.ctx_f in
+  for k = 0 to Array.length env - 1 do
+    st.fenv.(env.(k)) <- fctx.(base + col.(k))
+  done;
+  let env = w.sp_b_env.(bar) and col = w.sp_b_ctx.(bar) in
+  let base = flat * w.ctx_b in
+  for k = 0 to Array.length env - 1 do
+    st.benv.(env.(k)) <- bctx.(base + col.(k))
   done
 
 (* -- Public interface -------------------------------------------------------- *)
@@ -1194,8 +1441,11 @@ let prepare ?engine (fn : func) : compiled =
       (fun acc i -> acc || match i.op with Barrier _ -> true | _ -> false)
       false fn
   in
-  let code = match engine with Compiled -> Some (compile_fn fn) | Tree -> None in
-  { fn; slots; n_slots = !n; local_allocas; has_barrier; code }
+  let regions = Regions.form fn in
+  let code =
+    match engine with Compiled -> Some (compile_fn fn regions) | Tree -> None
+  in
+  { fn; slots; n_slots = !n; local_allocas; has_barrier; regions; code }
 
 let engine_of (c : compiled) : engine =
   match c.code with Some _ -> Compiled | None -> Tree
@@ -1262,6 +1512,36 @@ let reset_item (st : wi_state) ~(flat : int) : unit =
   ctx.gid.(2) <- (grp.(2) * lsz.(2)) + lz;
   ctx.flat_lid <- flat;
   st.private_offset <- 0
+
+(** [advance_item st] = [reset_item st ~flat:(st.ctx.flat_lid + 1)], but
+    by carry-propagating increments instead of the div/mod chain — the
+    sweep loops of the fiberless and wg-loop schedulers visit work-items
+    in flat order, so the full recomputation is only needed at [flat = 0]. *)
+let advance_item (st : wi_state) : unit =
+  let ctx = st.ctx in
+  let lid = ctx.lid and gid = ctx.gid and lsz = ctx.lsz in
+  ctx.flat_lid <- ctx.flat_lid + 1;
+  st.private_offset <- 0;
+  let x = lid.(0) + 1 in
+  if x < lsz.(0) then begin
+    lid.(0) <- x;
+    gid.(0) <- gid.(0) + 1
+  end
+  else begin
+    lid.(0) <- 0;
+    gid.(0) <- gid.(0) - lsz.(0) + 1;
+    let y = lid.(1) + 1 in
+    if y < lsz.(1) then begin
+      lid.(1) <- y;
+      gid.(1) <- gid.(1) + 1
+    end
+    else begin
+      lid.(1) <- 0;
+      gid.(1) <- gid.(1) - lsz.(1) + 1;
+      lid.(2) <- lid.(2) + 1;
+      gid.(2) <- gid.(2) + 1
+    end
+  end
 
 let run_workitem (st : wi_state) : unit =
   match st.c.code with Some cf -> run_compiled st cf | None -> run_tree st

@@ -1,8 +1,20 @@
 (** Kernel launch: NDRange iteration, per-queue local-memory allocation,
-    pooled work-item states, and two group schedulers — the barrier-aware
-    fiber scheduler built on effect handlers, and a fiberless fast path
-    for statically barrier-free kernels (every Grover-transformed kernel,
-    and any original that never synchronizes).
+    pooled work-item states, and three group schedulers —
+
+    - {b wg-loop}: pocl-style work-item loops for kernels whose barriers
+      {!Grover_ir.Regions} proved group-uniform; each barrier-delimited
+      region runs as a plain loop over the group's work-items, live values
+      crossing region boundaries ride in per-work-item context arrays;
+    - {b fiberless}: the degenerate single-region loop for statically
+      barrier-free kernels (every Grover-transformed kernel, and any
+      original that never synchronizes);
+    - {b fiber}: the effect-handler scheduler, kept as the differential
+      oracle and as the fallback for kernels with divergent barriers
+      (where it detects the divergence dynamically).
+
+    [GROVER_FORCE_PATH=wg-loop|fiberless|fiber] overrides the choice for
+    every launch of the process, within static capability (a path a kernel
+    cannot take degrades to the nearest one that it can).
 
     Parallel launches run on a {e persistent} domain pool: worker domains
     are spawned once (lazily, grown on demand) and reused across launches,
@@ -52,14 +64,15 @@ let bind_args (fn : func) (bindings : arg_binding list) : Interp.rv array =
 
 (* -- Execution plan ----------------------------------------------------------- *)
 
+(** The group scheduler a launch will use (see the module docs). *)
+type path = Wg_loop | Fiberless | Fiber
+
 (** How a launch will execute: which group scheduler, and on how many
     domains (including the calling one). Computed by {!plan} with the
     exact rules {!launch} applies, so benches and autotuners can report
     auditable execution metadata without re-deriving the policy. *)
 type exec_plan = {
-  fibers : bool;
-      (** effect-handler fiber scheduler (kernel contains a barrier, or
-          fibers were forced) vs. the fiberless fast path *)
+  path : path;
   domains_used : int;  (** parallel domains, including the caller *)
 }
 
@@ -70,6 +83,34 @@ let resolve_domains (domains : int) : int =
     max 1 (min max_domains (Domain.recommended_domain_count ()))
   else domains
 
+(* The region executor needs the compiled spill metadata — absent on the
+   tree engine and whenever region formation fell back. *)
+let wg_capable (c : Interp.compiled) : bool =
+  match c.Interp.code with
+  | Some cf -> cf.Interp.wg <> None
+  | None -> false
+
+let choose_path (c : Interp.compiled) ~(force_fibers : bool) : path =
+  if force_fibers then Fiber
+  else
+    match Sys.getenv_opt "GROVER_FORCE_PATH" with
+    | None | Some "" ->
+        if not c.Interp.has_barrier then Fiberless
+        else if wg_capable c then Wg_loop
+        else Fiber
+    | Some ("fiber" | "fibers") -> Fiber
+    | Some "fiberless" ->
+        (* A kernel with barriers cannot run unsynchronized; degrade to
+           the fiber scheduler rather than miscompute. *)
+        if c.Interp.has_barrier then Fiber else Fiberless
+    | Some ("wg-loop" | "wgloop" | "wg_loop") ->
+        if wg_capable c then Wg_loop
+        else if c.Interp.has_barrier then Fiber
+        else Fiberless
+    | Some s ->
+        fail "unknown GROVER_FORCE_PATH %S (expected wg-loop, fiberless or fiber)"
+          s
+
 let plan (c : Interp.compiled) ~(cfg : launch_config) ?(force_fibers = false)
     ?(domains = 1) () : exec_plan =
   let gx, gy, gz = cfg.global and lx, ly, lz = cfg.local in
@@ -79,10 +120,13 @@ let plan (c : Interp.compiled) ~(cfg : launch_config) ?(force_fibers = false)
   in
   let d = resolve_domains domains in
   let d = if n_groups < 2 then 1 else min d n_groups in
-  { fibers = force_fibers || c.Interp.has_barrier; domains_used = d }
+  { path = choose_path c ~force_fibers; domains_used = d }
 
 let path_name (p : exec_plan) : string =
-  if p.fibers then "fiber" else "fiberless"
+  match p.path with
+  | Wg_loop -> "wg-loop"
+  | Fiberless -> "fiberless"
+  | Fiber -> "fiber"
 
 (* -- Per-(launch x domain) execution context ---------------------------------
 
@@ -111,10 +155,20 @@ type exec_ctx = {
   grp : int array;  (** shared by all states' contexts; rewritten per group *)
   states : Interp.wi_state array;
       (** pooled work-item states: [n_items] under fibers (work-items of a
-          group are live concurrently between barriers), 1 fiberless *)
+          group are live concurrently between barriers), 1 otherwise *)
   n_items : int;
-  fibers : bool;
+  path : path;
   parked : (unit, unit) Effect.Deep.continuation Queue.t;
+  (* Region-executor context matrices: [n_items] rows of the widths in
+     [cwg]; a work-item's values that survive a region boundary park in
+     its row between sweeps. Empty on the other paths. *)
+  wg_ictx : int array;
+  wg_fctx : float array;
+  wg_bctx : Interp.rv array;
+  wg_priv : int array;
+      (** per work-item private-allocation bump offset carried across
+          regions, so private allocas land at the same addresses the fiber
+          path would give them *)
   mutable local_sets : local_set option array;  (** per queue, lazy *)
   mutable cur_queue : int;  (** queue the states are currently aimed at *)
   san : Sanitize.t option;
@@ -122,11 +176,11 @@ type exec_ctx = {
 
 let make_ctx (c : Interp.compiled) ~(rv_args : Interp.rv array)
     ~(scratch : Memory.t) ~(stats : Trace.wg_stats) ~(lsz : int array)
-    ~(gsz : int array) ~(ngr : int array) ~(fibers : bool)
+    ~(gsz : int array) ~(ngr : int array) ~(path : path)
     ?(san : Sanitize.t option) () : exec_ctx =
   let n_items = lsz.(0) * lsz.(1) * lsz.(2) in
   let grp = [| 0; 0; 0 |] in
-  let n_states = if fibers then n_items else 1 in
+  let n_states = if path = Fiber then n_items else 1 in
   let states =
     Array.init n_states (fun _ ->
         let ctx =
@@ -147,6 +201,18 @@ let make_ctx (c : Interp.compiled) ~(rv_args : Interp.rv array)
         st.Interp.san <- san;
         st)
   in
+  let wg_ictx, wg_fctx, wg_bctx, wg_priv =
+    match path with
+    | Wg_loop -> (
+        match c.Interp.code with
+        | Some { Interp.wg = Some w; _ } ->
+            ( Array.make (max 1 (n_items * w.Interp.ctx_i)) 0,
+              Array.make (max 1 (n_items * w.Interp.ctx_f)) 0.0,
+              Array.make (max 1 (n_items * w.Interp.ctx_b)) (Interp.RInt 0),
+              Array.make n_items 0 )
+        | _ -> fail "wg-loop planned for a kernel without region metadata")
+    | Fiberless | Fiber -> ([||], [||], [||], [||])
+  in
   {
     xc = c;
     scratch;
@@ -156,8 +222,12 @@ let make_ctx (c : Interp.compiled) ~(rv_args : Interp.rv array)
     grp;
     states;
     n_items;
-    fibers;
+    path;
     parked = Queue.create ();
+    wg_ictx;
+    wg_fctx;
+    wg_bctx;
+    wg_priv;
     local_sets = [||];
     cur_queue = -1;
     san;
@@ -253,8 +323,70 @@ let run_group_fibers (x : exec_ctx) : unit =
 let run_group_fiberless (x : exec_ctx) : unit =
   let st = x.states.(0) in
   for flat = 0 to x.n_items - 1 do
-    Interp.reset_item st ~flat;
+    if flat = 0 then Interp.reset_item st ~flat:0 else Interp.advance_item st;
     Interp.run_workitem st
+  done
+
+(* Work-group loops: sweep every work-item through the current parallel
+   region, then advance the whole group past the barrier and sweep the
+   next region. One pooled state serves all work-items — values that
+   survive a region boundary are spilled to (and restored from) the
+   work-item's row of the context matrices. The sweep order matches the
+   fiber scheduler's FIFO rounds (work-item 0..n-1 per region), so trace
+   event streams are bit-identical.
+
+   Region formation proved barriers group-uniform, but that is a static
+   claim about a dynamic property; the sweep still verifies that every
+   work-item leaves the region at the same exit and reports barrier
+   divergence like the fiber scheduler would. *)
+let run_group_wgloop (x : exec_ctx) : unit =
+  let st = x.states.(0) in
+  let cf =
+    match x.xc.Interp.code with
+    | Some cf -> cf
+    | None -> fail "wg-loop without compiled code"
+  in
+  let w =
+    match cf.Interp.wg with
+    | Some w -> w
+    | None -> fail "wg-loop without region metadata"
+  in
+  let n = x.n_items in
+  let cur = ref 0 in
+  let entered = ref (-1) in
+  (* barrier we resumed from; -1 = kernel entry *)
+  let finished = ref false in
+  while not !finished do
+    let exit0 = ref (-1) in
+    for flat = 0 to n - 1 do
+      if flat = 0 then Interp.reset_item st ~flat:0
+      else Interp.advance_item st;
+      if !entered >= 0 then begin
+        st.Interp.private_offset <- x.wg_priv.(flat);
+        Interp.spill_restore st w ~bar:!entered ~ictx:x.wg_ictx
+          ~fctx:x.wg_fctx ~bctx:x.wg_bctx ~flat
+      end;
+      let e = Interp.run_region st cf ~from:!cur in
+      if e >= 0 then begin
+        Interp.spill_save st w ~bar:e ~ictx:x.wg_ictx ~fctx:x.wg_fctx
+          ~bctx:x.wg_bctx ~flat;
+        x.wg_priv.(flat) <- st.Interp.private_offset
+      end;
+      if flat = 0 then exit0 := e
+      else if e <> !exit0 then
+        fail
+          "barrier divergence in %s: work-item %d left the parallel region \
+           at a different point than work-item 0"
+          x.xc.Interp.fn.f_name flat
+    done;
+    if !exit0 < 0 then finished := true
+    else begin
+      (* The whole group arrived: this sweep boundary is the barrier. *)
+      x.stats.Trace.barrier_rounds <- x.stats.Trace.barrier_rounds + 1;
+      (match x.san with Some s -> Sanitize.barrier_round s | None -> ());
+      entered := !exit0;
+      cur := w.Interp.bar_entry.(!exit0)
+    end
   done
 
 let run_one_group (x : exec_ctx) ~(wg : int) ~(queue : int) : unit =
@@ -276,7 +408,10 @@ let run_one_group (x : exec_ctx) ~(wg : int) ~(queue : int) : unit =
      allocation semantics. *)
   List.iter Memory.clear ls.ls_bufs;
   Trace.reset x.stats ~wg_id:wg ~queue ~wg_size:x.n_items;
-  if x.fibers then run_group_fibers x else run_group_fiberless x
+  match x.path with
+  | Wg_loop -> run_group_wgloop x
+  | Fiberless -> run_group_fiberless x
+  | Fiber -> run_group_fibers x
 
 (* -- The persistent domain pool -----------------------------------------------
 
@@ -412,14 +547,14 @@ let launch (c : Interp.compiled) ~(cfg : launch_config)
   let totals = Trace.empty_totals () in
   let n_groups = ngr.(0) * ngr.(1) * ngr.(2) in
   let domains = if sanitizer <> None then 1 else domains in
-  let { fibers; domains_used = d } = plan c ~cfg ~force_fibers ~domains () in
+  let { path; domains_used = d } = plan c ~cfg ~force_fibers ~domains () in
   if d <= 1 then begin
     (* One pooled execution context for the whole launch: states, stats
        event arrays and local allocations all keep their capacity across
        groups. *)
     let stats = Trace.fresh_stats ~wg_id:0 ~queue:0 ~wg_size:0 in
     let x =
-      make_ctx c ~rv_args ~scratch:mem ~stats ~lsz ~gsz ~ngr ~fibers
+      make_ctx c ~rv_args ~scratch:mem ~stats ~lsz ~gsz ~ngr ~path
         ?san:sanitizer ()
     in
     for wg = 0 to n_groups - 1 do
@@ -435,18 +570,25 @@ let launch (c : Interp.compiled) ~(cfg : launch_config)
       fail "parallel launches cannot stream per-group traces";
     (* Atomic chunk-claiming: workers grab ranges of [chunk] groups until
        the NDRange is exhausted, so a slow domain cannot stall the launch
-       the way the old fixed-stride assignment could. *)
+       the way the old fixed-stride assignment could. The chunk size is
+       launch-size-aware: aim for ~16 claims per domain so stragglers can
+       rebalance, but cap the chunk so one claim never hoards a large
+       slice of a big NDRange. *)
     let next = Atomic.make 0 in
-    let chunk = max 1 (n_groups / (d * 8)) in
-    let partial = Array.init d (fun _ -> Trace.empty_totals ()) in
+    let chunk = max 1 (min 64 (n_groups / (d * 16))) in
+    (* Per-domain totals are allocated *inside* each worker domain and
+       published here once, at the end: consecutively caller-allocated
+       records would share cache lines, and the counter bumps of [d]
+       domains would false-share them for the whole launch. *)
+    let partial : Trace.totals option array = Array.make d None in
     let work k =
       (* Each domain gets its own scratch memory for local/private
          allocations; global buffers (inside rv_args) are shared, and
          well-formed kernels write disjoint elements. *)
       let scratch = Memory.create () in
       let stats = Trace.fresh_stats ~wg_id:0 ~queue:k ~wg_size:0 in
-      let x = make_ctx c ~rv_args ~scratch ~stats ~lsz ~gsz ~ngr ~fibers () in
-      let local = partial.(k) in
+      let x = make_ctx c ~rv_args ~scratch ~stats ~lsz ~gsz ~ngr ~path () in
+      let local = Trace.empty_totals () in
       let running = ref true in
       while !running do
         let g0 = Atomic.fetch_and_add next chunk in
@@ -456,7 +598,8 @@ let launch (c : Interp.compiled) ~(cfg : launch_config)
             run_one_group x ~wg ~queue:k;
             Trace.accumulate local stats
           done
-      done
+      done;
+      partial.(k) <- Some local
     in
     Pool.dispatch ~workers:(d - 1) work;
     let caller_error = (try work 0; None with e -> Some e) in
@@ -464,7 +607,9 @@ let launch (c : Interp.compiled) ~(cfg : launch_config)
     (match (caller_error, pool_error) with
     | Some e, _ | None, Some e -> raise e
     | None, None -> ());
-    Array.iter (fun p -> Trace.merge_totals totals p) partial;
+    Array.iter
+      (function Some p -> Trace.merge_totals totals p | None -> ())
+      partial;
     totals
   end
 

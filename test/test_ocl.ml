@@ -406,6 +406,227 @@ let fastpath_cases =
         [ (H.With_lm, "with-lm"); (H.Without_lm, "grover") ])
     Grover_suite.Suite.all
 
+(* -- Differential: wg-loop region executor vs the fiber scheduler -------------
+   The barrier-region path replaces fibers for kernels whose barriers all
+   sit in group-uniform control flow. Its work-item sweep must reproduce
+   the fiber scheduler bit for bit: same buffers (local and private
+   scratch included, so context spill/restore is covered) and the same
+   launch totals (so the trace stream — cost model, barrier rounds —
+   is unchanged). Checked over the whole suite x both kernel versions x
+   both engines; on the tree engine the default plan degrades to
+   fiberless/fiber, which keeps the comparison meaningful there too. *)
+
+let run_sched (case : Kit.case) (v : H.version) ~(engine : Interp.engine)
+    ~(force_fibers : bool) :
+    Trace.totals * (int * Ssa.space * Memory.storage) list * (unit, string) result =
+  let fn, _ = H.compile_version case v in
+  let compiled = Interp.prepare ~engine fn in
+  let w = case.Kit.mk ~scale:8 in
+  let totals =
+    Runtime.launch compiled
+      ~cfg:{ Runtime.global = w.Kit.global; local = w.Kit.local; queues = 1 }
+      ~args:w.Kit.args ~mem:w.Kit.mem ~force_fibers ()
+  in
+  (totals, snapshot_buffers w.Kit.mem, w.Kit.check ())
+
+let check_wgloop_agrees (case : Kit.case) (v : H.version)
+    (engine : Interp.engine) () =
+  let d_tot, d_bufs, d_valid = run_sched case v ~engine ~force_fibers:false in
+  let f_tot, f_bufs, f_valid = run_sched case v ~engine ~force_fibers:true in
+  (match d_valid with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "default path invalid output: %s" m);
+  (match f_valid with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "fiber path invalid output: %s" m);
+  Alcotest.(check bool) "identical launch totals" true (d_tot = f_tot);
+  Alcotest.(check bool) "bit-identical buffers" true (compare d_bufs f_bufs = 0)
+
+let wgloop_cases =
+  List.concat_map
+    (fun (case : Kit.case) ->
+      List.concat_map
+        (fun (v, vn) ->
+          List.map
+            (fun (e, en) ->
+              Alcotest.test_case
+                (Printf.sprintf "%s %s %s" case.Kit.id vn en)
+                `Quick
+                (check_wgloop_agrees case v e))
+            [ (Interp.Compiled, "compiled"); (Interp.Tree, "tree") ])
+        [ (H.With_lm, "with-lm"); (H.Without_lm, "grover") ])
+    Grover_suite.Suite.all
+
+(* Non-vacuousness: the differential above only exercises the region
+   executor if the default plan actually selects it. Every with-lm suite
+   kernel that has barriers must compile region metadata (all suite
+   barriers sit in group-uniform control flow), and — unless the run
+   forces a path via GROVER_FORCE_PATH — must plan as wg-loop. *)
+let test_wgloop_selected_for_suite () =
+  let forced =
+    match Sys.getenv_opt "GROVER_FORCE_PATH" with
+    | None | Some "" -> false
+    | Some _ -> true
+  in
+  let barrier_kernels = ref 0 in
+  List.iter
+    (fun (case : Kit.case) ->
+      let fn, _ = H.compile_version case H.With_lm in
+      let c = Interp.prepare ~engine:Interp.Compiled fn in
+      if c.Interp.has_barrier then begin
+        incr barrier_kernels;
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: region metadata compiled" case.Kit.id)
+          true (Runtime.wg_capable c);
+        if not forced then
+          let w = case.Kit.mk ~scale:8 in
+          let plan =
+            Runtime.plan c
+              ~cfg:{ Runtime.global = w.Kit.global; local = w.Kit.local; queues = 1 }
+              ()
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "%s: planned path" case.Kit.id)
+            "wg-loop" (Runtime.path_name plan)
+      end)
+    Grover_suite.Suite.all;
+  Alcotest.(check bool) "suite has with-lm barrier kernels" true
+    (!barrier_kernels >= 1)
+
+(* A kernel with an int, a float and a boxed (vector) value all live
+   across its barrier: every context-spill kind is exercised. *)
+let spill_prop_source =
+  {|__kernel void k(__global float4 *vout, __global float *sout,
+                    __global const float4 *a, __global const float *b, int n) {
+      __local float tmp[64];
+      int l = get_local_id(0);
+      int g = get_global_id(0);
+      int li = l * 2 + 1;
+      float fv = b[g] * 0.5f;
+      float4 v = a[g];
+      tmp[l] = b[g] + (float)n;
+      barrier(CLK_LOCAL_MEM_FENCE);
+      sout[g] = tmp[(l + 1) % get_local_size(0)] + fv + (float)li;
+      vout[g] = v * v;
+    }|}
+
+let test_spill_kernel_forms_regions () =
+  let fn =
+    match Lower.compile spill_prop_source with [ f ] -> f | _ -> assert false
+  in
+  Grover_passes.Pipeline.normalize fn;
+  match Regions.form fn with
+  | Regions.Formed i ->
+      Alcotest.(check int) "two regions" 2 i.Regions.n_regions;
+      Alcotest.(check bool) "at least int+float+vector live across" true
+        (Regions.spill_footprint i >= 3)
+  | Regions.Fallback r -> Alcotest.failf "unexpected fallback: %s" r
+
+(* Region-boundary spilling preserves results: under random launch
+   shapes, the wg-loop default plan and the fiber scheduler agree on
+   buffers and totals for the every-spill-kind kernel above. *)
+let prop_spill_preserves_results =
+  QCheck.Test.make ~name:"region spilling preserves results" ~count:25
+    QCheck.(pair (int_range 1 8) (int_range 1 16))
+    (fun (groups, wg) ->
+      let n = groups * wg in
+      let run force_fibers =
+        let fn =
+          match Lower.compile spill_prop_source with
+          | [ f ] -> f
+          | _ -> assert false
+        in
+        Grover_passes.Pipeline.normalize fn;
+        let c = Interp.prepare fn in
+        let mem = Memory.create () in
+        let vout = Memory.alloc mem (Ssa.Vec (Ssa.F32, 4)) n in
+        let sout = Memory.alloc mem Ssa.F32 n in
+        let a = Memory.alloc mem (Ssa.Vec (Ssa.F32, 4)) n in
+        let b = Memory.alloc mem Ssa.F32 n in
+        Memory.fill_floats a (fun i -> float_of_int (i - 5) /. 3.0);
+        Memory.fill_floats b (fun i -> float_of_int (i * 7 mod 11) /. 4.0);
+        let totals =
+          Runtime.launch c
+            ~cfg:{ Runtime.global = (n, 1, 1); local = (wg, 1, 1); queues = 1 }
+            ~args:
+              [ Runtime.Abuf vout; Runtime.Abuf sout; Runtime.Abuf a;
+                Runtime.Abuf b; Runtime.Aint n ]
+            ~mem ~force_fibers ()
+        in
+        (totals, snapshot_buffers mem)
+      in
+      let d_tot, d_bufs = run false in
+      let f_tot, f_bufs = run true in
+      d_tot = f_tot && compare d_bufs f_bufs = 0)
+
+(* -- Region formation verdicts ------------------------------------------------ *)
+
+let lower_one src =
+  let fn = match Lower.compile src with [ f ] -> f | _ -> assert false in
+  Grover_passes.Pipeline.normalize fn;
+  fn
+
+let test_regions_barrier_free () =
+  let fn =
+    lower_one
+      "__kernel void f(__global float *o, __global const float *a) { int i = get_global_id(0); o[i] = a[i] * 2.0f; }"
+  in
+  match Regions.form fn with
+  | Regions.Formed i ->
+      Alcotest.(check int) "one region" 1 i.Regions.n_regions;
+      Alcotest.(check int) "no barriers" 0 (Array.length i.Regions.barriers)
+  | Regions.Fallback r -> Alcotest.failf "unexpected fallback: %s" r
+
+let test_regions_transpose () =
+  let fn = lower_one mt_source in
+  match Regions.form fn with
+  | Regions.Formed i ->
+      Alcotest.(check int) "two regions" 2 i.Regions.n_regions;
+      Alcotest.(check int) "one barrier" 1 (Array.length i.Regions.barriers);
+      Alcotest.(check bool) "values live across the barrier" true
+        (Array.length i.Regions.live_across.(0) > 0)
+  | Regions.Fallback r -> Alcotest.failf "unexpected fallback: %s" r
+
+let test_regions_divergent_barrier_falls_back () =
+  let fn =
+    lower_one
+      {|__kernel void f(__global int *out) {
+          __local int tmp[8];
+          int l = get_local_id(0);
+          tmp[l] = l;
+          if (l < 4) { barrier(CLK_LOCAL_MEM_FENCE); }
+          out[get_global_id(0)] = tmp[0];
+        }|}
+  in
+  match Regions.form fn with
+  | Regions.Fallback _ -> ()
+  | Regions.Formed _ ->
+      Alcotest.fail "divergent barrier must not form regions"
+
+let test_regions_uniform_branch_qualifies () =
+  (* Same shape as examples/kernels/uniform_branch_barrier.cl: the
+     barrier sits under a branch, but the condition is group-uniform. *)
+  let fn =
+    lower_one
+      {|__kernel void f(__global float *out, __global const float *in) {
+          __local float tile[16];
+          int l = get_local_id(0);
+          int g = get_global_id(0);
+          if (get_group_id(0) % 2 == 0) {
+            tile[l] = in[g] * 2.0f;
+            barrier(CLK_LOCAL_MEM_FENCE);
+            out[g] = tile[15 - l];
+          } else {
+            out[g] = in[g];
+          }
+        }|}
+  in
+  match Regions.form fn with
+  | Regions.Formed i ->
+      Alcotest.(check int) "two regions" 2 i.Regions.n_regions
+  | Regions.Fallback r ->
+      Alcotest.failf "uniform branch wrongly rejected: %s" r
+
 (* -- Differential: chunked parallel execution vs serial -----------------------
    Work-groups distributed over pool domains by atomic chunk-claiming must
    produce the same global buffers and totals as the serial launch. Local
@@ -572,7 +793,23 @@ let suite =
         Alcotest.test_case "out of bounds" `Quick test_out_of_bounds_trapped ] );
     ("engine-differential", differential_cases);
     ("fastpath-differential", fastpath_cases);
+    ("wgloop-differential", wgloop_cases);
+    ( "wgloop-selection",
+      [ Alcotest.test_case "barrier kernels plan as wg-loop" `Quick
+          test_wgloop_selected_for_suite;
+        Alcotest.test_case "spill kernel forms regions" `Quick
+          test_spill_kernel_forms_regions ] );
+    ( "regions",
+      [ Alcotest.test_case "barrier-free is trivial" `Quick
+          test_regions_barrier_free;
+        Alcotest.test_case "transpose splits in two" `Quick
+          test_regions_transpose;
+        Alcotest.test_case "divergent barrier falls back" `Quick
+          test_regions_divergent_barrier_falls_back;
+        Alcotest.test_case "uniform branch qualifies" `Quick
+          test_regions_uniform_branch_qualifies ] );
     ("parallel-differential", parallel_cases);
     ( "engine-differential-props",
       [ QCheck_alcotest.to_alcotest prop_engines_agree;
-        QCheck_alcotest.to_alcotest prop_domain_count_invariant ] ) ]
+        QCheck_alcotest.to_alcotest prop_domain_count_invariant;
+        QCheck_alcotest.to_alcotest prop_spill_preserves_results ] ) ]
