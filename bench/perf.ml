@@ -3,21 +3,24 @@
    platform simulation):
 
    - the closure-compiled engine vs the legacy tree-walking engine,
-   - barrier-region execution (wg-loop) vs the forced fiber scheduler on
-     the barrier-carrying with_lm version, and
+   - lane-batched execution (wg-vec, the default for this kernel) vs the
+     forced one-work-item region sweep (wg-loop) vs the forced fiber
+     scheduler on the barrier-carrying with_lm version, and
    - a domain-scaling sweep — (1, 2, 4, 0=auto) requested domains x
-     (wg-loop on with_lm; fiberless and forced fibers on the barrier-free
+     (wg-vec on with_lm; fiberless and forced fibers on the barrier-free
      Grover-transformed version) — exercising the persistent domain pool
      and the chunked group scheduler.
 
-   Every row records which execution path ran (wg-loop / fiberless /
-   fiber) and how many pool domains were actually used, so the numbers
-   feeding tuning decisions are auditable. The run *fails* if no with_lm
-   row actually took the wg-loop path — the bench doubles as the gate
-   that region formation keeps succeeding on the flagship barrier kernel.
-   Results go to stdout and BENCH_interp.json; with [check_scaling] the
-   run fails if the auto-domain row is >10% slower than the single-domain
-   row (the regression the persistent pool exists to prevent). *)
+   Every row records which execution path ran (wg-vec / wg-loop /
+   fiberless / fiber), the lane width (1 for every non-batched path) and
+   how many pool domains were actually used, so the numbers feeding
+   tuning decisions are auditable. The run *fails* if no with_lm row
+   actually took the wg-vec path, or none the wg-loop path — the bench
+   doubles as the gate that lane compilation and region formation keep
+   succeeding on the flagship barrier kernel. Results go to stdout and
+   BENCH_interp.json; with [check_scaling] the run fails if the
+   auto-domain row is >10% slower than the single-domain row (the
+   regression the persistent pool exists to prevent). *)
 
 open Grover_ocl
 module H = Grover_suite.Harness
@@ -49,7 +52,9 @@ type row = {
   version : H.version;
   engine : Interp.engine;
   domains : int;  (** requested (0 = auto) *)
-  path : string;  (** execution path actually taken: wg-loop / fiberless / fiber *)
+  path : string;
+      (** execution path actually taken: wg-vec / wg-loop / fiberless / fiber *)
+  lane_width : int;  (** work-items per lane batch; 1 on non-batched paths *)
   pool_domains : int;  (** domains actually used, incl. the caller *)
   sanitize : bool;  (** launched through the shadow-memory sanitizer *)
   seconds : float;
@@ -60,26 +65,26 @@ let version_name = function H.With_lm -> "with_lm" | H.Without_lm -> "without_lm
 let engine_name = function Interp.Compiled -> "compiled" | Interp.Tree -> "tree"
 
 let measure ~(version : H.version) ~(engine : Interp.engine)
-    ?(force_fibers = false) ?(sanitize = false) ~(domains : int) ~(n : int)
-    ~(reps : int) () : row =
+    ?(force_fibers = false) ?force_path ?(sanitize = false) ~(domains : int)
+    ~(n : int) ~(reps : int) () : row =
   let fn, _ = H.compile_version Nvd_mt.case version in
   let compiled = Interp.prepare ~engine fn in
   let w = mk_transpose ~n in
   let cfg = { Runtime.global = w.Kit.global; local = w.Kit.local; queues = 1 } in
-  let p = Runtime.plan compiled ~cfg ~force_fibers ~domains () in
+  let p = Runtime.plan compiled ~cfg ~force_fibers ?force_path ~domains () in
   let one_launch () =
     if sanitize then begin
       (* A fresh shadow state per launch, as `groverc sanitize` would pay. *)
       let _totals, findings =
         Runtime.run_sanitized compiled ~cfg ~args:w.Kit.args ~mem:w.Kit.mem
-          ~force_fibers ()
+          ~force_fibers ?force_path ()
       in
       if findings <> [] then failwith "perf bench: unexpected sanitizer finding"
     end
     else
       ignore
         (Runtime.launch compiled ~cfg ~args:w.Kit.args ~mem:w.Kit.mem ~domains
-           ~force_fibers ())
+           ~force_fibers ?force_path ())
   in
   (* One untimed warm-up launch: first-touch page faults, pool-domain
      spawning and GC ramp-up otherwise land on whichever row runs first
@@ -96,11 +101,13 @@ let measure ~(version : H.version) ~(engine : Interp.engine)
   | Ok () -> ()
   | Error m -> failwith ("perf bench produced wrong output: " ^ m));
   let n_items = n * n in
+  let path = Runtime.path_name p in
   {
     version;
     engine;
     domains;
-    path = Runtime.path_name p;
+    path;
+    lane_width = (if path = "wg-vec" then Interp.lane_width_of compiled else 1);
     pool_domains = p.Runtime.domains_used;
     sanitize;
     seconds = !best;
@@ -122,9 +129,13 @@ let run ?(quick = false) ?(check_scaling = false) () : unit =
   let m = measure ~n ~reps in
   let engine_rows =
     [ m ~version:H.With_lm ~engine:Interp.Tree ~domains:1 ();
-      (* Default path for the compiled with_lm version: wg-loop. *)
+      (* Default path for the compiled with_lm version: wg-vec. *)
       m ~version:H.With_lm ~engine:Interp.Compiled ~domains:1 ();
-      (* The fiber oracle on the same kernel — the pair quantifies what
+      (* The one-work-item region sweep on the same kernel — the pair
+         quantifies what lane batching buys over PR 5's executor. *)
+      m ~version:H.With_lm ~engine:Interp.Compiled ~domains:1
+        ~force_path:Runtime.Wg_loop ();
+      (* The fiber oracle — wg-loop vs this pair quantifies what
          barrier-region execution buys over the effect-handler scheduler. *)
       m ~version:H.With_lm ~engine:Interp.Compiled ~domains:1
         ~force_fibers:true ();
@@ -141,7 +152,7 @@ let run ?(quick = false) ?(check_scaling = false) () : unit =
       m ~version:H.Without_lm ~engine:Interp.Compiled ~domains:1 ~sanitize:true
         () ]
   in
-  (* The scaling sweep: wg-loop on the with_lm version, then the
+  (* The scaling sweep: wg-vec on the with_lm version, then the
      Grover-transformed (barrier-free) version fiberless vs forced
      fibers, across requested domain counts. *)
   let sweep_rows =
@@ -154,14 +165,14 @@ let run ?(quick = false) ?(check_scaling = false) () : unit =
       [ (H.With_lm, false); (H.Without_lm, false); (H.Without_lm, true) ]
   in
   let rows = engine_rows @ sanitize_rows @ sweep_rows in
-  Printf.printf "%-12s %-10s %-8s %-10s %6s %9s %12s %14s\n" "version" "engine"
-    "domains" "path" "pool" "sanitize" "seconds" "wi/sec";
+  Printf.printf "%-12s %-10s %-8s %-10s %5s %6s %9s %12s %14s\n" "version"
+    "engine" "domains" "path" "lanes" "pool" "sanitize" "seconds" "wi/sec";
   List.iter
     (fun r ->
-      Printf.printf "%-12s %-10s %-8s %-10s %6d %9s %12.4f %14.0f\n"
+      Printf.printf "%-12s %-10s %-8s %-10s %5d %6d %9s %12.4f %14.0f\n"
         (version_name r.version) (engine_name r.engine)
         (if r.domains = 0 then "auto" else string_of_int r.domains)
-        r.path r.pool_domains
+        r.path r.lane_width r.pool_domains
         (if r.sanitize then "yes" else "no")
         r.seconds r.wi_per_sec)
     rows;
@@ -173,21 +184,27 @@ let run ?(quick = false) ?(check_scaling = false) () : unit =
         && (path = "" || r.path = path))
       rows
   in
-  (* Region formation must keep succeeding on the flagship barrier
-     kernel: if no with_lm row ran on wg-loop, the fast path silently
-     rotted and every "speedup from disabling local memory" number would
-     conflate the paper's effect with scheduler overhead again. *)
-  if
-    not
-      (List.exists
-         (fun r -> r.version = H.With_lm && r.path = "wg-loop" && not r.sanitize)
-         rows)
-  then begin
-    Printf.eprintf
-      "perf bench FAILED: no with_lm row took the wg-loop path (region \
-       formation fell back to fibers?)\n";
-    exit 1
-  end;
+  (* Lane compilation and region formation must keep succeeding on the
+     flagship barrier kernel: if no with_lm row ran on wg-vec (or none on
+     wg-loop), the fast paths silently rotted and every "speedup from
+     disabling local memory" number would conflate the paper's effect
+     with scheduler overhead again. *)
+  let gate path =
+    if
+      not
+        (List.exists
+           (fun r -> r.version = H.With_lm && r.path = path && not r.sanitize)
+           rows)
+    then begin
+      Printf.eprintf
+        "perf bench FAILED: no with_lm row took the %s path (lane \
+         compilation / region formation fell back?)\n"
+        path;
+      exit 1
+    end
+  in
+  gate "wg-vec";
+  gate "wg-loop";
   let speedup v =
     (find v Interp.Compiled 1).wi_per_sec /. (find v Interp.Tree 1).wi_per_sec
   in
@@ -195,8 +212,10 @@ let run ?(quick = false) ?(check_scaling = false) () : unit =
   let fiberless_1 = find ~path:"fiberless" H.Without_lm Interp.Compiled 1 in
   let fiber_1 = find ~path:"fiber" H.Without_lm Interp.Compiled 1 in
   let sp_fiberless = fiberless_1.wi_per_sec /. fiber_1.wi_per_sec in
+  let wgvec_1 = find ~path:"wg-vec" H.With_lm Interp.Compiled 1 in
   let wgloop_1 = find ~path:"wg-loop" H.With_lm Interp.Compiled 1 in
   let wl_fiber_1 = find ~path:"fiber" H.With_lm Interp.Compiled 1 in
+  let sp_wgvec = wgvec_1.wi_per_sec /. wgloop_1.wi_per_sec in
   let sp_wgloop = wgloop_1.wi_per_sec /. wl_fiber_1.wi_per_sec in
   let overhead v =
     (find v Interp.Compiled 1).wi_per_sec
@@ -205,11 +224,13 @@ let run ?(quick = false) ?(check_scaling = false) () : unit =
   let ov_with = overhead H.With_lm and ov_without = overhead H.Without_lm in
   Printf.printf
     "\nspeedup compiled/tree: with_lm %.2fx, without_lm %.2fx\n\
+     wg-vec (%d lanes) vs forced wg-loop (with_lm, 1 domain): %.2fx\n\
      wg-loop vs forced fibers (with_lm, 1 domain): %.2fx\n\
      fiberless fast path vs forced fibers (without_lm, 1 domain): %.2fx\n\
      sanitizer overhead (plain / sanitized wi/sec): with_lm %.2fx, \
      without_lm %.2fx\n"
-    sp_with sp_without sp_wgloop sp_fiberless ov_with ov_without;
+    sp_with sp_without wgvec_1.lane_width sp_wgvec sp_wgloop sp_fiberless
+    ov_with ov_without;
   if not quick then begin
   let oc = open_out "BENCH_interp.json" in
   Printf.fprintf oc
@@ -219,19 +240,20 @@ let run ?(quick = false) ?(check_scaling = false) () : unit =
     (fun k r ->
       Printf.fprintf oc
         "    {\"version\": \"%s\", \"engine\": \"%s\", \"domains\": %d, \
-         \"path\": \"%s\", \"pool_domains\": %d, \"sanitize\": %b, \
-         \"seconds\": %.6f, \"wi_per_sec\": %.0f}%s\n"
+         \"path\": \"%s\", \"lane_width\": %d, \"pool_domains\": %d, \
+         \"sanitize\": %b, \"seconds\": %.6f, \"wi_per_sec\": %.0f}%s\n"
         (version_name r.version) (engine_name r.engine) r.domains r.path
-        r.pool_domains r.sanitize r.seconds r.wi_per_sec
+        r.lane_width r.pool_domains r.sanitize r.seconds r.wi_per_sec
         (if k = List.length rows - 1 then "" else ","))
     rows;
   Printf.fprintf oc
     "  ],\n  \"speedup_with_lm\": %.2f,\n  \"speedup_without_lm\": %.2f,\n\
+    \  \"speedup_wgvec_over_wgloop\": %.2f,\n\
     \  \"speedup_wgloop_over_fiber\": %.2f,\n\
     \  \"speedup_fiberless_over_fiber\": %.2f,\n\
     \  \"sanitizer_overhead_with_lm\": %.2f,\n\
     \  \"sanitizer_overhead_without_lm\": %.2f\n}\n"
-    sp_with sp_without sp_wgloop sp_fiberless ov_with ov_without;
+    sp_with sp_without sp_wgvec sp_wgloop sp_fiberless ov_with ov_without;
   close_out oc;
   Printf.printf "wrote BENCH_interp.json\n%!"
   end;
@@ -241,7 +263,7 @@ let run ?(quick = false) ?(check_scaling = false) () : unit =
        configuration — the exact failure mode the per-launch Domain.spawn
        runtime exhibited. *)
     let checks =
-      [ ("with_lm wg-loop", H.With_lm, false);
+      [ ("with_lm wg-vec", H.With_lm, false);
         ("without_lm fiberless", H.Without_lm, false);
         ("without_lm fiber", H.Without_lm, true) ]
     in
@@ -280,7 +302,7 @@ let run ?(quick = false) ?(check_scaling = false) () : unit =
         (fun (label, version, force_fibers) ->
           let path =
             if force_fibers then "fiber"
-            else if version = H.With_lm then "wg-loop"
+            else if version = H.With_lm then "wg-vec"
             else "fiberless"
           in
           let auto_row = find ~path version Interp.Compiled 0 in

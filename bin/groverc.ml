@@ -246,17 +246,18 @@ let transform_cmd =
 (* -- report -------------------------------------------------------------------- *)
 
 (* The execution path the compiled engine would pick for [fn] — the same
-   policy as [Runtime.plan] with no overrides, derived statically from
-   barrier-region formation. Nothing is executed. *)
+   policy as [Runtime.plan] with no overrides. The kernel is compiled (so
+   lane-batchability reflects what the lane compiler actually accepted,
+   not just the static region verdict) but nothing is executed. *)
 let path_line (fn : Grover_ir.Ssa.func) : string =
   let v = Grover_ir.Regions.form fn in
+  let c = Grover_ocl.Interp.prepare ~engine:Grover_ocl.Interp.Compiled fn in
   let path =
-    match v with
-    | Grover_ir.Regions.Formed i
-      when Array.length i.Grover_ir.Regions.barriers = 0 ->
-        "fiberless"
-    | Grover_ir.Regions.Formed _ -> "wg-loop"
-    | Grover_ir.Regions.Fallback _ -> "fiber"
+    if not c.Grover_ocl.Interp.has_barrier then "fiberless"
+    else if Grover_ocl.Runtime.wgvec_capable c then
+      Printf.sprintf "wg-vec, %d lanes" (Grover_ocl.Interp.lane_width_of c)
+    else if Grover_ocl.Runtime.wg_capable c then "wg-loop"
+    else "fiber"
   in
   Printf.sprintf "%s (%s)" path (Grover_ir.Regions.describe v)
 

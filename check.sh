@@ -29,26 +29,39 @@ echo "== suite under every forced execution path =="
 # GROVER_FORCE_PATH pins the group scheduler; kernels that cannot take the
 # requested path degrade to the strongest one they can. Executing the whole
 # suite (both kernel versions, outputs validated, sanitizer on) under each
-# mode gates all three schedulers — wg-loop, fiberless, fiber — on every
-# kernel shape we have.
-for mode in wg-loop fiberless fiber; do
+# mode gates all four schedulers — wg-vec, wg-loop, fiberless, fiber — on
+# every kernel shape we have.
+for mode in wg-vec wg-loop fiberless fiber; do
   echo "-- GROVER_FORCE_PATH=$mode"
   GROVER_FORCE_PATH=$mode dune exec bin/groverc.exe -- sanitize all --scale 8 \
     > /dev/null
 done
 
-echo "== uniform-branch barrier qualifies for wg-loop =="
-# A barrier under *group-uniform* control flow must still take the
-# region path (guards against over-conservative region formation), and
-# must execute cleanly under the sanitizer on that path.
+echo "== uniform-branch barrier qualifies for lane-batched execution =="
+# A barrier under *group-uniform* control flow must still take a region
+# path — and this one is lane-capable, so the planner must pick wg-vec
+# (guards against over-conservative region formation AND lane
+# classification). It must also execute cleanly under the sanitizer.
 out=$(dune exec bin/groverc.exe -- report examples/kernels/uniform_branch_barrier.cl)
 case "$out" in
-  *"execution path (with local memory): wg-loop"*) ;;
-  *) echo "FAIL: uniform_branch_barrier.cl did not plan as wg-loop"
+  *"execution path (with local memory): wg-vec"*) ;;
+  *) echo "FAIL: uniform_branch_barrier.cl did not plan as wg-vec"
      echo "$out"; exit 1 ;;
 esac
 dune exec bin/groverc.exe -- sanitize examples/kernels/uniform_branch_barrier.cl \
   --local 16 > /dev/null
+
+echo "== wg-vec planned for the flagship barrier kernels =="
+# Non-vacuousness: the lane-batched path must actually be selected for
+# the transpose and GEMM kernels, or every wg-vec differential and bench
+# row silently degrades to wg-loop.
+for f in examples/kernels/transpose_tile.cl examples/kernels/gemm_float4.cl; do
+  out=$(dune exec bin/groverc.exe -- report "$f")
+  case "$out" in
+    *"execution path (with local memory): wg-vec"*) echo "-- $f plans wg-vec" ;;
+    *) echo "FAIL: $f did not plan as wg-vec"; echo "$out"; exit 1 ;;
+  esac
+done
 
 echo "== groverc --verify-each smoke (examples/kernels) =="
 for f in examples/kernels/*.cl; do

@@ -1,0 +1,24 @@
+/* tinygrad-style float4-accumulator GEMM: each work-item produces one
+ * float4 of C = A * B. The A tile is staged in local memory (scalar
+ * floats, reused across the 4 lanes of every B column vector); B is read
+ * directly as float4. C is M x N4 float4s, A is M x K floats, B is
+ * K x N4 float4s. Launch: global (N4, M), local (TS, TS). */
+#define TS 16
+__kernel void gemm4(__global float4 *C, __global const float *A,
+                    __global const float4 *B, int N4, int K) {
+  __local float As[TS][TS];
+  int lx = get_local_id(0);
+  int ly = get_local_id(1);
+  int gx = get_global_id(0); /* float4 column of C */
+  int gy = get_global_id(1); /* row of C */
+  float4 acc = (float4)(0.0f, 0.0f, 0.0f, 0.0f);
+  for (int t = 0; t < K / TS; t++) {
+    As[ly][lx] = A[gy * K + t * TS + lx];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int k = 0; k < TS; k++) {
+      acc = acc + As[ly][k] * B[(t * TS + k) * N4 + gx];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  C[gy * N4 + gx] = acc;
+}

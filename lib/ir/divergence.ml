@@ -31,6 +31,14 @@ type t = {
 let value_divergent (t : t) (v : Ssa.value) : bool =
   match v with Ssa.Vinstr i -> H.mem t.div_value i.iid | _ -> false
 
+(** Group-uniformity, the complement used by the lane-batched executor:
+    constants, kernel arguments and launch-geometry builtins are the same
+    for every work-item of a group; an instruction result is uniform iff
+    the fixpoint never marked it divergent. *)
+let value_uniform (t : t) (v : Ssa.value) : bool = not (value_divergent t v)
+
+let iid_divergent (t : t) (iid : int) : bool = H.mem t.div_value iid
+
 (** Work-items of one group may disagree on whether they execute [b]. *)
 let block_divergent (t : t) (b : Ssa.block) : bool = H.mem t.div_block b.bid
 

@@ -39,6 +39,16 @@ type info = {
       (** per barrier: iids of the instruction results still live at the
           barrier's continuation point, sorted ascending *)
   n_regions : int;  (** barrier count + 1 *)
+  lane_entries : bool array;
+      (** per region entry (index 0 = kernel entry, index [b+1] = the
+          continuation of barrier [b]): [true] iff the region can be swept
+          in lane batches — every reachable block up to the next barrier
+          stays under group-uniform control and allocates no private
+          memory. Regions marked [false] fall back to the one-work-item
+          sweep within the same launch. *)
+  div : Divergence.t;
+      (** the uniformity facts behind [lane_entries]; the lane compiler
+          reuses them to split values into uniform and varying slots *)
 }
 
 type verdict =
@@ -149,6 +159,56 @@ let live_after_barrier (b : block) (bar : instr) (live_out : ISet.t) : ISet.t =
   List.iter visit (List.rev (after b.instrs));
   !live
 
+(* Can the region entered at instruction index [start] of block [b0] run
+   as a lane batch? Everything reachable up to the next barrier must stay
+   under group-uniform control (a divergent conditional branch would need
+   per-lane masking of side effects) and allocate no private memory (the
+   bump allocator hands out per-work-item addresses in flat work-item
+   order, which a lane batch would permute). *)
+let lane_capable_from (div : Divergence.t) (b0 : block) (start : int) : bool =
+  let seen = Hashtbl.create 16 in
+  let ok = ref true in
+  let rec drop n l =
+    if n <= 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t
+  in
+  let rec walk (b : block) (start : int) : unit =
+    if !ok then begin
+      let rec scan = function
+        | [] ->
+            (match b.term with
+            | Some { op = Cond_br (c, _, _); _ }
+              when Divergence.value_divergent div c ->
+                ok := false
+            | _ -> ());
+            if !ok then
+              List.iter
+                (fun (s : block) ->
+                  if not (Hashtbl.mem seen s.bid) then begin
+                    Hashtbl.add seen s.bid ();
+                    walk s 0
+                  end)
+                (successors b)
+        | (i : instr) :: tl -> (
+            match i.op with
+            | Barrier _ -> () (* the region ends here *)
+            | Alloca { aspace = Private; _ } -> ok := false
+            | _ -> scan tl)
+      in
+      scan (drop start b.instrs)
+    end
+  in
+  walk b0 start;
+  !ok
+
+(* Instruction index just past [bar] within its block — where the
+   barrier's continuation region enters the block. *)
+let pos_after (b : block) (bar : instr) : int =
+  let rec go k = function
+    | [] -> k
+    | (i : instr) :: tl -> if i.iid = bar.iid then k + 1 else go (k + 1) tl
+  in
+  go 0 b.instrs
+
 let form (fn : func) : verdict =
   let barriers =
     List.concat_map
@@ -158,11 +218,25 @@ let form (fn : func) : verdict =
           b.instrs)
       fn.blocks
   in
+  let div = Divergence.compute fn in
+  let lane_entries () =
+    Array.of_list
+      (List.map
+         (fun (b, start) -> lane_capable_from div b start)
+         ((entry fn, 0)
+         :: List.map (fun (b, bar) -> (b, pos_after b bar)) barriers))
+  in
   if barriers = [] then
-    Formed { barriers = [||]; live_across = [||]; n_regions = 1 }
+    Formed
+      {
+        barriers = [||];
+        live_across = [||];
+        n_regions = 1;
+        lane_entries = lane_entries ();
+        div;
+      }
   else begin
     let cfg = Cfg.compute fn in
-    let div = Divergence.compute fn in
     match
       List.find_opt
         (fun ((b : block), _) ->
@@ -195,6 +269,8 @@ let form (fn : func) : verdict =
             barriers = Array.of_list (List.map snd barriers);
             live_across;
             n_regions = List.length barriers + 1;
+            lane_entries = lane_entries ();
+            div;
           }
   end
 

@@ -210,6 +210,43 @@ let math2 name a b =
    ride on CFG edges with evaluate-all-then-commit semantics, staged
    through the per-work-item scratch arrays. *)
 
+(** Lane-batched execution state (the wg-vec path): one state executes a
+    batch of [lw] consecutive work-items per closure invocation over
+    struct-of-arrays slots. Every value-producing instruction keeps its
+    scalar slot number [s]; the lane environments store slot [s] in the
+    columns [s*lw .. s*lw+lw-1]. A value the uniformity analysis proved
+    group-uniform is computed once per batch and lives in column 0 of its
+    slot ([s*lw]); varying values occupy one column per lane. [nl] < [lw]
+    only in the peeled tail batch of a group whose size is not a multiple
+    of the lane width. *)
+type lane_state = {
+  lw : int;  (** compiled lane width W *)
+  mutable nl : int;  (** active lanes in the current batch *)
+  mutable base_flat : int;  (** flat work-item id of lane 0 *)
+  lienv : int array;  (** [n_int] slots x [lw] lanes *)
+  lfenv : float array;
+  lbenv : rv array;
+  (* Phi-move staging, split by uniformity: uniform moves stage one value,
+     varying moves stage [lw] columns per move. *)
+  luiscr : int array;
+  lufscr : float array;
+  lubscr : rv array;
+  lviscr : int array;  (** varying move [k], lane [l] at [k*lw + l] *)
+  lvfscr : float array;
+  lvbscr : rv array;
+  llid : int array array;  (** 3 dims x [lw]: per-lane local ids *)
+  lgid : int array array;  (** 3 dims x [lw]: per-lane global ids *)
+  lctx : wi_ctx;
+      (** shares [grp]/[lsz]/[gsz]/[ngr] with the group runner; its
+          [lid]/[gid] fields are unused here (lanes read [llid]/[lgid]) *)
+  largs : rv array;
+  lstats : Trace.wg_stats;
+  mutable llocal : (int, Memory.buffer) Hashtbl.t;
+      (** alloca iid -> group buffer, swapped with the queue like
+          [wi_state.local_bufs] *)
+  mutable lsan : Sanitize.t option;
+}
+
 type wi_state = {
   c : compiled;
   (* Tree engine: one boxed slot per instruction. *)
@@ -261,6 +298,9 @@ and cfunc = {
   wg : cwg option;
       (** region-execution metadata; [Some] iff {!Regions.form} verified
           every barrier group-uniform (trivially for barrier-free code) *)
+  lanes : clanes option;
+      (** lane-batched compilation (the wg-vec path); [Some] iff [wg] is
+          [Some] and at least one region entry is lane-capable *)
 }
 
 and cseg = {
@@ -312,6 +352,74 @@ and edge = {
   bm_src : (wi_state -> rv) array;
 }
 
+(** Lane-batched compilation of the same segment layout (the wg-vec
+    path). [lsegs] parallels [csegs]; a segment the lane compiler could
+    not batch (divergent branch condition, private alloca) is [None] and
+    every region entry reaching it is marked not lane-capable in
+    [lentry] — those regions run the scalar one-work-item sweep of the
+    wg-loop path within the same launch. Op costs are read from the
+    parallel {!cseg} and bumped once per batch, multiplied by the active
+    lane count, so trace totals are bit-identical to the scalar paths. *)
+and clanes = {
+  lwidth : int;  (** lane width W the kernel was compiled for *)
+  lsegs : lseg option array;
+  lentry : bool array;
+      (** per region entry (0 = kernel entry, [b+1] = barrier [b]'s
+          continuation): sweep this region in lane batches? *)
+  lscr_ui : int;  (** phi staging widths: uniform moves (scalars)... *)
+  lscr_uf : int;
+  lscr_ub : int;
+  lscr_vi : int;  (** ...and varying moves (x [lwidth] lane columns) *)
+  lscr_vf : int;
+  lscr_vb : int;
+  (* Lane spill plans, per barrier. Uniform values replicate slot column 0
+     into every active work-item's context row; varying values copy one
+     lane column per row. Slot entries are pre-multiplied bases
+     ([slot * lwidth]); context columns are shared with {!cwg} so lane and
+     scalar regions exchange live values through the same matrices. *)
+  lsp_ui_slot : int array array;
+  lsp_ui_ctx : int array array;
+  lsp_uf_slot : int array array;
+  lsp_uf_ctx : int array array;
+  lsp_ub_slot : int array array;
+  lsp_ub_ctx : int array array;
+  lsp_vi_slot : int array array;
+  lsp_vi_ctx : int array array;
+  lsp_vf_slot : int array array;
+  lsp_vf_ctx : int array array;
+  lsp_vb_slot : int array array;
+  lsp_vb_ctx : int array array;
+}
+
+and lseg = { lbody : (lane_state -> unit) array; lterm : lterm }
+
+and lterm =
+  | LTbr of ledge
+  | LTcond of (lane_state -> int) * ledge * ledge
+      (** the condition is group-uniform by construction — one evaluation
+          decides the branch for the whole batch *)
+  | LTret
+  | LTbarrier of { lbar : int; lnext : int }
+  | LTtrap of string
+
+and ledge = {
+  le_dst : int;
+  (* uniform phi moves: one value each *)
+  lu_im_dst : int array;  (** destination slot bases ([slot * lwidth]) *)
+  lu_im_src : (lane_state -> int) array;
+  lu_fm_dst : int array;
+  lu_fm_src : (lane_state -> float) array;
+  lu_bm_dst : int array;
+  lu_bm_src : (lane_state -> rv) array;
+  (* varying phi moves: one value per active lane *)
+  lv_im_dst : int array;
+  lv_im_src : (lane_state -> int -> int) array;
+  lv_fm_dst : int array;
+  lv_fm_src : (lane_state -> int -> float) array;
+  lv_bm_dst : int array;
+  lv_bm_src : (lane_state -> int -> rv) array;
+}
+
 (* -- Shared memory-access recording ----------------------------------------- *)
 
 let record_access (st : wi_state) (b : Memory.buffer) (idx : int)
@@ -352,6 +460,22 @@ let store_elem (st : wi_state) (b : Memory.buffer) (idx : int)
   | RVecI a -> Array.iteri (fun l x -> Memory.set_lane_int b idx l x) a
   | RBuf _ -> trap "cannot store a pointer"
 
+(* Lane-side taps on the same access stream: identical recording, but the
+   work-item id is the batch base plus the lane index. Each lane's events
+   land in its own program order, which is the only ordering the memory
+   simulator and the sanitizer depend on. *)
+let lane_record (ls : lane_state) (b : Memory.buffer) (idx : int)
+    ~(is_write : bool) ~(wi : int) : unit =
+  Trace.record ls.lstats
+    ~addr:(Memory.addr_of b idx)
+    ~bytes:b.Memory.elem_bytes ~is_write ~space:b.Memory.space ~wi
+
+let lane_san (ls : lane_state) (b : Memory.buffer) (idx : int)
+    ~(is_write : bool) ~(loc : Grover_support.Loc.t) ~(wi : int) : unit =
+  match ls.lsan with
+  | None -> ()
+  | Some s -> Sanitize.access s ~buf:b ~idx ~is_write ~wi ~loc
+
 let alloc_private (st : wi_state) elem count : Memory.buffer =
   (* Private arrays live in a per-queue private address region; the data
      array itself is fresh per work-item. *)
@@ -384,6 +508,13 @@ and exec_call (st : wi_state) callee (args : rv list) : rv =
   | "get_num_groups" -> RInt st.ctx.ngr.(dim_of args)
   | "get_global_offset" -> RInt 0
   | "get_work_dim" -> RInt 3
+  | _ -> data_call callee args
+
+(** The pure (state-free) builtin calls — everything except the work-item
+    geometry queries. Shared by the tree engine and the lane executor's
+    generic per-lane fallback. *)
+and data_call callee (args : rv list) : rv =
+  match callee with
   | "dot" -> (
       match args with
       | [ RVecF a; RVecF b ] ->
@@ -571,7 +702,1322 @@ and run_tree (st : wi_state) : unit =
 
 type kind = KInt of int | KFloat of int | KBox of int
 
-let compile_fn (fn : func) (regions : Regions.verdict) : cfunc =
+(* Raised while lane-compiling a segment that cannot be batched (private
+   alloca, divergent branch condition); the segment stays [None] in
+   [clanes.lsegs] and every region entry reaching it runs scalar. *)
+exception Unbatchable
+
+(* Lane-batched compilation: the same segment layout as the scalar closure
+   compiler, but each closure advances a whole batch of [lw] work-items
+   over struct-of-arrays columns. Uniform values (per the {!Divergence}
+   fixpoint) are computed once per batch into column 0 of their slot;
+   varying values loop over the active lanes. *)
+let compile_lanes ~(lw : int) ~(kinds : (int, kind) Hashtbl.t)
+    ~(bidx : (int, int) Hashtbl.t) ~(bar_index : (int, int) Hashtbl.t)
+    ~(bar_entry : int array)
+    ~(seg_descs : (block * instr list * instr option) array)
+    ~(info : Regions.info) ~(ctx_col : (int, int) Hashtbl.t) : clanes =
+  let dv = info.Regions.div in
+  let kind_of (i : instr) = Hashtbl.find_opt kinds i.iid in
+  let is_int_ty = function I1 | I8 | I16 | I32 | I64 -> true | _ -> false in
+
+  (* Uniform operand getters: one value per batch, read from the slot's
+     base column. The divergence fixpoint guarantees every operand of a
+     uniform instruction is itself uniform, so reading column 0 is sound. *)
+  let lu_iget (v : value) : lane_state -> int =
+    match v with
+    | Cint (t, n) ->
+        let k = sext_of t n in
+        fun _ -> k
+    | Cfloat f -> fun _ -> trap "expected int, got float %g" f
+    | Arg a ->
+        let j = a.a_index in
+        fun ls -> as_int ls.largs.(j)
+    | Vinstr i -> (
+        match kind_of i with
+        | Some (KInt s) ->
+            let b = s * lw in
+            fun ls -> ls.lienv.(b)
+        | Some (KFloat s) ->
+            let b = s * lw in
+            fun ls -> trap "expected int, got float %g" ls.lfenv.(b)
+        | Some (KBox s) ->
+            let b = s * lw in
+            fun ls -> as_int ls.lbenv.(b)
+        | None -> fun _ -> trap "use of a void value")
+  in
+  let lu_fget (v : value) : lane_state -> float =
+    match v with
+    | Cfloat f -> fun _ -> f
+    | Cint (_, n) -> fun _ -> trap "expected float, got int %d" n
+    | Arg a ->
+        let j = a.a_index in
+        fun ls -> as_float ls.largs.(j)
+    | Vinstr i -> (
+        match kind_of i with
+        | Some (KFloat s) ->
+            let b = s * lw in
+            fun ls -> ls.lfenv.(b)
+        | Some (KInt s) ->
+            let b = s * lw in
+            fun ls -> trap "expected float, got int %d" ls.lienv.(b)
+        | Some (KBox s) ->
+            let b = s * lw in
+            fun ls -> as_float ls.lbenv.(b)
+        | None -> fun _ -> trap "use of a void value")
+  in
+  let lu_vget (v : value) : lane_state -> rv =
+    match v with
+    | Cint (t, n) ->
+        let r = RInt (sext_of t n) in
+        fun _ -> r
+    | Cfloat f ->
+        let r = RFloat f in
+        fun _ -> r
+    | Arg a ->
+        let j = a.a_index in
+        fun ls -> ls.largs.(j)
+    | Vinstr i -> (
+        match kind_of i with
+        | Some (KInt s) ->
+            let b = s * lw in
+            fun ls -> RInt ls.lienv.(b)
+        | Some (KFloat s) ->
+            let b = s * lw in
+            fun ls -> RFloat ls.lfenv.(b)
+        | Some (KBox s) ->
+            let b = s * lw in
+            fun ls -> ls.lbenv.(b)
+        | None -> fun _ -> trap "use of a void value")
+  in
+
+  (* Varying operand getters: one value per lane. A uniform operand of a
+     varying instruction reads its base column whatever the lane. *)
+  let varying (v : value) =
+    match v with Vinstr i -> Divergence.iid_divergent dv i.iid | _ -> false
+  in
+  let lv_iget (v : value) : lane_state -> int -> int =
+    match v with
+    | Cint (t, n) ->
+        let k = sext_of t n in
+        fun _ _ -> k
+    | Cfloat f -> fun _ _ -> trap "expected int, got float %g" f
+    | Arg a ->
+        let j = a.a_index in
+        fun ls _ -> as_int ls.largs.(j)
+    | Vinstr i -> (
+        let vr = varying v in
+        match kind_of i with
+        | Some (KInt s) ->
+            let b = s * lw in
+            if vr then fun ls l -> ls.lienv.(b + l)
+            else fun ls _ -> ls.lienv.(b)
+        | Some (KFloat s) ->
+            let b = s * lw in
+            fun ls _ -> trap "expected int, got float %g" ls.lfenv.(b)
+        | Some (KBox s) ->
+            let b = s * lw in
+            if vr then fun ls l -> as_int ls.lbenv.(b + l)
+            else fun ls _ -> as_int ls.lbenv.(b)
+        | None -> fun _ _ -> trap "use of a void value")
+  in
+  let lv_fget (v : value) : lane_state -> int -> float =
+    match v with
+    | Cfloat f -> fun _ _ -> f
+    | Cint (_, n) -> fun _ _ -> trap "expected float, got int %d" n
+    | Arg a ->
+        let j = a.a_index in
+        fun ls _ -> as_float ls.largs.(j)
+    | Vinstr i -> (
+        let vr = varying v in
+        match kind_of i with
+        | Some (KFloat s) ->
+            let b = s * lw in
+            if vr then fun ls l -> ls.lfenv.(b + l)
+            else fun ls _ -> ls.lfenv.(b)
+        | Some (KInt s) ->
+            let b = s * lw in
+            fun ls _ -> trap "expected float, got int %d" ls.lienv.(b)
+        | Some (KBox s) ->
+            let b = s * lw in
+            if vr then fun ls l -> as_float ls.lbenv.(b + l)
+            else fun ls _ -> as_float ls.lbenv.(b)
+        | None -> fun _ _ -> trap "use of a void value")
+  in
+  let lv_bufget (v : value) : lane_state -> int -> Memory.buffer =
+    match v with
+    | Arg a ->
+        let j = a.a_index in
+        fun ls _ -> as_buf ls.largs.(j)
+    | Vinstr i -> (
+        let vr = varying v in
+        match kind_of i with
+        | Some (KBox s) ->
+            let b = s * lw in
+            if vr then fun ls l -> as_buf ls.lbenv.(b + l)
+            else fun ls _ -> as_buf ls.lbenv.(b)
+        | _ -> fun _ _ -> trap "expected a pointer")
+    | _ -> fun _ _ -> trap "expected a pointer"
+  in
+  let lv_vget (v : value) : lane_state -> int -> rv =
+    match v with
+    | Cint (t, n) ->
+        let r = RInt (sext_of t n) in
+        fun _ _ -> r
+    | Cfloat f ->
+        let r = RFloat f in
+        fun _ _ -> r
+    | Arg a ->
+        let j = a.a_index in
+        fun ls _ -> ls.largs.(j)
+    | Vinstr i -> (
+        let vr = varying v in
+        match kind_of i with
+        | Some (KInt s) ->
+            let b = s * lw in
+            if vr then fun ls l -> RInt ls.lienv.(b + l)
+            else fun ls _ -> RInt ls.lienv.(b)
+        | Some (KFloat s) ->
+            let b = s * lw in
+            if vr then fun ls l -> RFloat ls.lfenv.(b + l)
+            else fun ls _ -> RFloat ls.lfenv.(b)
+        | Some (KBox s) ->
+            let b = s * lw in
+            if vr then fun ls l -> ls.lbenv.(b + l)
+            else fun ls _ -> ls.lbenv.(b)
+        | None -> fun _ _ -> trap "use of a void value")
+  in
+
+  (* Operand classification for the specialized hot loops below. An
+     operand is either a varying slot read at a compile-time base offset
+     (the common case in address arithmetic), or hoistable — the same
+     value for every lane of a batch (constants, kernel arguments,
+     uniform slots), read once at batch entry instead of per lane.
+     [None] from both classifiers sends the instruction to the generic
+     closure-per-operand arm. *)
+  let ivar_slot (v : value) : int option =
+    match v with
+    | Vinstr i when varying v -> (
+        match kind_of i with Some (KInt s) -> Some (s * lw) | _ -> None)
+    | _ -> None
+  in
+  let ihoist (v : value) : (lane_state -> int) option =
+    if varying v then None
+    else
+      match v with
+      | Cint (t, n) ->
+          let k = sext_of t n in
+          Some (fun _ -> k)
+      | Arg a ->
+          let j = a.a_index in
+          Some (fun ls -> as_int ls.largs.(j))
+      | Vinstr i -> (
+          match kind_of i with
+          | Some (KInt s) ->
+              let b = s * lw in
+              Some (fun ls -> ls.lienv.(b))
+          | Some (KBox s) ->
+              let b = s * lw in
+              Some (fun ls -> as_int ls.lbenv.(b))
+          | _ -> None)
+      | Cfloat _ -> None
+  in
+  let fvar_slot (v : value) : int option =
+    match v with
+    | Vinstr i when varying v -> (
+        match kind_of i with Some (KFloat s) -> Some (s * lw) | _ -> None)
+    | _ -> None
+  in
+  let fhoist (v : value) : (lane_state -> float) option =
+    if varying v then None
+    else
+      match v with
+      | Cfloat f -> Some (fun _ -> f)
+      | Arg a ->
+          let j = a.a_index in
+          Some (fun ls -> as_float ls.largs.(j))
+      | Vinstr i -> (
+          match kind_of i with
+          | Some (KFloat s) ->
+              let b = s * lw in
+              Some (fun ls -> ls.lfenv.(b))
+          | Some (KBox s) ->
+              let b = s * lw in
+              Some (fun ls -> as_float ls.lbenv.(b))
+          | _ -> None)
+      | Cint _ -> None
+  in
+  let buf_hoist (v : value) : (lane_state -> Memory.buffer) option =
+    if varying v then None
+    else
+      match v with
+      | Arg a ->
+          let j = a.a_index in
+          Some (fun ls -> as_buf ls.largs.(j))
+      | Vinstr i -> (
+          match kind_of i with
+          | Some (KBox s) ->
+              let b = s * lw in
+              Some (fun ls -> as_buf ls.lbenv.(b))
+          | _ -> None)
+      | _ -> None
+  in
+
+  (* Destination helpers: the slot base ([slot * lw]) is resolved at
+     compile time; uniform writers touch the base column only. *)
+  let lwith_int_dst (i : instr) (mk : int -> lane_state -> unit) =
+    match kind_of i with
+    | Some (KInt s) -> mk (s * lw)
+    | _ -> fun _ -> trap "slot kind mismatch (int) at instruction %d" i.iid
+  in
+  let lwith_float_dst (i : instr) (mk : int -> lane_state -> unit) =
+    match kind_of i with
+    | Some (KFloat s) -> mk (s * lw)
+    | _ -> fun _ -> trap "slot kind mismatch (float) at instruction %d" i.iid
+  in
+  let lwith_box_dst (i : instr) (mk : int -> lane_state -> unit) =
+    match kind_of i with
+    | Some (KBox s) -> mk (s * lw)
+    | _ ->
+        fun _ -> trap "slot kind mismatch (aggregate) at instruction %d" i.iid
+  in
+  let lset_rv (i : instr) : lane_state -> int -> rv -> unit =
+    match kind_of i with
+    | Some (KInt s) ->
+        let b = s * lw in
+        fun ls l v -> ls.lienv.(b + l) <- as_int v
+    | Some (KFloat s) ->
+        let b = s * lw in
+        fun ls l v -> ls.lfenv.(b + l) <- as_float v
+    | Some (KBox s) ->
+        let b = s * lw in
+        fun ls l v -> ls.lbenv.(b + l) <- v
+    | None ->
+        fun _ _ _ -> trap "slot kind mismatch at instruction %d" i.iid
+  in
+  let luset_rv (i : instr) : lane_state -> rv -> unit =
+    match kind_of i with
+    | Some (KInt s) ->
+        let b = s * lw in
+        fun ls v -> ls.lienv.(b) <- as_int v
+    | Some (KFloat s) ->
+        let b = s * lw in
+        fun ls v -> ls.lfenv.(b) <- as_float v
+    | Some (KBox s) ->
+        let b = s * lw in
+        fun ls v -> ls.lbenv.(b) <- v
+    | None ->
+        fun _ _ -> trap "slot kind mismatch at instruction %d" i.iid
+  in
+
+  (* A group-uniform call: geometry queries read the shared context;
+     everything else evaluates once per batch through the shared builtin
+     interpreter. [get_local_id]/[get_global_id] are divergence seeds, so
+     the analysis can never classify them uniform. *)
+  let lcompile_ucall (i : instr) callee (args : value list) :
+      lane_state -> unit =
+    let geom (sel : wi_ctx -> int array) =
+      match args with
+      | [ Cint (_, d) ] when d >= 0 && d < 3 ->
+          lwith_int_dst i (fun dst ls -> ls.lienv.(dst) <- (sel ls.lctx).(d))
+      | [ dvv ] ->
+          let g = lu_iget dvv in
+          lwith_int_dst i (fun dst ls ->
+              let d = g ls in
+              if d < 0 || d >= 3 then trap "dimension out of range";
+              ls.lienv.(dst) <- (sel ls.lctx).(d))
+      | _ -> fun _ -> trap "%s expects a dimension" callee
+    in
+    match callee with
+    | "get_local_id" | "get_global_id" ->
+        fun _ -> trap "%s classified uniform" callee
+    | "get_group_id" -> geom (fun c -> c.grp)
+    | "get_local_size" -> geom (fun c -> c.lsz)
+    | "get_global_size" -> geom (fun c -> c.gsz)
+    | "get_num_groups" -> geom (fun c -> c.ngr)
+    | "get_global_offset" ->
+        lwith_int_dst i (fun dst ls -> ls.lienv.(dst) <- 0)
+    | "get_work_dim" -> lwith_int_dst i (fun dst ls -> ls.lienv.(dst) <- 3)
+    | _ ->
+        let gargs = List.map lu_vget args in
+        let set = luset_rv i in
+        fun ls -> set ls (data_call callee (List.map (fun g -> g ls) gargs))
+  in
+
+  (* A uniform instruction: computed once per batch into the base column,
+     exactly mirroring the scalar closure compiler's arms. *)
+  let lcompile_uni (i : instr) : lane_state -> unit =
+    match i.op with
+    | Binop (op, a, b) -> (
+        match type_of a with
+        | (I1 | I8 | I16 | I32 | I64) as t ->
+            let ga = lu_iget a and gb = lu_iget b and f = int_binop_fn t op in
+            lwith_int_dst i (fun dst ls -> ls.lienv.(dst) <- f (ga ls) (gb ls))
+        | F32 ->
+            let ga = lu_fget a and gb = lu_fget b and f = float_binop_fn op in
+            lwith_float_dst i (fun dst ls ->
+                ls.lfenv.(dst) <- f (ga ls) (gb ls))
+        | Vec (F32, _) ->
+            let ga = lu_vget a and gb = lu_vget b and f = float_binop_fn op in
+            lwith_box_dst i (fun dst ls ->
+                match (ga ls, gb ls) with
+                | RVecF x, RVecF y -> ls.lbenv.(dst) <- RVecF (lanes_map2 f x y)
+                | _ -> trap "binop operand mismatch")
+        | Vec (_, _) ->
+            let ga = lu_vget a and gb = lu_vget b and f = int_binop_fn I32 op in
+            lwith_box_dst i (fun dst ls ->
+                match (ga ls, gb ls) with
+                | RVecI x, RVecI y -> ls.lbenv.(dst) <- RVecI (lanes_map2 f x y)
+                | _ -> trap "binop operand mismatch")
+        | _ -> fun _ -> trap "binop operand mismatch")
+    | Icmp (c, a, b) ->
+        let ga = lu_iget a and gb = lu_iget b and f = icmp_fn (type_of a) c in
+        lwith_int_dst i (fun dst ls ->
+            ls.lienv.(dst) <- (if f (ga ls) (gb ls) then 1 else 0))
+    | Fcmp (c, a, b) ->
+        let ga = lu_fget a and gb = lu_fget b and f = fcmp_fn c in
+        lwith_int_dst i (fun dst ls ->
+            ls.lienv.(dst) <- (if f (ga ls) (gb ls) then 1 else 0))
+    | Select (c, a, b) -> (
+        let gc = lu_iget c in
+        match type_of a with
+        | I1 | I8 | I16 | I32 | I64 ->
+            let ga = lu_iget a and gb = lu_iget b in
+            lwith_int_dst i (fun dst ls ->
+                ls.lienv.(dst) <- (if gc ls <> 0 then ga ls else gb ls))
+        | F32 ->
+            let ga = lu_fget a and gb = lu_fget b in
+            lwith_float_dst i (fun dst ls ->
+                ls.lfenv.(dst) <- (if gc ls <> 0 then ga ls else gb ls))
+        | _ ->
+            let ga = lu_vget a and gb = lu_vget b in
+            lwith_box_dst i (fun dst ls ->
+                ls.lbenv.(dst) <- (if gc ls <> 0 then ga ls else gb ls)))
+    | Cast (k, v, t) -> (
+        let src_t = type_of v in
+        match (k, src_t) with
+        | (Sext | Bitcast), (I1 | I8 | I16 | I32 | I64) ->
+            let g = lu_iget v in
+            lwith_int_dst i (fun dst ls ->
+                ls.lienv.(dst) <- sext_of src_t (g ls))
+        | Zext, (I1 | I8 | I16 | I32 | I64) ->
+            let g = lu_iget v and m = mask_of src_t in
+            lwith_int_dst i (fun dst ls -> ls.lienv.(dst) <- g ls land m)
+        | Trunc, (I1 | I8 | I16 | I32 | I64) ->
+            let g = lu_iget v in
+            lwith_int_dst i (fun dst ls -> ls.lienv.(dst) <- sext_of t (g ls))
+        | Si_to_fp, (I1 | I8 | I16 | I32 | I64) ->
+            let g = lu_iget v in
+            lwith_float_dst i (fun dst ls ->
+                ls.lfenv.(dst) <- float_of_int (g ls))
+        | Ui_to_fp, (I1 | I8 | I16 | I32 | I64) ->
+            let g = lu_iget v and m = mask_of src_t in
+            lwith_float_dst i (fun dst ls ->
+                ls.lfenv.(dst) <- float_of_int (g ls land m))
+        | Fp_to_si, F32 ->
+            let g = lu_fget v in
+            lwith_int_dst i (fun dst ls ->
+                ls.lienv.(dst) <- int_of_float (g ls))
+        | Bitcast, F32 ->
+            let g = lu_fget v in
+            lwith_float_dst i (fun dst ls -> ls.lfenv.(dst) <- g ls)
+        | Bitcast, _ ->
+            let g = lu_vget v in
+            lwith_box_dst i (fun dst ls -> ls.lbenv.(dst) <- g ls)
+        | _ -> fun _ -> trap "unsupported cast")
+    | Call { callee; args; _ } -> lcompile_ucall i callee args
+    | Alloca { aspace = Local; _ } ->
+        let iid = i.iid in
+        lwith_box_dst i (fun dst ls ->
+            match Hashtbl.find_opt ls.llocal iid with
+            | Some b -> ls.lbenv.(dst) <- RBuf b
+            | None -> trap "local alloca without a group buffer")
+    | Load _ ->
+        (* Loads are divergence seeds — never classified uniform. *)
+        fun _ -> trap "load classified uniform"
+    | Extract (v, lane) -> (
+        let gl = lu_iget lane in
+        match type_of v with
+        | Vec (F32, _) ->
+            let gv = lu_vget v in
+            lwith_float_dst i (fun dst ls ->
+                match gv ls with
+                | RVecF a -> ls.lfenv.(dst) <- a.(gl ls)
+                | _ -> trap "extract from non-vector")
+        | Vec (_, _) ->
+            let gv = lu_vget v in
+            lwith_int_dst i (fun dst ls ->
+                match gv ls with
+                | RVecI a -> ls.lienv.(dst) <- a.(gl ls)
+                | _ -> trap "extract from non-vector")
+        | _ -> fun _ -> trap "extract from non-vector")
+    | Insert (v, lane, s) ->
+        let gv = lu_vget v and gl = lu_iget lane and gs = lu_vget s in
+        lwith_box_dst i (fun dst ls ->
+            let l = gl ls in
+            match (gv ls, gs ls) with
+            | RVecF a, RFloat x ->
+                let a = Array.copy a in
+                a.(l) <- x;
+                ls.lbenv.(dst) <- RVecF a
+            | RVecI a, RInt x ->
+                let a = Array.copy a in
+                a.(l) <- x;
+                ls.lbenv.(dst) <- RVecI a
+            | _ -> trap "insert mismatch")
+    | Vecbuild (t, vs) -> (
+        match t with
+        | Vec (F32, _) ->
+            let gs = Array.of_list (List.map lu_fget vs) in
+            lwith_box_dst i (fun dst ls ->
+                ls.lbenv.(dst) <- RVecF (Array.map (fun g -> g ls) gs))
+        | Vec (_, _) ->
+            let gs = Array.of_list (List.map lu_iget vs) in
+            lwith_box_dst i (fun dst ls ->
+                ls.lbenv.(dst) <- RVecI (Array.map (fun g -> g ls) gs))
+        | _ -> fun _ -> trap "vecbuild of non-vector")
+    | Store _ | Alloca _ | Phi _ | Barrier _ | Br _ | Cond_br _ | Ret ->
+        fun _ -> trap "non-value instruction compiled as uniform"
+  in
+
+  (* A varying call: work-item index queries read the per-lane id rows;
+     the hot F32 mad/fma gets a fused arm; everything else goes through
+     the per-lane generic fallback. *)
+  let lcompile_vcall (i : instr) callee (args : value list) :
+      lane_state -> unit =
+    let arg_tys = List.map type_of args in
+    let lane_query (rows : lane_state -> int array array) =
+      match args with
+      | [ Cint (_, d) ] when d >= 0 && d < 3 ->
+          lwith_int_dst i (fun dst ls ->
+              let r = (rows ls).(d) in
+              for l = 0 to ls.nl - 1 do
+                ls.lienv.(dst + l) <- r.(l)
+              done)
+      | [ dvv ] ->
+          let g = lv_iget dvv in
+          lwith_int_dst i (fun dst ls ->
+              for l = 0 to ls.nl - 1 do
+                let d = g ls l in
+                if d < 0 || d >= 3 then trap "dimension out of range";
+                ls.lienv.(dst + l) <- (rows ls).(d).(l)
+              done)
+      | _ -> fun _ -> trap "%s expects a dimension" callee
+    in
+    let geom_var (sel : wi_ctx -> int array) =
+      (* geometry query whose dimension operand is divergent *)
+      match args with
+      | [ dvv ] ->
+          let g = lv_iget dvv in
+          lwith_int_dst i (fun dst ls ->
+              for l = 0 to ls.nl - 1 do
+                let d = g ls l in
+                if d < 0 || d >= 3 then trap "dimension out of range";
+                ls.lienv.(dst + l) <- (sel ls.lctx).(d)
+              done)
+      | _ -> fun _ -> trap "%s expects a dimension" callee
+    in
+    match callee with
+    | "get_local_id" -> lane_query (fun ls -> ls.llid)
+    | "get_global_id" -> lane_query (fun ls -> ls.lgid)
+    | "get_group_id" -> geom_var (fun c -> c.grp)
+    | "get_local_size" -> geom_var (fun c -> c.lsz)
+    | "get_global_size" -> geom_var (fun c -> c.gsz)
+    | "get_num_groups" -> geom_var (fun c -> c.ngr)
+    | "get_global_offset" ->
+        lwith_int_dst i (fun dst ls ->
+            for l = 0 to ls.nl - 1 do
+              ls.lienv.(dst + l) <- 0
+            done)
+    | "get_work_dim" ->
+        lwith_int_dst i (fun dst ls ->
+            for l = 0 to ls.nl - 1 do
+              ls.lienv.(dst + l) <- 3
+            done)
+    | "mad" | "fma" -> (
+        match (args, arg_tys) with
+        | [ a; b; c ], [ F32; F32; F32 ] ->
+            let ga = lv_fget a and gb = lv_fget b and gc = lv_fget c in
+            lwith_float_dst i (fun dst ls ->
+                for l = 0 to ls.nl - 1 do
+                  ls.lfenv.(dst + l) <- (ga ls l *. gb ls l) +. gc ls l
+                done)
+        | [ a; b; c ], [ ta; tb; tc ]
+          when is_int_ty ta && is_int_ty tb && is_int_ty tc ->
+            let ga = lv_iget a and gb = lv_iget b and gc = lv_iget c in
+            lwith_int_dst i (fun dst ls ->
+                for l = 0 to ls.nl - 1 do
+                  ls.lienv.(dst + l) <- (ga ls l * gb ls l) + gc ls l
+                done)
+        | _ ->
+            let gargs = List.map lv_vget args in
+            let set = lset_rv i in
+            fun ls ->
+              for l = 0 to ls.nl - 1 do
+                set ls l
+                  (data_call callee (List.map (fun g -> g ls l) gargs))
+              done)
+    | _ ->
+        let gargs = List.map lv_vget args in
+        let set = lset_rv i in
+        fun ls ->
+          for l = 0 to ls.nl - 1 do
+            set ls l (data_call callee (List.map (fun g -> g ls l) gargs))
+          done
+  in
+
+  (* A varying instruction: one result column per active lane. The int
+     and float binop arms are the innermost ops of every address
+     computation, so their common operand shapes (slot x slot, slot x
+     hoistable) get dedicated loops with direct array reads — and the
+     wrap-free operators are inlined rather than called through the
+     resolved closure. *)
+  let lcompile_var (i : instr) : lane_state -> unit =
+    match i.op with
+    | Binop (op, a, b) -> (
+        match type_of a with
+        | (I1 | I8 | I16 | I32 | I64) as t -> (
+            let f = int_binop_fn t op in
+            let generic () =
+              let ga = lv_iget a and gb = lv_iget b in
+              lwith_int_dst i (fun dst ls ->
+                  for l = 0 to ls.nl - 1 do
+                    ls.lienv.(dst + l) <- f (ga ls l) (gb ls l)
+                  done)
+            in
+            match (ivar_slot a, ivar_slot b) with
+            | Some ao, Some bo -> (
+                match op with
+                | Add ->
+                    lwith_int_dst i (fun dst ls ->
+                        let ie = ls.lienv in
+                        for l = 0 to ls.nl - 1 do
+                          ie.(dst + l) <- ie.(ao + l) + ie.(bo + l)
+                        done)
+                | Mul ->
+                    lwith_int_dst i (fun dst ls ->
+                        let ie = ls.lienv in
+                        for l = 0 to ls.nl - 1 do
+                          ie.(dst + l) <- ie.(ao + l) * ie.(bo + l)
+                        done)
+                | Sub ->
+                    lwith_int_dst i (fun dst ls ->
+                        let ie = ls.lienv in
+                        for l = 0 to ls.nl - 1 do
+                          ie.(dst + l) <- ie.(ao + l) - ie.(bo + l)
+                        done)
+                | _ ->
+                    lwith_int_dst i (fun dst ls ->
+                        let ie = ls.lienv in
+                        for l = 0 to ls.nl - 1 do
+                          ie.(dst + l) <- f ie.(ao + l) ie.(bo + l)
+                        done))
+            | Some ao, None -> (
+                match ihoist b with
+                | None -> generic ()
+                | Some hb -> (
+                    match op with
+                    | Add ->
+                        lwith_int_dst i (fun dst ls ->
+                            let ie = ls.lienv and y = hb ls in
+                            for l = 0 to ls.nl - 1 do
+                              ie.(dst + l) <- ie.(ao + l) + y
+                            done)
+                    | Mul ->
+                        lwith_int_dst i (fun dst ls ->
+                            let ie = ls.lienv and y = hb ls in
+                            for l = 0 to ls.nl - 1 do
+                              ie.(dst + l) <- ie.(ao + l) * y
+                            done)
+                    | Sub ->
+                        lwith_int_dst i (fun dst ls ->
+                            let ie = ls.lienv and y = hb ls in
+                            for l = 0 to ls.nl - 1 do
+                              ie.(dst + l) <- ie.(ao + l) - y
+                            done)
+                    | _ ->
+                        lwith_int_dst i (fun dst ls ->
+                            let ie = ls.lienv and y = hb ls in
+                            for l = 0 to ls.nl - 1 do
+                              ie.(dst + l) <- f ie.(ao + l) y
+                            done)))
+            | None, Some bo -> (
+                match ihoist a with
+                | None -> generic ()
+                | Some ha -> (
+                    match op with
+                    | Add ->
+                        lwith_int_dst i (fun dst ls ->
+                            let ie = ls.lienv and x = ha ls in
+                            for l = 0 to ls.nl - 1 do
+                              ie.(dst + l) <- x + ie.(bo + l)
+                            done)
+                    | Mul ->
+                        lwith_int_dst i (fun dst ls ->
+                            let ie = ls.lienv and x = ha ls in
+                            for l = 0 to ls.nl - 1 do
+                              ie.(dst + l) <- x * ie.(bo + l)
+                            done)
+                    | Sub ->
+                        lwith_int_dst i (fun dst ls ->
+                            let ie = ls.lienv and x = ha ls in
+                            for l = 0 to ls.nl - 1 do
+                              ie.(dst + l) <- x - ie.(bo + l)
+                            done)
+                    | _ ->
+                        lwith_int_dst i (fun dst ls ->
+                            let ie = ls.lienv and x = ha ls in
+                            for l = 0 to ls.nl - 1 do
+                              ie.(dst + l) <- f x ie.(bo + l)
+                            done)))
+            | None, None -> generic ())
+        | F32 -> (
+            let f = float_binop_fn op in
+            let generic () =
+              let ga = lv_fget a and gb = lv_fget b in
+              lwith_float_dst i (fun dst ls ->
+                  for l = 0 to ls.nl - 1 do
+                    ls.lfenv.(dst + l) <- f (ga ls l) (gb ls l)
+                  done)
+            in
+            match (fvar_slot a, fvar_slot b) with
+            | Some ao, Some bo -> (
+                match op with
+                | Fadd ->
+                    lwith_float_dst i (fun dst ls ->
+                        let fe = ls.lfenv in
+                        for l = 0 to ls.nl - 1 do
+                          fe.(dst + l) <- fe.(ao + l) +. fe.(bo + l)
+                        done)
+                | Fmul ->
+                    lwith_float_dst i (fun dst ls ->
+                        let fe = ls.lfenv in
+                        for l = 0 to ls.nl - 1 do
+                          fe.(dst + l) <- fe.(ao + l) *. fe.(bo + l)
+                        done)
+                | _ ->
+                    lwith_float_dst i (fun dst ls ->
+                        let fe = ls.lfenv in
+                        for l = 0 to ls.nl - 1 do
+                          fe.(dst + l) <- f fe.(ao + l) fe.(bo + l)
+                        done))
+            | Some ao, None -> (
+                match fhoist b with
+                | None -> generic ()
+                | Some hb ->
+                    lwith_float_dst i (fun dst ls ->
+                        let fe = ls.lfenv and y = hb ls in
+                        for l = 0 to ls.nl - 1 do
+                          fe.(dst + l) <- f fe.(ao + l) y
+                        done))
+            | None, Some bo -> (
+                match fhoist a with
+                | None -> generic ()
+                | Some ha ->
+                    lwith_float_dst i (fun dst ls ->
+                        let fe = ls.lfenv and x = ha ls in
+                        for l = 0 to ls.nl - 1 do
+                          fe.(dst + l) <- f x fe.(bo + l)
+                        done))
+            | None, None -> generic ())
+        | Vec (F32, _) ->
+            let ga = lv_vget a and gb = lv_vget b and f = float_binop_fn op in
+            lwith_box_dst i (fun dst ls ->
+                for l = 0 to ls.nl - 1 do
+                  ls.lbenv.(dst + l) <-
+                    (match (ga ls l, gb ls l) with
+                    | RVecF x, RVecF y -> RVecF (lanes_map2 f x y)
+                    | _ -> trap "binop operand mismatch")
+                done)
+        | Vec (_, _) ->
+            let ga = lv_vget a and gb = lv_vget b and f = int_binop_fn I32 op in
+            lwith_box_dst i (fun dst ls ->
+                for l = 0 to ls.nl - 1 do
+                  ls.lbenv.(dst + l) <-
+                    (match (ga ls l, gb ls l) with
+                    | RVecI x, RVecI y -> RVecI (lanes_map2 f x y)
+                    | _ -> trap "binop operand mismatch")
+                done)
+        | _ -> fun _ -> trap "binop operand mismatch")
+    | Icmp (c, a, b) -> (
+        let f = icmp_fn (type_of a) c in
+        let generic () =
+          let ga = lv_iget a and gb = lv_iget b in
+          lwith_int_dst i (fun dst ls ->
+              for l = 0 to ls.nl - 1 do
+                ls.lienv.(dst + l) <- (if f (ga ls l) (gb ls l) then 1 else 0)
+              done)
+        in
+        match (ivar_slot a, ivar_slot b) with
+        | Some ao, Some bo ->
+            lwith_int_dst i (fun dst ls ->
+                let ie = ls.lienv in
+                for l = 0 to ls.nl - 1 do
+                  ie.(dst + l) <- (if f ie.(ao + l) ie.(bo + l) then 1 else 0)
+                done)
+        | Some ao, None -> (
+            match ihoist b with
+            | None -> generic ()
+            | Some hb ->
+                lwith_int_dst i (fun dst ls ->
+                    let ie = ls.lienv and y = hb ls in
+                    for l = 0 to ls.nl - 1 do
+                      ie.(dst + l) <- (if f ie.(ao + l) y then 1 else 0)
+                    done))
+        | None, Some bo -> (
+            match ihoist a with
+            | None -> generic ()
+            | Some ha ->
+                lwith_int_dst i (fun dst ls ->
+                    let ie = ls.lienv and x = ha ls in
+                    for l = 0 to ls.nl - 1 do
+                      ie.(dst + l) <- (if f x ie.(bo + l) then 1 else 0)
+                    done))
+        | None, None -> generic ())
+    | Fcmp (c, a, b) ->
+        let ga = lv_fget a and gb = lv_fget b and f = fcmp_fn c in
+        lwith_int_dst i (fun dst ls ->
+            for l = 0 to ls.nl - 1 do
+              ls.lienv.(dst + l) <- (if f (ga ls l) (gb ls l) then 1 else 0)
+            done)
+    | Select (c, a, b) -> (
+        let gc = lv_iget c in
+        match type_of a with
+        | I1 | I8 | I16 | I32 | I64 ->
+            let ga = lv_iget a and gb = lv_iget b in
+            lwith_int_dst i (fun dst ls ->
+                for l = 0 to ls.nl - 1 do
+                  ls.lienv.(dst + l) <-
+                    (if gc ls l <> 0 then ga ls l else gb ls l)
+                done)
+        | F32 ->
+            let ga = lv_fget a and gb = lv_fget b in
+            lwith_float_dst i (fun dst ls ->
+                for l = 0 to ls.nl - 1 do
+                  ls.lfenv.(dst + l) <-
+                    (if gc ls l <> 0 then ga ls l else gb ls l)
+                done)
+        | _ ->
+            let ga = lv_vget a and gb = lv_vget b in
+            lwith_box_dst i (fun dst ls ->
+                for l = 0 to ls.nl - 1 do
+                  ls.lbenv.(dst + l) <-
+                    (if gc ls l <> 0 then ga ls l else gb ls l)
+                done))
+    | Cast (k, v, t) -> (
+        let src_t = type_of v in
+        match (k, src_t) with
+        | (Sext | Bitcast), (I1 | I8 | I16 | I32 | I64) ->
+            let g = lv_iget v in
+            lwith_int_dst i (fun dst ls ->
+                for l = 0 to ls.nl - 1 do
+                  ls.lienv.(dst + l) <- sext_of src_t (g ls l)
+                done)
+        | Zext, (I1 | I8 | I16 | I32 | I64) ->
+            let g = lv_iget v and m = mask_of src_t in
+            lwith_int_dst i (fun dst ls ->
+                for l = 0 to ls.nl - 1 do
+                  ls.lienv.(dst + l) <- g ls l land m
+                done)
+        | Trunc, (I1 | I8 | I16 | I32 | I64) ->
+            let g = lv_iget v in
+            lwith_int_dst i (fun dst ls ->
+                for l = 0 to ls.nl - 1 do
+                  ls.lienv.(dst + l) <- sext_of t (g ls l)
+                done)
+        | Si_to_fp, (I1 | I8 | I16 | I32 | I64) ->
+            let g = lv_iget v in
+            lwith_float_dst i (fun dst ls ->
+                for l = 0 to ls.nl - 1 do
+                  ls.lfenv.(dst + l) <- float_of_int (g ls l)
+                done)
+        | Ui_to_fp, (I1 | I8 | I16 | I32 | I64) ->
+            let g = lv_iget v and m = mask_of src_t in
+            lwith_float_dst i (fun dst ls ->
+                for l = 0 to ls.nl - 1 do
+                  ls.lfenv.(dst + l) <- float_of_int (g ls l land m)
+                done)
+        | Fp_to_si, F32 ->
+            let g = lv_fget v in
+            lwith_int_dst i (fun dst ls ->
+                for l = 0 to ls.nl - 1 do
+                  ls.lienv.(dst + l) <- int_of_float (g ls l)
+                done)
+        | Bitcast, F32 ->
+            let g = lv_fget v in
+            lwith_float_dst i (fun dst ls ->
+                for l = 0 to ls.nl - 1 do
+                  ls.lfenv.(dst + l) <- g ls l
+                done)
+        | Bitcast, _ ->
+            let g = lv_vget v in
+            lwith_box_dst i (fun dst ls ->
+                for l = 0 to ls.nl - 1 do
+                  ls.lbenv.(dst + l) <- g ls l
+                done)
+        | _ -> fun _ -> trap "unsupported cast")
+    | Call { callee; args; _ } -> lcompile_vcall i callee args
+    | Load { ptr; index } -> (
+        let gp = lv_bufget ptr and gi = lv_iget index in
+        let loc = i.iloc in
+        match elem_of_ptr (type_of ptr) with
+        | F32 -> (
+            match (buf_hoist ptr, ivar_slot index) with
+            | Some hb, Some io ->
+                lwith_float_dst i (fun dst ls ->
+                    let b = hb ls in
+                    let ie = ls.lienv and fe = ls.lfenv in
+                    let bf = ls.base_flat in
+                    match ls.lsan with
+                    | None ->
+                        for l = 0 to ls.nl - 1 do
+                          let idx = ie.(io + l) in
+                          Trace.record ls.lstats
+                            ~addr:(Memory.addr_of b idx)
+                            ~bytes:b.Memory.elem_bytes ~is_write:false
+                            ~space:b.Memory.space ~wi:(bf + l);
+                          fe.(dst + l) <- Memory.get_float b idx
+                        done
+                    | Some _ ->
+                        for l = 0 to ls.nl - 1 do
+                          let idx = ie.(io + l) in
+                          let wi = bf + l in
+                          lane_record ls b idx ~is_write:false ~wi;
+                          lane_san ls b idx ~is_write:false ~loc ~wi;
+                          fe.(dst + l) <- Memory.get_float b idx
+                        done)
+            | _ ->
+                lwith_float_dst i (fun dst ls ->
+                    let bf = ls.base_flat in
+                    for l = 0 to ls.nl - 1 do
+                      let b = gp ls l and idx = gi ls l in
+                      let wi = bf + l in
+                      lane_record ls b idx ~is_write:false ~wi;
+                      lane_san ls b idx ~is_write:false ~loc ~wi;
+                      ls.lfenv.(dst + l) <- Memory.get_float b idx
+                    done))
+        | I1 | I8 | I16 | I32 | I64 -> (
+            match (buf_hoist ptr, ivar_slot index) with
+            | Some hb, Some io ->
+                lwith_int_dst i (fun dst ls ->
+                    let b = hb ls in
+                    let ie = ls.lienv in
+                    let bf = ls.base_flat in
+                    match ls.lsan with
+                    | None ->
+                        for l = 0 to ls.nl - 1 do
+                          let idx = ie.(io + l) in
+                          Trace.record ls.lstats
+                            ~addr:(Memory.addr_of b idx)
+                            ~bytes:b.Memory.elem_bytes ~is_write:false
+                            ~space:b.Memory.space ~wi:(bf + l);
+                          ie.(dst + l) <- Memory.get_int b idx
+                        done
+                    | Some _ ->
+                        for l = 0 to ls.nl - 1 do
+                          let idx = ie.(io + l) in
+                          let wi = bf + l in
+                          lane_record ls b idx ~is_write:false ~wi;
+                          lane_san ls b idx ~is_write:false ~loc ~wi;
+                          ie.(dst + l) <- Memory.get_int b idx
+                        done)
+            | _ ->
+                lwith_int_dst i (fun dst ls ->
+                    let bf = ls.base_flat in
+                    for l = 0 to ls.nl - 1 do
+                      let b = gp ls l and idx = gi ls l in
+                      let wi = bf + l in
+                      lane_record ls b idx ~is_write:false ~wi;
+                      lane_san ls b idx ~is_write:false ~loc ~wi;
+                      ls.lienv.(dst + l) <- Memory.get_int b idx
+                    done))
+        | Vec (F32, n) ->
+            lwith_box_dst i (fun dst ls ->
+                let bf = ls.base_flat in
+                for l = 0 to ls.nl - 1 do
+                  let b = gp ls l and idx = gi ls l in
+                  let wi = bf + l in
+                  lane_record ls b idx ~is_write:false ~wi;
+                  lane_san ls b idx ~is_write:false ~loc ~wi;
+                  ls.lbenv.(dst + l) <-
+                    RVecF
+                      (Array.init n (fun j -> Memory.get_lane_float b idx j))
+                done)
+        | Vec (_, n) ->
+            lwith_box_dst i (fun dst ls ->
+                let bf = ls.base_flat in
+                for l = 0 to ls.nl - 1 do
+                  let b = gp ls l and idx = gi ls l in
+                  let wi = bf + l in
+                  lane_record ls b idx ~is_write:false ~wi;
+                  lane_san ls b idx ~is_write:false ~loc ~wi;
+                  ls.lbenv.(dst + l) <-
+                    RVecI (Array.init n (fun j -> Memory.get_lane_int b idx j))
+                done)
+        | _ -> fun _ -> trap "load of unsupported element type"
+        | exception Invalid_argument _ ->
+            fun _ -> trap "load of unsupported element type")
+    | Store { ptr; index; v } -> (
+        let gp = lv_bufget ptr and gi = lv_iget index in
+        let loc = i.iloc in
+        match type_of v with
+        | F32 -> (
+            let gv = lv_fget v in
+            match (buf_hoist ptr, ivar_slot index, fvar_slot v) with
+            | Some hb, Some io, Some vo ->
+                fun ls ->
+                  let b = hb ls in
+                  let ie = ls.lienv and fe = ls.lfenv in
+                  let bf = ls.base_flat in
+                  (match ls.lsan with
+                  | None ->
+                      for l = 0 to ls.nl - 1 do
+                        let idx = ie.(io + l) in
+                        Trace.record ls.lstats
+                          ~addr:(Memory.addr_of b idx)
+                          ~bytes:b.Memory.elem_bytes ~is_write:true
+                          ~space:b.Memory.space ~wi:(bf + l);
+                        Memory.set_float b idx fe.(vo + l)
+                      done
+                  | Some _ ->
+                      for l = 0 to ls.nl - 1 do
+                        let idx = ie.(io + l) in
+                        let wi = bf + l in
+                        lane_record ls b idx ~is_write:true ~wi;
+                        lane_san ls b idx ~is_write:true ~loc ~wi;
+                        Memory.set_float b idx fe.(vo + l)
+                      done)
+            | _ ->
+                fun ls ->
+                  let bf = ls.base_flat in
+                  for l = 0 to ls.nl - 1 do
+                    let b = gp ls l and idx = gi ls l in
+                    let wi = bf + l in
+                    lane_record ls b idx ~is_write:true ~wi;
+                    lane_san ls b idx ~is_write:true ~loc ~wi;
+                    Memory.set_float b idx (gv ls l)
+                  done)
+        | I1 | I8 | I16 | I32 | I64 -> (
+            let gv = lv_iget v in
+            match (buf_hoist ptr, ivar_slot index, ivar_slot v) with
+            | Some hb, Some io, Some vo ->
+                fun ls ->
+                  let b = hb ls in
+                  let ie = ls.lienv in
+                  let bf = ls.base_flat in
+                  (match ls.lsan with
+                  | None ->
+                      for l = 0 to ls.nl - 1 do
+                        let idx = ie.(io + l) in
+                        Trace.record ls.lstats
+                          ~addr:(Memory.addr_of b idx)
+                          ~bytes:b.Memory.elem_bytes ~is_write:true
+                          ~space:b.Memory.space ~wi:(bf + l);
+                        Memory.set_int b idx ie.(vo + l)
+                      done
+                  | Some _ ->
+                      for l = 0 to ls.nl - 1 do
+                        let idx = ie.(io + l) in
+                        let wi = bf + l in
+                        lane_record ls b idx ~is_write:true ~wi;
+                        lane_san ls b idx ~is_write:true ~loc ~wi;
+                        Memory.set_int b idx ie.(vo + l)
+                      done)
+            | _ ->
+                fun ls ->
+                  let bf = ls.base_flat in
+                  for l = 0 to ls.nl - 1 do
+                    let b = gp ls l and idx = gi ls l in
+                    let wi = bf + l in
+                    lane_record ls b idx ~is_write:true ~wi;
+                    lane_san ls b idx ~is_write:true ~loc ~wi;
+                    Memory.set_int b idx (gv ls l)
+                  done)
+        | _ ->
+            let gv = lv_vget v in
+            fun ls ->
+              let bf = ls.base_flat in
+              for l = 0 to ls.nl - 1 do
+                let b = gp ls l and idx = gi ls l in
+                let wi = bf + l in
+                lane_record ls b idx ~is_write:true ~wi;
+                lane_san ls b idx ~is_write:true ~loc ~wi;
+                match gv ls l with
+                | RFloat f -> Memory.set_float b idx f
+                | RInt n -> Memory.set_int b idx n
+                | RVecF a ->
+                    Array.iteri (fun j x -> Memory.set_lane_float b idx j x) a
+                | RVecI a ->
+                    Array.iteri (fun j x -> Memory.set_lane_int b idx j x) a
+                | RBuf _ -> trap "cannot store a pointer"
+              done)
+    | Extract (v, lane) -> (
+        let gl = lv_iget lane in
+        match type_of v with
+        | Vec (F32, _) ->
+            let gv = lv_vget v in
+            lwith_float_dst i (fun dst ls ->
+                for l = 0 to ls.nl - 1 do
+                  (match gv ls l with
+                  | RVecF a -> ls.lfenv.(dst + l) <- a.(gl ls l)
+                  | _ -> trap "extract from non-vector")
+                done)
+        | Vec (_, _) ->
+            let gv = lv_vget v in
+            lwith_int_dst i (fun dst ls ->
+                for l = 0 to ls.nl - 1 do
+                  (match gv ls l with
+                  | RVecI a -> ls.lienv.(dst + l) <- a.(gl ls l)
+                  | _ -> trap "extract from non-vector")
+                done)
+        | _ -> fun _ -> trap "extract from non-vector")
+    | Insert (v, lane, s) ->
+        let gv = lv_vget v and gl = lv_iget lane and gs = lv_vget s in
+        lwith_box_dst i (fun dst ls ->
+            for l = 0 to ls.nl - 1 do
+              (match (gv ls l, gs ls l) with
+              | RVecF a, RFloat x ->
+                  let a = Array.copy a in
+                  a.(gl ls l) <- x;
+                  ls.lbenv.(dst + l) <- RVecF a
+              | RVecI a, RInt x ->
+                  let a = Array.copy a in
+                  a.(gl ls l) <- x;
+                  ls.lbenv.(dst + l) <- RVecI a
+              | _ -> trap "insert mismatch")
+            done)
+    | Vecbuild (t, vs) -> (
+        match t with
+        | Vec (F32, _) ->
+            let gs = Array.of_list (List.map lv_fget vs) in
+            lwith_box_dst i (fun dst ls ->
+                for l = 0 to ls.nl - 1 do
+                  ls.lbenv.(dst + l) <-
+                    RVecF (Array.map (fun g -> g ls l) gs)
+                done)
+        | Vec (_, _) ->
+            let gs = Array.of_list (List.map lv_iget vs) in
+            lwith_box_dst i (fun dst ls ->
+                for l = 0 to ls.nl - 1 do
+                  ls.lbenv.(dst + l) <-
+                    RVecI (Array.map (fun g -> g ls l) gs)
+                done)
+        | _ -> fun _ -> trap "vecbuild of non-vector")
+    | Alloca _ -> fun _ -> trap "unsupported alloca space"
+    | Phi _ -> fun _ -> trap "phi executed outside block entry"
+    | Barrier _ -> fun _ -> trap "barrier executed as a body instruction"
+    | Br _ | Cond_br _ | Ret ->
+        fun _ -> trap "terminator executed as body instruction"
+  in
+
+  let lane_instr (i : instr) : lane_state -> unit =
+    match i.op with
+    | Alloca { aspace = Private; _ } -> raise Unbatchable
+    | _ ->
+        if Hashtbl.mem kinds i.iid && not (Divergence.iid_divergent dv i.iid)
+        then lcompile_uni i
+        else lcompile_var i
+  in
+
+  (* Per-edge phi moves, split by the destination phi's uniformity. The
+     fixpoint guarantees a uniform phi only has uniform incomings. *)
+  let scr_ui = ref 0 and scr_uf = ref 0 and scr_ub = ref 0 in
+  let scr_vi = ref 0 and scr_vf = ref 0 and scr_vb = ref 0 in
+  let mk_ledge (src : block) (dst : block) : ledge =
+    let uim = ref [] and ufm = ref [] and ubm = ref [] in
+    let vim = ref [] and vfm = ref [] and vbm = ref [] in
+    List.iter
+      (fun (pi : instr) ->
+        match pi.op with
+        | Phi { incoming; _ } -> (
+            match List.find_opt (fun (b, _) -> b.bid = src.bid) incoming with
+            | None ->
+                uim :=
+                  (0, fun _ -> trap "phi has no incoming for predecessor")
+                  :: !uim
+            | Some (_, v) -> (
+                let phi_uni = not (Divergence.iid_divergent dv pi.iid) in
+                match kind_of pi with
+                | Some (KInt s) ->
+                    if phi_uni then uim := (s * lw, lu_iget v) :: !uim
+                    else vim := (s * lw, lv_iget v) :: !vim
+                | Some (KFloat s) ->
+                    if phi_uni then ufm := (s * lw, lu_fget v) :: !ufm
+                    else vfm := (s * lw, lv_fget v) :: !vfm
+                | Some (KBox s) ->
+                    if phi_uni then ubm := (s * lw, lu_vget v) :: !ubm
+                    else vbm := (s * lw, lv_vget v) :: !vbm
+                | None -> ()))
+        | _ -> ())
+      dst.instrs;
+    let uim = Array.of_list (List.rev !uim)
+    and ufm = Array.of_list (List.rev !ufm)
+    and ubm = Array.of_list (List.rev !ubm)
+    and vim = Array.of_list (List.rev !vim)
+    and vfm = Array.of_list (List.rev !vfm)
+    and vbm = Array.of_list (List.rev !vbm) in
+    scr_ui := max !scr_ui (Array.length uim);
+    scr_uf := max !scr_uf (Array.length ufm);
+    scr_ub := max !scr_ub (Array.length ubm);
+    scr_vi := max !scr_vi (Array.length vim);
+    scr_vf := max !scr_vf (Array.length vfm);
+    scr_vb := max !scr_vb (Array.length vbm);
+    {
+      le_dst = Hashtbl.find bidx dst.bid;
+      lu_im_dst = Array.map fst uim;
+      lu_im_src = Array.map snd uim;
+      lu_fm_dst = Array.map fst ufm;
+      lu_fm_src = Array.map snd ufm;
+      lu_bm_dst = Array.map fst ubm;
+      lu_bm_src = Array.map snd ubm;
+      lv_im_dst = Array.map fst vim;
+      lv_im_src = Array.map snd vim;
+      lv_fm_dst = Array.map fst vfm;
+      lv_fm_src = Array.map snd vfm;
+      lv_bm_dst = Array.map fst vbm;
+      lv_bm_src = Array.map snd vbm;
+    }
+  in
+
+  (* Compile every segment that can be batched; [Unbatchable] leaves its
+     slot [None]. *)
+  let n_segs = Array.length seg_descs in
+  let lsegs : lseg option array = Array.make n_segs None in
+  Array.iteri
+    (fun si ((b : block), (instrs : instr list), (bar : instr option)) ->
+      match
+        let lbody =
+          List.filter_map
+            (fun (i : instr) ->
+              match i.op with Phi _ -> None | _ -> Some (lane_instr i))
+            instrs
+        in
+        let lbody =
+          if
+            si = 0
+            && List.exists
+                 (fun (i : instr) ->
+                   match i.op with Phi _ -> true | _ -> false)
+                 instrs
+          then (fun _ -> trap "phi in entry block") :: lbody
+          else lbody
+        in
+        let lterm =
+          match bar with
+          | Some bi ->
+              let lbar = Hashtbl.find bar_index bi.iid in
+              LTbarrier { lbar; lnext = bar_entry.(lbar) }
+          | None -> (
+              match b.term with
+              | Some { op = Br target; _ } -> LTbr (mk_ledge b target)
+              | Some { op = Cond_br (c, t, e); _ } ->
+                  if Divergence.value_divergent dv c then raise Unbatchable
+                  else LTcond (lu_iget c, mk_ledge b t, mk_ledge b e)
+              | Some { op = Ret; _ } -> LTret
+              | _ -> LTtrap "missing terminator")
+        in
+        { lbody = Array.of_list lbody; lterm }
+      with
+      | lseg -> lsegs.(si) <- Some lseg
+      | exception Unbatchable -> ())
+    seg_descs;
+
+  (* A region entry is lane-sweepable iff {!Regions} said so and every
+     segment reachable from it (stopping at barriers) actually compiled. *)
+  let entry_seg e = if e = 0 then 0 else bar_entry.(e - 1) in
+  let reachable_ok (start : int) : bool =
+    let seen = Array.make (max 1 n_segs) false in
+    let ok = ref true in
+    let rec walk s =
+      if !ok && not seen.(s) then begin
+        seen.(s) <- true;
+        match lsegs.(s) with
+        | None -> ok := false
+        | Some sg -> (
+            match sg.lterm with
+            | LTbr e -> walk e.le_dst
+            | LTcond (_, t, e) ->
+                walk t.le_dst;
+                walk e.le_dst
+            | LTret | LTbarrier _ | LTtrap _ -> ())
+      end
+    in
+    walk start;
+    !ok
+  in
+  let lentry =
+    Array.init
+      (Array.length info.Regions.lane_entries)
+      (fun e -> info.Regions.lane_entries.(e) && reachable_ok (entry_seg e))
+  in
+
+  (* Lane spill plans: same context columns as the scalar plan ([ctx_col]),
+     slot bases pre-multiplied, split by uniformity. *)
+  let n_bars = Array.length info.Regions.barriers in
+  let uis = Array.make n_bars [||] and uic = Array.make n_bars [||] in
+  let ufs = Array.make n_bars [||] and ufc = Array.make n_bars [||] in
+  let ubs = Array.make n_bars [||] and ubc = Array.make n_bars [||] in
+  let vis = Array.make n_bars [||] and vic = Array.make n_bars [||] in
+  let vfs = Array.make n_bars [||] and vfc = Array.make n_bars [||] in
+  let vbs = Array.make n_bars [||] and vbc = Array.make n_bars [||] in
+  Array.iteri
+    (fun j (bi : instr) ->
+      let at = Hashtbl.find bar_index bi.iid in
+      let ui = ref [] and uf = ref [] and ub = ref [] in
+      let vi = ref [] and vf = ref [] and vb = ref [] in
+      Array.iter
+        (fun iid ->
+          let u = not (Divergence.iid_divergent dv iid) in
+          match Hashtbl.find_opt kinds iid with
+          | Some (KInt s) ->
+              let p = (s * lw, Hashtbl.find ctx_col iid) in
+              if u then ui := p :: !ui else vi := p :: !vi
+          | Some (KFloat s) ->
+              let p = (s * lw, Hashtbl.find ctx_col iid) in
+              if u then uf := p :: !uf else vf := p :: !vf
+          | Some (KBox s) ->
+              let p = (s * lw, Hashtbl.find ctx_col iid) in
+              if u then ub := p :: !ub else vb := p :: !vb
+          | None -> ())
+        info.Regions.live_across.(j);
+      let fill slots cols l =
+        let a = Array.of_list (List.rev l) in
+        slots.(at) <- Array.map fst a;
+        cols.(at) <- Array.map snd a
+      in
+      fill uis uic !ui;
+      fill ufs ufc !uf;
+      fill ubs ubc !ub;
+      fill vis vic !vi;
+      fill vfs vfc !vf;
+      fill vbs vbc !vb)
+    info.Regions.barriers;
+  {
+    lwidth = lw;
+    lsegs;
+    lentry;
+    lscr_ui = !scr_ui;
+    lscr_uf = !scr_uf;
+    lscr_ub = !scr_ub;
+    lscr_vi = !scr_vi;
+    lscr_vf = !scr_vf;
+    lscr_vb = !scr_vb;
+    lsp_ui_slot = uis;
+    lsp_ui_ctx = uic;
+    lsp_uf_slot = ufs;
+    lsp_uf_ctx = ufc;
+    lsp_ub_slot = ubs;
+    lsp_ub_ctx = ubc;
+    lsp_vi_slot = vis;
+    lsp_vi_ctx = vic;
+    lsp_vf_slot = vfs;
+    lsp_vf_ctx = vfc;
+    lsp_vb_slot = vbs;
+    lsp_vb_ctx = vbc;
+  }
+
+let compile_fn ~(lane_width : int) (fn : func) (regions : Regions.verdict) :
+    cfunc =
   let kinds : (int, kind) Hashtbl.t = Hashtbl.create 64 in
   let ni = ref 0 and nf = ref 0 and nb = ref 0 in
   iter_instrs
@@ -1192,12 +2638,29 @@ let compile_fn (fn : func) (regions : Regions.verdict) : cfunc =
     Array.of_list (List.concat (List.mapi compile_block fn.blocks))
   in
   assert (Array.length csegs = !n_segs);
+  (* The same cut, kept as data: per segment its owning block, body
+     instructions and terminating barrier (if any) — the lane compiler
+     re-walks it to build the parallel [lsegs] array. *)
+  let seg_descs : (block * instr list * instr option) array =
+    let cut_block (b : block) =
+      let rec go acc cur = function
+        | [] -> List.rev ((b, List.rev cur, None) :: acc)
+        | (i : instr) :: tl
+          when (match i.op with Barrier _ -> true | _ -> false) ->
+            go ((b, List.rev cur, Some i) :: acc) [] tl
+        | i :: tl -> go acc (i :: cur) tl
+      in
+      go [] [] b.instrs
+    in
+    Array.of_list (List.concat_map cut_block fn.blocks)
+  in
+  assert (Array.length seg_descs = !n_segs);
   (* Spill plan for the region executor: give every value that is live
      across {e some} barrier one context column of its kind, then
      precompile each barrier's (env slot, column) copy lists. *)
-  let wg =
+  let wg, lanes =
     match regions with
-    | Regions.Fallback _ -> None
+    | Regions.Fallback _ -> (None, None)
     | Regions.Formed info ->
         let enumeration_matches =
           Array.length info.barriers = !n_bars
@@ -1208,7 +2671,7 @@ let compile_fn (fn : func) (regions : Regions.verdict) : cfunc =
                  | None -> false)
                info.barriers
         in
-        if not enumeration_matches then None
+        if not enumeration_matches then (None, None)
         else begin
           let ctx_col : (int, int) Hashtbl.t = Hashtbl.create 16 in
           let ci = ref 0 and cf = ref 0 and cb = ref 0 in
@@ -1255,7 +2718,7 @@ let compile_fn (fn : func) (regions : Regions.verdict) : cfunc =
               fill sp_f_env sp_f_ctx !fe;
               fill sp_b_env sp_b_ctx !be)
             info.barriers;
-          Some
+          let w =
             {
               bar_entry;
               sp_i_env;
@@ -1268,6 +2731,15 @@ let compile_fn (fn : func) (regions : Regions.verdict) : cfunc =
               ctx_f = !cf;
               ctx_b = !cb;
             }
+          in
+          let lanes =
+            if Array.exists Fun.id info.lane_entries then
+              Some
+                (compile_lanes ~lw:lane_width ~kinds ~bidx ~bar_index
+                   ~bar_entry ~seg_descs ~info ~ctx_col)
+            else None
+          in
+          (Some w, lanes)
         end
   in
   {
@@ -1279,6 +2751,7 @@ let compile_fn (fn : func) (regions : Regions.verdict) : cfunc =
     scr_float = !scr_f;
     scr_box = !scr_b;
     wg;
+    lanes;
   }
 
 (* -- The compiled-engine hot loop ------------------------------------------- *)
@@ -1416,10 +2889,261 @@ let spill_restore (st : wi_state) (w : cwg) ~(bar : int) ~(ictx : int array)
     st.benv.(env.(k)) <- bctx.(base + col.(k))
   done
 
+(* -- The lane-batched region executor (wg-vec) -------------------------------
+
+   [run_lane_region] drives a whole batch of [nl] consecutive work-items
+   through the current parallel region in one pass over the compiled lane
+   segments; the group sweep advances [group-size / lane-width] times per
+   region instead of [group-size] times. Costs are read from the parallel
+   scalar segment and bumped once per batch, multiplied by the active lane
+   count, so trace totals are bit-identical to the scalar paths. *)
+
+let take_ledge (ls : lane_state) (e : ledge) : int =
+  let lw = ls.lw and nl = ls.nl in
+  (* Stage every move against the predecessor's columns... *)
+  let nui = Array.length e.lu_im_dst in
+  for k = 0 to nui - 1 do
+    ls.luiscr.(k) <- e.lu_im_src.(k) ls
+  done;
+  let nuf = Array.length e.lu_fm_dst in
+  for k = 0 to nuf - 1 do
+    ls.lufscr.(k) <- e.lu_fm_src.(k) ls
+  done;
+  let nub = Array.length e.lu_bm_dst in
+  for k = 0 to nub - 1 do
+    ls.lubscr.(k) <- e.lu_bm_src.(k) ls
+  done;
+  let nvi = Array.length e.lv_im_dst in
+  for k = 0 to nvi - 1 do
+    let g = e.lv_im_src.(k) in
+    let base = k * lw in
+    for l = 0 to nl - 1 do
+      ls.lviscr.(base + l) <- g ls l
+    done
+  done;
+  let nvf = Array.length e.lv_fm_dst in
+  for k = 0 to nvf - 1 do
+    let g = e.lv_fm_src.(k) in
+    let base = k * lw in
+    for l = 0 to nl - 1 do
+      ls.lvfscr.(base + l) <- g ls l
+    done
+  done;
+  let nvb = Array.length e.lv_bm_dst in
+  for k = 0 to nvb - 1 do
+    let g = e.lv_bm_src.(k) in
+    let base = k * lw in
+    for l = 0 to nl - 1 do
+      ls.lvbscr.(base + l) <- g ls l
+    done
+  done;
+  (* ...then commit. *)
+  for k = 0 to nui - 1 do
+    ls.lienv.(e.lu_im_dst.(k)) <- ls.luiscr.(k)
+  done;
+  for k = 0 to nuf - 1 do
+    ls.lfenv.(e.lu_fm_dst.(k)) <- ls.lufscr.(k)
+  done;
+  for k = 0 to nub - 1 do
+    ls.lbenv.(e.lu_bm_dst.(k)) <- ls.lubscr.(k)
+  done;
+  for k = 0 to nvi - 1 do
+    let d = e.lv_im_dst.(k) and base = k * lw in
+    for l = 0 to nl - 1 do
+      ls.lienv.(d + l) <- ls.lviscr.(base + l)
+    done
+  done;
+  for k = 0 to nvf - 1 do
+    let d = e.lv_fm_dst.(k) and base = k * lw in
+    for l = 0 to nl - 1 do
+      ls.lfenv.(d + l) <- ls.lvfscr.(base + l)
+    done
+  done;
+  for k = 0 to nvb - 1 do
+    let d = e.lv_bm_dst.(k) and base = k * lw in
+    for l = 0 to nl - 1 do
+      ls.lbenv.(d + l) <- ls.lvbscr.(base + l)
+    done
+  done;
+  e.le_dst
+
+let run_lane_region (ls : lane_state) (cf : cfunc) (ln : clanes)
+    ~(from : int) : int =
+  let segs = ln.lsegs and costs = cf.csegs in
+  let cur = ref from in
+  let exitc = ref (-1) in
+  let running = ref true in
+  let stats = ls.lstats in
+  let nl = ls.nl in
+  while !running do
+    let si = !cur in
+    let cb = costs.(si) in
+    stats.Trace.int_ops <- stats.Trace.int_ops + (cb.b_int * nl);
+    stats.Trace.float_ops <- stats.Trace.float_ops + (cb.b_float * nl);
+    stats.Trace.special_ops <- stats.Trace.special_ops + (cb.b_special * nl);
+    match segs.(si) with
+    | None -> trap "lane executor entered an unvectorized segment"
+    | Some sg -> (
+        let body = sg.lbody in
+        for k = 0 to Array.length body - 1 do
+          body.(k) ls
+        done;
+        match sg.lterm with
+        | LTbr e -> cur := take_ledge ls e
+        | LTcond (g, t, e) ->
+            stats.Trace.branches <- stats.Trace.branches + nl;
+            cur := (if g ls <> 0 then take_ledge ls t else take_ledge ls e)
+        | LTret -> running := false
+        | LTbarrier { lbar; lnext = _ } ->
+            stats.Trace.barriers <- stats.Trace.barriers + nl;
+            exitc := lbar;
+            running := false
+        | LTtrap m -> trap "%s" m)
+  done;
+  !exitc
+
+(* Lane spill save/restore against the same per-work-item context matrices
+   as the scalar region executor ([cwg] columns): uniform values replicate
+   their base column into every active row on save and read the batch's
+   base row on restore (a group-uniform value is identical in every row by
+   construction, whichever path wrote it); varying values copy one lane
+   column per row. *)
+
+let lane_spill_save (ls : lane_state) (w : cwg) (ln : clanes) ~(bar : int)
+    ~(ictx : int array) ~(fctx : float array) ~(bctx : rv array) : unit =
+  let bf = ls.base_flat and nl = ls.nl in
+  let slots = ln.lsp_ui_slot.(bar) and cols = ln.lsp_ui_ctx.(bar) in
+  for k = 0 to Array.length slots - 1 do
+    let v = ls.lienv.(slots.(k)) and c = cols.(k) in
+    for l = 0 to nl - 1 do
+      ictx.(((bf + l) * w.ctx_i) + c) <- v
+    done
+  done;
+  let slots = ln.lsp_uf_slot.(bar) and cols = ln.lsp_uf_ctx.(bar) in
+  for k = 0 to Array.length slots - 1 do
+    let v = ls.lfenv.(slots.(k)) and c = cols.(k) in
+    for l = 0 to nl - 1 do
+      fctx.(((bf + l) * w.ctx_f) + c) <- v
+    done
+  done;
+  let slots = ln.lsp_ub_slot.(bar) and cols = ln.lsp_ub_ctx.(bar) in
+  for k = 0 to Array.length slots - 1 do
+    let v = ls.lbenv.(slots.(k)) and c = cols.(k) in
+    for l = 0 to nl - 1 do
+      bctx.(((bf + l) * w.ctx_b) + c) <- v
+    done
+  done;
+  let slots = ln.lsp_vi_slot.(bar) and cols = ln.lsp_vi_ctx.(bar) in
+  for k = 0 to Array.length slots - 1 do
+    let s = slots.(k) and c = cols.(k) in
+    for l = 0 to nl - 1 do
+      ictx.(((bf + l) * w.ctx_i) + c) <- ls.lienv.(s + l)
+    done
+  done;
+  let slots = ln.lsp_vf_slot.(bar) and cols = ln.lsp_vf_ctx.(bar) in
+  for k = 0 to Array.length slots - 1 do
+    let s = slots.(k) and c = cols.(k) in
+    for l = 0 to nl - 1 do
+      fctx.(((bf + l) * w.ctx_f) + c) <- ls.lfenv.(s + l)
+    done
+  done;
+  let slots = ln.lsp_vb_slot.(bar) and cols = ln.lsp_vb_ctx.(bar) in
+  for k = 0 to Array.length slots - 1 do
+    let s = slots.(k) and c = cols.(k) in
+    for l = 0 to nl - 1 do
+      bctx.(((bf + l) * w.ctx_b) + c) <- ls.lbenv.(s + l)
+    done
+  done
+
+let lane_spill_restore (ls : lane_state) (w : cwg) (ln : clanes) ~(bar : int)
+    ~(ictx : int array) ~(fctx : float array) ~(bctx : rv array) : unit =
+  let bf = ls.base_flat and nl = ls.nl in
+  let slots = ln.lsp_ui_slot.(bar) and cols = ln.lsp_ui_ctx.(bar) in
+  for k = 0 to Array.length slots - 1 do
+    ls.lienv.(slots.(k)) <- ictx.((bf * w.ctx_i) + cols.(k))
+  done;
+  let slots = ln.lsp_uf_slot.(bar) and cols = ln.lsp_uf_ctx.(bar) in
+  for k = 0 to Array.length slots - 1 do
+    ls.lfenv.(slots.(k)) <- fctx.((bf * w.ctx_f) + cols.(k))
+  done;
+  let slots = ln.lsp_ub_slot.(bar) and cols = ln.lsp_ub_ctx.(bar) in
+  for k = 0 to Array.length slots - 1 do
+    ls.lbenv.(slots.(k)) <- bctx.((bf * w.ctx_b) + cols.(k))
+  done;
+  let slots = ln.lsp_vi_slot.(bar) and cols = ln.lsp_vi_ctx.(bar) in
+  for k = 0 to Array.length slots - 1 do
+    let s = slots.(k) and c = cols.(k) in
+    for l = 0 to nl - 1 do
+      ls.lienv.(s + l) <- ictx.(((bf + l) * w.ctx_i) + c)
+    done
+  done;
+  let slots = ln.lsp_vf_slot.(bar) and cols = ln.lsp_vf_ctx.(bar) in
+  for k = 0 to Array.length slots - 1 do
+    let s = slots.(k) and c = cols.(k) in
+    for l = 0 to nl - 1 do
+      ls.lfenv.(s + l) <- fctx.(((bf + l) * w.ctx_f) + c)
+    done
+  done;
+  let slots = ln.lsp_vb_slot.(bar) and cols = ln.lsp_vb_ctx.(bar) in
+  for k = 0 to Array.length slots - 1 do
+    let s = slots.(k) and c = cols.(k) in
+    for l = 0 to nl - 1 do
+      ls.lbenv.(s + l) <- bctx.(((bf + l) * w.ctx_b) + c)
+    done
+  done
+
+(** Re-aim the lane state at the batch of [nl] work-items starting at flat
+    id [base] of the group currently held in [lctx.grp]. *)
+let reset_lane_batch (ls : lane_state) ~(base : int) ~(nl : int) : unit =
+  ls.base_flat <- base;
+  ls.nl <- nl;
+  let lsz = ls.lctx.lsz and grp = ls.lctx.grp in
+  for l = 0 to nl - 1 do
+    let flat = base + l in
+    let lx = flat mod lsz.(0)
+    and ly = flat / lsz.(0) mod lsz.(1)
+    and lz = flat / (lsz.(0) * lsz.(1)) in
+    ls.llid.(0).(l) <- lx;
+    ls.llid.(1).(l) <- ly;
+    ls.llid.(2).(l) <- lz;
+    ls.lgid.(0).(l) <- (grp.(0) * lsz.(0)) + lx;
+    ls.lgid.(1).(l) <- (grp.(1) * lsz.(1)) + ly;
+    ls.lgid.(2).(l) <- (grp.(2) * lsz.(2)) + lz
+  done
+
 (* -- Public interface -------------------------------------------------------- *)
 
-let prepare ?engine (fn : func) : compiled =
+(* Default lane width: 8, dropping to 4 for kernels with many live slots
+   (a wide batch of a slot-heavy kernel blows the L1-resident working set
+   of the lane environments). [GROVER_LANE_WIDTH] overrides, clamped to
+   1..16. *)
+let lane_width_for (fn : func) : int =
+  let default () =
+    let n =
+      fold_instrs
+        (fun acc i ->
+          match type_of_opcode i.op with
+          | Void -> acc
+          | _ -> acc + 1
+          | exception Invalid_argument _ -> acc)
+        0 fn
+    in
+    if n > 96 then 4 else 8
+  in
+  match Sys.getenv_opt "GROVER_LANE_WIDTH" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some w when w >= 1 -> min w 16
+      | _ -> default ())
+  | None -> default ()
+
+let prepare ?engine ?lane_width (fn : func) : compiled =
   let engine = Option.value engine ~default:default_engine in
+  let lane_width =
+    match lane_width with
+    | Some w -> max 1 (min w 16)
+    | None -> lane_width_for fn
+  in
   let slots = Hashtbl.create 64 in
   let n = ref 0 in
   iter_instrs
@@ -1443,12 +3167,19 @@ let prepare ?engine (fn : func) : compiled =
   in
   let regions = Regions.form fn in
   let code =
-    match engine with Compiled -> Some (compile_fn fn regions) | Tree -> None
+    match engine with
+    | Compiled -> Some (compile_fn ~lane_width fn regions)
+    | Tree -> None
   in
   { fn; slots; n_slots = !n; local_allocas; has_barrier; regions; code }
 
 let engine_of (c : compiled) : engine =
   match c.code with Some _ -> Compiled | None -> Tree
+
+(** Lane width the kernel was compiled for; 1 when no lane-batched code
+    exists (tree engine, fiber fallback, or no lane-capable region). *)
+let lane_width_of (c : compiled) : int =
+  match c.code with Some { lanes = Some ln; _ } -> ln.lwidth | _ -> 1
 
 let make_state (c : compiled) ~(args : rv array) ~(ctx : wi_ctx)
     ~(stats : Trace.wg_stats) ~(local_bufs : (int, Memory.buffer) Hashtbl.t)
@@ -1492,6 +3223,40 @@ let make_state (c : compiled) ~(args : rv array) ~(ctx : wi_ctx)
         private_offset = 0;
         san = None;
       }
+
+(** Fresh lane-batched execution state, [None] unless the kernel was
+    closure-compiled with at least one lane-capable region. Shares the
+    group context, argument row and stats sink with the scalar states so
+    mixed lane/scalar execution of one launch observes the same group. *)
+let make_lane_state (c : compiled) ~(ctx : wi_ctx) ~(args : rv array)
+    ~(stats : Trace.wg_stats) ~(local_bufs : (int, Memory.buffer) Hashtbl.t) :
+    lane_state option =
+  match c.code with
+  | Some ({ lanes = Some ln; _ } as cf) ->
+      let lw = ln.lwidth in
+      Some
+        {
+          lw;
+          nl = 0;
+          base_flat = 0;
+          lienv = Array.make (max 1 (cf.n_int * lw)) 0;
+          lfenv = Array.make (max 1 (cf.n_float * lw)) 0.0;
+          lbenv = Array.make (max 1 (cf.n_box * lw)) (RInt 0);
+          luiscr = Array.make (max 1 ln.lscr_ui) 0;
+          lufscr = Array.make (max 1 ln.lscr_uf) 0.0;
+          lubscr = Array.make (max 1 ln.lscr_ub) (RInt 0);
+          lviscr = Array.make (max 1 (ln.lscr_vi * lw)) 0;
+          lvfscr = Array.make (max 1 (ln.lscr_vf * lw)) 0.0;
+          lvbscr = Array.make (max 1 (ln.lscr_vb * lw)) (RInt 0);
+          llid = Array.init 3 (fun _ -> Array.make lw 0);
+          lgid = Array.init 3 (fun _ -> Array.make lw 0);
+          lctx = ctx;
+          largs = args;
+          lstats = stats;
+          llocal = local_bufs;
+          lsan = None;
+        }
+  | _ -> None
 
 (** Re-aim a pooled state at work-item [flat] of the group currently held
     in [st.ctx.grp]: recompute [lid]/[gid] in place and rewind the private

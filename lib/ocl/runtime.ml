@@ -1,6 +1,14 @@
 (** Kernel launch: NDRange iteration, per-queue local-memory allocation,
-    pooled work-item states, and three group schedulers —
+    pooled work-item states, and four group schedulers —
 
+    - {b wg-vec}: lane-batched work-item loops (pocl-style work-group
+      vectorization) for kernels whose barriers {!Grover_ir.Regions}
+      proved group-uniform {e and} whose regions stay lane-sweepable
+      (uniform control flow, no private allocas); each region advances a
+      batch of W work-items per compiled closure over struct-of-arrays
+      lane slots, so the sweep runs group-size/W times. Regions the lane
+      compiler could not batch run the scalar sweep within the same
+      launch;
     - {b wg-loop}: pocl-style work-item loops for kernels whose barriers
       {!Grover_ir.Regions} proved group-uniform; each barrier-delimited
       region runs as a plain loop over the group's work-items, live values
@@ -12,9 +20,9 @@
       oracle and as the fallback for kernels with divergent barriers
       (where it detects the divergence dynamically).
 
-    [GROVER_FORCE_PATH=wg-loop|fiberless|fiber] overrides the choice for
-    every launch of the process, within static capability (a path a kernel
-    cannot take degrades to the nearest one that it can).
+    [GROVER_FORCE_PATH=wg-vec|wg-loop|fiberless|fiber] overrides the
+    choice for every launch of the process, within static capability (a
+    path a kernel cannot take degrades to the nearest one that it can).
 
     Parallel launches run on a {e persistent} domain pool: worker domains
     are spawned once (lazily, grown on demand) and reused across launches,
@@ -65,7 +73,7 @@ let bind_args (fn : func) (bindings : arg_binding list) : Interp.rv array =
 (* -- Execution plan ----------------------------------------------------------- *)
 
 (** The group scheduler a launch will use (see the module docs). *)
-type path = Wg_loop | Fiberless | Fiber
+type path = Wg_vec | Wg_loop | Fiberless | Fiber
 
 (** How a launch will execute: which group scheduler, and on how many
     domains (including the calling one). Computed by {!plan} with the
@@ -90,40 +98,79 @@ let wg_capable (c : Interp.compiled) : bool =
   | Some cf -> cf.Interp.wg <> None
   | None -> false
 
-let choose_path (c : Interp.compiled) ~(force_fibers : bool) : path =
+(* The lane executor additionally needs lane-batched code with at least
+   one sweepable region entry (the refined [lentry], which also accounts
+   for segments the lane compiler had to give up on). *)
+let wgvec_capable (c : Interp.compiled) : bool =
+  match c.Interp.code with
+  | Some { Interp.lanes = Some ln; _ } ->
+      Array.exists Fun.id ln.Interp.lentry
+  | _ -> false
+
+let choose_path (c : Interp.compiled) ~(force_fibers : bool)
+    ~(force_path : path option) : path =
   if force_fibers then Fiber
   else
-    match Sys.getenv_opt "GROVER_FORCE_PATH" with
-    | None | Some "" ->
+    let forced =
+      match force_path with
+      | Some _ -> force_path
+      | None -> (
+          match Sys.getenv_opt "GROVER_FORCE_PATH" with
+          | None | Some "" -> None
+          | Some ("fiber" | "fibers") -> Some Fiber
+          | Some "fiberless" -> Some Fiberless
+          | Some ("wg-loop" | "wgloop" | "wg_loop") -> Some Wg_loop
+          | Some ("wg-vec" | "wgvec" | "wg_vec") -> Some Wg_vec
+          | Some s ->
+              fail
+                "unknown GROVER_FORCE_PATH %S (expected wg-vec, wg-loop, \
+                 fiberless or fiber)"
+                s)
+    in
+    match forced with
+    | None ->
         if not c.Interp.has_barrier then Fiberless
+        else if wgvec_capable c then Wg_vec
         else if wg_capable c then Wg_loop
         else Fiber
-    | Some ("fiber" | "fibers") -> Fiber
-    | Some "fiberless" ->
+    | Some Fiber -> Fiber
+    | Some Fiberless ->
         (* A kernel with barriers cannot run unsynchronized; degrade to
            the fiber scheduler rather than miscompute. *)
         if c.Interp.has_barrier then Fiber else Fiberless
-    | Some ("wg-loop" | "wgloop" | "wg_loop") ->
+    | Some Wg_loop ->
         if wg_capable c then Wg_loop
         else if c.Interp.has_barrier then Fiber
         else Fiberless
-    | Some s ->
-        fail "unknown GROVER_FORCE_PATH %S (expected wg-loop, fiberless or fiber)"
-          s
+    | Some Wg_vec ->
+        if wgvec_capable c then Wg_vec
+        else if wg_capable c && c.Interp.has_barrier then Wg_loop
+        else if c.Interp.has_barrier then Fiber
+        else Fiberless
+
+(* Pool-growth cap: a domain whose share of the NDRange is below one
+   claimable chunk of work adds coordination (and domain wake-up) cost
+   without amortizing it, so small launches stop growing the pool instead
+   of spreading a handful of groups over every core. *)
+let min_groups_per_domain = 2
 
 let plan (c : Interp.compiled) ~(cfg : launch_config) ?(force_fibers = false)
-    ?(domains = 1) () : exec_plan =
+    ?force_path ?(domains = 1) () : exec_plan =
   let gx, gy, gz = cfg.global and lx, ly, lz = cfg.local in
   let n_groups =
     if lx <= 0 || ly <= 0 || lz <= 0 then 0
     else gx / lx * (gy / ly) * (gz / lz)
   in
   let d = resolve_domains domains in
-  let d = if n_groups < 2 then 1 else min d n_groups in
-  { path = choose_path c ~force_fibers; domains_used = d }
+  let d =
+    if n_groups < 2 then 1
+    else min d (max 1 (n_groups / min_groups_per_domain))
+  in
+  { path = choose_path c ~force_fibers ~force_path; domains_used = d }
 
 let path_name (p : exec_plan) : string =
   match p.path with
+  | Wg_vec -> "wg-vec"
   | Wg_loop -> "wg-loop"
   | Fiberless -> "fiberless"
   | Fiber -> "fiber"
@@ -169,6 +216,10 @@ type exec_ctx = {
       (** per work-item private-allocation bump offset carried across
           regions, so private allocas land at the same addresses the fiber
           path would give them *)
+  lanes : Interp.lane_state option;
+      (** lane-batched execution state; [Some] iff [path] is [Wg_vec].
+          Shares the group context and stats sink with [states.(0)] so
+          mixed lane/scalar regions observe the same group. *)
   mutable local_sets : local_set option array;  (** per queue, lazy *)
   mutable cur_queue : int;  (** queue the states are currently aimed at *)
   san : Sanitize.t option;
@@ -203,7 +254,7 @@ let make_ctx (c : Interp.compiled) ~(rv_args : Interp.rv array)
   in
   let wg_ictx, wg_fctx, wg_bctx, wg_priv =
     match path with
-    | Wg_loop -> (
+    | Wg_loop | Wg_vec -> (
         match c.Interp.code with
         | Some { Interp.wg = Some w; _ } ->
             ( Array.make (max 1 (n_items * w.Interp.ctx_i)) 0,
@@ -212,6 +263,20 @@ let make_ctx (c : Interp.compiled) ~(rv_args : Interp.rv array)
               Array.make n_items 0 )
         | _ -> fail "wg-loop planned for a kernel without region metadata")
     | Fiberless | Fiber -> ([||], [||], [||], [||])
+  in
+  let lanes =
+    match path with
+    | Wg_vec -> (
+        let st0 = states.(0) in
+        match
+          Interp.make_lane_state c ~ctx:st0.Interp.ctx ~args:rv_args ~stats
+            ~local_bufs:no_locals.ls_tab
+        with
+        | Some ls ->
+            ls.Interp.lsan <- san;
+            Some ls
+        | None -> fail "wg-vec planned for a kernel without lane metadata")
+    | Wg_loop | Fiberless | Fiber -> None
   in
   {
     xc = c;
@@ -228,6 +293,7 @@ let make_ctx (c : Interp.compiled) ~(rv_args : Interp.rv array)
     wg_fctx;
     wg_bctx;
     wg_priv;
+    lanes;
     local_sets = [||];
     cur_queue = -1;
     san;
@@ -389,6 +455,101 @@ let run_group_wgloop (x : exec_ctx) : unit =
     end
   done
 
+(* Lane-batched work-group loops: like [run_group_wgloop], but a region
+   whose (refined) entry is lane-sweepable advances a whole batch of
+   work-items per pass — group-size/W sweep steps instead of group-size.
+   Regions the lane compiler could not batch run the scalar sweep; the two
+   execution styles exchange live values through the same per-work-item
+   context matrices (uniform values replicate into every row on the lane
+   side, so a following scalar region reads exactly what the scalar path
+   would have written). *)
+let run_group_wgvec (x : exec_ctx) : unit =
+  let st = x.states.(0) in
+  let cf =
+    match x.xc.Interp.code with
+    | Some cf -> cf
+    | None -> fail "wg-vec without compiled code"
+  in
+  let w =
+    match cf.Interp.wg with
+    | Some w -> w
+    | None -> fail "wg-vec without region metadata"
+  in
+  let ln =
+    match cf.Interp.lanes with
+    | Some ln -> ln
+    | None -> fail "wg-vec without lane metadata"
+  in
+  let lst =
+    match x.lanes with
+    | Some lst -> lst
+    | None -> fail "wg-vec without a lane state"
+  in
+  let n = x.n_items in
+  let lw = lst.Interp.lw in
+  (* Lane regions have no private allocas and never write the bump
+     offsets; clear last group's values so a later scalar region starts
+     from the same offsets the pure-scalar sweep would. *)
+  Array.fill x.wg_priv 0 (Array.length x.wg_priv) 0;
+  let cur = ref 0 in
+  let entered = ref (-1) in
+  (* barrier we resumed from; -1 = kernel entry *)
+  let finished = ref false in
+  while not !finished do
+    (* -2 = no batch/work-item has exited this region yet *)
+    let exit0 = ref (-2) in
+    if ln.Interp.lentry.(!entered + 1) then begin
+      let base = ref 0 in
+      while !base < n do
+        let nl = min lw (n - !base) in
+        Interp.reset_lane_batch lst ~base:!base ~nl;
+        if !entered >= 0 then
+          Interp.lane_spill_restore lst w ln ~bar:!entered ~ictx:x.wg_ictx
+            ~fctx:x.wg_fctx ~bctx:x.wg_bctx;
+        let e = Interp.run_lane_region lst cf ln ~from:!cur in
+        if e >= 0 then
+          Interp.lane_spill_save lst w ln ~bar:e ~ictx:x.wg_ictx
+            ~fctx:x.wg_fctx ~bctx:x.wg_bctx;
+        if !exit0 = -2 then exit0 := e
+        else if e <> !exit0 then
+          fail
+            "barrier divergence in %s: work-item %d left the parallel \
+             region at a different point than work-item 0"
+            x.xc.Interp.fn.f_name !base;
+        base := !base + nl
+      done
+    end
+    else
+      for flat = 0 to n - 1 do
+        if flat = 0 then Interp.reset_item st ~flat:0
+        else Interp.advance_item st;
+        if !entered >= 0 then begin
+          st.Interp.private_offset <- x.wg_priv.(flat);
+          Interp.spill_restore st w ~bar:!entered ~ictx:x.wg_ictx
+            ~fctx:x.wg_fctx ~bctx:x.wg_bctx ~flat
+        end;
+        let e = Interp.run_region st cf ~from:!cur in
+        if e >= 0 then begin
+          Interp.spill_save st w ~bar:e ~ictx:x.wg_ictx ~fctx:x.wg_fctx
+            ~bctx:x.wg_bctx ~flat;
+          x.wg_priv.(flat) <- st.Interp.private_offset
+        end;
+        if flat = 0 then exit0 := e
+        else if e <> !exit0 then
+          fail
+            "barrier divergence in %s: work-item %d left the parallel \
+             region at a different point than work-item 0"
+            x.xc.Interp.fn.f_name flat
+      done;
+    if !exit0 < 0 then finished := true
+    else begin
+      x.stats.Trace.barrier_rounds <- x.stats.Trace.barrier_rounds + 1;
+      (match x.san with Some s -> Sanitize.barrier_round s | None -> ());
+      entered := !exit0;
+      cur := w.Interp.bar_entry.(!exit0)
+    end
+  done
+
 let run_one_group (x : exec_ctx) ~(wg : int) ~(queue : int) : unit =
   (match x.san with Some s -> Sanitize.enter_group s ~group:wg | None -> ());
   let ngr = x.ngr in
@@ -402,6 +563,9 @@ let run_one_group (x : exec_ctx) ~(wg : int) ~(queue : int) : unit =
         st.Interp.queue <- queue;
         st.Interp.local_bufs <- ls.ls_tab)
       x.states;
+    (match x.lanes with
+    | Some lst -> lst.Interp.llocal <- ls.ls_tab
+    | None -> ());
     x.cur_queue <- queue
   end;
   (* Fresh local memory per group, matching the former per-group
@@ -409,6 +573,7 @@ let run_one_group (x : exec_ctx) ~(wg : int) ~(queue : int) : unit =
   List.iter Memory.clear ls.ls_bufs;
   Trace.reset x.stats ~wg_id:wg ~queue ~wg_size:x.n_items;
   match x.path with
+  | Wg_vec -> run_group_wgvec x
   | Wg_loop -> run_group_wgloop x
   | Fiberless -> run_group_fiberless x
   | Fiber -> run_group_fibers x
@@ -534,8 +699,8 @@ end
 let launch (c : Interp.compiled) ~(cfg : launch_config)
     ~(args : arg_binding list) ~(mem : Memory.t)
     ?(on_group : (Trace.wg_stats -> unit) option) ?(domains = 1)
-    ?(force_fibers = false) ?(sanitizer : Sanitize.t option) () : Trace.totals
-    =
+    ?(force_fibers = false) ?force_path ?(sanitizer : Sanitize.t option) () :
+    Trace.totals =
   let gx, gy, gz = cfg.global and lx, ly, lz = cfg.local in
   if lx <= 0 || ly <= 0 || lz <= 0 then fail "work-group sizes must be positive";
   if gx mod lx <> 0 || gy mod ly <> 0 || gz mod lz <> 0 then
@@ -547,7 +712,9 @@ let launch (c : Interp.compiled) ~(cfg : launch_config)
   let totals = Trace.empty_totals () in
   let n_groups = ngr.(0) * ngr.(1) * ngr.(2) in
   let domains = if sanitizer <> None then 1 else domains in
-  let { path; domains_used = d } = plan c ~cfg ~force_fibers ~domains () in
+  let { path; domains_used = d } =
+    plan c ~cfg ~force_fibers ?force_path ~domains ()
+  in
   if d <= 1 then begin
     (* One pooled execution context for the whole launch: states, stats
        event arrays and local allocations all keep their capacity across
@@ -568,14 +735,21 @@ let launch (c : Interp.compiled) ~(cfg : launch_config)
   else begin
     if on_group <> None then
       fail "parallel launches cannot stream per-group traces";
-    (* Atomic chunk-claiming: workers grab ranges of [chunk] groups until
-       the NDRange is exhausted, so a slow domain cannot stall the launch
-       the way the old fixed-stride assignment could. The chunk size is
-       launch-size-aware: aim for ~16 claims per domain so stragglers can
-       rebalance, but cap the chunk so one claim never hoards a large
-       slice of a big NDRange. *)
+    (* Guided self-scheduling: workers claim a share of what remains
+       (remaining / d, capped) rather than a fixed chunk, so early claims
+       are large enough to amortize the atomic traffic while the tail
+       degrades to single groups — small remainders no longer leave the
+       last domains idle while one finishes an oversized fixed chunk. *)
     let next = Atomic.make 0 in
-    let chunk = max 1 (min 64 (n_groups / (d * 16))) in
+    let max_chunk = max 1 (min 64 (n_groups / (d * 16))) in
+    let rec claim () : (int * int) option =
+      let g0 = Atomic.get next in
+      if g0 >= n_groups then None
+      else
+        let sz = max 1 (min max_chunk ((n_groups - g0) / d)) in
+        if Atomic.compare_and_set next g0 (g0 + sz) then Some (g0, sz)
+        else claim ()
+    in
     (* Per-domain totals are allocated *inside* each worker domain and
        published here once, at the end: consecutively caller-allocated
        records would share cache lines, and the counter bumps of [d]
@@ -591,13 +765,13 @@ let launch (c : Interp.compiled) ~(cfg : launch_config)
       let local = Trace.empty_totals () in
       let running = ref true in
       while !running do
-        let g0 = Atomic.fetch_and_add next chunk in
-        if g0 >= n_groups then running := false
-        else
-          for wg = g0 to min (g0 + chunk) n_groups - 1 do
-            run_one_group x ~wg ~queue:k;
-            Trace.accumulate local stats
-          done
+        match claim () with
+        | None -> running := false
+        | Some (g0, sz) ->
+            for wg = g0 to g0 + sz - 1 do
+              run_one_group x ~wg ~queue:k;
+              Trace.accumulate local stats
+            done
       done;
       partial.(k) <- Some local
     in
@@ -620,11 +794,11 @@ let launch (c : Interp.compiled) ~(cfg : launch_config)
     diagnostic of its own. The execution itself is bit-identical to a
     normal [launch]. *)
 let run_sanitized (c : Interp.compiled) ~(cfg : launch_config)
-    ~(args : arg_binding list) ~(mem : Memory.t) ?(force_fibers = false) () :
-    Trace.totals * Sanitize.finding list =
+    ~(args : arg_binding list) ~(mem : Memory.t) ?(force_fibers = false)
+    ?force_path () : Trace.totals * Sanitize.finding list =
   let san = Sanitize.create () in
   let totals =
-    try launch c ~cfg ~args ~mem ~force_fibers ~sanitizer:san ()
+    try launch c ~cfg ~args ~mem ~force_fibers ?force_path ~sanitizer:san ()
     with Sanitize.Abort _ -> Trace.empty_totals ()
   in
   (totals, Sanitize.findings san)

@@ -1,0 +1,97 @@
+(** GEMM4: tinygrad-style float4-accumulator GEMM (the cl_gemm benchmark
+    shape). Each work-item produces one [float4] of C; the row-accessed
+    matrix A is staged in local memory as scalar floats, each of which is
+    splatted across the 4 lanes of a B column vector in the inner product.
+    The vector-typed accumulator and the strided float4 loads from B make
+    this the suite's exercise of the lane-batched executor's varying
+    vector slots. Also shipped standalone as
+    [examples/kernels/gemm_float4.cl]. *)
+
+open Grover_ir
+open Grover_ocl
+
+let source =
+  {|
+#define TS 16
+__kernel void gemm4(__global float4 *C, __global const float *A,
+                    __global const float4 *B, int N4, int K) {
+  __local float As[TS][TS];
+  int lx = get_local_id(0);
+  int ly = get_local_id(1);
+  int gx = get_global_id(0);
+  int gy = get_global_id(1);
+  float4 acc = (float4)(0.0f, 0.0f, 0.0f, 0.0f);
+  for (int t = 0; t < K / TS; t++) {
+    As[ly][lx] = A[gy * K + t * TS + lx];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int k = 0; k < TS; k++) {
+      acc = acc + As[ly][k] * B[(t * TS + k) * N4 + gx];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  C[gy * N4 + gx] = acc;
+}
+|}
+
+let base_m = 64 (* C is base_m rows x (base_n4 * 4) columns of floats *)
+let base_n4 = 32
+let base_k = 64
+let ts = 16
+
+let mk ~scale : Kit.workload =
+  let m = max ts (base_m / scale) in
+  let n4 = max ts (base_n4 / scale) in
+  let k = max ts (base_k / scale) in
+  let mem = Memory.create () in
+  let vec4 = Ssa.Vec (Ssa.F32, 4) in
+  let c = Memory.alloc mem vec4 (m * n4) in
+  let a = Memory.alloc mem Ssa.F32 (m * k) in
+  let b = Memory.alloc mem vec4 (k * n4) in
+  let gen = Kit.float_gen 4242 in
+  Memory.fill_floats a (fun _ -> gen ());
+  Memory.fill_floats b (fun _ -> gen ());
+  let check () =
+    let av = Memory.to_float_array a
+    and bv = Memory.to_float_array b
+    and cv = Memory.to_float_array c in
+    let expected = Array.make (m * n4 * 4) 0.0 in
+    for i = 0 to m - 1 do
+      for j4 = 0 to n4 - 1 do
+        for l = 0 to 3 do
+          let acc = ref 0.0 in
+          for kk = 0 to k - 1 do
+            acc :=
+              !acc +. (av.((i * k) + kk) *. bv.((((kk * n4) + j4) * 4) + l))
+          done;
+          expected.((((i * n4) + j4) * 4) + l) <- !acc
+        done
+      done
+    done;
+    Kit.check_floats ~label:"GEMM4" ~expected ~actual:cv ~eps:1e-4
+  in
+  {
+    Kit.mem;
+    args =
+      [ Runtime.Abuf c; Runtime.Abuf a; Runtime.Abuf b; Runtime.Aint n4;
+        Runtime.Aint k ];
+    global = (n4, m, 1);
+    local = (ts, ts, 1);
+    check;
+  }
+
+let case : Kit.case =
+  {
+    Kit.id = "TNG-GEMM4";
+    origin = "tinygrad (extra/gemm/cl_gemm benchmark)";
+    description =
+      "float4-accumulator GEMM; the row-accessed matrix A is staged in \
+       local memory and splatted across B's vector lanes";
+    dataset =
+      Printf.sprintf "C %dx%d float4s, K=%d, %dx%d tiles" base_m base_n4
+        base_k ts ts;
+    source;
+    kernel = "gemm4";
+    defines = [];
+    remove = None;
+    mk;
+  }

@@ -18,7 +18,8 @@ type run = {
   valid : (unit, string) result;
   totals : Trace.totals;
   sim : Sim.result option;
-  path : string;  (** execution path taken: "wg-loop", "fiberless" or "fiber" *)
+  path : string;
+      (** execution path taken: "wg-vec", "wg-loop", "fiberless" or "fiber" *)
 }
 
 type comparison = {
@@ -126,7 +127,7 @@ let run_version ?vectorized_override ?engine ?domains (case : Kit.case)
 type wallclock_run = {
   wc_seconds : float;
   wc_items : int;  (** work-items executed *)
-  wc_path : string;  (** "wg-loop", "fiberless" or "fiber" *)
+  wc_path : string;  (** "wg-vec", "wg-loop", "fiberless" or "fiber" *)
   wc_domains : int;  (** parallel domains actually used (incl. the caller) *)
 }
 

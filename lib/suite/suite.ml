@@ -1,5 +1,7 @@
 (** The benchmark registry: the 11 test cases of the paper's Table I
-    (NVD-MM appears three times, once per local-memory removal variant). *)
+    (NVD-MM appears three times, once per local-memory removal variant),
+    plus TNG-GEMM4, a vector-typed GEMM added to exercise the lane-batched
+    executor's varying vector slots. *)
 
 let all : Kit.case list =
   [ Amd_ss.case;
@@ -12,12 +14,13 @@ let all : Kit.case list =
     Nvd_mm.case_ab;
     Nvd_nbody.case;
     Pab_st.case;
-    Rod_sc.case ]
+    Rod_sc.case;
+    Gemm4.case ]
 
 let by_id (id : string) : Kit.case option =
   List.find_opt (fun c -> String.lowercase_ascii c.Kit.id = String.lowercase_ascii id) all
 
-(* Distinct kernels (the 9 sources behind the 11 cases). *)
+(* Distinct kernels (the 10 sources behind the 12 cases). *)
 let distinct_sources : Kit.case list =
   [ Amd_ss.case; Amd_mt.case; Nvd_mt.case; Amd_rg.case; Amd_mm.case;
-    Nvd_mm.case_a; Nvd_nbody.case; Pab_st.case; Rod_sc.case ]
+    Nvd_mm.case_a; Nvd_nbody.case; Pab_st.case; Rod_sc.case; Gemm4.case ]

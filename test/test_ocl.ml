@@ -457,18 +457,87 @@ let wgloop_cases =
         [ (H.With_lm, "with-lm"); (H.Without_lm, "grover") ])
     Grover_suite.Suite.all
 
+(* -- Differential: wg-vec lane batching vs wg-loop vs the fiber scheduler ----
+   The lane-batched executor changes the innermost execution
+   representation (struct-of-arrays lane slots, uniform values computed
+   once per batch), so it is held to the same standard as every other
+   path: bit-identical buffers and identical launch totals against the
+   one-work-item region sweep and the fiber scheduler, over the whole
+   suite x both kernel versions x both engines. [force_path] degrades
+   exactly like the default plan (wg-vec -> wg-loop -> fiberless/fiber),
+   so kernels the lane compiler rejects still run — just further down
+   the ladder. *)
+
+let run_forced (case : Kit.case) (v : H.version) ~(engine : Interp.engine)
+    ~(force_path : Runtime.path) :
+    Trace.totals * (int * Ssa.space * Memory.storage) list * (unit, string) result =
+  let fn, _ = H.compile_version case v in
+  let compiled = Interp.prepare ~engine fn in
+  let w = case.Kit.mk ~scale:8 in
+  let totals =
+    Runtime.launch compiled
+      ~cfg:{ Runtime.global = w.Kit.global; local = w.Kit.local; queues = 1 }
+      ~args:w.Kit.args ~mem:w.Kit.mem ~force_path ()
+  in
+  (totals, snapshot_buffers w.Kit.mem, w.Kit.check ())
+
+let check_wgvec_agrees (case : Kit.case) (v : H.version)
+    (engine : Interp.engine) () =
+  let runs =
+    List.map
+      (fun (p, pn) ->
+        let tot, bufs, valid = run_forced case v ~engine ~force_path:p in
+        (match valid with
+        | Ok () -> ()
+        | Error m -> Alcotest.failf "%s path invalid output: %s" pn m);
+        (pn, tot, bufs))
+      [ (Runtime.Wg_vec, "wg-vec"); (Runtime.Wg_loop, "wg-loop");
+        (Runtime.Fiber, "fiber") ]
+  in
+  match runs with
+  | (_, ref_tot, ref_bufs) :: rest ->
+      List.iter
+        (fun (pn, tot, bufs) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "wg-vec vs %s: identical launch totals" pn)
+            true (ref_tot = tot);
+          Alcotest.(check bool)
+            (Printf.sprintf "wg-vec vs %s: bit-identical buffers" pn)
+            true
+            (compare ref_bufs bufs = 0))
+        rest
+  | [] -> assert false
+
+let wgvec_cases =
+  List.concat_map
+    (fun (case : Kit.case) ->
+      List.concat_map
+        (fun (v, vn) ->
+          List.map
+            (fun (e, en) ->
+              Alcotest.test_case
+                (Printf.sprintf "%s %s %s" case.Kit.id vn en)
+                `Quick
+                (check_wgvec_agrees case v e))
+            [ (Interp.Compiled, "compiled"); (Interp.Tree, "tree") ])
+        [ (H.With_lm, "with-lm"); (H.Without_lm, "grover") ])
+    Grover_suite.Suite.all
+
 (* Non-vacuousness: the differential above only exercises the region
-   executor if the default plan actually selects it. Every with-lm suite
-   kernel that has barriers must compile region metadata (all suite
+   executors if the default plan actually selects them. Every with-lm
+   suite kernel that has barriers must compile region metadata (all suite
    barriers sit in group-uniform control flow), and — unless the run
-   forces a path via GROVER_FORCE_PATH — must plan as wg-loop. *)
+   forces a path via GROVER_FORCE_PATH — must plan as wg-vec when its
+   regions are lane-capable and wg-loop otherwise. At least one suite
+   kernel must take the lane-batched path, or the wg-vec differentials
+   above would be vacuous. *)
 let test_wgloop_selected_for_suite () =
   let forced =
     match Sys.getenv_opt "GROVER_FORCE_PATH" with
     | None | Some "" -> false
     | Some _ -> true
   in
-  let barrier_kernels = ref 0 in
+  let barrier_kernels = ref 0 and wgvec_kernels = ref 0 in
   List.iter
     (fun (case : Kit.case) ->
       let fn, _ = H.compile_version case H.With_lm in
@@ -478,6 +547,13 @@ let test_wgloop_selected_for_suite () =
         Alcotest.(check bool)
           (Printf.sprintf "%s: region metadata compiled" case.Kit.id)
           true (Runtime.wg_capable c);
+        let expected =
+          if Runtime.wgvec_capable c then begin
+            incr wgvec_kernels;
+            "wg-vec"
+          end
+          else "wg-loop"
+        in
         if not forced then
           let w = case.Kit.mk ~scale:8 in
           let plan =
@@ -487,11 +563,13 @@ let test_wgloop_selected_for_suite () =
           in
           Alcotest.(check string)
             (Printf.sprintf "%s: planned path" case.Kit.id)
-            "wg-loop" (Runtime.path_name plan)
+            expected (Runtime.path_name plan)
       end)
     Grover_suite.Suite.all;
   Alcotest.(check bool) "suite has with-lm barrier kernels" true
-    (!barrier_kernels >= 1)
+    (!barrier_kernels >= 1);
+  Alcotest.(check bool) "suite has lane-capable (wg-vec) barrier kernels" true
+    (!wgvec_kernels >= 1)
 
 (* A kernel with an int, a float and a boxed (vector) value all live
    across its barrier: every context-spill kind is exercised. *)
@@ -558,6 +636,51 @@ let prop_spill_preserves_results =
       let d_tot, d_bufs = run false in
       let f_tot, f_bufs = run true in
       d_tot = f_tot && compare d_bufs f_bufs = 0)
+
+(* Lane width is an implementation knob, not a semantic one: W ∈ {1,4,8}
+   must be output-invariant for every launch shape, including group sizes
+   that are not a multiple of W (the final batch of a sweep shrinks to
+   the remainder — the peeled tail). The every-spill-kind kernel above
+   runs under the forced wg-vec plan at each width and is compared
+   against the fiber scheduler bit for bit. *)
+let prop_lane_width_invariant =
+  QCheck.Test.make ~name:"lane width W in {1,4,8} is output-invariant"
+    ~count:20
+    QCheck.(triple (int_range 1 6) (int_range 1 16) (oneofl [ 1; 4; 8 ]))
+    (fun (groups, wg, width) ->
+      let n = groups * wg in
+      let run mode =
+        let fn =
+          match Lower.compile spill_prop_source with
+          | [ f ] -> f
+          | _ -> assert false
+        in
+        Grover_passes.Pipeline.normalize fn;
+        let mem = Memory.create () in
+        let vout = Memory.alloc mem (Ssa.Vec (Ssa.F32, 4)) n in
+        let sout = Memory.alloc mem Ssa.F32 n in
+        let a = Memory.alloc mem (Ssa.Vec (Ssa.F32, 4)) n in
+        let b = Memory.alloc mem Ssa.F32 n in
+        Memory.fill_floats a (fun i -> float_of_int (i - 5) /. 3.0);
+        Memory.fill_floats b (fun i -> float_of_int (i * 7 mod 11) /. 4.0);
+        let c, force_path =
+          match mode with
+          | `Lanes w -> (Interp.prepare ~lane_width:w fn, Some Runtime.Wg_vec)
+          | `Fibers -> (Interp.prepare fn, Some Runtime.Fiber)
+        in
+        let totals =
+          Runtime.launch c
+            ~cfg:{ Runtime.global = (n, 1, 1); local = (wg, 1, 1); queues = 1 }
+            ~args:
+              [ Runtime.Abuf vout; Runtime.Abuf sout; Runtime.Abuf a;
+                Runtime.Abuf b; Runtime.Aint n ]
+            ~mem ?force_path ()
+        in
+        (totals, snapshot_buffers mem)
+      in
+      let v_tot, v_bufs = run (`Lanes width) in
+      let f_tot, f_bufs = run `Fibers in
+      v_tot = f_tot && compare v_bufs f_bufs = 0)
 
 (* -- Region formation verdicts ------------------------------------------------ *)
 
@@ -794,8 +917,9 @@ let suite =
     ("engine-differential", differential_cases);
     ("fastpath-differential", fastpath_cases);
     ("wgloop-differential", wgloop_cases);
+    ("wgvec-differential", wgvec_cases);
     ( "wgloop-selection",
-      [ Alcotest.test_case "barrier kernels plan as wg-loop" `Quick
+      [ Alcotest.test_case "barrier kernels plan as wg-vec or wg-loop" `Quick
           test_wgloop_selected_for_suite;
         Alcotest.test_case "spill kernel forms regions" `Quick
           test_spill_kernel_forms_regions ] );
@@ -812,4 +936,5 @@ let suite =
     ( "engine-differential-props",
       [ QCheck_alcotest.to_alcotest prop_engines_agree;
         QCheck_alcotest.to_alcotest prop_domain_count_invariant;
-        QCheck_alcotest.to_alcotest prop_spill_preserves_results ] ) ]
+        QCheck_alcotest.to_alcotest prop_spill_preserves_results;
+        QCheck_alcotest.to_alcotest prop_lane_width_invariant ] ) ]
