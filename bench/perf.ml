@@ -114,6 +114,110 @@ let measure ~(version : H.version) ~(engine : Interp.engine)
     wi_per_sec = float_of_int n_items /. !best;
   }
 
+(* -- Compile-cache timing -----------------------------------------------------
+
+   Cold (sequential and parallel batch) vs warm (memory tier, disk tier)
+   compile time for the whole 12-kernel suite in both versions, plus the
+   hit rates the warm runs achieved. Doubles as the gate that the cache
+   actually pays for itself: a warm memory-tier compile of the suite must
+   be at least 5x faster than a cold one. *)
+
+module Cache = Grover_cache.Compile_cache
+
+type cache_stats = {
+  cs_requests : int;
+  cs_distinct : int;
+  cs_cold_seq : float;
+  cs_cold_batch : float;
+  cs_warm_mem : float;
+  cs_warm_disk : float;
+  cs_warm_mem_hits : int;
+  cs_warm_disk_hits : int;
+}
+
+let cache_bench () : cache_stats =
+  let rqs =
+    List.concat_map
+      (fun (case : Kit.case) ->
+        List.map
+          (fun variant ->
+            Cache.request ~defines:case.Kit.defines ~variant case.Kit.source)
+          [ Cache.With_lm; Cache.Without_lm case.Kit.remove ])
+      Grover_suite.Suite.all
+  in
+  let distinct =
+    List.length (List.sort_uniq compare (List.map Cache.key_of_request rqs))
+  in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "grover-bench-cache-%d" (Unix.getpid ()))
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  (* Cold, sequential: every request built front to back, one domain. *)
+  let seq_cache = Cache.create () in
+  let cold_seq = time (fun () -> List.iter (fun rq -> ignore (Cache.compile seq_cache rq)) rqs) in
+  (* Cold, batch: distinct misses spread over the domain pool, artifacts
+     published to the disk tier. *)
+  let batch_cache = Cache.create ~dir () in
+  let cold_batch = time (fun () -> ignore (Cache.compile_batch batch_cache rqs)) in
+  (* Warm, memory tier: the same cache instance replays from prepared
+     closures. *)
+  Cache.reset_stats batch_cache;
+  let warm_mem = time (fun () -> ignore (Cache.compile_batch batch_cache rqs)) in
+  let mem_hits = (Cache.stats batch_cache).Cache.st_mem_hits in
+  (* Warm, disk tier: a fresh process would start here — artifacts load
+     from disk and only [Interp.prepare] is re-paid. *)
+  let disk_cache = Cache.create ~dir () in
+  let warm_disk = time (fun () -> ignore (Cache.compile_batch disk_cache rqs)) in
+  let disk_hits = (Cache.stats disk_cache).Cache.st_disk_hits in
+  Cache.clear disk_cache;
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  {
+    cs_requests = List.length rqs;
+    cs_distinct = distinct;
+    cs_cold_seq = cold_seq;
+    cs_cold_batch = cold_batch;
+    cs_warm_mem = warm_mem;
+    cs_warm_disk = warm_disk;
+    cs_warm_mem_hits = mem_hits;
+    cs_warm_disk_hits = disk_hits;
+  }
+
+let report_cache (cs : cache_stats) : unit =
+  Printf.printf
+    "\ncompile cache: %d requests (%d distinct) across the suite\n" cs.cs_requests
+    cs.cs_distinct;
+  Printf.printf "%-22s %12s %14s\n" "tier" "seconds" "vs cold-seq";
+  List.iter
+    (fun (label, s) ->
+      Printf.printf "%-22s %12.4f %13.1fx\n" label s (cs.cs_cold_seq /. s))
+    [ ("cold sequential", cs.cs_cold_seq);
+      ("cold parallel batch", cs.cs_cold_batch);
+      ("warm memory tier", cs.cs_warm_mem);
+      ("warm disk tier", cs.cs_warm_disk) ];
+  Printf.printf "warm hit rate: memory %d/%d, disk %d/%d\n" cs.cs_warm_mem_hits
+    cs.cs_requests cs.cs_warm_disk_hits cs.cs_distinct;
+  (* The acceptance gate: if a warm compile is not >= 5x a cold one, the
+     cache is overhead, not a cache. *)
+  if cs.cs_cold_seq < 5.0 *. cs.cs_warm_mem then begin
+    Printf.eprintf
+      "perf bench FAILED: warm-cache compile (%.4fs) is not >= 5x faster \
+       than cold (%.4fs)\n"
+      cs.cs_warm_mem cs.cs_cold_seq;
+    exit 1
+  end;
+  if cs.cs_warm_mem_hits < cs.cs_requests then begin
+    Printf.eprintf
+      "perf bench FAILED: warm memory-tier run hit only %d/%d requests\n"
+      cs.cs_warm_mem_hits cs.cs_requests;
+    exit 1
+  end
+
 let run ?(quick = false) ?(check_scaling = false) () : unit =
   (* Quick mode still needs runs long enough for the 10% scaling gate:
      at 128^2 a row finishes in ~3 ms and timer noise alone exceeds the
@@ -222,6 +326,8 @@ let run ?(quick = false) ?(check_scaling = false) () : unit =
     /. (find ~sanitize:true v Interp.Compiled 1).wi_per_sec
   in
   let ov_with = overhead H.With_lm and ov_without = overhead H.Without_lm in
+  let cs = cache_bench () in
+  report_cache cs;
   Printf.printf
     "\nspeedup compiled/tree: with_lm %.2fx, without_lm %.2fx\n\
      wg-vec (%d lanes) vs forced wg-loop (with_lm, 1 domain): %.2fx\n\
@@ -252,8 +358,26 @@ let run ?(quick = false) ?(check_scaling = false) () : unit =
     \  \"speedup_wgloop_over_fiber\": %.2f,\n\
     \  \"speedup_fiberless_over_fiber\": %.2f,\n\
     \  \"sanitizer_overhead_with_lm\": %.2f,\n\
-    \  \"sanitizer_overhead_without_lm\": %.2f\n}\n"
-    sp_with sp_without sp_wgvec sp_wgloop sp_fiberless ov_with ov_without;
+    \  \"sanitizer_overhead_without_lm\": %.2f,\n\
+    \  \"compile_cache\": {\n\
+    \    \"requests\": %d,\n\
+    \    \"distinct_keys\": %d,\n\
+    \    \"cold_seq_seconds\": %.6f,\n\
+    \    \"cold_batch_seconds\": %.6f,\n\
+    \    \"warm_mem_seconds\": %.6f,\n\
+    \    \"warm_disk_seconds\": %.6f,\n\
+    \    \"warm_mem_speedup\": %.1f,\n\
+    \    \"warm_disk_speedup\": %.1f,\n\
+    \    \"warm_mem_hit_rate\": %.3f,\n\
+    \    \"warm_disk_hit_rate\": %.3f\n\
+    \  }\n}\n"
+    sp_with sp_without sp_wgvec sp_wgloop sp_fiberless ov_with ov_without
+    cs.cs_requests cs.cs_distinct cs.cs_cold_seq cs.cs_cold_batch
+    cs.cs_warm_mem cs.cs_warm_disk
+    (cs.cs_cold_seq /. cs.cs_warm_mem)
+    (cs.cs_cold_seq /. cs.cs_warm_disk)
+    (float_of_int cs.cs_warm_mem_hits /. float_of_int cs.cs_requests)
+    (float_of_int cs.cs_warm_disk_hits /. float_of_int cs.cs_distinct);
   close_out oc;
   Printf.printf "wrote BENCH_interp.json\n%!"
   end;

@@ -18,6 +18,8 @@
 open Cmdliner
 module Diag = Grover_support.Diag
 module Pass = Grover_passes.Pass
+module Cache = Grover_cache.Compile_cache
+module Atdb = Grover_cache.Autotune_db
 
 (* Referencing the Grover pass forces Grover_core to link, which registers
    "grover" in the pass registry for -passes= pipelines; likewise the
@@ -110,6 +112,48 @@ let local_arg =
           "Work-group size the kernel is launched with. The static analyses \
            assume 16 per thread-indexed dimension when not given.")
 
+(* -- Compile-cache flags (shared by transform / pipeline / report) ----------- *)
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Content-addressed compile-cache directory: compiled artifacts are \
+           reused across runs, and the autotune database lives at \
+           $(docv)/autotune.db. Also read from $(b,GROVER_CACHE_DIR); no \
+           directory means no caching.")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Compile from scratch even when a cache directory is configured.")
+
+let resolve_cache_dir (cache_dir : string option) : string option =
+  match cache_dir with
+  | Some d -> Some d
+  | None -> (
+      match Sys.getenv_opt "GROVER_CACHE_DIR" with
+      | None | Some "" -> None
+      | Some d -> Some d)
+
+(* The cache replays stored results; per-pass instrumentation only exists on
+   a real run, so instrumented invocations always compile. *)
+let cache_for ~(cache_dir : string option) ~(no_cache : bool)
+    ~(instrumented : bool) : Cache.t option =
+  if no_cache || instrumented then None
+  else
+    match resolve_cache_dir cache_dir with
+    | Some dir -> Some (Cache.create ~dir ())
+    | None -> None
+
+let emit_cache_stats (t : Cache.t option) : unit =
+  match t with
+  | Some t -> prerr_endline (Cache.stats_line t)
+  | None -> ()
+
 let emit_diag fmt ?file (d : Diag.t) : unit =
   match fmt with
   | Text -> prerr_endline (Diag.to_string ?file d)
@@ -193,46 +237,122 @@ let transform_cmd =
              runtime) instead of IR.")
   in
   let run file only defines show_before emit_c passes time_passes print_changed
-      verify_each fmt =
+      verify_each fmt cache_dir no_cache =
     let src = read_file file in
     let defines = parse_defines defines in
     let only = if only = [] then None else Some only in
     let custom =
       Option.map (fun spec -> parse_pipeline fmt ~file spec) passes
     in
+    let cache =
+      cache_for ~cache_dir ~no_cache
+        ~instrumented:(time_passes || print_changed || verify_each)
+    in
     guarded fmt ~file (fun () ->
-        let ctx = mk_ctx ~verify_each ~print_changed () in
-        let fns = Grover_ir.Lower.compile ~defines src in
-        List.iter
-          (fun fn ->
-            (match custom with
-            | Some ps -> ignore (Pass.run_pipeline ctx ps fn)
-            | None -> Grover_passes.Pipeline.normalize ~ctx fn);
-            if show_before then begin
-              Printf.printf "; === %s (with local memory) ===\n"
-                fn.Grover_ir.Ssa.f_name;
-              print_string (Grover_ir.Printer.func_to_string fn)
-            end;
-            (* With a custom pipeline the user decides where (and whether)
-               Grover runs; the default path runs it after normalisation. *)
-            (match custom with
-            | Some _ -> ()
-            | None ->
-                let o = Grover_core.Grover.run ?only ~ctx fn in
-                List.iter
-                  (fun e -> print_endline (Grover_core.Report.to_string e))
-                  o.Grover_core.Grover.reports;
-                List.iter
-                  (fun (n, r) -> Printf.printf "; rejected %s: %s\n" n r)
-                  o.Grover_core.Grover.rejected;
-                Printf.printf "; === %s (local memory disabled: %s) ===\n"
-                  fn.Grover_ir.Ssa.f_name
-                  (if o.Grover_core.Grover.transformed = [] then "nothing to do"
-                   else String.concat ", " o.Grover_core.Grover.transformed));
-            if emit_c then print_string (Grover_ir.Emit_c.kernel_to_c fn)
-            else print_string (Grover_ir.Printer.func_to_string fn))
-          fns;
-        finish fmt ~file ~time_passes ctx)
+        match cache with
+        | Some t ->
+            (* Staged path: compile through the content-addressed cache and
+               replay the stored artifact (reports, diagnostics, final IR). *)
+            let pipeline =
+              match custom with
+              | Some ps -> ps
+              | None -> [ Grover_passes.Pipeline.normalize_pass ]
+            in
+            let variant =
+              match custom with
+              | Some _ -> Cache.With_lm
+              | None -> Cache.Without_lm only
+            in
+            let pr =
+              Cache.compile t (Cache.request ~defines ~pipeline ~variant src)
+            in
+            let before =
+              if show_before && custom = None then
+                Some
+                  (Cache.compile t
+                     (Cache.request ~defines ~pipeline ~variant:Cache.With_lm
+                        src))
+              else None
+            in
+            List.iter
+              (fun (ka : Cache.kernel_art) ->
+                (if show_before then
+                   let bka =
+                     match before with
+                     | Some bpr -> Cache.find_art bpr ~name:ka.Cache.ka_name
+                     | None -> Some ka
+                   in
+                   match bka with
+                   | Some bka ->
+                       Printf.printf "; === %s (with local memory) ===\n"
+                         ka.Cache.ka_name;
+                       print_string
+                         (Grover_ir.Printer.func_to_string bka.Cache.ka_fn)
+                   | None -> ());
+                (match ka.Cache.ka_outcome with
+                | None -> ()
+                | Some o ->
+                    List.iter
+                      (fun e -> print_endline (Grover_core.Report.to_string e))
+                      o.Grover_core.Grover.reports;
+                    List.iter
+                      (fun (n, r) -> Printf.printf "; rejected %s: %s\n" n r)
+                      o.Grover_core.Grover.rejected;
+                    Printf.printf "; === %s (local memory disabled: %s) ===\n"
+                      ka.Cache.ka_name
+                      (if o.Grover_core.Grover.transformed = [] then
+                         "nothing to do"
+                       else
+                         String.concat ", " o.Grover_core.Grover.transformed));
+                if emit_c then
+                  print_string (Grover_ir.Emit_c.kernel_to_c ka.Cache.ka_fn)
+                else
+                  print_string
+                    (Grover_ir.Printer.func_to_string ka.Cache.ka_fn))
+              pr.Cache.pr_art.Cache.art_kernels;
+            let diags =
+              List.concat_map
+                (fun ka -> ka.Cache.ka_diags)
+                pr.Cache.pr_art.Cache.art_kernels
+            in
+            emit_diags fmt ~file diags;
+            emit_cache_stats cache;
+            if List.exists Diag.is_error diags then exit 1
+        | None ->
+            let ctx = mk_ctx ~verify_each ~print_changed () in
+            let fns = Grover_ir.Lower.compile ~defines src in
+            List.iter
+              (fun fn ->
+                (match custom with
+                | Some ps -> ignore (Pass.run_pipeline ctx ps fn)
+                | None -> Grover_passes.Pipeline.normalize ~ctx fn);
+                if show_before then begin
+                  Printf.printf "; === %s (with local memory) ===\n"
+                    fn.Grover_ir.Ssa.f_name;
+                  print_string (Grover_ir.Printer.func_to_string fn)
+                end;
+                (* With a custom pipeline the user decides where (and whether)
+                   Grover runs; the default path runs it after normalisation. *)
+                (match custom with
+                | Some _ -> ()
+                | None ->
+                    let o = Grover_core.Grover.run ?only ~ctx fn in
+                    List.iter
+                      (fun e -> print_endline (Grover_core.Report.to_string e))
+                      o.Grover_core.Grover.reports;
+                    List.iter
+                      (fun (n, r) -> Printf.printf "; rejected %s: %s\n" n r)
+                      o.Grover_core.Grover.rejected;
+                    Printf.printf "; === %s (local memory disabled: %s) ===\n"
+                      fn.Grover_ir.Ssa.f_name
+                      (if o.Grover_core.Grover.transformed = [] then
+                         "nothing to do"
+                       else
+                         String.concat ", " o.Grover_core.Grover.transformed));
+                if emit_c then print_string (Grover_ir.Emit_c.kernel_to_c fn)
+                else print_string (Grover_ir.Printer.func_to_string fn))
+              fns;
+            finish fmt ~file ~time_passes ctx)
   in
   Cmd.v
     (Cmd.info "transform"
@@ -241,7 +361,7 @@ let transform_cmd =
       ret
         (const run $ file $ only $ defines $ show_before $ emit_c $ passes_arg
        $ time_passes_arg $ print_changed_arg $ verify_each_arg
-       $ diag_format_arg))
+       $ diag_format_arg $ cache_dir_arg $ no_cache_arg))
 
 (* -- report -------------------------------------------------------------------- *)
 
@@ -271,14 +391,27 @@ let report_cmd =
       & info [ "define"; "D" ] ~docv:"NAME=VALUE"
           ~doc:"Preprocessor definition.")
   in
-  let run file defines local fmt =
+  let run file defines local fmt cache_dir =
     let src = read_file file in
     let defines = parse_defines defines in
+    (* A populated autotune DB (under the cache dir) adds a "tuned:" line
+       per kernel: the recorded winner for each measured launch site. *)
+    let db =
+      match resolve_cache_dir cache_dir with
+      | Some dir ->
+          let f = Atdb.default_file ~cache_dir:dir in
+          if Sys.file_exists f then Some (Atdb.load f) else None
+      | None -> None
+    in
     guarded fmt ~file (fun () ->
         let saw_error = ref false in
         let fns = Grover_ir.Lower.compile ~defines src in
         List.iter
           (fun fn ->
+            let khash =
+              Cache.kernel_hash ~source:src ~defines
+                ~name:fn.Grover_ir.Ssa.f_name
+            in
             Grover_passes.Pipeline.normalize fn;
             (* The legality verdict describes the *original* kernel, so the
                static analyses run before Grover rewrites the locals away. *)
@@ -304,6 +437,26 @@ let report_cmd =
               with_lm_path;
             Printf.printf "  execution path (local memory disabled): %s\n"
               without_lm_path;
+            (match db with
+            | None -> ()
+            | Some db ->
+                List.iter
+                  (fun (e : Atdb.entry) ->
+                    if
+                      e.Atdb.e_kernel = fn.Grover_ir.Ssa.f_name
+                      && e.Atdb.e_khash = khash
+                    then
+                      let gx, gy, gz = e.Atdb.e_global
+                      and lx, ly, lz = e.Atdb.e_local in
+                      Printf.printf
+                        "  tuned: %s [%s path%s] for %d,%d,%d/%d,%d,%d on %s \
+                         (np %.2f)\n"
+                        e.Atdb.e_version e.Atdb.e_path
+                        (if e.Atdb.e_lane_width > 1 then
+                           Printf.sprintf ", %d lanes" e.Atdb.e_lane_width
+                         else "")
+                        gx gy gz lx ly lz e.Atdb.e_platform e.Atdb.e_np)
+                  (Atdb.entries db));
             emit_diags fmt ~file (Pass.diags actx);
             if Pass.errors actx <> [] then saw_error := true)
           fns;
@@ -314,8 +467,12 @@ let report_cmd =
        ~doc:
          "Print the GL/LS/LL/nGL index analysis and the static legality \
           verdict (barrier-check, race-check, bounds-check) without \
-          transforming.")
-    Term.(ret (const run $ file $ defines $ local_arg $ diag_format_arg))
+          transforming. With a populated autotune DB ($(b,--cache-dir)), \
+          also prints the recorded $(b,tuned:) winner per kernel.")
+    Term.(
+      ret
+        (const run $ file $ defines $ local_arg $ diag_format_arg
+       $ cache_dir_arg))
 
 (* -- sanitize ------------------------------------------------------------------- *)
 
@@ -578,7 +735,8 @@ let pipeline_term =
       & info [ "define"; "D" ] ~docv:"NAME=VALUE"
           ~doc:"Preprocessor definition (file targets only).")
   in
-  let run target defines passes time_passes print_changed verify_each fmt =
+  let run target defines passes time_passes print_changed verify_each fmt
+      cache_dir no_cache =
     ignore grover_pass;
     let defines = parse_defines defines in
     let ps =
@@ -586,33 +744,68 @@ let pipeline_term =
       | Some spec -> parse_pipeline fmt spec
       | None -> [ Grover_passes.Pipeline.normalize_pass ]
     in
-    let ctx = mk_ctx ~verify_each ~print_changed () in
+    let cache =
+      cache_for ~cache_dir ~no_cache
+        ~instrumented:(time_passes || print_changed || verify_each)
+    in
     let targets = pipeline_targets fmt target defines in
     guarded fmt (fun () ->
-        List.iter
-          (fun (name, file, defines, src) ->
-            let fns =
-              try Grover_ir.Lower.compile ~defines src
-              with Grover_clc.Loc.Error (l, m) ->
-                emit_diag fmt ?file
-                  (Diag.of_loc_error ?file:(Some (Option.value ~default:name file)) l m);
-                exit 1
+        match cache with
+        | Some t ->
+            (* Staged path: one request per target, cache misses compiled
+               concurrently over the runtime's domain pool. *)
+            let rqs =
+              List.map
+                (fun (_, _, defines, src) ->
+                  Cache.request ~defines ~pipeline:ps src)
+                targets
             in
+            let prs = Cache.compile_batch t rqs in
+            let diags = ref [] in
+            List.iter2
+              (fun (name, file, _, _) (pr : Cache.prepared) ->
+                List.iter
+                  (fun (ka : Cache.kernel_art) ->
+                    Printf.printf "%-12s %-24s %4d -> %4d instrs  %s\n" name
+                      ka.Cache.ka_name ka.Cache.ka_before ka.Cache.ka_after
+                      (if ka.Cache.ka_changed then "changed" else "unchanged");
+                    diags :=
+                      !diags
+                      @ List.map (fun d -> (file, d)) ka.Cache.ka_diags)
+                  pr.Cache.pr_art.Cache.art_kernels)
+              targets prs;
+            List.iter (fun (file, d) -> emit_diag fmt ?file d) !diags;
+            emit_cache_stats cache;
+            if List.exists (fun (_, d) -> Diag.is_error d) !diags then exit 1
+        | None ->
+            let ctx = mk_ctx ~verify_each ~print_changed () in
             List.iter
-              (fun fn ->
-                let before = Pass.instr_count fn in
-                let changed = Pass.run_pipeline ctx ps fn in
-                Printf.printf "%-12s %-24s %4d -> %4d instrs  %s\n" name
-                  fn.Grover_ir.Ssa.f_name before (Pass.instr_count fn)
-                  (if changed then "changed" else "unchanged"))
-              fns)
-          targets;
-        finish fmt ~time_passes ctx)
+              (fun (name, file, defines, src) ->
+                let fns =
+                  try Grover_ir.Lower.compile ~defines src
+                  with Grover_clc.Loc.Error (l, m) ->
+                    emit_diag fmt ?file
+                      (Diag.of_loc_error
+                         ?file:(Some (Option.value ~default:name file))
+                         l m);
+                    exit 1
+                in
+                List.iter
+                  (fun fn ->
+                    let before = Pass.instr_count fn in
+                    let changed = Pass.run_pipeline ctx ps fn in
+                    Printf.printf "%-12s %-24s %4d -> %4d instrs  %s\n" name
+                      fn.Grover_ir.Ssa.f_name before (Pass.instr_count fn)
+                      (if changed then "changed" else "unchanged"))
+                  fns)
+              targets;
+            finish fmt ~time_passes ctx)
   in
   Term.(
     ret
       (const run $ target $ defines $ passes_arg $ time_passes_arg
-     $ print_changed_arg $ verify_each_arg $ diag_format_arg))
+     $ print_changed_arg $ verify_each_arg $ diag_format_arg $ cache_dir_arg
+     $ no_cache_arg))
 
 let pipeline_cmd =
   Cmd.v
@@ -665,7 +858,36 @@ let autotune_cmd =
              OCaml domains (0 = recommended domain count). The simulated timing \
              above is unaffected.")
   in
-  let run bench platform scale domains =
+  let save =
+    Arg.(
+      value & opt bool true
+      & info [ "save" ] ~docv:"BOOL"
+          ~doc:
+            "Persist the host wall-clock winner (version, execution path, \
+             lane width) into the autotune database, keyed by kernel content \
+             hash, platform and launch geometry. $(b,Runtime.plan) and \
+             $(b,groverc report) consult it. Default $(b,true); \
+             $(b,--save=false) only prints.")
+  in
+  let db_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "db" ] ~docv:"FILE"
+          ~doc:
+            "Autotune database file (default: $(b,CACHE_DIR/autotune.db) \
+             under --cache-dir / GROVER_CACHE_DIR, or \
+             $(b,.grover-cache/autotune.db)).")
+  in
+  let reps =
+    Arg.(
+      value & opt int 3
+      & info [ "reps" ] ~docv:"N"
+          ~doc:
+            "Wall-clock repetitions per version; the minimum is recorded \
+             (noise only ever slows a run down).")
+  in
+  let run bench platform scale domains save db_file reps cache_dir =
     match
       ( Grover_suite.Suite.by_id bench,
         Grover_memsim.Platform.by_name platform )
@@ -693,34 +915,166 @@ let autotune_cmd =
           (if cmp.Grover_suite.Harness.normalized > 1.0 then
              "WITHOUT local memory"
            else "WITH local memory");
-        if domains <> 1 then begin
-          Printf.printf "host throughput (%s domain%s requested):\n"
-            (if domains = 0 then "auto" else string_of_int domains)
-            (if domains = 1 then "" else "s");
-          List.iter
-            (fun (label, v) ->
-              let r = Grover_suite.Harness.wallclock ~domains case v ~scale in
-              Printf.printf
-                "  %-21s %.3f ms, %.0f work-items/sec [%s path, %d pool \
-                 domain%s]\n"
-                label
-                (r.Grover_suite.Harness.wc_seconds *. 1e3)
-                (float_of_int r.Grover_suite.Harness.wc_items
-                /. r.Grover_suite.Harness.wc_seconds)
-                r.Grover_suite.Harness.wc_path
-                r.Grover_suite.Harness.wc_domains
-                (if r.Grover_suite.Harness.wc_domains = 1 then "" else "s"))
-            [ ("with local memory:", Grover_suite.Harness.With_lm);
-              ("without local memory:", Grover_suite.Harness.Without_lm) ]
-        end;
+        let wc =
+          (* Host wall-clock timing, min-of-N per version: printed when
+             --domains asks for it, recorded when --save (the default). *)
+          if save || domains <> 1 then
+            Some
+              (List.map
+                 (fun v ->
+                   (v, Grover_suite.Harness.wallclock ~domains ~reps case v ~scale))
+                 [ Grover_suite.Harness.With_lm; Grover_suite.Harness.Without_lm ])
+          else None
+        in
+        (match wc with
+        | Some runs when domains <> 1 ->
+            Printf.printf "host throughput (%s domain%s requested):\n"
+              (if domains = 0 then "auto" else string_of_int domains)
+              (if domains = 1 then "" else "s");
+            List.iter
+              (fun (v, r) ->
+                let label =
+                  match v with
+                  | Grover_suite.Harness.With_lm -> "with local memory:"
+                  | Grover_suite.Harness.Without_lm -> "without local memory:"
+                in
+                Printf.printf
+                  "  %-21s %.3f ms, %.0f work-items/sec [%s path, %d pool \
+                   domain%s]\n"
+                  label
+                  (r.Grover_suite.Harness.wc_seconds *. 1e3)
+                  (float_of_int r.Grover_suite.Harness.wc_items
+                  /. r.Grover_suite.Harness.wc_seconds)
+                  r.Grover_suite.Harness.wc_path
+                  r.Grover_suite.Harness.wc_domains
+                  (if r.Grover_suite.Harness.wc_domains = 1 then "" else "s"))
+              runs
+        | _ -> ());
+        (match (save, wc) with
+        | true, Some runs ->
+            let t_of v = List.assoc v runs in
+            let rw = t_of Grover_suite.Harness.With_lm
+            and rwo = t_of Grover_suite.Harness.Without_lm in
+            let np =
+              rw.Grover_suite.Harness.wc_seconds
+              /. rwo.Grover_suite.Harness.wc_seconds
+            in
+            let winner, wr =
+              if np > 1.0 then ("without_lm", rwo) else ("with_lm", rw)
+            in
+            let w = case.Grover_suite.Kit.mk ~scale in
+            let file =
+              match db_file with
+              | Some f -> f
+              | None ->
+                  let dir =
+                    Option.value
+                      (resolve_cache_dir cache_dir)
+                      ~default:".grover-cache"
+                  in
+                  Atdb.default_file ~cache_dir:dir
+            in
+            let db = Atdb.load file in
+            Atdb.record db
+              {
+                Atdb.e_kernel = case.Grover_suite.Kit.kernel;
+                e_khash =
+                  Cache.kernel_hash ~source:case.Grover_suite.Kit.source
+                    ~defines:case.Grover_suite.Kit.defines
+                    ~name:case.Grover_suite.Kit.kernel;
+                e_platform = Atdb.host_platform;
+                e_global = w.Grover_suite.Kit.global;
+                e_local = w.Grover_suite.Kit.local;
+                e_version = winner;
+                e_path = wr.Grover_suite.Harness.wc_path;
+                e_lane_width = wr.Grover_suite.Harness.wc_lane_width;
+                e_np = np;
+                e_t_with = rw.Grover_suite.Harness.wc_seconds;
+                e_t_without = rwo.Grover_suite.Harness.wc_seconds;
+              };
+            Atdb.save db;
+            let gx, gy, gz = w.Grover_suite.Kit.global
+            and lx, ly, lz = w.Grover_suite.Kit.local in
+            Printf.printf
+              "  saved: %s [%s path%s] for %d,%d,%d/%d,%d,%d (host np %.2f, \
+               min of %d) -> %s\n"
+              winner wr.Grover_suite.Harness.wc_path
+              (if wr.Grover_suite.Harness.wc_lane_width > 1 then
+                 Printf.sprintf ", %d lanes"
+                   wr.Grover_suite.Harness.wc_lane_width
+               else "")
+              gx gy gz lx ly lz np reps file
+        | _ -> ());
         `Ok ()
   in
   Cmd.v
     (Cmd.info "autotune"
        ~doc:
-         "Run a bundled benchmark with and without local memory on a \
-          simulated platform and pick the faster version.")
-    Term.(ret (const run $ bench $ platform $ scale $ domains))
+         "Run a bundled benchmark with and without local memory, pick the \
+          faster version, and record the winner in the persistent autotune \
+          database (disable with $(b,--save=false)).")
+    Term.(
+      ret
+        (const run $ bench $ platform $ scale $ domains $ save $ db_arg $ reps
+       $ cache_dir_arg))
+
+(* -- cache ---------------------------------------------------------------------- *)
+
+let cache_cmd =
+  let action =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("stats", `Stats); ("clear", `Clear) ])) None
+      & info [] ~docv:"ACTION"
+          ~doc:"$(b,stats) prints the cache contents; $(b,clear) removes the \
+                compiled artifacts (and, with $(b,--db), the autotune \
+                database).")
+  in
+  let clear_db =
+    Arg.(
+      value & flag
+      & info [ "db" ]
+          ~doc:"With $(b,clear): also remove the autotune database.")
+  in
+  let run action clear_db cache_dir =
+    match resolve_cache_dir cache_dir with
+    | None ->
+        `Error
+          ( false,
+            "no cache directory configured (use --cache-dir or \
+             GROVER_CACHE_DIR)" )
+    | Some dir -> (
+        let db_file = Atdb.default_file ~cache_dir:dir in
+        match action with
+        | `Stats ->
+            let t = Cache.create ~dir () in
+            let db_entries =
+              if Sys.file_exists db_file then Atdb.size (Atdb.load db_file)
+              else 0
+            in
+            Printf.printf "cache dir:        %s\n" dir;
+            Printf.printf "artifacts:        %d\n" (Cache.disk_size t);
+            Printf.printf "autotune entries: %d\n" db_entries;
+            `Ok ()
+        | `Clear ->
+            let t = Cache.create ~dir () in
+            let n = Cache.disk_size t in
+            Cache.clear t;
+            Printf.printf "removed %d artifact%s from %s\n" n
+              (if n = 1 then "" else "s")
+              dir;
+            if clear_db && Sys.file_exists db_file then begin
+              Sys.remove db_file;
+              Printf.printf "removed %s\n" db_file
+            end;
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect or clear the content-addressed compile cache and the \
+          autotune database.")
+    Term.(ret (const run $ action $ clear_db $ cache_dir_arg))
 
 (* -- list ----------------------------------------------------------------------- *)
 
@@ -760,4 +1114,4 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group info ~default:pipeline_term
           [ transform_cmd; report_cmd; sanitize_cmd; pipeline_cmd; passes_cmd;
-            autotune_cmd; list_cmd ]))
+            autotune_cmd; cache_cmd; list_cmd ]))

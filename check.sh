@@ -104,12 +104,63 @@ expect_bad bad_oob_index.cl GRV-OOB-STATIC GRV-SAN-OOB
 echo "== autotune with auto domains, both engines (validated wallclock) =="
 # The host-throughput phase verifies kernel output per measured run, so a
 # chunked-parallel miscompute fails this step (not just slows it down).
+# The winner is persisted to a throwaway DB, which must gain an entry.
+tunedir=$(mktemp -d)
 GROVER_ENGINE=closure dune exec bin/groverc.exe -- autotune NVD-MT --domains 0 \
-  > /dev/null
+  --cache-dir "$tunedir" > /dev/null
 GROVER_ENGINE=tree dune exec bin/groverc.exe -- autotune NVD-MT --domains 0 \
-  > /dev/null
+  --cache-dir "$tunedir" > /dev/null
+if ! grep -q "transpose" "$tunedir/autotune.db"; then
+  echo "FAIL: autotune did not persist a transpose entry to $tunedir/autotune.db"
+  exit 1
+fi
+echo "-- autotune.db holds $(wc -l < "$tunedir/autotune.db") entry(ies)"
+rm -rf "$tunedir"
+
+echo "== compile cache: warm run hits the disk tier and replays identically =="
+# The whole suite is compiled twice through a fresh cache directory in two
+# separate processes. The second run must (a) print byte-identical stdout
+# (the staged artifact replays reports and counts exactly) and (b) report
+# only cache hits on stderr — zero rebuilds.
+cachedir=$(mktemp -d)
+dune exec bin/groverc.exe -- pipeline all --cache-dir "$cachedir" \
+  > /tmp/grover_cache_out1 2> /tmp/grover_cache_err1
+dune exec bin/groverc.exe -- pipeline all --cache-dir "$cachedir" \
+  > /tmp/grover_cache_out2 2> /tmp/grover_cache_err2
+if ! cmp -s /tmp/grover_cache_out1 /tmp/grover_cache_out2; then
+  echo "FAIL: cached pipeline runs differ on stdout"
+  diff /tmp/grover_cache_out1 /tmp/grover_cache_out2 || true
+  exit 1
+fi
+warmline=$(grep '^cache:' /tmp/grover_cache_err2 || true)
+case "$warmline" in
+  *" 0 disk hits"*|"")
+    echo "FAIL: warm run reported no disk hits: $warmline"
+    exit 1 ;;
+esac
+case "$warmline" in
+  *" 0 misses"*) echo "-- warm run: $warmline" ;;
+  *) echo "FAIL: warm run still rebuilt something: $warmline"; exit 1 ;;
+esac
+rm -rf "$cachedir" /tmp/grover_cache_out1 /tmp/grover_cache_out2 \
+  /tmp/grover_cache_err1 /tmp/grover_cache_err2
 
 echo "== bench perf --quick --check-scaling =="
 # --check-scaling fails the run if the auto-domain row is >10% slower
-# than domains=1 on any measured path.
+# than domains=1 on any measured path. Quick mode must never rewrite the
+# checked-in full-size measurement (BENCH_interp.json).
+if [ -f BENCH_interp.json ]; then
+  bench_sum=$(cksum BENCH_interp.json)
+else
+  bench_sum=absent
+fi
 dune exec bench/main.exe -- perf --quick --check-scaling
+if [ -f BENCH_interp.json ]; then
+  bench_sum_after=$(cksum BENCH_interp.json)
+else
+  bench_sum_after=absent
+fi
+if [ "$bench_sum" != "$bench_sum_after" ]; then
+  echo "FAIL: bench perf --quick rewrote BENCH_interp.json"
+  exit 1
+fi

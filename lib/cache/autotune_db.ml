@@ -1,0 +1,195 @@
+(** Persistent autotune database.
+
+    Maps (kernel, content hash, platform, launch geometry) to the winner of
+    the paper's with_lm / without_lm race — plus the execution path and
+    lane width the winner ran with — so "run both, keep the faster" (§V) is
+    paid once fleet-wide and every later launch resolves the decision by
+    lookup. [groverc autotune] populates it with min-of-N wall-clock
+    timings; {!install_tuner} plugs it into {!Grover_ocl.Runtime.plan}.
+
+    The file format is one tab-separated line per entry, human-greppable
+    and merge-friendly; unparseable lines are skipped so mixed-version
+    files degrade to fewer entries, not a crash. *)
+
+module Runtime = Grover_ocl.Runtime
+
+let db_version = "atdb1"
+
+(** The platform tag for timings taken on the host interpreter (the only
+    measurement source today; simulated platforms would record their
+    [Platform.name]). *)
+let host_platform = "host"
+
+type entry = {
+  e_kernel : string;
+  e_khash : string;  (** {!Compile_cache.kernel_hash} of the kernel *)
+  e_platform : string;
+  e_global : int * int * int;
+  e_local : int * int * int;
+  e_version : string;  (** winner: "with_lm" or "without_lm" *)
+  e_path : string;  (** execution path the winner ran on *)
+  e_lane_width : int;  (** lane width of the winner (1 = scalar) *)
+  e_np : float;  (** normalized perf t_with / t_without (> 1 = gain) *)
+  e_t_with : float;  (** best-of-N seconds, with_lm *)
+  e_t_without : float;  (** best-of-N seconds, without_lm *)
+}
+
+type t = {
+  file : string;
+  mutable entries : entry list;  (** newest first *)
+  mutex : Mutex.t;
+}
+
+(* -- Serialization ---------------------------------------------------------- *)
+
+let dims_to_string (x, y, z) = Printf.sprintf "%d,%d,%d" x y z
+
+let dims_of_string s =
+  match String.split_on_char ',' s with
+  | [ x; y; z ] -> (int_of_string x, int_of_string y, int_of_string z)
+  | _ -> failwith "bad dims"
+
+let entry_to_line (e : entry) : string =
+  String.concat "\t"
+    [
+      db_version;
+      e.e_kernel;
+      e.e_khash;
+      e.e_platform;
+      dims_to_string e.e_global;
+      dims_to_string e.e_local;
+      e.e_version;
+      e.e_path;
+      string_of_int e.e_lane_width;
+      Printf.sprintf "%.6f" e.e_np;
+      Printf.sprintf "%.9f" e.e_t_with;
+      Printf.sprintf "%.9f" e.e_t_without;
+    ]
+
+let entry_of_line (line : string) : entry option =
+  match String.split_on_char '\t' line with
+  | [ v; kernel; khash; platform; global; local; version; path; lw; np;
+      tw; two ]
+    when v = db_version -> (
+      try
+        Some
+          {
+            e_kernel = kernel;
+            e_khash = khash;
+            e_platform = platform;
+            e_global = dims_of_string global;
+            e_local = dims_of_string local;
+            e_version = version;
+            e_path = path;
+            e_lane_width = int_of_string lw;
+            e_np = float_of_string np;
+            e_t_with = float_of_string tw;
+            e_t_without = float_of_string two;
+          }
+      with _ -> None)
+  | _ -> None
+
+(* -- Load / save ------------------------------------------------------------ *)
+
+(** The DB file inside a cache directory (shared with the compile cache's
+    artifacts). *)
+let default_file ~(cache_dir : string) : string =
+  Filename.concat cache_dir "autotune.db"
+
+let load (file : string) : t =
+  let entries =
+    if not (Sys.file_exists file) then []
+    else begin
+      let ic = open_in file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec go acc =
+            match input_line ic with
+            | line -> (
+                match entry_of_line line with
+                | Some e -> go (e :: acc)
+                | None -> go acc)
+            | exception End_of_file -> acc
+          in
+          go [])
+    end
+  in
+  { file; entries; mutex = Mutex.create () }
+
+let save (t : t) : unit =
+  Mutex.protect t.mutex (fun () ->
+      let dir = Filename.dirname t.file in
+      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+      let tmp = Printf.sprintf "%s.tmp.%d" t.file (Unix.getpid ()) in
+      let oc = open_out tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          List.iter
+            (fun e ->
+              output_string oc (entry_to_line e);
+              output_char oc '\n')
+            (List.rev t.entries));
+      Sys.rename tmp t.file)
+
+let entries (t : t) : entry list =
+  Mutex.protect t.mutex (fun () -> List.rev t.entries)
+
+let size (t : t) : int =
+  Mutex.protect t.mutex (fun () -> List.length t.entries)
+
+(* -- Record / lookup -------------------------------------------------------- *)
+
+let same_site (a : entry) ~kernel ~platform ~global ~local : bool =
+  a.e_kernel = kernel && a.e_platform = platform && a.e_global = global
+  && a.e_local = local
+
+(** Insert or replace the entry for this (kernel, platform, geometry)
+    site. In memory only; call {!save} to persist. *)
+let record (t : t) (e : entry) : unit =
+  Mutex.protect t.mutex (fun () ->
+      t.entries <-
+        e
+        :: List.filter
+             (fun o ->
+               not
+                 (same_site o ~kernel:e.e_kernel ~platform:e.e_platform
+                    ~global:e.e_global ~local:e.e_local))
+             t.entries)
+
+(** Exact-site lookup. When [khash] is given, a stale entry (recorded for
+    a different version of the kernel's source) does not match. *)
+let lookup (t : t) ~(kernel : string) ?khash
+    ?(platform = host_platform) ~(global : int * int * int)
+    ~(local : int * int * int) () : entry option =
+  Mutex.protect t.mutex (fun () ->
+      List.find_opt
+        (fun e ->
+          same_site e ~kernel ~platform ~global ~local
+          && match khash with None -> true | Some h -> e.e_khash = h)
+        t.entries)
+
+let tuned_of_entry (e : entry) : Runtime.tuned =
+  {
+    Runtime.tn_version = e.e_version;
+    tn_path = Runtime.path_of_string e.e_path;
+    tn_lane_width = (if e.e_lane_width >= 1 then Some e.e_lane_width else None);
+  }
+
+(** Install this DB as the runtime's tuner: {!Grover_ocl.Runtime.plan}
+    then resolves the execution path for a (kernel name, geometry) site
+    from the recorded winner, and drivers resolve version / lane width via
+    [Runtime.lookup_tuned] — no measurement, no double execution. Entries
+    recorded for a different kernel source under the same name are ignored
+    when the caller provides [khash_of] (kernel name -> current content
+    hash). *)
+let install_tuner ?(khash_of : (string -> string option) option) (t : t) : unit
+    =
+  Runtime.set_tuner (fun ~name ~cfg ->
+      let khash = match khash_of with None -> None | Some f -> f name in
+      lookup t ~kernel:name ?khash ~global:cfg.Runtime.global
+        ~local:cfg.Runtime.local ()
+      |> Option.map tuned_of_entry)
+
+let clear_tuner = Runtime.clear_tuner

@@ -260,3 +260,36 @@ let tokenize ?(defines = []) src : (Token.t * Loc.t) list =
   in
   loop ();
   List.rev !out
+
+(* -- Canonical source form ------------------------------------------------ *)
+
+(** One line per token, rendered exactly. Floats use the hexadecimal [%h]
+    form so two literals canonicalise identically iff they denote the same
+    IEEE value; "%g" would conflate e.g. 0.1 and its nearest neighbours. *)
+let render_token (t : Token.t) : string =
+  match t with
+  | Token.Int_lit n -> Printf.sprintf "i%d" n
+  | Token.Float_lit f -> Printf.sprintf "f%h" f
+  | Token.Ident s -> "n" ^ s
+  | Token.Kw s -> "k" ^ s
+  | Token.Punct s -> "p" ^ s
+  | Token.Eof -> "$"
+
+(** The content-hashable form of a kernel source: the macro-expanded token
+    stream, one token per line. Comments, whitespace and macro spelling
+    vanish — two sources that lex identically (under the same [defines])
+    canonicalise to the same string, so they share a compile-cache entry.
+    Sources the lexer rejects fall back to the raw text (prefixed so a
+    canonical form can never collide with a raw one): the subsequent compile
+    will report the error properly; the cache just needs a stable key. *)
+let canonical_source ?(defines = []) (src : string) : string =
+  match tokenize ~defines src with
+  | toks ->
+      let b = Buffer.create (String.length src) in
+      List.iter
+        (fun (t, _) ->
+          Buffer.add_string b (render_token t);
+          Buffer.add_char b '\n')
+        toks;
+      Buffer.contents b
+  | exception Loc.Error _ -> "!raw\n" ^ src

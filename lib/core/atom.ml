@@ -39,10 +39,16 @@ let is_lid (v : t) : bool = lid_dim v <> None
 
 (* Human-readable loop-variable names for phi atoms, assigned per kernel by
    [assign_phi_names]; reports then print "i"/"j" like the paper's Table III
-   rather than internal instruction ids. *)
-let phi_names : (int, string) Hashtbl.t = Hashtbl.create 16
+   rather than internal instruction ids. Domain-local: the compile cache runs
+   Grover on distinct kernels concurrently over the domain pool, and this
+   table is scoped to one kernel at a time. *)
+let phi_names_key : (int, string) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+let phi_names () : (int, string) Hashtbl.t = Domain.DLS.get phi_names_key
 
 let assign_phi_names (fn : func) : unit =
+  let phi_names = phi_names () in
   Hashtbl.reset phi_names;
   let pool = [ "i"; "j"; "k"; "m"; "n2"; "p"; "q" ] in
   let next = ref 0 in
@@ -75,7 +81,7 @@ let name (v : t) : string =
       | "get_num_groups" -> "ng" ^ dim_letter d
       | c -> Printf.sprintf "%s(%d)" c d)
   | Vinstr ({ op = Phi _; _ } as i) -> (
-      match Hashtbl.find_opt phi_names i.iid with
+      match Hashtbl.find_opt (phi_names ()) i.iid with
       | Some n -> n
       | None -> Printf.sprintf "phi%d" i.iid)
   | Vinstr ({ op = Call { callee; _ }; _ } as i) ->

@@ -103,16 +103,31 @@ and func = {
 
 (* -- Identity ------------------------------------------------------------ *)
 
-let instr_counter = ref 0
-let block_counter = ref 0
+(* Atomic so that independent kernels can be compiled concurrently (the
+   compile cache dispatches batch compiles over the runtime's domain pool);
+   ids only need to be unique within one function, but the global counters
+   must never hand the same id to two domains. *)
+let instr_counter = Atomic.make 0
+let block_counter = Atomic.make 0
 
 let fresh_instr ?(loc = Grover_support.Loc.dummy) op =
-  incr instr_counter;
-  { iid = !instr_counter; op; parent = None; iloc = loc }
+  { iid = Atomic.fetch_and_add instr_counter 1 + 1; op; parent = None;
+    iloc = loc }
 
 let fresh_block name =
-  incr block_counter;
-  { bid = !block_counter; b_name = name; instrs = []; term = None }
+  { bid = Atomic.fetch_and_add block_counter 1 + 1; b_name = name; instrs = [];
+    term = None }
+
+(** Ensure the global counters are past [n], so instructions created later
+    cannot collide with ids already present in a function loaded from a
+    serialized artifact. *)
+let reserve_ids (n : int) : unit =
+  let rec bump (c : int Atomic.t) =
+    let cur = Atomic.get c in
+    if cur < n && not (Atomic.compare_and_set c cur n) then bump c
+  in
+  bump instr_counter;
+  bump block_counter
 
 let value_equal (a : value) (b : value) =
   match (a, b) with
@@ -302,3 +317,72 @@ let entry (fn : func) : block =
 
 let find_arg (fn : func) (name : string) : arg option =
   List.find_opt (fun a -> a.a_name = name) fn.f_args
+
+(* -- Canonical renumbering ------------------------------------------------ *)
+
+(** Deep-copy [fn] with dense, order-derived ids: blocks are numbered 1..b
+    in list order, instructions 1..n in (block, body, terminator) order.
+    Two structurally identical functions — e.g. two compiles of the same
+    source in one process, whose global counters handed out different ids —
+    renumber to {e bit-identical} values, which is what makes compile
+    artifacts content-addressable and their serialized form deterministic.
+    The input function is left untouched. *)
+let renumber_func (fn : func) : func =
+  let imap : (int, instr) Hashtbl.t = Hashtbl.create 64 in
+  let bmap : (int, block) Hashtbl.t = Hashtbl.create 16 in
+  let next_i = ref 0 and next_b = ref 0 in
+  (* Pass 1: allocate shells so forward references resolve. *)
+  let blocks =
+    List.map
+      (fun (b : block) ->
+        incr next_b;
+        let nb = { bid = !next_b; b_name = b.b_name; instrs = []; term = None } in
+        Hashtbl.replace bmap b.bid nb;
+        nb)
+      fn.blocks
+  in
+  List.iter
+    (fun (b : block) ->
+      List.iter
+        (fun (i : instr) ->
+          incr next_i;
+          Hashtbl.replace imap i.iid
+            { iid = !next_i; op = i.op; parent = None; iloc = i.iloc })
+        (all_instrs b))
+    fn.blocks;
+  (* Pass 2: rewrite operands, blocks and parents to the new records. *)
+  let mv (v : value) : value =
+    match v with Vinstr i -> Vinstr (Hashtbl.find imap i.iid) | _ -> v
+  in
+  let mb (b : block) : block = Hashtbl.find bmap b.bid in
+  let mop (op : opcode) : opcode =
+    match op with
+    | Phi { incoming; p_ty } ->
+        (* A fresh phi record: [map_operands] mutates phis in place, which
+           would corrupt the input function. *)
+        Phi { incoming = List.map (fun (b, v) -> (mb b, mv v)) incoming; p_ty }
+    | Br b -> Br (mb b)
+    | Cond_br (c, t, e) -> Cond_br (mv c, mb t, mb e)
+    | Alloca _ | Ret | Barrier _ -> op
+    | _ -> map_operands ~f:mv op
+  in
+  List.iter2
+    (fun (ob : block) (nb : block) ->
+      nb.instrs <-
+        List.map
+          (fun (i : instr) ->
+            let ni = Hashtbl.find imap i.iid in
+            ni.op <- mop i.op;
+            ni.parent <- Some nb;
+            ni)
+          ob.instrs;
+      nb.term <-
+        Option.map
+          (fun (t : instr) ->
+            let nt = Hashtbl.find imap t.iid in
+            nt.op <- mop t.op;
+            nt.parent <- Some nb;
+            nt)
+          ob.term)
+    fn.blocks blocks;
+  { f_name = fn.f_name; f_args = fn.f_args; blocks }

@@ -107,8 +107,44 @@ let wgvec_capable (c : Interp.compiled) : bool =
       Array.exists Fun.id ln.Interp.lentry
   | _ -> false
 
-let choose_path (c : Interp.compiled) ~(force_fibers : bool)
-    ~(force_path : path option) : path =
+(* -- Autotune hook ------------------------------------------------------- *)
+
+let path_of_string (s : string) : path option =
+  match s with
+  | "fiber" | "fibers" -> Some Fiber
+  | "fiberless" -> Some Fiberless
+  | "wg-loop" | "wgloop" | "wg_loop" -> Some Wg_loop
+  | "wg-vec" | "wgvec" | "wg_vec" -> Some Wg_vec
+  | _ -> None
+
+(** A tuning decision resolved from a persistent database: which kernel
+    version won the paper's with_lm/without_lm race for this (kernel,
+    geometry), which execution path it took and at what lane width. The
+    runtime applies [tn_path] itself (in {!plan} / {!choose_path}, within
+    static capability); [tn_version] and [tn_lane_width] are decided before
+    a kernel reaches the runtime, so drivers read them via {!lookup_tuned}
+    when choosing what to compile. *)
+type tuned = {
+  tn_version : string;  (** "with_lm" or "without_lm" *)
+  tn_path : path option;
+  tn_lane_width : int option;
+}
+
+(** The installed tuner: kernel name + launch geometry in, database entry
+    out. [None] means "no entry — fall back to measurement / static
+    choice"; installed by [Grover_cache.Autotune_db.install_tuner]. *)
+type tuner = name:string -> cfg:launch_config -> tuned option
+
+let the_tuner : tuner option ref = ref None
+
+let set_tuner (t : tuner) : unit = the_tuner := Some t
+let clear_tuner () : unit = the_tuner := None
+
+let lookup_tuned ~(name : string) ~(cfg : launch_config) : tuned option =
+  match !the_tuner with None -> None | Some t -> t ~name ~cfg
+
+let choose_path (c : Interp.compiled) ~(cfg : launch_config option)
+    ~(force_fibers : bool) ~(force_path : path option) : path =
   if force_fibers then Fiber
   else
     let forced =
@@ -116,7 +152,15 @@ let choose_path (c : Interp.compiled) ~(force_fibers : bool)
       | Some _ -> force_path
       | None -> (
           match Sys.getenv_opt "GROVER_FORCE_PATH" with
-          | None | Some "" -> None
+          | None | Some "" -> (
+              (* No explicit override: a populated autotune DB decides,
+                 still subject to the capability ladder below. *)
+              match cfg with
+              | None -> None
+              | Some cfg -> (
+                  match lookup_tuned ~name:c.Interp.fn.f_name ~cfg with
+                  | Some { tn_path; _ } -> tn_path
+                  | None -> None))
           | Some ("fiber" | "fibers") -> Some Fiber
           | Some "fiberless" -> Some Fiberless
           | Some ("wg-loop" | "wgloop" | "wg_loop") -> Some Wg_loop
@@ -166,7 +210,8 @@ let plan (c : Interp.compiled) ~(cfg : launch_config) ?(force_fibers = false)
     if n_groups < 2 then 1
     else min d (max 1 (n_groups / min_groups_per_domain))
   in
-  { path = choose_path c ~force_fibers ~force_path; domains_used = d }
+  { path = choose_path c ~cfg:(Some cfg) ~force_fibers ~force_path;
+    domains_used = d }
 
 let path_name (p : exec_plan) : string =
   match p.path with

@@ -27,7 +27,13 @@ let value_key (v : value) : string =
         n
   | Cfloat f -> Printf.sprintf "f:%h" f
   | Arg a -> Printf.sprintf "a:%d" a.a_index
-  | Vinstr i -> Printf.sprintf "v:%d" i.iid
+  | Vinstr i ->
+      (* Fixed width so string order equals numeric id order: the relative
+         order of ids is reproducible across processes (same construction
+         sequence), the decimal-string order of raw ids is not ("v:99" >
+         "v:100"), and [canonical_op] must make the same choice every time
+         for compiled artifacts to be content-addressable. *)
+      Printf.sprintf "v:%010d" i.iid
 
 let opcode_key (op : opcode) : string option =
   if not (is_pure op) then None

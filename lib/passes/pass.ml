@@ -64,13 +64,29 @@ let stats (c : ctx) : stat list = List.rev c.stats
 type t = {
   p_name : string;
   p_descr : string;
+  p_spec : string;
+      (** stable structural serialization: leaf passes are their name,
+          combinators expose their members ("seq[a,fix[b,c]]"), so the spec
+          changes exactly when the pipeline's behaviour could. Part of the
+          compile-cache key. *)
   p_run : ctx -> Ssa.func -> bool;
 }
 
 let name (p : t) = p.p_name
 let descr (p : t) = p.p_descr
 
-let make p_name ~descr p_run = { p_name; p_descr = descr; p_run }
+(** The stable structural form of a pass (see {!t.p_spec}). *)
+let spec (p : t) = p.p_spec
+
+(** The stable structural form of a pipeline: member specs joined with ","
+    — the canonical string hashed into compile-cache keys. *)
+let pipeline_spec (ps : t list) : string =
+  String.concat "," (List.map spec ps)
+
+let make ?spec:sp p_name ~descr p_run =
+  { p_name; p_descr = descr;
+    p_spec = (match sp with Some s -> s | None -> p_name);
+    p_run }
 
 (** A pass that neither emits diagnostics nor needs the context. *)
 let simple p_name ~descr run = make p_name ~descr (fun _ fn -> run fn)
@@ -162,7 +178,9 @@ let seq name ?descr (ps : t list) : t =
         Printf.sprintf "sequence: %s"
           (String.concat " -> " (List.map (fun p -> p.p_name) ps))
   in
-  make name ~descr (fun c fn -> run_pipeline c ps fn)
+  make name ~descr
+    ~spec:(Printf.sprintf "seq[%s]" (pipeline_spec ps))
+    (fun c fn -> run_pipeline c ps fn)
 
 (* A runaway rewrite ping-pong would otherwise loop forever; no legitimate
    pipeline needs anywhere near this many rounds. *)
@@ -177,7 +195,9 @@ let fixpoint name ?descr (ps : t list) : t =
         Printf.sprintf "fixpoint of: %s"
           (String.concat ", " (List.map (fun p -> p.p_name) ps))
   in
-  make name ~descr (fun c fn ->
+  make name ~descr
+    ~spec:(Printf.sprintf "fix[%s]" (pipeline_spec ps))
+    (fun c fn ->
       let changed = ref false in
       let continue_ = ref true in
       let rounds = ref 0 in

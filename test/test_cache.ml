@@ -1,0 +1,453 @@
+(** Tests for the staged compile cache and the persistent autotune DB:
+    key invalidation (every input dimension reaches the hash; formatting
+    does not), artifact determinism, cached-vs-uncached launch identity
+    across the whole suite, the disk/LRU tiers, batch compilation, and
+    [Runtime.plan] resolving its decision from a populated DB. *)
+
+open Grover_ir
+open Grover_ocl
+module Cache = Grover_cache.Compile_cache
+module Atdb = Grover_cache.Autotune_db
+module Pass = Grover_passes.Pass
+module Pipeline = Grover_passes.Pipeline
+module H = Grover_suite.Harness
+module Kit = Grover_suite.Kit
+
+let base_source =
+  {|__kernel void k(__global float *out, __global const float *a, int n) {
+      __local float tmp[16];
+      int l = get_local_id(0);
+      int g = get_global_id(0);
+      tmp[l] = a[g] * 2.0f;
+      barrier(CLK_LOCAL_MEM_FENCE);
+      if (g < n) out[g] = tmp[l] + 1.0f;
+    }|}
+
+let key rq = Cache.key_of_request rq
+
+(* -- Cache keys --------------------------------------------------------------- *)
+
+let check_formatting_insensitive () =
+  (* Comments and whitespace are erased by the canonical token stream. *)
+  let reformatted =
+    {|/* a comment */
+__kernel void k(__global float *out, __global const float *a, int n)
+{
+  __local float tmp[ 16 ];
+  int l = get_local_id(0); int g = get_global_id(0);   // trailing
+  tmp[l] = a[g] * 2.0f;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  if (g < n)
+    out[g] = tmp[l] + 1.0f;
+}|}
+  in
+  Alcotest.(check string)
+    "comment/whitespace edits keep the key"
+    (key (Cache.request base_source))
+    (key (Cache.request reformatted))
+
+let check_each_dimension_invalidates () =
+  let base = Cache.request base_source in
+  let distinct what rq =
+    if key rq = key base then
+      Alcotest.failf "%s edit did not change the key" what
+  in
+  distinct "source"
+    (Cache.request
+       {|__kernel void k(__global float *out, __global const float *a, int n) {
+           out[get_global_id(0)] = a[get_global_id(0)];
+         }|});
+  distinct "defines" { base with Cache.rq_defines = [ ("W", "8") ] };
+  distinct "pipeline spec"
+    { base with
+      Cache.rq_pipeline = [ Pipeline.normalize_pass; Pipeline.cleanup_pass ] };
+  distinct "variant" { base with Cache.rq_variant = Cache.Without_lm None };
+  distinct "variant selection"
+    { base with Cache.rq_variant = Cache.Without_lm (Some [ "tmp" ]) };
+  (* Explicit engines on both sides: the base request resolves its engine
+     from GROVER_ENGINE, which CI sets to either value. *)
+  let tree = { base with Cache.rq_engine = Some Interp.Tree } in
+  let compiled = { base with Cache.rq_engine = Some Interp.Compiled } in
+  if key tree = key compiled then
+    Alcotest.fail "engine edit did not change the key";
+  distinct "lane width" { base with Cache.rq_lane_width = Some 4 }
+
+let check_defines_order_insensitive () =
+  let a = Cache.request ~defines:[ ("A", "1"); ("B", "2") ] base_source in
+  let b = Cache.request ~defines:[ ("B", "2"); ("A", "1") ] base_source in
+  Alcotest.(check string) "define order keys equally" (key a) (key b)
+
+let prop_constant_edits =
+  QCheck.Test.make ~name:"keys equal iff embedded constant equal" ~count:40
+    QCheck.(pair (int_range 0 999) (int_range 0 999))
+    (fun (a, b) ->
+      let src c =
+        Printf.sprintf
+          "__kernel void k(__global int *out) { out[get_global_id(0)] = %d; }"
+          c
+      in
+      let ka = key (Cache.request (src a)) in
+      let kb = key (Cache.request (src b)) in
+      (a = b) = (ka = kb))
+
+let prop_lane_widths =
+  QCheck.Test.make ~name:"keys equal iff lane width equal" ~count:30
+    QCheck.(pair (int_range 1 16) (int_range 1 16))
+    (fun (w1, w2) ->
+      let k w = key (Cache.request ~lane_width:w base_source) in
+      (w1 = w2) = (k w1 = k w2))
+
+(* -- Determinism --------------------------------------------------------------- *)
+
+let check_determinism () =
+  List.iter
+    (fun (case : Kit.case) ->
+      List.iter
+        (fun variant ->
+          let rq =
+            Cache.request ~defines:case.Kit.defines ~variant case.Kit.source
+          in
+          let k = key rq in
+          let bytes () =
+            Marshal.to_string (Cache.build_artifact rq ~key:k) []
+          in
+          if not (String.equal (bytes ()) (bytes ())) then
+            Alcotest.failf "%s (%s): artifacts not bit-identical" case.Kit.id
+              (Cache.variant_spec variant))
+        [ Cache.With_lm; Cache.Without_lm case.Kit.remove ])
+    Grover_suite.Suite.all
+
+(* -- Cached vs uncached launches ----------------------------------------------- *)
+
+let snapshot_buffers (mem : Memory.t) :
+    (int * Ssa.space * Memory.storage) list =
+  mem.Memory.buffers
+  |> List.map (fun (b : Memory.buffer) ->
+         (b.Memory.bid, b.Memory.space, b.Memory.st))
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let launch (case : Kit.case) (compiled : Interp.compiled) =
+  let w = case.Kit.mk ~scale:4 in
+  let totals =
+    Runtime.launch compiled
+      ~cfg:{ Runtime.global = w.Kit.global; local = w.Kit.local; queues = 1 }
+      ~args:w.Kit.args ~mem:w.Kit.mem ()
+  in
+  (totals, snapshot_buffers w.Kit.mem, w.Kit.check ())
+
+let check_cached_matches_uncached (case : Kit.case) (v : H.version) () =
+  let fn, _ = H.compile_version case v in
+  let u_tot, u_bufs, u_valid = launch case (Interp.prepare fn) in
+  (match u_valid with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "uncached run invalid: %s" m);
+  let cache = Cache.create () in
+  let variant =
+    match v with
+    | H.With_lm -> Cache.With_lm
+    | H.Without_lm -> Cache.Without_lm case.Kit.remove
+  in
+  let rq = Cache.request ~defines:case.Kit.defines ~variant case.Kit.source in
+  let run_cached label =
+    let pr = Cache.compile cache rq in
+    let compiled =
+      match Cache.find_kernel pr ~name:case.Kit.kernel with
+      | Some c -> c
+      | None -> Alcotest.failf "%s: kernel missing from cache value" label
+    in
+    let tot, bufs, valid = launch case compiled in
+    (match valid with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "%s run invalid: %s" label m);
+    (tot, bufs)
+  in
+  let c_tot, c_bufs = run_cached "cached (miss)" in
+  Alcotest.(check bool) "identical totals" true (u_tot = c_tot);
+  Alcotest.(check bool) "bit-identical buffers" true (compare u_bufs c_bufs = 0);
+  (* A memory-tier hit must replay the exact same launch. *)
+  let h_tot, h_bufs = run_cached "cached (mem hit)" in
+  Alcotest.(check bool) "hit totals identical" true (c_tot = h_tot);
+  Alcotest.(check bool) "hit buffers identical" true (compare c_bufs h_bufs = 0);
+  let s = Cache.stats cache in
+  Alcotest.(check int) "one miss" 1 s.Cache.st_misses;
+  Alcotest.(check int) "one mem hit" 1 s.Cache.st_mem_hits
+
+let cached_uncached_cases =
+  List.concat_map
+    (fun (case : Kit.case) ->
+      List.map
+        (fun (v, vn) ->
+          Alcotest.test_case
+            (Printf.sprintf "%s %s" case.Kit.id vn)
+            `Quick
+            (check_cached_matches_uncached case v))
+        [ (H.With_lm, "with-lm"); (H.Without_lm, "grover") ])
+    Grover_suite.Suite.all
+
+(* -- Disk tier and LRU --------------------------------------------------------- *)
+
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "grover-cache-test-%d-%d" (Unix.getpid ()) !dir_counter)
+
+let check_disk_tier () =
+  let dir = fresh_dir () in
+  let rq = Cache.request ~variant:(Cache.Without_lm None) base_source in
+  let c1 = Cache.create ~dir () in
+  let pr1 = Cache.compile c1 rq in
+  Alcotest.(check int) "cold: one miss" 1 (Cache.stats c1).Cache.st_misses;
+  Alcotest.(check int) "cold: artifact on disk" 1 (Cache.disk_size c1);
+  (* A fresh cache instance over the same directory hits the disk tier
+     and re-prepares an identical artifact. *)
+  let c2 = Cache.create ~dir () in
+  let pr2 = Cache.compile c2 rq in
+  let s2 = Cache.stats c2 in
+  Alcotest.(check int) "warm: disk hit" 1 s2.Cache.st_disk_hits;
+  Alcotest.(check int) "warm: no miss" 0 s2.Cache.st_misses;
+  Alcotest.(check bool) "disk artifact bit-identical" true
+    (String.equal
+       (Marshal.to_string pr1.Cache.pr_art [])
+       (Marshal.to_string pr2.Cache.pr_art []));
+  (* Corruption degrades to a rebuild, never an error. *)
+  let k = Cache.key_of_request rq in
+  let oc = open_out (Filename.concat dir (k ^ ".art")) in
+  output_string oc "not an artifact";
+  close_out oc;
+  let c3 = Cache.create ~dir () in
+  let _pr3 = Cache.compile c3 rq in
+  Alcotest.(check int) "corrupt: rebuilt as a miss" 1
+    (Cache.stats c3).Cache.st_misses;
+  (* [clear] drops artifacts but keeps the autotune DB alongside them. *)
+  let db_file = Atdb.default_file ~cache_dir:dir in
+  let oc = open_out db_file in
+  close_out oc;
+  Cache.clear c3;
+  Alcotest.(check int) "cleared disk tier" 0 (Cache.disk_size c3);
+  Alcotest.(check bool) "autotune.db survives clear" true
+    (Sys.file_exists db_file)
+
+let check_lru_eviction () =
+  let cache = Cache.create ~mem_capacity:2 () in
+  let rq w = Cache.request ~lane_width:w base_source in
+  List.iter (fun w -> ignore (Cache.compile cache (rq w))) [ 1; 2; 3 ];
+  let s = Cache.stats cache in
+  Alcotest.(check int) "three misses" 3 s.Cache.st_misses;
+  Alcotest.(check bool) "evicted at capacity" true (s.Cache.st_evictions >= 1);
+  Alcotest.(check bool) "memory tier bounded" true (Cache.mem_size cache <= 2);
+  (* The LRU victim was the least-recently-used entry: width 1. *)
+  ignore (Cache.compile cache (rq 1));
+  Alcotest.(check int) "evictee misses again" 4 (Cache.stats cache).Cache.st_misses
+
+let check_batch () =
+  let cache = Cache.create () in
+  let rqs =
+    List.map
+      (fun (case : Kit.case) ->
+        Cache.request ~defines:case.Kit.defines
+          ~variant:(Cache.Without_lm case.Kit.remove) case.Kit.source)
+      Grover_suite.Suite.all
+  in
+  (* Duplicate the first request so owner-dedup is exercised. *)
+  let rqs = rqs @ [ List.hd rqs ] in
+  let batched = Cache.compile_batch cache rqs in
+  Alcotest.(check int) "positionally aligned" (List.length rqs)
+    (List.length batched);
+  let seq_cache = Cache.create () in
+  let sequential = List.map (Cache.compile seq_cache) rqs in
+  List.iteri
+    (fun i (b, s) ->
+      if
+        not
+          (String.equal
+             (Marshal.to_string b.Cache.pr_art [])
+             (Marshal.to_string s.Cache.pr_art []))
+      then Alcotest.failf "request %d: batch and sequential artifacts differ" i)
+    (List.combine batched sequential);
+  let dup_key = Cache.key_of_request (List.hd rqs) in
+  let distinct =
+    List.sort_uniq compare (List.map Cache.key_of_request rqs)
+  in
+  ignore dup_key;
+  Alcotest.(check int) "duplicates compiled once"
+    (List.length distinct)
+    (Cache.stats cache).Cache.st_misses
+
+(* -- Autotune DB --------------------------------------------------------------- *)
+
+let entry ?(kernel = "k") ?(khash = "h0") ?(global = (64, 1, 1))
+    ?(local = (16, 1, 1)) ?(version = "without_lm") ?(path = "wg-loop")
+    ?(lane_width = 8) () : Atdb.entry =
+  {
+    Atdb.e_kernel = kernel;
+    e_khash = khash;
+    e_platform = Atdb.host_platform;
+    e_global = global;
+    e_local = local;
+    e_version = version;
+    e_path = path;
+    e_lane_width = lane_width;
+    e_np = 1.25;
+    e_t_with = 0.005;
+    e_t_without = 0.004;
+  }
+
+let check_db_roundtrip () =
+  let dir = fresh_dir () in
+  Unix.mkdir dir 0o755;
+  let file = Atdb.default_file ~cache_dir:dir in
+  let db = Atdb.load file in
+  Alcotest.(check int) "empty db" 0 (Atdb.size db);
+  Atdb.record db (entry ());
+  Atdb.record db (entry ~kernel:"other" ~path:"fiberless" ());
+  (* Same site again: replaces, not appends. *)
+  Atdb.record db (entry ~version:"with_lm" ());
+  Alcotest.(check int) "same-site record replaces" 2 (Atdb.size db);
+  Atdb.save db;
+  let db2 = Atdb.load file in
+  Alcotest.(check int) "reloaded both entries" 2 (Atdb.size db2);
+  (match
+     Atdb.lookup db2 ~kernel:"k" ~global:(64, 1, 1) ~local:(16, 1, 1) ()
+   with
+  | Some e ->
+      Alcotest.(check string) "replaced version" "with_lm" e.Atdb.e_version;
+      Alcotest.(check string) "path" "wg-loop" e.Atdb.e_path;
+      Alcotest.(check int) "lane width" 8 e.Atdb.e_lane_width
+  | None -> Alcotest.fail "lookup missed a recorded site");
+  Alcotest.(check bool) "stale khash filtered" true
+    (Atdb.lookup db2 ~kernel:"k" ~khash:"different" ~global:(64, 1, 1)
+       ~local:(16, 1, 1) ()
+    = None);
+  Alcotest.(check bool) "unknown geometry misses" true
+    (Atdb.lookup db2 ~kernel:"k" ~global:(128, 1, 1) ~local:(16, 1, 1) ()
+    = None);
+  (* Unparseable lines are skipped, not fatal. *)
+  let oc = open_out_gen [ Open_append ] 0o644 file in
+  output_string oc "garbage line\n";
+  close_out oc;
+  Alcotest.(check int) "garbage line skipped" 2 (Atdb.size (Atdb.load file))
+
+let check_tuned_of_entry () =
+  let t = Atdb.tuned_of_entry (entry ()) in
+  Alcotest.(check string) "version" "without_lm" t.Runtime.tn_version;
+  Alcotest.(check bool) "path" true (t.Runtime.tn_path = Some Runtime.Wg_loop);
+  Alcotest.(check bool) "lane width" true (t.Runtime.tn_lane_width = Some 8)
+
+(** The acceptance property: with a populated DB installed, [Runtime.plan]
+    resolves version / path / lane width by lookup — no execution of either
+    kernel version happens anywhere in this test. *)
+let check_plan_consults_db () =
+  (* A forced path in the environment would shadow the tuner (by design:
+     force > tuned); neutralize it for the duration of this test. *)
+  let forced = Sys.getenv_opt "GROVER_FORCE_PATH" in
+  Unix.putenv "GROVER_FORCE_PATH" "";
+  Fun.protect ~finally:(fun () ->
+      Unix.putenv "GROVER_FORCE_PATH" (Option.value forced ~default:""))
+  @@ fun () ->
+  let case =
+    List.find (fun (c : Kit.case) -> c.Kit.id = "NVD-MT") Grover_suite.Suite.all
+  in
+  let fn, _ = H.compile_version case H.With_lm in
+  (* Explicit engine: only the closure-compiled engine is wg-vec capable,
+     and CI runs this test under GROVER_ENGINE=tree too. *)
+  let compiled = Interp.prepare ~engine:Interp.Compiled fn in
+  let w = case.Kit.mk ~scale:4 in
+  let cfg =
+    { Runtime.global = w.Kit.global; local = w.Kit.local; queues = 1 }
+  in
+  let default_path = (Runtime.plan compiled ~cfg ()).Runtime.path in
+  Alcotest.(check bool) "barrier kernel defaults to wg-vec" true
+    (default_path = Runtime.Wg_vec);
+  let khash =
+    Cache.kernel_hash ~source:case.Kit.source ~defines:case.Kit.defines
+      ~name:case.Kit.kernel
+  in
+  let db = Atdb.load (Filename.concat (fresh_dir ()) "autotune.db") in
+  Atdb.record db
+    (entry ~kernel:case.Kit.kernel ~khash ~global:w.Kit.global
+       ~local:w.Kit.local ~path:"wg-loop" ~lane_width:4 ());
+  Atdb.install_tuner ~khash_of:(fun _ -> Some khash) db;
+  Fun.protect ~finally:Atdb.clear_tuner (fun () ->
+      let p = Runtime.plan compiled ~cfg () in
+      Alcotest.(check bool) "plan takes the tuned path" true
+        (p.Runtime.path = Runtime.Wg_loop);
+      (* Drivers read version / lane width through the same hook. *)
+      (match Runtime.lookup_tuned ~name:case.Kit.kernel ~cfg with
+      | Some t ->
+          Alcotest.(check string) "tuned version" "without_lm"
+            t.Runtime.tn_version;
+          Alcotest.(check bool) "tuned lane width" true
+            (t.Runtime.tn_lane_width = Some 4)
+      | None -> Alcotest.fail "tuner installed but lookup missed");
+      (* A different geometry has no entry: static choice again. *)
+      let gx, gy, gz = w.Kit.global in
+      let other = { cfg with Runtime.global = (gx * 2, gy, gz) } in
+      Alcotest.(check bool) "unknown geometry falls back" true
+        ((Runtime.plan compiled ~cfg:other ()).Runtime.path = default_path);
+      (* A stale khash (source changed since tuning) is ignored. *)
+      Atdb.install_tuner ~khash_of:(fun _ -> Some "stale") db;
+      Alcotest.(check bool) "stale entry ignored" true
+        ((Runtime.plan compiled ~cfg ()).Runtime.path = default_path));
+  Alcotest.(check bool) "cleared tuner restores static choice" true
+    ((Runtime.plan compiled ~cfg ()).Runtime.path = default_path)
+
+(* -- Env diagnostics ----------------------------------------------------------- *)
+
+let check_env_fallbacks () =
+  let with_env var v f =
+    let old = Sys.getenv_opt var in
+    Unix.putenv var v;
+    Fun.protect
+      ~finally:(fun () -> Unix.putenv var (Option.value old ~default:""))
+      f
+  in
+  with_env "GROVER_ENGINE" "bogus" (fun () ->
+      Alcotest.(check bool) "unknown engine falls back to compiled" true
+        (Interp.default_engine () = Interp.Compiled));
+  with_env "GROVER_ENGINE" "tree" (fun () ->
+      Alcotest.(check bool) "tree selects the tree engine" true
+        (Interp.default_engine () = Interp.Tree));
+  with_env "GROVER_LANE_WIDTH" "abc" (fun () ->
+      Alcotest.(check bool) "unparseable width falls back to auto" true
+        (Interp.lane_width_env () = None));
+  with_env "GROVER_LANE_WIDTH" "4" (fun () ->
+      Alcotest.(check bool) "numeric width honored" true
+        (Interp.lane_width_env () = Some 4));
+  with_env "GROVER_LANE_WIDTH" "99" (fun () ->
+      Alcotest.(check bool) "oversize width clamped" true
+        (Interp.lane_width_env () = Some 16))
+
+let suite =
+  [
+    ( "cache.keys",
+      [
+        Alcotest.test_case "formatting-insensitive" `Quick
+          check_formatting_insensitive;
+        Alcotest.test_case "every dimension invalidates" `Quick
+          check_each_dimension_invalidates;
+        Alcotest.test_case "define order irrelevant" `Quick
+          check_defines_order_insensitive;
+        QCheck_alcotest.to_alcotest prop_constant_edits;
+        QCheck_alcotest.to_alcotest prop_lane_widths;
+      ] );
+    ( "cache.determinism",
+      [ Alcotest.test_case "artifacts bit-identical" `Quick check_determinism ]
+    );
+    ("cache.cached-vs-uncached", cached_uncached_cases);
+    ( "cache.tiers",
+      [
+        Alcotest.test_case "disk tier roundtrip" `Quick check_disk_tier;
+        Alcotest.test_case "lru eviction" `Quick check_lru_eviction;
+        Alcotest.test_case "batch compile" `Quick check_batch;
+      ] );
+    ( "cache.autotune",
+      [
+        Alcotest.test_case "db roundtrip" `Quick check_db_roundtrip;
+        Alcotest.test_case "tuned_of_entry" `Quick check_tuned_of_entry;
+        Alcotest.test_case "plan consults db" `Quick check_plan_consults_db;
+        Alcotest.test_case "env fallbacks" `Quick check_env_fallbacks;
+      ] );
+  ]
