@@ -54,6 +54,7 @@ let () =
   let scale = ref 1 in
   let quick = ref false in
   let check_scaling = ref false in
+  let multi_launch = ref false in
   let todo = ref [] in
   let args = Array.to_list Sys.argv |> List.tl in
   let rec parse = function
@@ -67,6 +68,9 @@ let () =
     | "--check-scaling" :: rest ->
         check_scaling := true;
         parse rest
+    | "--multi-launch" :: rest ->
+        multi_launch := true;
+        parse rest
     | x :: rest ->
         todo := x :: !todo;
         parse rest
@@ -76,6 +80,7 @@ let () =
   let scale = !scale in
   let quick = !quick in
   let check_scaling = !check_scaling in
+  let multi_launch = !multi_launch in
   let run_one = function
     | "table1" -> Exp.table1 ()
     | "table2" -> Exp.table2 ()
@@ -86,7 +91,7 @@ let () =
     | "fig10" -> ignore (Exp.fig10 ~scale ())
     | "table4" -> Exp.table4 ~scale ()
     | "micro" -> micro ()
-    | "perf" -> Perf.run ~quick ~check_scaling ()
+    | "perf" -> Perf.run ~quick ~check_scaling ~multi_launch ()
     | "ablation" -> Ablation.all ~scale ()
     | "predictor" -> Predictor.run ~scale ()
     | other ->
@@ -108,6 +113,6 @@ let () =
       Exp.table4 ~cmps ~scale ();
       Ablation.all ~scale ();
       Predictor.run ~scale ();
-      Perf.run ~quick ~check_scaling ();
+      Perf.run ~quick ~check_scaling ~multi_launch ();
       micro ()
   | l -> List.iter run_one l

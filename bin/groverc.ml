@@ -1018,6 +1018,107 @@ let autotune_cmd =
         (const run $ bench $ platform $ scale $ domains $ save $ db_arg $ reps
        $ cache_dir_arg))
 
+(* -- run ------------------------------------------------------------------------ *)
+
+let run_cmd =
+  let module H = Grover_suite.Harness in
+  let module Kit = Grover_suite.Kit in
+  let target =
+    Arg.(
+      value & pos 0 string "all"
+      & info [] ~docv:"BENCHMARK"
+          ~doc:
+            "A bundled benchmark id (see $(b,groverc list)), or $(b,all) for \
+             the whole suite.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 2
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Independent copies of each (benchmark, version) launch to \
+             enqueue — the whole set is submitted to one out-of-order \
+             command queue and drained across the domain pool.")
+  in
+  let scale =
+    Arg.(value & opt int 4 & info [ "scale" ] ~doc:"Problem-size divisor.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 0
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Domain-pool width for the queue drain (0 = recommended domain \
+             count; requests beyond the host's parallelism are clamped).")
+  in
+  let sequential =
+    Arg.(
+      value & flag
+      & info [ "sequential" ]
+          ~doc:
+            "Run the same launch set serially (one launch at a time, one \
+             domain) instead of through the queue — the baseline the queue \
+             is measured against.")
+  in
+  let run target jobs scale domains sequential =
+    let cases =
+      if target = "all" then Some Grover_suite.Suite.all
+      else
+        Option.map (fun c -> [ c ]) (Grover_suite.Suite.by_id target)
+    in
+    match cases with
+    | None ->
+        `Error
+          ( false,
+            Printf.sprintf "unknown benchmark %s; try: %s" target
+              (String.concat ", "
+                 (List.map (fun c -> c.Kit.id) Grover_suite.Suite.all)) )
+    | Some _ when jobs < 1 -> `Error (false, "--jobs must be >= 1")
+    | Some cases -> (
+        let set =
+          List.concat_map
+            (fun c -> [ (c, H.With_lm); (c, H.Without_lm) ])
+            cases
+        in
+        try
+          let pls = H.prepare_launches ~jobs ~scale set in
+          let seconds, _totals =
+            if sequential then H.run_sequential pls
+            else H.run_queued ~domains pls
+          in
+          H.validate_launches pls;
+          let items = H.launch_items pls in
+          let requested = Grover_ocl.Runtime.resolve_domains domains in
+          let width =
+            min requested (Grover_ocl.Runtime.effective_domain_cap ())
+          in
+          Printf.printf
+            "%s: %d launches (%d jobs x %d kernel versions), %d work-items\n"
+            (if sequential then "sequential" else "queued")
+            (List.length pls) jobs (List.length set) items;
+          Printf.printf "  %.3f ms, %.0f work-items/sec%s\n" (seconds *. 1e3)
+            (float_of_int items /. seconds)
+            (if sequential then ""
+             else
+               Printf.sprintf ", %d pool domain%s%s" width
+                 (if width = 1 then "" else "s")
+                 (if width < requested then
+                    Printf.sprintf " (clamped from %d)" requested
+                  else ""));
+          Printf.printf "  all outputs validated against host references\n";
+          `Ok ()
+        with
+        | H.Harness_error m -> `Error (false, m)
+        | Grover_ocl.Runtime.Launch_error m -> `Error (false, m))
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Submit bundled benchmarks (both kernel versions, $(b,--jobs) \
+          copies each) to one out-of-order command queue and drain it over \
+          the domain pool, validating every output.")
+    Term.(ret (const run $ target $ jobs $ scale $ domains $ sequential))
+
 (* -- cache ---------------------------------------------------------------------- *)
 
 let cache_cmd =
@@ -1036,7 +1137,19 @@ let cache_cmd =
       & info [ "db" ]
           ~doc:"With $(b,clear): also remove the autotune database.")
   in
-  let run action clear_db cache_dir =
+  let max_bytes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-bytes" ] ~docv:"N"
+          ~doc:
+            "With $(b,clear): instead of removing everything, trim the disk \
+             tier to at most $(docv) bytes, evicting least-recently used \
+             artifacts first (by mtime; cache hits refresh it). \
+             $(b,GROVER_CACHE_MAX_BYTES) applies the same budget \
+             automatically on every store.")
+  in
+  let run action clear_db max_bytes cache_dir =
     match resolve_cache_dir cache_dir with
     | None ->
         `Error
@@ -1053,28 +1166,40 @@ let cache_cmd =
               else 0
             in
             Printf.printf "cache dir:        %s\n" dir;
-            Printf.printf "artifacts:        %d\n" (Cache.disk_size t);
+            Printf.printf "artifacts:        %d (%d bytes)\n"
+              (Cache.disk_size t) (Cache.disk_bytes t);
             Printf.printf "autotune entries: %d\n" db_entries;
             `Ok ()
-        | `Clear ->
+        | `Clear -> (
             let t = Cache.create ~dir () in
-            let n = Cache.disk_size t in
-            Cache.clear t;
-            Printf.printf "removed %d artifact%s from %s\n" n
-              (if n = 1 then "" else "s")
-              dir;
-            if clear_db && Sys.file_exists db_file then begin
-              Sys.remove db_file;
-              Printf.printf "removed %s\n" db_file
-            end;
-            `Ok ())
+            match max_bytes with
+            | Some mb when mb < 0 -> `Error (false, "--max-bytes must be >= 0")
+            | Some mb ->
+                let removed, freed = Cache.trim t ~max_bytes:mb in
+                Printf.printf
+                  "trimmed %d artifact%s (%d bytes) from %s; %d bytes kept\n"
+                  removed
+                  (if removed = 1 then "" else "s")
+                  freed dir (Cache.disk_bytes t);
+                `Ok ()
+            | None ->
+                let n = Cache.disk_size t in
+                Cache.clear t;
+                Printf.printf "removed %d artifact%s from %s\n" n
+                  (if n = 1 then "" else "s")
+                  dir;
+                if clear_db && Sys.file_exists db_file then begin
+                  Sys.remove db_file;
+                  Printf.printf "removed %s\n" db_file
+                end;
+                `Ok ()))
   in
   Cmd.v
     (Cmd.info "cache"
        ~doc:
          "Inspect or clear the content-addressed compile cache and the \
           autotune database.")
-    Term.(ret (const run $ action $ clear_db $ cache_dir_arg))
+    Term.(ret (const run $ action $ clear_db $ max_bytes $ cache_dir_arg))
 
 (* -- list ----------------------------------------------------------------------- *)
 
@@ -1114,4 +1239,4 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group info ~default:pipeline_term
           [ transform_cmd; report_cmd; sanitize_cmd; pipeline_cmd; passes_cmd;
-            autotune_cmd; cache_cmd; list_cmd ]))
+            autotune_cmd; run_cmd; cache_cmd; list_cmd ]))

@@ -145,16 +145,27 @@ esac
 rm -rf "$cachedir" /tmp/grover_cache_out1 /tmp/grover_cache_out2 \
   /tmp/grover_cache_err1 /tmp/grover_cache_err2
 
-echo "== bench perf --quick --check-scaling =="
+echo "== groverc run: out-of-order queue over the whole suite =="
+# Every (case, version) pair twice through one command queue; outputs are
+# validated against the host references, so a scheduling bug that leaks
+# across launches fails the step, not just slows it.
+dune exec bin/groverc.exe -- run all --jobs 2 --scale 8
+
+echo "== bench perf --quick --check-scaling --multi-launch =="
 # --check-scaling fails the run if the auto-domain row is >10% slower
-# than domains=1 on any measured path. Quick mode must never rewrite the
-# checked-in full-size measurement (BENCH_interp.json).
+# than domains=1 on any measured path, and its multi-launch row fails if
+# queued submission of the suite is >10% below sequential (queue
+# bookkeeping must be free even on one domain). --multi-launch adds the
+# differential (queued buffers and totals bit-identical to sequential)
+# and, on hosts with >= 2 effective domains, a >= 1.3x pipelining gate.
+# Quick mode must never rewrite the checked-in full-size measurement
+# (BENCH_interp.json).
 if [ -f BENCH_interp.json ]; then
   bench_sum=$(cksum BENCH_interp.json)
 else
   bench_sum=absent
 fi
-dune exec bench/main.exe -- perf --quick --check-scaling
+dune exec bench/main.exe -- perf --quick --check-scaling --multi-launch
 if [ -f BENCH_interp.json ]; then
   bench_sum_after=$(cksum BENCH_interp.json)
 else

@@ -247,13 +247,40 @@ type slot = { sl_prepared : prepared; mutable sl_used : int }
 type t = {
   dir : string option;  (** on-disk tier root; [None] = memory-only *)
   mem_capacity : int;
+  max_bytes : int option;
+      (** disk-tier size budget; stores trim LRU-by-mtime past it *)
   tbl : (string, slot) Hashtbl.t;
   mutable tick : int;
   mutex : Mutex.t;  (** guards [tbl], [tick] and [stats] *)
   stats : stats;
 }
 
-let create ?dir ?(mem_capacity = 128) () : t =
+let warned_max_bytes_env = ref false
+
+(* The disk budget: an explicit [?max_bytes] wins; otherwise
+   [GROVER_CACHE_MAX_BYTES] (plain byte count) applies to every cache the
+   process opens. 0 or negative disables the budget. *)
+let resolve_max_bytes (arg : int option) : int option =
+  match arg with
+  | Some n -> if n > 0 then Some n else None
+  | None -> (
+      match Sys.getenv_opt "GROVER_CACHE_MAX_BYTES" with
+      | None | Some "" -> None
+      | Some s -> (
+          match int_of_string_opt s with
+          | Some n when n > 0 -> Some n
+          | Some _ -> None
+          | None ->
+              if not !warned_max_bytes_env then begin
+                warned_max_bytes_env := true;
+                Printf.eprintf
+                  "grover: ignoring invalid GROVER_CACHE_MAX_BYTES=%S (want \
+                   a byte count)\n%!"
+                  s
+              end;
+              None))
+
+let create ?dir ?(mem_capacity = 128) ?max_bytes () : t =
   if mem_capacity < 1 then cache_fail "mem_capacity must be >= 1";
   (match dir with
   | Some d when not (Sys.file_exists d) -> (
@@ -266,6 +293,7 @@ let create ?dir ?(mem_capacity = 128) () : t =
   {
     dir;
     mem_capacity;
+    max_bytes = resolve_max_bytes max_bytes;
     tbl = Hashtbl.create 64;
     tick = 0;
     mutex = Mutex.create ();
@@ -297,6 +325,55 @@ let mem_size (t : t) : int =
 let art_path (dir : string) (key : string) : string =
   Filename.concat dir (key ^ ".art")
 
+(* Every artifact file with its mtime and size; unstattable entries (a
+   concurrent trim/clear) are skipped. *)
+let art_files (dir : string) : (string * float * int) list =
+  if not (Sys.file_exists dir) then []
+  else
+    Array.to_list (Sys.readdir dir)
+    |> List.filter_map (fun f ->
+           if not (Filename.check_suffix f ".art") then None
+           else
+             let path = Filename.concat dir f in
+             match Unix.stat path with
+             | { Unix.st_mtime; st_size; _ } -> Some (path, st_mtime, st_size)
+             | exception Unix.Unix_error _ -> None)
+
+(** Bytes held by the on-disk tier. *)
+let disk_bytes (t : t) : int =
+  match t.dir with
+  | None -> 0
+  | Some dir -> List.fold_left (fun acc (_, _, sz) -> acc + sz) 0 (art_files dir)
+
+(** Trim the on-disk tier to at most [max_bytes], evicting least-recently
+    used artifacts first (mtime order — {!disk_load} touches an artifact
+    on every hit, so mtime is recency of use, not of creation). Returns
+    [(files_removed, bytes_freed)]. The memory tier is untouched: its
+    entries remain valid and simply re-persist on their next store. *)
+let trim (t : t) ~(max_bytes : int) : int * int =
+  match t.dir with
+  | None -> (0, 0)
+  | Some dir ->
+      let newest_first =
+        List.sort
+          (fun (_, m1, _) (_, m2, _) -> compare (m2 : float) m1)
+          (art_files dir)
+      in
+      let kept = ref 0 and removed = ref 0 and freed = ref 0 in
+      List.iter
+        (fun (path, _, sz) ->
+          if !kept + sz <= max_bytes then kept := !kept + sz
+          else
+            try
+              Sys.remove path;
+              removed := !removed + 1;
+              freed := !freed + sz;
+              Mutex.protect t.mutex (fun () ->
+                  t.stats.st_evictions <- t.stats.st_evictions + 1)
+            with Sys_error _ -> ())
+        newest_first;
+      (!removed, !freed)
+
 let disk_store (t : t) (art : artifact) : unit =
   match t.dir with
   | None -> ()
@@ -314,7 +391,13 @@ let disk_store (t : t) (art : artifact) : unit =
          complete new file, never a torn write. *)
       Sys.rename tmp final;
       Mutex.protect t.mutex (fun () ->
-          t.stats.st_disk_writes <- t.stats.st_disk_writes + 1)
+          t.stats.st_disk_writes <- t.stats.st_disk_writes + 1);
+      (* Keep the tier inside its size budget; the just-written artifact
+         is the newest, so it is evicted last (and only if it alone
+         exceeds the budget). *)
+      match t.max_bytes with
+      | Some mb -> ignore (trim t ~max_bytes:mb : int * int)
+      | None -> ()
 
 (* Largest id the artifact's functions use; the loader reserves past it so
    instructions created later in this process cannot collide. Functions
@@ -342,6 +425,10 @@ let disk_load (t : t) (key : string) : artifact option =
         with
         | art when art.art_version = code_version && art.art_key = key ->
             Ssa.reserve_ids (max_ids art);
+            (* Touch for LRU: {!trim} evicts by mtime, so a hit must
+               refresh it or hot artifacts age out by creation date. *)
+            (let now = Unix.gettimeofday () in
+             try Unix.utimes path now now with Unix.Unix_error _ -> ());
             Some art
         | _ -> None
         | exception _ -> None)

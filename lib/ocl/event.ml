@@ -1,0 +1,52 @@
+(** Command completion events (OpenCL [cl_event] analogue).
+
+    An event is the passive completion record of one enqueued command —
+    an ND-range launch or a queue barrier/marker. Commands name events in
+    their wait-lists; the {!Queue} layer also derives implicit events
+    from buffer read/write hazards. All mutation happens under the
+    {!Runtime.Sched} lock; reads from the submitting thread are safe once
+    the command's queue has been drained ([Queue.finish] / [Queue.wait]).
+
+    [ev_seqno] is the global completion order (1-based, monotonically
+    increasing across all queues): dependency-order properties — "no
+    event fires before its wait-list" — are checked by comparing seqnos. *)
+
+type state = Pending | Complete
+
+type t = {
+  ev_id : int;  (** unique per process; creation order *)
+  mutable ev_state : state;
+  mutable ev_seqno : int;  (** global completion order; -1 while pending *)
+  mutable ev_error : exn option;
+      (** the failure that poisoned this command, re-raised by
+          [Queue.wait] / [Queue.finish] *)
+  mutable ev_totals : Trace.totals option;
+      (** the launch's trace totals; [None] for markers/barriers and
+          while pending *)
+  mutable ev_callbacks : (unit -> unit) list;
+      (** fired (scheduler lock held) at completion; the queue layer's
+          dependency-resolution hooks *)
+}
+
+let next_id = Atomic.make 0
+
+let make () : t =
+  {
+    ev_id = Atomic.fetch_and_add next_id 1;
+    ev_state = Pending;
+    ev_seqno = -1;
+    ev_error = None;
+    ev_totals = None;
+    ev_callbacks = [];
+  }
+
+let is_complete (ev : t) : bool = ev.ev_state = Complete
+let seqno (ev : t) : int = ev.ev_seqno
+let error (ev : t) : exn option = ev.ev_error
+
+(** The completed launch's totals.
+    @raise Invalid_argument while pending, or on a marker/barrier. *)
+let totals (ev : t) : Trace.totals =
+  match ev.ev_totals with
+  | Some t -> t
+  | None -> invalid_arg "Event.totals: event pending or not an ND-range"

@@ -14,6 +14,11 @@ type storage = F of float array | I of int array
 
 type buffer = {
   bid : int;
+  buid : int;
+      (** process-globally unique id (buffers of different {!t}s share a
+          [bid] space but never a [buid]); the command-queue layer keys its
+          read/write hazard tracking on it. Allocated atomically — worker
+          domains allocate private buffers concurrently. *)
   mutable bname : string;
       (** best-known source name: the [__local] variable or the kernel
           argument the buffer is bound to ("" until known); diagnostics
@@ -39,6 +44,8 @@ let local_region_size = 0x0010_0000 (* 1 MiB of local addresses per queue *)
 
 let create () : t = { next_addr = global_base; next_bid = 0; buffers = [] }
 
+let next_buid = Atomic.make 0
+
 let scalar_of = function Vec (s, _) -> s | s -> s
 
 let lanes_of = function Vec (_, n) -> n | _ -> 1
@@ -57,6 +64,7 @@ let alloc_at (m : t) ?(name = "") ~(space : space) ~(base_addr : int)
   let b =
     {
       bid = m.next_bid;
+      buid = Atomic.fetch_and_add next_buid 1;
       bname = name;
       elem;
       lanes;

@@ -82,14 +82,56 @@ type path = Wg_vec | Wg_loop | Fiberless | Fiber
 type exec_plan = {
   path : path;
   domains_used : int;  (** parallel domains, including the caller *)
+  domains_requested : int;  (** post-[resolve_domains] request *)
+  domains_clamped : bool;
+      (** [domains_used < domains_requested]: the request exceeded either
+          the hardware parallelism cap or the profitable per-domain share
+          of this NDRange *)
 }
 
 let max_domains = 64
 
+(* Hardware parallelism cap. Explicit multi-domain requests used to be
+   taken at face value; on a host with fewer cores than the request the
+   extra domains time-slice one core and the coordination overhead makes
+   the launch *slower* than serial (the BENCH_interp.json 4-domain
+   regression). Every domain request is therefore clamped to the
+   recommended domain count, overridable for tests and oversubscription
+   experiments via {!set_domain_cap} or [GROVER_DOMAIN_CAP]. *)
+let domain_cap : int option ref = ref None
+
+(** Override the hardware parallelism cap ([Some n]) or restore the
+    default ([None]: [GROVER_DOMAIN_CAP] if set, else
+    [Domain.recommended_domain_count ()]). *)
+let set_domain_cap (c : int option) : unit = domain_cap := c
+
+let warned_cap_env = ref false
+
+let effective_domain_cap () : int =
+  let cap =
+    match !domain_cap with
+    | Some n when n > 0 -> n
+    | Some _ | None -> (
+        match Sys.getenv_opt "GROVER_DOMAIN_CAP" with
+        | None | Some "" -> Domain.recommended_domain_count ()
+        | Some s -> (
+            match int_of_string_opt s with
+            | Some n when n > 0 -> n
+            | Some _ | None ->
+                if not !warned_cap_env then begin
+                  warned_cap_env := true;
+                  Printf.eprintf
+                    "grover: ignoring invalid GROVER_DOMAIN_CAP=%S (want a \
+                     positive integer)\n%!"
+                    s
+                end;
+                Domain.recommended_domain_count ()))
+  in
+  max 1 (min max_domains cap)
+
 let resolve_domains (domains : int) : int =
-  if domains = 0 then
-    max 1 (min max_domains (Domain.recommended_domain_count ()))
-  else domains
+  if domains = 0 then effective_domain_cap ()
+  else max 1 (min max_domains domains)
 
 (* The region executor needs the compiled spill metadata — absent on the
    tree engine and whenever region formation fell back. *)
@@ -205,13 +247,18 @@ let plan (c : Interp.compiled) ~(cfg : launch_config) ?(force_fibers = false)
     if lx <= 0 || ly <= 0 || lz <= 0 then 0
     else gx / lx * (gy / ly) * (gz / lz)
   in
-  let d = resolve_domains domains in
+  let requested = resolve_domains domains in
+  let d = min requested (effective_domain_cap ()) in
   let d =
     if n_groups < 2 then 1
     else min d (max 1 (n_groups / min_groups_per_domain))
   in
-  { path = choose_path c ~cfg:(Some cfg) ~force_fibers ~force_path;
-    domains_used = d }
+  {
+    path = choose_path c ~cfg:(Some cfg) ~force_fibers ~force_path;
+    domains_used = d;
+    domains_requested = requested;
+    domains_clamped = d < requested;
+  }
 
 let path_name (p : exec_plan) : string =
   match p.path with
@@ -250,7 +297,7 @@ type exec_ctx = {
           group are live concurrently between barriers), 1 otherwise *)
   n_items : int;
   path : path;
-  parked : (unit, unit) Effect.Deep.continuation Queue.t;
+  parked : (unit, unit) Effect.Deep.continuation Stdlib.Queue.t;
   (* Region-executor context matrices: [n_items] rows of the widths in
      [cwg]; a work-item's values that survive a region boundary park in
      its row between sweeps. Empty on the other paths. *)
@@ -333,7 +380,7 @@ let make_ctx (c : Interp.compiled) ~(rv_args : Interp.rv array)
     states;
     n_items;
     path;
-    parked = Queue.create ();
+    parked = Stdlib.Queue.create ();
     wg_ictx;
     wg_fctx;
     wg_bctx;
@@ -404,7 +451,7 @@ let run_group_fibers (x : exec_ctx) : unit =
           (fun (type a) (eff : a Effect.t) ->
             match eff with
             | Interp.Barrier_hit ->
-                Some (fun (k : (a, unit) continuation) -> Queue.add k parked)
+                Some (fun (k : (a, unit) continuation) -> Stdlib.Queue.add k parked)
             | _ -> None);
       }
   done;
@@ -412,8 +459,8 @@ let run_group_fibers (x : exec_ctx) : unit =
      work-item of the group. A work-item that already finished performed
      fewer barrier crossings than the parked ones are about to — barrier
      divergence, undefined behaviour in OpenCL. *)
-  while not (Queue.is_empty parked) do
-    let waiting = Queue.length parked in
+  while not (Stdlib.Queue.is_empty parked) do
+    let waiting = Stdlib.Queue.length parked in
     if !finished > 0 then
       fail "barrier divergence in %s: %d of %d work-items reached the barrier"
         x.xc.Interp.fn.f_name waiting x.n_items;
@@ -421,9 +468,9 @@ let run_group_fibers (x : exec_ctx) : unit =
     (* All work-items synchronized: accesses after this point are ordered
        against everything before it. *)
     (match x.san with Some s -> Sanitize.barrier_round s | None -> ());
-    let batch = Queue.create () in
-    Queue.transfer parked batch;
-    Queue.iter (fun k -> continue k ()) batch
+    let batch = Stdlib.Queue.create () in
+    Stdlib.Queue.transfer parked batch;
+    Stdlib.Queue.iter (fun k -> continue k ()) batch
   done;
   if !finished <> x.n_items then
     fail "work-group did not run to completion in %s" x.xc.Interp.fn.f_name
@@ -713,6 +760,316 @@ module Pool = struct
     e
 end
 
+(* -- Out-of-order multi-launch scheduler --------------------------------------
+
+   The unit of work is a (launch, chunk) pair: submitted launches form a
+   ready set, and every participating domain repeatedly claims a chunk of
+   work-groups from one of them. A domain keeps claiming from the launch
+   it last ran — its execution context (pooled states, lane slots, local
+   allocations) stays hot chunk after chunk (cache affinity) — and only
+   picks a new launch when the current one is exhausted; the pick prefers
+   the ready launch with the fewest domains already on it, so many small
+   launches spread across the pool instead of convoying behind one.
+
+   Submission is deferred: [submit] only records the launch; nothing runs
+   until [drain], which runs the scheduler to quiescence with the calling
+   domain participating as worker 0 and [workers] pool domains joining.
+   The command-queue layer ({!Queue}) builds its event / buffer-hazard
+   dependency graph on top of [submit_locked]/[l_on_complete] under the
+   same lock, so completion cascades are atomic with chunk scheduling. *)
+
+module Sched = struct
+  type launch_rec = {
+    l_c : Interp.compiled;
+    l_args : Interp.rv array;
+    l_lsz : int array;
+    l_gsz : int array;
+    l_ngr : int array;
+    l_path : path;
+    l_n_groups : int;
+    l_chunk : int;  (** max groups per claim (launch-size / width aware) *)
+    l_width : int;  (** planned parallel width; bounds guided chunk sizing *)
+    mutable l_next : int;  (** first unclaimed group *)
+    mutable l_holders : int;  (** domains currently holding a context on us *)
+    mutable l_finished : bool;
+    mutable l_error : exn option;
+    l_totals : Trace.totals;
+        (** merged holder partials; complete once [l_finished] *)
+    mutable l_on_complete : launch_rec -> unit;
+        (** fired — scheduler lock held — when the last holder releases a
+            fully executed (or poisoned) launch *)
+  }
+
+  let m = Mutex.create ()
+  let work = Condition.create ()
+
+  (* Launches with unclaimed groups, in submission order. *)
+  let ready : launch_rec list ref = ref []
+
+  (* Submitted launches not yet completed (including fully claimed ones
+     still executing); [drain] runs until this reaches 0. *)
+  let live = ref 0
+
+  (** Run [f] with the scheduler lock held (the queue layer's enqueue /
+      completion entry points). *)
+  let locked f = Mutex.protect m f
+
+  (* Chunks amortize scheduler locking but bound load imbalance: scale
+     with the launch and the width it may spread over, so a 4096-group
+     launch claims dozens of groups at a time while an 8-group launch on
+     4 domains hands out single groups. *)
+  let chunk_for ~n_groups ~width = max 1 (min 64 (n_groups / (max 1 width * 8)))
+
+  let make (c : Interp.compiled) ~(rv_args : Interp.rv array)
+      ~(lsz : int array) ~(gsz : int array) ~(ngr : int array) ~(path : path)
+      ~(width : int) : launch_rec =
+    let n_groups = ngr.(0) * ngr.(1) * ngr.(2) in
+    {
+      l_c = c;
+      l_args = rv_args;
+      l_lsz = lsz;
+      l_gsz = gsz;
+      l_ngr = ngr;
+      l_path = path;
+      l_n_groups = n_groups;
+      l_chunk = chunk_for ~n_groups ~width;
+      l_width = max 1 width;
+      l_next = 0;
+      l_holders = 0;
+      l_finished = false;
+      l_error = None;
+      l_totals = Trace.empty_totals ();
+      l_on_complete = ignore;
+    }
+
+  (* Lock held. *)
+  let complete_locked (l : launch_rec) : unit =
+    l.l_finished <- true;
+    decr live;
+    l.l_on_complete l;
+    (* Completion may have readied dependent commands (queue layer), or
+       left nothing live so sleeping workers can exit. *)
+    Condition.broadcast work
+
+  (* Lock held. An empty launch completes synchronously. *)
+  let submit_locked (l : launch_rec) : unit =
+    if l.l_n_groups = 0 then begin
+      l.l_finished <- true;
+      l.l_on_complete l
+    end
+    else begin
+      incr live;
+      ready := !ready @ [ l ];
+      Condition.broadcast work
+    end
+
+  let submit (l : launch_rec) : unit = locked (fun () -> submit_locked l)
+
+  (* Lock held: claim the next chunk of [l]; an exhausted launch drops out
+     of the ready set. Guided self-scheduling as before, per launch: a
+     claim takes a share of what remains (remaining / width, capped) so
+     early claims amortize locking while the tail degrades to single
+     groups. *)
+  let claim_locked (l : launch_rec) : (int * int) option =
+    if l.l_next >= l.l_n_groups then None
+    else begin
+      let remaining = l.l_n_groups - l.l_next in
+      let sz = max 1 (min l.l_chunk (remaining / l.l_width)) in
+      let g0 = l.l_next in
+      l.l_next <- g0 + sz;
+      if l.l_next >= l.l_n_groups then
+        ready := List.filter (fun r -> r != l) !ready;
+      Some (g0, sz)
+    end
+
+  (* Lock held: least-loaded ready launch, ties to the oldest. *)
+  let pick_locked () : launch_rec option =
+    List.fold_left
+      (fun best l ->
+        match best with
+        | Some b when b.l_holders <= l.l_holders -> best
+        | _ -> Some l)
+      None !ready
+
+  (* A domain's hold on a launch: the execution context it runs groups
+     with, and a domain-private totals sink merged into the launch at
+     release time (allocated on the worker domain — see the false-sharing
+     note at the old parallel path, which this preserves). *)
+  type holder = { h_l : launch_rec; h_x : exec_ctx; h_tot : Trace.totals }
+
+  (* Per-domain context cache: the few most recent (kernel, geometry,
+     path) execution contexts, so repeated launches of the same kernel —
+     the bench / autotune / server pattern — rebind arguments into a hot
+     context instead of rebuilding states, lane slots and local
+     allocations every launch. *)
+  let ctx_cache_max = 4
+
+  type cached_ctx = {
+    cc_c : Interp.compiled;
+    cc_path : path;
+    cc_lsz : int array;
+    cc_gsz : int array;
+    cc_ngr : int array;
+    cc_x : exec_ctx;
+  }
+
+  let ctx_cache : cached_ctx list ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref [])
+
+  let rec take n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+
+  let ctx_for (l : launch_rec) : exec_ctx =
+    let cache = Domain.DLS.get ctx_cache in
+    let matches cc =
+      cc.cc_c == l.l_c && cc.cc_path = l.l_path && cc.cc_lsz = l.l_lsz
+      && cc.cc_gsz = l.l_gsz && cc.cc_ngr = l.l_ngr
+    in
+    match List.find_opt matches !cache with
+    | Some cc ->
+        let x = cc.cc_x in
+        (* Rebind this launch's arguments into the pooled states (every
+           state of a context aliases one args array) and drop private
+           allocations left by the previous launch; local allocations are
+           kept — their addresses are (queue, offset)-determined and their
+           storage is cleared per group anyway. *)
+        Array.blit l.l_args 0 x.states.(0).Interp.args 0
+          (Array.length l.l_args);
+        x.scratch.Memory.buffers <-
+          List.filter
+            (fun (b : Memory.buffer) -> b.Memory.space <> Private)
+            x.scratch.Memory.buffers;
+        cache := cc :: List.filter (fun c -> c != cc) !cache;
+        x
+    | None ->
+        let stats = Trace.fresh_stats ~wg_id:0 ~queue:0 ~wg_size:0 in
+        let x =
+          make_ctx l.l_c ~rv_args:(Array.copy l.l_args)
+            ~scratch:(Memory.create ()) ~stats ~lsz:l.l_lsz ~gsz:l.l_gsz
+            ~ngr:l.l_ngr ~path:l.l_path ()
+        in
+        let cc =
+          {
+            cc_c = l.l_c;
+            cc_path = l.l_path;
+            cc_lsz = l.l_lsz;
+            cc_gsz = l.l_gsz;
+            cc_ngr = l.l_ngr;
+            cc_x = x;
+          }
+        in
+        cache := cc :: take (ctx_cache_max - 1) !cache;
+        x
+
+  (* Execute a claimed chunk (no lock held). A failure poisons the launch:
+     the first error is recorded, unclaimed groups are abandoned, and the
+     error re-raises at the launch's wait point. *)
+  let execute (h : holder) ~(g0 : int) ~(sz : int) ~(idx : int) : unit =
+    try
+      for wg = g0 to g0 + sz - 1 do
+        run_one_group h.h_x ~wg ~queue:idx;
+        Trace.accumulate h.h_tot h.h_x.stats
+      done
+    with e ->
+      locked (fun () ->
+          let l = h.h_l in
+          if l.l_error = None then l.l_error <- Some e;
+          if l.l_next < l.l_n_groups then begin
+            l.l_next <- l.l_n_groups;
+            ready := List.filter (fun r -> r != l) !ready
+          end)
+
+  (* Lock held: merge the holder's totals and complete the launch when it
+     was the last one out. (A holder only ever sleeps with no launch held,
+     so every in-flight chunk belongs to some holder: no-unclaimed-groups
+     plus no-holders means fully executed.) *)
+  let release_locked (h : holder) : unit =
+    let l = h.h_l in
+    Trace.merge_totals l.l_totals h.h_tot;
+    l.l_holders <- l.l_holders - 1;
+    if l.l_next >= l.l_n_groups && l.l_holders = 0 && not l.l_finished then
+      complete_locked l
+
+  type action =
+    | Run of holder * int * int
+    | Acquire of launch_rec
+    | Retry
+    | Exit
+
+  (** Scheduler worker loop: claim and execute (launch, chunk) pairs until
+      nothing is live, or [stop] (checked between chunks) says this domain
+      may leave. [idx] is the stable worker index — it is the hardware-
+      queue id work-groups observe, so local-memory addresses recycle per
+      domain exactly as single-launch dispatch always did. *)
+  let run_worker ~(idx : int) ~(stop : unit -> bool) : unit =
+    let cur : holder option ref = ref None in
+    let running = ref true in
+    while !running do
+      let act =
+        locked (fun () ->
+            let rec decide () =
+              if stop () then begin
+                (match !cur with
+                | Some h ->
+                    release_locked h;
+                    cur := None
+                | None -> ());
+                Exit
+              end
+              else
+                match !cur with
+                | Some h -> (
+                    match claim_locked h.h_l with
+                    | Some (g0, sz) -> Run (h, g0, sz)
+                    | None ->
+                        release_locked h;
+                        cur := None;
+                        decide ())
+                | None -> (
+                    match pick_locked () with
+                    | Some l ->
+                        l.l_holders <- l.l_holders + 1;
+                        Acquire l
+                    | None ->
+                        if !live = 0 then Exit
+                        else begin
+                          Condition.wait work m;
+                          Retry
+                        end)
+            in
+            decide ())
+      in
+      match act with
+      | Run (h, g0, sz) -> execute h ~g0 ~sz ~idx
+      | Acquire l ->
+          (* Context lookup / construction is heavy; outside the lock. *)
+          cur :=
+            Some { h_l = l; h_x = ctx_for l; h_tot = Trace.empty_totals () }
+      | Retry -> ()
+      | Exit -> running := false
+    done
+
+  (** Run the scheduler from the launching domain: dispatch [workers] pool
+      domains and participate as worker 0. Pool workers always run to
+      quiescence (nothing live); [stop] lets the caller's own loop leave
+      as soon as the event it waits on has fired — but with pool workers
+      dispatched the call still returns only once they have drained
+      everything, so a single-launch [drain ~workers:0] with a satisfied
+      [stop] is the only early-return case. Only the main domain may call
+      this (same rule as [Pool.dispatch]). *)
+  let drain ?(stop = fun () -> false) ~(workers : int) () : unit =
+    let workers = max 0 (min workers (max_domains - 1)) in
+    if workers = 0 then run_worker ~idx:0 ~stop
+    else begin
+      Pool.dispatch ~workers (fun k ->
+          run_worker ~idx:k ~stop:(fun () -> false));
+      run_worker ~idx:0 ~stop;
+      match Pool.wait () with Some e -> raise e | None -> ()
+    end
+end
+
 (* -- Launch -------------------------------------------------------------------- *)
 
 (** Launch a compiled kernel over the NDRange. [on_group] receives each
@@ -757,7 +1114,7 @@ let launch (c : Interp.compiled) ~(cfg : launch_config)
   let totals = Trace.empty_totals () in
   let n_groups = ngr.(0) * ngr.(1) * ngr.(2) in
   let domains = if sanitizer <> None then 1 else domains in
-  let { path; domains_used = d } =
+  let { path; domains_used = d; _ } =
     plan c ~cfg ~force_fibers ?force_path ~domains ()
   in
   if d <= 1 then begin
@@ -780,55 +1137,16 @@ let launch (c : Interp.compiled) ~(cfg : launch_config)
   else begin
     if on_group <> None then
       fail "parallel launches cannot stream per-group traces";
-    (* Guided self-scheduling: workers claim a share of what remains
-       (remaining / d, capped) rather than a fixed chunk, so early claims
-       are large enough to amortize the atomic traffic while the tail
-       degrades to single groups — small remainders no longer leave the
-       last domains idle while one finishes an oversized fixed chunk. *)
-    let next = Atomic.make 0 in
-    let max_chunk = max 1 (min 64 (n_groups / (d * 16))) in
-    let rec claim () : (int * int) option =
-      let g0 = Atomic.get next in
-      if g0 >= n_groups then None
-      else
-        let sz = max 1 (min max_chunk ((n_groups - g0) / d)) in
-        if Atomic.compare_and_set next g0 (g0 + sz) then Some (g0, sz)
-        else claim ()
-    in
-    (* Per-domain totals are allocated *inside* each worker domain and
-       published here once, at the end: consecutively caller-allocated
-       records would share cache lines, and the counter bumps of [d]
-       domains would false-share them for the whole launch. *)
-    let partial : Trace.totals option array = Array.make d None in
-    let work k =
-      (* Each domain gets its own scratch memory for local/private
-         allocations; global buffers (inside rv_args) are shared, and
-         well-formed kernels write disjoint elements. *)
-      let scratch = Memory.create () in
-      let stats = Trace.fresh_stats ~wg_id:0 ~queue:k ~wg_size:0 in
-      let x = make_ctx c ~rv_args ~scratch ~stats ~lsz ~gsz ~ngr ~path () in
-      let local = Trace.empty_totals () in
-      let running = ref true in
-      while !running do
-        match claim () with
-        | None -> running := false
-        | Some (g0, sz) ->
-            for wg = g0 to g0 + sz - 1 do
-              run_one_group x ~wg ~queue:k;
-              Trace.accumulate local stats
-            done
-      done;
-      partial.(k) <- Some local
-    in
-    Pool.dispatch ~workers:(d - 1) work;
-    let caller_error = (try work 0; None with e -> Some e) in
-    let pool_error = Pool.wait () in
-    (match (caller_error, pool_error) with
-    | Some e, _ | None, Some e -> raise e
-    | None, None -> ());
-    Array.iter
-      (function Some p -> Trace.merge_totals totals p | None -> ())
-      partial;
+    (* One launch through the multi-launch scheduler: the same
+       guided-chunk distribution as before, with each domain reusing a
+       cached execution context (own scratch memory for local/private
+       allocations; global buffers inside rv_args are shared, and
+       well-formed kernels write disjoint elements). *)
+    let lr = Sched.make c ~rv_args ~lsz ~gsz ~ngr ~path ~width:d in
+    Sched.submit lr;
+    Sched.drain ~workers:(d - 1) ();
+    (match lr.Sched.l_error with Some e -> raise e | None -> ());
+    Trace.merge_totals totals lr.Sched.l_totals;
     totals
   end
 

@@ -171,6 +171,92 @@ let wallclock ?engine ?(domains = 1) ?(force_fibers = false) ?(reps = 1)
     wc_lane_width = Interp.lane_width_of compiled;
   }
 
+(* -- Multi-launch (command queue) submission ---------------------------------- *)
+
+let version_name = function With_lm -> "with_lm" | Without_lm -> "without_lm"
+
+(** One prepared launch of a suite case: compiled kernel, geometry and a
+    deterministic workload ([Kit.mk] seeds its PRNG identically per
+    (case, scale), so two prepared sets are bit-identical inputs). *)
+type prepared_launch = {
+  pl_label : string;
+  pl_compiled : Interp.compiled;
+  pl_cfg : Runtime.launch_config;
+  pl_w : Kit.workload;
+}
+
+(** Prepare [jobs] independent workloads for every (case, version) pair:
+    each job gets its own buffers, but all jobs of a pair share one
+    compiled kernel — the shape of a queue fed by many clients. *)
+let prepare_launches ?engine ~(jobs : int) ~(scale : int)
+    (cases : (Kit.case * version) list) : prepared_launch list =
+  List.concat_map
+    (fun ((case : Kit.case), v) ->
+      let fn, _ = compile_version case v in
+      let compiled = Interp.prepare ?engine fn in
+      List.init jobs (fun j ->
+          let w = case.Kit.mk ~scale in
+          {
+            pl_label =
+              Printf.sprintf "%s/%s#%d" case.Kit.id (version_name v) j;
+            pl_compiled = compiled;
+            pl_cfg =
+              { Runtime.global = w.Kit.global; local = w.Kit.local; queues = 1 };
+            pl_w = w;
+          }))
+    cases
+
+(** Submit every prepared launch to one out-of-order queue and drain it.
+    Returns wall-clock seconds and the per-launch totals in submission
+    order. *)
+let run_queued ?(domains = 0) (pls : prepared_launch list) :
+    float * Trace.totals list =
+  let q = Queue.create ~domains () in
+  let t0 = Unix.gettimeofday () in
+  let evs =
+    List.map
+      (fun pl ->
+        Queue.enqueue_nd_range q pl.pl_compiled ~cfg:pl.pl_cfg
+          ~args:pl.pl_w.Kit.args ())
+      pls
+  in
+  Queue.finish q;
+  let dt = Unix.gettimeofday () -. t0 in
+  (dt, List.map Event.totals evs)
+
+(** The same launch set, one serial [Runtime.launch] at a time — the
+    queue's baseline and differential oracle. *)
+let run_sequential (pls : prepared_launch list) : float * Trace.totals list =
+  let t0 = Unix.gettimeofday () in
+  let tots =
+    List.map
+      (fun pl ->
+        Runtime.launch pl.pl_compiled ~cfg:pl.pl_cfg ~args:pl.pl_w.Kit.args
+          ~mem:pl.pl_w.Kit.mem ())
+      pls
+  in
+  (Unix.gettimeofday () -. t0, tots)
+
+(** Validate every workload's output against its host reference. *)
+let validate_launches (pls : prepared_launch list) : unit =
+  List.iter
+    (fun pl ->
+      match pl.pl_w.Kit.check () with
+      | Ok () -> ()
+      | Error m ->
+          raise
+            (Harness_error
+               (Printf.sprintf "%s: wrong output: %s" pl.pl_label m)))
+    pls
+
+(** Total work-items across a prepared set. *)
+let launch_items (pls : prepared_launch list) : int =
+  List.fold_left
+    (fun acc pl ->
+      let x, y, z = pl.pl_cfg.Runtime.global in
+      acc + (x * y * z))
+    0 pls
+
 (** One sanitized execution of one version of a benchmark: the kernel runs
     under the dynamic race/OOB sanitizer with the case's real work-group
     geometry. A correct kernel must report no findings *and* still produce

@@ -242,6 +242,77 @@ let check_lru_eviction () =
   ignore (Cache.compile cache (rq 1));
   Alcotest.(check int) "evictee misses again" 4 (Cache.stats cache).Cache.st_misses
 
+let check_disk_trim () =
+  let dir = fresh_dir () in
+  let cache = Cache.create ~dir () in
+  let rq w = Cache.request ~lane_width:w base_source in
+  let art w = Filename.concat dir (Cache.key_of_request (rq w) ^ ".art") in
+  let size w = (Unix.stat (art w)).Unix.st_size in
+  List.iter (fun w -> ignore (Cache.compile cache (rq w))) [ 1; 2; 3; 4 ];
+  Alcotest.(check int) "four artifacts" 4 (Cache.disk_size cache);
+  Alcotest.(check bool) "disk_bytes sums them" true
+    (Cache.disk_bytes cache >= size 1 + size 2 + size 3 + size 4);
+  (* Distinct, strictly increasing mtimes: widths 1 and 2 are the LRU
+     victims by construction (same-second store times would tie). *)
+  List.iteri
+    (fun i w ->
+      let t = 1000.0 +. float_of_int i in
+      Unix.utimes (art w) t t)
+    [ 1; 2; 3; 4 ];
+  let removed, freed = Cache.trim cache ~max_bytes:(size 3 + size 4) in
+  Alcotest.(check int) "evicted the two oldest" 2 removed;
+  Alcotest.(check bool) "freed their bytes" true (freed > 0);
+  Alcotest.(check bool) "newest survive" true
+    (Sys.file_exists (art 3) && Sys.file_exists (art 4));
+  Alcotest.(check bool) "oldest gone" true
+    (not (Sys.file_exists (art 1)) && not (Sys.file_exists (art 2)));
+  (* A disk-tier hit refreshes the artifact's mtime, so the entry it
+     served moves to the back of the eviction order. *)
+  Unix.utimes (art 3) 1000.0 1000.0;
+  Unix.utimes (art 4) 1001.0 1001.0;
+  let c2 = Cache.create ~dir () in
+  ignore (Cache.compile c2 (rq 3));
+  Alcotest.(check int) "disk hit" 1 (Cache.stats c2).Cache.st_disk_hits;
+  let removed2, _ = Cache.trim c2 ~max_bytes:(size 3) in
+  Alcotest.(check int) "one more evicted" 1 removed2;
+  Alcotest.(check bool) "touched artifact kept over newer-stored" true
+    (Sys.file_exists (art 3) && not (Sys.file_exists (art 4)));
+  Cache.clear c2;
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+
+let check_max_bytes_budget () =
+  let with_env var v f =
+    let old = Sys.getenv_opt var in
+    Unix.putenv var v;
+    Fun.protect
+      ~finally:(fun () -> Unix.putenv var (Option.value old ~default:""))
+      f
+  in
+  (* Resolution: the explicit argument wins over the environment; an
+     unparseable or non-positive environment value disables the budget. *)
+  with_env "GROVER_CACHE_MAX_BYTES" "123" (fun () ->
+      Alcotest.(check bool) "env budget honored" true
+        ((Cache.create ()).Cache.max_bytes = Some 123);
+      Alcotest.(check bool) "argument wins over env" true
+        ((Cache.create ~max_bytes:5 ()).Cache.max_bytes = Some 5));
+  with_env "GROVER_CACHE_MAX_BYTES" "abc" (fun () ->
+      Alcotest.(check bool) "unparseable env disables budget" true
+        ((Cache.create ()).Cache.max_bytes = None));
+  with_env "GROVER_CACHE_MAX_BYTES" "0" (fun () ->
+      Alcotest.(check bool) "non-positive env disables budget" true
+        ((Cache.create ()).Cache.max_bytes = None));
+  (* Enforcement: a budget smaller than any artifact keeps the disk tier
+     empty — every store trims immediately. *)
+  let dir = fresh_dir () in
+  let cache = Cache.create ~dir ~max_bytes:1 () in
+  let rq w = Cache.request ~lane_width:w base_source in
+  List.iter (fun w -> ignore (Cache.compile cache (rq w))) [ 1; 2 ];
+  Alcotest.(check int) "budget enforced on store" 0 (Cache.disk_size cache);
+  Alcotest.(check bool) "evictions counted" true
+    ((Cache.stats cache).Cache.st_evictions >= 2);
+  Cache.clear cache;
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+
 let check_batch () =
   let cache = Cache.create () in
   let rqs =
@@ -441,6 +512,9 @@ let suite =
       [
         Alcotest.test_case "disk tier roundtrip" `Quick check_disk_tier;
         Alcotest.test_case "lru eviction" `Quick check_lru_eviction;
+        Alcotest.test_case "disk trim (lru by mtime)" `Quick check_disk_trim;
+        Alcotest.test_case "disk budget (max bytes)" `Quick
+          check_max_bytes_budget;
         Alcotest.test_case "batch compile" `Quick check_batch;
       ] );
     ( "cache.autotune",

@@ -232,6 +232,15 @@ let test_transpose_grover_no_local_traffic () =
 
 (* -- Parallel (multi-domain) execution ----------------------------------------- *)
 
+(* Explicit domain requests are clamped to the host's recommended domain
+   count (the over-provisioning fix); these tests exercise the actual
+   multi-domain dispatch machinery, so they lift the cap for their
+   duration — oversubscribing a small host is fine for correctness
+   checks. *)
+let with_domain_cap (n : int) (f : unit -> 'a) : 'a =
+  Runtime.set_domain_cap (Some n);
+  Fun.protect ~finally:(fun () -> Runtime.set_domain_cap None) f
+
 let test_parallel_matches_sequential () =
   let c = Runtime.compile_kernel mt_source ~name:"transpose" in
   let n = 64 in
@@ -248,7 +257,8 @@ let test_parallel_matches_sequential () =
          ~mem ~domains ());
     Memory.to_float_array out
   in
-  let seq = run ~domains:1 and par = run ~domains:4 in
+  let seq = run ~domains:1
+  and par = with_domain_cap 4 (fun () -> run ~domains:4) in
   Alcotest.(check bool) "parallel result matches sequential" true (seq = par)
 
 let test_parallel_rejects_tracing () =
@@ -258,13 +268,16 @@ let test_parallel_rejects_tracing () =
   let out = Memory.alloc mem Ssa.F32 (n * n) in
   let inp = Memory.alloc mem Ssa.F32 (n * n) in
   match
-    Runtime.launch c
-      ~cfg:{ Runtime.global = (n, n, 1); local = (8, 8, 1); queues = 1 }
-      ~args:
-        [ Runtime.Abuf out; Runtime.Abuf inp; Runtime.Aint n; Runtime.Aint n ]
-      ~mem
-      ~on_group:(fun _ -> ())
-      ~domains:2 ()
+    with_domain_cap 2 (fun () ->
+        Runtime.launch c
+          ~cfg:{ Runtime.global = (n, n, 1); local = (8, 8, 1); queues = 1 }
+          ~args:
+            [
+              Runtime.Abuf out; Runtime.Abuf inp; Runtime.Aint n; Runtime.Aint n;
+            ]
+          ~mem
+          ~on_group:(fun _ -> ())
+          ~domains:2 ())
   with
   | exception Runtime.Launch_error _ -> ()
   | _ -> Alcotest.fail "tracing + parallel must be rejected"
@@ -776,7 +789,9 @@ let run_domains (case : Kit.case) (v : H.version) ~(domains : int) :
 
 let check_parallel_agrees (case : Kit.case) (v : H.version) () =
   let s_tot, s_bufs, s_valid = run_domains case v ~domains:1 in
-  let p_tot, p_bufs, p_valid = run_domains case v ~domains:4 in
+  let p_tot, p_bufs, p_valid =
+    with_domain_cap 4 (fun () -> run_domains case v ~domains:4)
+  in
   (match s_valid with
   | Ok () -> ()
   | Error m -> Alcotest.failf "serial launch invalid output: %s" m);
@@ -832,11 +847,12 @@ let prop_domain_count_invariant =
         (totals, Memory.to_float_array out)
       in
       let t1, o1 = run 1 in
-      List.for_all
-        (fun d ->
-          let td, od = run d in
-          t1 = td && compare o1 od = 0)
-        [ 2; 4; 0 ])
+      with_domain_cap 4 (fun () ->
+          List.for_all
+            (fun d ->
+              let td, od = run d in
+              t1 = td && compare o1 od = 0)
+            [ 2; 4; 0 ]))
 
 (* -- Launch validation -------------------------------------------------------- *)
 
