@@ -481,6 +481,10 @@ let run ?(quick = false) ?(check_scaling = false) ?(multi_launch = false) () :
   report_cache cs;
   let ml = if multi_launch then Some (multi_launch_bench ~quick ~reps ()) else None in
   Option.iter report_multi_launch ml;
+  (* The predictor-agreement gate runs in every mode, quick included: if
+     the analytical model stops picking the measured winners, `groverc
+     promote --predict` would start recording wrong tuning decisions. *)
+  let pa = Predictor.agreement_gate () in
   Printf.printf
     "\nspeedup compiled/tree: with_lm %.2fx, without_lm %.2fx\n\
      wg-vec (%d lanes) vs forced wg-loop (with_lm, 1 domain): %.2fx\n\
@@ -531,6 +535,29 @@ let run ?(quick = false) ?(check_scaling = false) ?(multi_launch = false) () :
     (cs.cs_cold_seq /. cs.cs_warm_disk)
     (float_of_int cs.cs_warm_mem_hits /. float_of_int cs.cs_requests)
     (float_of_int cs.cs_warm_disk_hits /. float_of_int cs.cs_distinct);
+  Printf.fprintf oc
+    ",\n\
+    \  \"predictor_agreement\": {\n\
+    \    \"scale\": %d,\n\
+    \    \"cases\": %d,\n\
+    \    \"agree\": %d,\n\
+    \    \"rows\": [\n"
+    Predictor.agreement_scale (List.length pa)
+    (List.length
+       (List.filter
+          (fun (r : Predictor.agreement_row) ->
+            r.Predictor.ag_model = r.Predictor.ag_measured)
+          pa));
+  List.iteri
+    (fun k (r : Predictor.agreement_row) ->
+      Printf.fprintf oc
+        "      {\"case\": \"%s\", \"measured\": \"%s\", \"model\": \"%s\", \
+         \"np_sim\": %.4f, \"np_model\": %.4f}%s\n"
+        r.Predictor.ag_id r.Predictor.ag_measured r.Predictor.ag_model
+        r.Predictor.ag_np_sim r.Predictor.ag_np_model
+        (if k = List.length pa - 1 then "" else ","))
+    pa;
+  Printf.fprintf oc "    ]\n  }";
   Option.iter
     (fun s ->
       Printf.fprintf oc

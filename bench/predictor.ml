@@ -27,6 +27,103 @@ let eval_case (case : Kit.case) (plat : P.t) ~scale =
   in
   (cmp.H.normalized, np_pred)
 
+(* -- The agreement gate --------------------------------------------------------
+
+   The bidirectional optimizer lets the analytical model *decide* (groverc
+   promote --predict), so the model must keep picking the same winner the
+   measurements pick. The expectation below is the measured outcome column
+   (Table IV / Fig. 10 direction) for the bundled suite: the with_lm /
+   without_lm winner by trace-driven simulation on SNB at scale 8. The
+   simulator is deterministic at a fixed scale, so any drift here is a code
+   change, not noise. *)
+
+let agreement_scale = 8
+
+let measured_winners =
+  [ ("AMD-SS", "without_lm");
+    ("AMD-MT", "without_lm");
+    ("NVD-MT", "without_lm");
+    ("AMD-RG", "without_lm");
+    ("AMD-MM", "without_lm");
+    ("NVD-MM-A", "without_lm");
+    ("NVD-MM-B", "with_lm");
+    ("NVD-MM-AB", "without_lm");
+    ("NVD-NBody", "with_lm");
+    ("PAB-ST", "without_lm");
+    ("ROD-SC", "without_lm");
+    ("TNG-GEMM4", "without_lm") ]
+
+type agreement_row = {
+  ag_id : string;
+  ag_measured : string;  (** checked-in winner (simulation, scale 8) *)
+  ag_sim : string;  (** winner the simulation picks right now *)
+  ag_model : string;  (** winner the analytical model picks right now *)
+  ag_np_sim : float;
+  ag_np_model : float;
+}
+
+let winner_of_np np = if np > 1.0 then "without_lm" else "with_lm"
+
+let agreement () : agreement_row list =
+  List.map
+    (fun (case : Kit.case) ->
+      let np_sim, np_model = eval_case case P.snb ~scale:agreement_scale in
+      let measured =
+        match List.assoc_opt case.Kit.id measured_winners with
+        | Some w -> w
+        | None ->
+            Printf.eprintf
+              "predictor agreement: no measured winner recorded for %s — add \
+               it to Predictor.measured_winners\n"
+              case.Kit.id;
+            exit 1
+      in
+      {
+        ag_id = case.Kit.id;
+        ag_measured = measured;
+        ag_sim = winner_of_np np_sim;
+        ag_model = winner_of_np np_model;
+        ag_np_sim = np_sim;
+        ag_np_model = np_model;
+      })
+    Grover_suite.Suite.all
+
+(** Run the agreement check and hard-fail (exit 1) on the first benchmark
+    where the analytical model — or the simulation itself — no longer
+    picks the recorded measured winner. *)
+let agreement_gate () : agreement_row list =
+  let rows = agreement () in
+  Printf.printf
+    "\npredictor agreement (winner by model vs measured, scale %d):\n"
+    agreement_scale;
+  Printf.printf "%-11s %-12s %-12s %-12s %9s %9s\n" "Benchmark" "measured"
+    "sim" "model" "np(sim)" "np(model)";
+  List.iter
+    (fun r ->
+      Printf.printf "%-11s %-12s %-12s %-12s %9.2f %9.2f%s\n" r.ag_id
+        r.ag_measured r.ag_sim r.ag_model r.ag_np_sim r.ag_np_model
+        (if r.ag_model <> r.ag_measured || r.ag_sim <> r.ag_measured then
+           "  <- DISAGREES"
+         else ""))
+    rows;
+  let bad =
+    List.filter
+      (fun r -> r.ag_model <> r.ag_measured || r.ag_sim <> r.ag_measured)
+      rows
+  in
+  if bad <> [] then begin
+    Printf.eprintf
+      "predictor agreement FAILED on %d benchmark%s (%s): the model may no \
+       longer drive groverc promote --predict\n"
+      (List.length bad)
+      (if List.length bad = 1 then "" else "s")
+      (String.concat ", " (List.map (fun r -> r.ag_id) bad));
+    exit 1
+  end;
+  Printf.printf "predictor agreement: %d/%d winners match\n" (List.length rows)
+    (List.length rows);
+  rows
+
 let run ~scale () =
   Exp.header
     "Predictor: analytical (countless) model vs trace-driven simulation \

@@ -991,6 +991,7 @@ let autotune_cmd =
                 e_np = np;
                 e_t_with = rw.Grover_suite.Harness.wc_seconds;
                 e_t_without = rwo.Grover_suite.Harness.wc_seconds;
+                e_tuned_by = Atdb.tuned_by_measured;
               };
             Atdb.save db;
             let gx, gy, gz = w.Grover_suite.Kit.global
@@ -1017,6 +1018,362 @@ let autotune_cmd =
       ret
         (const run $ bench $ platform $ scale $ domains $ save $ db_arg $ reps
        $ cache_dir_arg))
+
+(* -- promote -------------------------------------------------------------------- *)
+
+(* The insertion direction of the bidirectional optimizer: promote reused
+   global loads back into __local tiles (lib/promote), validate the result
+   (race certification + sanitizer + output check), and optionally pick the
+   overall winner — with_lm / without_lm / promoted — analytically
+   (--predict, memsim model) or by wall-clock (--measure), recording the
+   decision into the autotune DB with its provenance. *)
+let promote_cmd =
+  let module H = Grover_suite.Harness in
+  let module Kit = Grover_suite.Kit in
+  let module Promote = Grover_promote.Promote in
+  let module Predict = Grover_memsim.Predict in
+  let module P = Grover_memsim.Platform in
+  let module Runtime = Grover_ocl.Runtime in
+  let module Interp = Grover_ocl.Interp in
+  let target =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"TARGET"
+          ~doc:
+            "A kernel file, a bundled benchmark id (see $(b,groverc list)), \
+             or $(b,all) for the whole suite.")
+  in
+  let predict =
+    Arg.(
+      value & flag
+      & info [ "predict" ]
+          ~doc:
+            "Rank with_lm / without_lm / promoted analytically with the \
+             memsim cost model (no timing) and record the winner in the \
+             autotune database with $(b,tuned-by: predictor).")
+  in
+  let measure =
+    Arg.(
+      value & flag
+      & info [ "measure" ]
+          ~doc:
+            "Wall-clock all three variants on the host (min of $(b,--reps)) \
+             and record the winner with $(b,tuned-by: measured).")
+  in
+  let scale =
+    Arg.(value & opt int 4 & info [ "scale" ] ~doc:"Problem-size divisor.")
+  in
+  let reps =
+    Arg.(
+      value & opt int 3
+      & info [ "reps" ] ~docv:"N"
+          ~doc:"Wall-clock repetitions per variant for $(b,--measure).")
+  in
+  let defines =
+    Arg.(
+      value & opt_all string []
+      & info [ "define"; "D" ] ~docv:"NAME=VALUE"
+          ~doc:"Preprocessor definition (file targets).")
+  in
+  let db_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "db" ] ~docv:"FILE"
+          ~doc:
+            "Autotune database file (default: $(b,CACHE_DIR/autotune.db) \
+             under --cache-dir / GROVER_CACHE_DIR, or \
+             $(b,.grover-cache/autotune.db)).")
+  in
+  let print_outcome indent (o : Promote.outcome) =
+    List.iter
+      (fun (name, reuse) ->
+        Printf.printf "%sstaged %s through __local (x%d reuse)\n" indent name
+          reuse)
+      o.Promote.promoted;
+    if o.Promote.tile_bytes > 0 then
+      Printf.printf "%s__local bytes added: %d\n" indent o.Promote.tile_bytes;
+    List.iter
+      (fun (n, r) -> Printf.printf "%snot staged %s: %s\n" indent n r)
+      o.Promote.p_rejected
+  in
+  (* One suite case: promote, validate, optionally rank and record. Returns
+     false when a promoted kernel fails validation or a ranked variant
+     produces a wrong result. *)
+  let run_case ~predict ~measure ~scale ~reps ~db_file (case : Kit.case) : bool
+      =
+    let pm = H.promote_run ~scale case in
+    let o = pm.H.pm_outcome in
+    let n = List.length o.Promote.promoted in
+    Printf.printf "%s: %s\n" case.Kit.id
+      (if n = 0 then "no promotion (kernel left as-is)"
+       else
+         Printf.sprintf "promoted %d load%s into __local tiles" n
+           (if n = 1 then "" else "s"));
+    print_outcome "  " o;
+    let promoted_ok =
+      if n = 0 then true
+      else begin
+        Printf.printf "  race check: %s\n"
+          (if pm.H.pm_race_free then "race-free" else "NOT RACE-FREE");
+        Printf.printf "  sanitizer:  %s\n"
+          (match pm.H.pm_findings with
+          | [] -> "clean"
+          | fs -> Printf.sprintf "%d finding(s)" (List.length fs));
+        Printf.printf "  output:     %s\n"
+          (match pm.H.pm_check with
+          | Ok () -> "matches host reference"
+          | Error m -> "WRONG: " ^ m);
+        pm.H.pm_race_free && pm.H.pm_findings = []
+        && pm.H.pm_check = Ok ()
+      end
+    in
+    if (not promoted_ok) || not (predict || measure) then promoted_ok
+    else begin
+      let w = case.Kit.mk ~scale in
+      let lx, ly, lz = w.Kit.local in
+      let wg = lx * ly * lz in
+      let fn_with, _ = H.compile_version case H.With_lm in
+      let fn_without, _ = H.compile_version case H.Without_lm in
+      let variants =
+        [ ("with_lm", fn_with); ("without_lm", fn_without) ]
+        @ (if n > 0 then [ ("promoted", pm.H.pm_fn) ] else [])
+      in
+      (* Each variant runs once on the host to collect the memory-traffic
+         totals the model consumes — and to re-check its output. *)
+      let execd =
+        List.map
+          (fun (label, fn) ->
+            let _, totals, _, check, path =
+              H.execute case fn ~scale ~platform:None
+            in
+            (label, fn, totals, path, check))
+          variants
+      in
+      let wrong =
+        List.filter_map
+          (fun (label, _, _, _, check) ->
+            match check with
+            | Ok () -> None
+            | Error m -> Some (label ^ ": " ^ m))
+          execd
+      in
+      if wrong <> [] then begin
+        List.iter (fun m -> Printf.printf "  WRONG OUTPUT %s\n" m) wrong;
+        false
+      end
+      else begin
+        let record_entry ~winner ~path ~lane_width ~np ~t_with ~t_without
+            ~tuned_by =
+          let db = Atdb.load db_file in
+          Atdb.record db
+            {
+              Atdb.e_kernel = case.Kit.kernel;
+              e_khash =
+                Cache.kernel_hash ~source:case.Kit.source
+                  ~defines:case.Kit.defines ~name:case.Kit.kernel;
+              e_platform = Atdb.host_platform;
+              e_global = w.Kit.global;
+              e_local = w.Kit.local;
+              e_version = winner;
+              e_path = path;
+              e_lane_width = lane_width;
+              e_np = np;
+              e_t_with = t_with;
+              e_t_without = t_without;
+              e_tuned_by = tuned_by;
+            };
+          Atdb.save db;
+          Printf.printf "  saved: %s (np %.2f) -> %s [tuned-by: %s]\n" winner
+            np db_file tuned_by
+        in
+        if predict then begin
+          let inputs =
+            List.map
+              (fun (label, fn, totals, _, _) ->
+                ( label,
+                  {
+                    Predict.totals;
+                    wg_size = wg;
+                    vectorized = H.uses_vector_types fn;
+                  } ))
+              execd
+          in
+          let ranking = Predict.rank P.snb inputs in
+          Printf.printf "  predictor ranking (%s model):\n" P.snb.P.name;
+          List.iteri
+            (fun i (r : Predict.ranked) ->
+              Printf.printf "    %d. %-10s %.6f s\n" (i + 1)
+                r.Predict.rk_label r.Predict.rk_seconds)
+            ranking;
+          let seconds_of l =
+            (List.find
+               (fun (r : Predict.ranked) -> r.Predict.rk_label = l)
+               ranking)
+              .Predict.rk_seconds
+          in
+          let winner = (List.hd ranking).Predict.rk_label in
+          let _, _, _, wpath, _ =
+            List.find (fun (l, _, _, _, _) -> l = winner) execd
+          in
+          record_entry ~winner ~path:wpath ~lane_width:1
+            ~np:(seconds_of "with_lm" /. seconds_of "without_lm")
+            ~t_with:(seconds_of "with_lm")
+            ~t_without:(seconds_of "without_lm")
+            ~tuned_by:Atdb.tuned_by_predictor
+        end;
+        if measure then begin
+          let timed =
+            List.map
+              (fun (label, fn, _, _, _) ->
+                let compiled = Interp.prepare fn in
+                let best = ref infinity in
+                for _ = 1 to reps do
+                  let wm = case.Kit.mk ~scale in
+                  let cfgm =
+                    {
+                      Runtime.global = wm.Kit.global;
+                      local = wm.Kit.local;
+                      queues = 1;
+                    }
+                  in
+                  let t0 = Unix.gettimeofday () in
+                  let (_ : Grover_ocl.Trace.totals) =
+                    Runtime.launch compiled ~cfg:cfgm ~args:wm.Kit.args
+                      ~mem:wm.Kit.mem ()
+                  in
+                  let dt = Unix.gettimeofday () -. t0 in
+                  if dt < !best then best := dt
+                done;
+                (label, compiled, !best))
+              execd
+          in
+          Printf.printf "  measured (min of %d):\n" reps;
+          List.iter
+            (fun (label, _, t) ->
+              Printf.printf "    %-10s %.3f ms\n" label (t *. 1e3))
+            timed;
+          let wl, wc, _ =
+            List.fold_left
+              (fun (al, ac, at) (l, c, t) ->
+                if t < at then (l, c, t) else (al, ac, at))
+              (let l, c, t = List.hd timed in
+               (l, c, t))
+              (List.tl timed)
+          in
+          let t_of l =
+            let _, _, t = List.find (fun (l', _, _) -> l' = l) timed in
+            t
+          in
+          let cfg =
+            { Runtime.global = w.Kit.global; local = w.Kit.local; queues = 1 }
+          in
+          record_entry ~winner:wl
+            ~path:(Runtime.path_name (Runtime.plan wc ~cfg ()))
+            ~lane_width:(Interp.lane_width_of wc)
+            ~np:(t_of "with_lm" /. t_of "without_lm")
+            ~t_with:(t_of "with_lm") ~t_without:(t_of "without_lm")
+            ~tuned_by:Atdb.tuned_by_measured
+        end;
+        true
+      end
+    end
+  in
+  let run_file ~defines ~local file : bool =
+    let src = read_file file in
+    let fns = Grover_ir.Lower.compile ~defines src in
+    List.for_all
+      (fun fn ->
+        Grover_passes.Pipeline.normalize fn;
+        let outcome =
+          Grover_analysis.Config.with_local local (fun () ->
+              Promote.run fn)
+        in
+        let n = List.length outcome.Promote.promoted in
+        Printf.printf "%s: %s\n" fn.Grover_ir.Ssa.f_name
+          (if n = 0 then "no promotion (kernel left as-is)"
+           else
+             Printf.sprintf "promoted %d load%s into __local tiles" n
+               (if n = 1 then "" else "s"));
+        print_outcome "  " outcome;
+        if n = 0 then true
+        else begin
+          let reports, _box, _assumed =
+            Grover_analysis.Config.with_local local (fun () ->
+                Grover_analysis.Race.analyse fn)
+          in
+          let race_free =
+            List.for_all
+              (fun (r : Grover_analysis.Race.report) ->
+                r.Grover_analysis.Race.r_verdict
+                = Grover_analysis.Race.Race_free)
+              reports
+          in
+          Printf.printf "  race check: %s\n"
+            (if race_free then "race-free" else "NOT RACE-FREE");
+          print_string (Grover_ir.Printer.func_to_string fn);
+          race_free
+        end)
+      fns
+  in
+  let run target predict measure scale reps defines db_file local cache_dir
+      fmt =
+    let defines = parse_defines defines in
+    let db_file =
+      match db_file with
+      | Some f -> f
+      | None ->
+          let dir =
+            Option.value (resolve_cache_dir cache_dir)
+              ~default:".grover-cache"
+          in
+          Atdb.default_file ~cache_dir:dir
+    in
+    let cases =
+      if target = "all" then Some Grover_suite.Suite.all
+      else Option.map (fun c -> [ c ]) (Grover_suite.Suite.by_id target)
+    in
+    match cases with
+    | Some cases -> (
+        try
+          let ok =
+            List.fold_left
+              (fun acc case ->
+                run_case ~predict ~measure ~scale ~reps ~db_file case && acc)
+              true cases
+          in
+          if ok then `Ok ()
+          else `Error (false, "promotion validation failed (see above)")
+        with H.Harness_error m -> `Error (false, m))
+    | None ->
+        if not (Sys.file_exists target) then
+          `Error
+            ( false,
+              Printf.sprintf
+                "%s is neither a benchmark id nor a file; try: %s" target
+                (String.concat ", "
+                   (List.map (fun c -> c.Kit.id) Grover_suite.Suite.all)) )
+        else if predict || measure then
+          `Error
+            ( false,
+              "--predict/--measure rank executions and need a bundled \
+               benchmark (file targets have no workload)" )
+        else
+          guarded fmt ~file:target (fun () ->
+              if not (run_file ~defines ~local target) then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "promote"
+       ~doc:
+         "Stage reused global loads back into __local tiles (the insertion \
+          direction of the bidirectional optimizer), validate the result, \
+          and optionally record the with_lm / without_lm / promoted winner \
+          in the autotune database ($(b,--predict) for the analytic model, \
+          $(b,--measure) for wall-clock).")
+    Term.(
+      ret
+        (const run $ target $ predict $ measure $ scale $ reps $ defines
+       $ db_arg $ local_arg $ cache_dir_arg $ diag_format_arg))
 
 (* -- run ------------------------------------------------------------------------ *)
 
@@ -1060,7 +1417,17 @@ let run_cmd =
              domain) instead of through the queue — the baseline the queue \
              is measured against.")
   in
-  let run target jobs scale domains sequential =
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Print each launch's event timeline — enqueue, submission to \
+             the scheduler (dependencies resolved) and completion, the \
+             OpenCL profiling-timestamp analogues — relative to the first \
+             enqueue.")
+  in
+  let run target jobs scale domains sequential profile =
     let cases =
       if target = "all" then Some Grover_suite.Suite.all
       else
@@ -1074,6 +1441,11 @@ let run_cmd =
               (String.concat ", "
                  (List.map (fun c -> c.Kit.id) Grover_suite.Suite.all)) )
     | Some _ when jobs < 1 -> `Error (false, "--jobs must be >= 1")
+    | Some _ when sequential && profile ->
+        `Error
+          ( false,
+            "--profile reads the queue's event timestamps; it cannot be \
+             combined with --sequential" )
     | Some cases -> (
         let set =
           List.concat_map
@@ -1082,9 +1454,12 @@ let run_cmd =
         in
         try
           let pls = H.prepare_launches ~jobs ~scale set in
-          let seconds, _totals =
-            if sequential then H.run_sequential pls
-            else H.run_queued ~domains pls
+          let seconds, events =
+            if sequential then (fst (H.run_sequential pls), [])
+            else begin
+              let dt, evs = H.run_queued_events ~domains pls in
+              (dt, evs)
+            end
           in
           H.validate_launches pls;
           let items = H.launch_items pls in
@@ -1106,6 +1481,31 @@ let run_cmd =
                     Printf.sprintf " (clamped from %d)" requested
                   else ""));
           Printf.printf "  all outputs validated against host references\n";
+          if profile then begin
+            let t0 =
+              List.fold_left
+                (fun acc (_, ev) ->
+                  let q, _, _ = Grover_ocl.Event.profile ev in
+                  min acc q)
+                infinity events
+            in
+            Printf.printf
+              "  event timeline (ms after first enqueue; wait = queued -> \
+               submitted, exec = submitted -> completed):\n";
+            List.iter
+              (fun (label, ev) ->
+                let q, s, c = Grover_ocl.Event.profile ev in
+                Printf.printf
+                  "    %-24s queued %+8.3f  submitted %+8.3f  completed \
+                   %+8.3f  (wait %.3f, exec %.3f)\n"
+                  label
+                  ((q -. t0) *. 1e3)
+                  ((s -. t0) *. 1e3)
+                  ((c -. t0) *. 1e3)
+                  ((s -. q) *. 1e3)
+                  ((c -. s) *. 1e3))
+              events
+          end;
           `Ok ()
         with
         | H.Harness_error m -> `Error (false, m)
@@ -1117,7 +1517,8 @@ let run_cmd =
          "Submit bundled benchmarks (both kernel versions, $(b,--jobs) \
           copies each) to one out-of-order command queue and drain it over \
           the domain pool, validating every output.")
-    Term.(ret (const run $ target $ jobs $ scale $ domains $ sequential))
+    Term.(
+      ret (const run $ target $ jobs $ scale $ domains $ sequential $ profile))
 
 (* -- cache ---------------------------------------------------------------------- *)
 
@@ -1161,14 +1562,19 @@ let cache_cmd =
         match action with
         | `Stats ->
             let t = Cache.create ~dir () in
-            let db_entries =
-              if Sys.file_exists db_file then Atdb.size (Atdb.load db_file)
-              else 0
+            let db_entries, measured, predicted =
+              if Sys.file_exists db_file then begin
+                let db = Atdb.load db_file in
+                let m, p = Atdb.provenance_counts db in
+                (Atdb.size db, m, p)
+              end
+              else (0, 0, 0)
             in
             Printf.printf "cache dir:        %s\n" dir;
             Printf.printf "artifacts:        %d (%d bytes)\n"
               (Cache.disk_size t) (Cache.disk_bytes t);
-            Printf.printf "autotune entries: %d\n" db_entries;
+            Printf.printf "autotune entries: %d (%d measured, %d predictor)\n"
+              db_entries measured predicted;
             `Ok ()
         | `Clear -> (
             let t = Cache.create ~dir () in
@@ -1239,4 +1645,4 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group info ~default:pipeline_term
           [ transform_cmd; report_cmd; sanitize_cmd; pipeline_cmd; passes_cmd;
-            autotune_cmd; run_cmd; cache_cmd; list_cmd ]))
+            autotune_cmd; promote_cmd; run_cmd; cache_cmd; list_cmd ]))

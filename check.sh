@@ -117,6 +117,40 @@ fi
 echo "-- autotune.db holds $(wc -l < "$tunedir/autotune.db") entry(ies)"
 rm -rf "$tunedir"
 
+echo "== promote: bidirectional optimizer over the whole suite (--predict) =="
+# The insertion direction: every suite kernel must get a verdict (promoted
+# or a stated refusal), every promoted kernel must pass race certification,
+# the sanitizer and output validation (groverc promote exits non-zero
+# otherwise), and the predictor-ranked winner is recorded to a throwaway
+# autotune DB with predictor provenance.
+promodir=$(mktemp -d)
+dune exec bin/groverc.exe -- promote all --predict --cache-dir "$promodir" \
+  > /tmp/grover_promote_out
+verdicts=$(grep -c -E "(promoted [0-9]+ load|no promotion)" /tmp/grover_promote_out || true)
+ncases=$(dune exec bin/groverc.exe -- list | wc -l)
+if [ "$verdicts" -ne "$ncases" ]; then
+  echo "FAIL: promote all gave $verdicts verdicts for $ncases suite kernels"
+  cat /tmp/grover_promote_out
+  exit 1
+fi
+if ! grep -q "promoted [0-9]* load" /tmp/grover_promote_out; then
+  echo "FAIL: promote all promoted nothing (the insertion direction is vacuous)"
+  cat /tmp/grover_promote_out
+  exit 1
+fi
+if ! grep -q "tuned-by: predictor" /tmp/grover_promote_out; then
+  echo "FAIL: promote --predict recorded no predictor-provenance entries"
+  exit 1
+fi
+if ! grep -q "predictor" "$promodir/autotune.db"; then
+  echo "FAIL: $promodir/autotune.db holds no predictor-tagged entries"
+  exit 1
+fi
+dune exec bin/groverc.exe -- cache stats --cache-dir "$promodir" \
+  | grep "autotune entries:"
+echo "-- promote all: $verdicts verdicts, promoted kernels validated"
+rm -rf "$promodir" /tmp/grover_promote_out
+
 echo "== compile cache: warm run hits the disk tier and replays identically =="
 # The whole suite is compiled twice through a fresh cache directory in two
 # separate processes. The second run must (a) print byte-identical stdout

@@ -9,11 +9,23 @@
 
     The file format is one tab-separated line per entry, human-greppable
     and merge-friendly; unparseable lines are skipped so mixed-version
-    files degrade to fewer entries, not a crash. *)
+    files degrade to fewer entries, not a crash.
+
+    Since "atdb2", every entry carries its provenance ([tuned-by]):
+    ["measured"] for wall-clock winners and ["predictor"] for decisions
+    taken analytically by {!Grover_memsim.Predict.rank} without executing
+    the losing versions. "atdb1" lines (which were always measured) still
+    parse, as measured. *)
 
 module Runtime = Grover_ocl.Runtime
 
-let db_version = "atdb1"
+let db_version = "atdb2"
+let db_version_v1 = "atdb1"
+
+(** Provenance values for {!entry.e_tuned_by}. *)
+let tuned_by_measured = "measured"
+
+let tuned_by_predictor = "predictor"
 
 (** The platform tag for timings taken on the host interpreter (the only
     measurement source today; simulated platforms would record their
@@ -26,12 +38,13 @@ type entry = {
   e_platform : string;
   e_global : int * int * int;
   e_local : int * int * int;
-  e_version : string;  (** winner: "with_lm" or "without_lm" *)
+  e_version : string;  (** winner: "with_lm", "without_lm" or "promoted" *)
   e_path : string;  (** execution path the winner ran on *)
   e_lane_width : int;  (** lane width of the winner (1 = scalar) *)
   e_np : float;  (** normalized perf t_with / t_without (> 1 = gain) *)
   e_t_with : float;  (** best-of-N seconds, with_lm *)
   e_t_without : float;  (** best-of-N seconds, without_lm *)
+  e_tuned_by : string;  (** provenance: {!tuned_by_measured} or {!tuned_by_predictor} *)
 }
 
 type t = {
@@ -64,29 +77,42 @@ let entry_to_line (e : entry) : string =
       Printf.sprintf "%.6f" e.e_np;
       Printf.sprintf "%.9f" e.e_t_with;
       Printf.sprintf "%.9f" e.e_t_without;
+      e.e_tuned_by;
     ]
+
+let entry_of_fields ~tuned_by kernel khash platform global local version path
+    lw np tw two : entry option =
+  try
+    Some
+      {
+        e_kernel = kernel;
+        e_khash = khash;
+        e_platform = platform;
+        e_global = dims_of_string global;
+        e_local = dims_of_string local;
+        e_version = version;
+        e_path = path;
+        e_lane_width = int_of_string lw;
+        e_np = float_of_string np;
+        e_t_with = float_of_string tw;
+        e_t_without = float_of_string two;
+        e_tuned_by = tuned_by;
+      }
+  with _ -> None
 
 let entry_of_line (line : string) : entry option =
   match String.split_on_char '\t' line with
   | [ v; kernel; khash; platform; global; local; version; path; lw; np;
+      tw; two; tuned_by ]
+    when v = db_version ->
+      entry_of_fields ~tuned_by kernel khash platform global local version
+        path lw np tw two
+  | [ v; kernel; khash; platform; global; local; version; path; lw; np;
       tw; two ]
-    when v = db_version -> (
-      try
-        Some
-          {
-            e_kernel = kernel;
-            e_khash = khash;
-            e_platform = platform;
-            e_global = dims_of_string global;
-            e_local = dims_of_string local;
-            e_version = version;
-            e_path = path;
-            e_lane_width = int_of_string lw;
-            e_np = float_of_string np;
-            e_t_with = float_of_string tw;
-            e_t_without = float_of_string two;
-          }
-      with _ -> None)
+    when v = db_version_v1 ->
+      (* atdb1 predates provenance; every entry came from a measurement. *)
+      entry_of_fields ~tuned_by:tuned_by_measured kernel khash platform
+        global local version path lw np tw two
   | _ -> None
 
 (* -- Load / save ------------------------------------------------------------ *)
@@ -138,6 +164,14 @@ let entries (t : t) : entry list =
 
 let size (t : t) : int =
   Mutex.protect t.mutex (fun () -> List.length t.entries)
+
+(** (measured, predictor-sourced) entry counts, for [groverc cache stats]. *)
+let provenance_counts (t : t) : int * int =
+  Mutex.protect t.mutex (fun () ->
+      List.fold_left
+        (fun (m, p) e ->
+          if e.e_tuned_by = tuned_by_predictor then (m, p + 1) else (m + 1, p))
+        (0, 0) t.entries)
 
 (* -- Record / lookup -------------------------------------------------------- *)
 

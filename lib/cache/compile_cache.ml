@@ -325,6 +325,52 @@ let mem_size (t : t) : int =
 let art_path (dir : string) (key : string) : string =
   Filename.concat dir (key ^ ".art")
 
+(* -- Cross-process locking --
+
+   The disk tier is shared between processes (several groverc invocations,
+   CI jobs, the bench) and every write is already an atomic rename, so
+   readers can never observe a torn artifact. What the rename alone does
+   not prevent is N processes missing on the same key at once and all
+   paying the full build. A per-key advisory lock file ([<key>.lock],
+   zero bytes, sibling of the artifact) closes that window: readers take
+   it shared around the load, a builder takes it exclusive around
+   miss -> re-probe -> build -> store, so late builders block until the
+   winner has published and then hit its artifact on the re-probe.
+
+   The lock is an optimization, never a correctness requirement: if the
+   lock file cannot be opened or locked (read-only dir, NFS without lock
+   support), the code degrades to today's behaviour — duplicate builds,
+   still-correct atomic publishes. POSIX record locks are per-process, so
+   within one process concurrent builders of the same key are serialized
+   by {!compile_batch}'s owner table instead, and a same-process re-entry
+   never self-deadlocks. *)
+
+let lock_path (dir : string) (key : string) : string =
+  Filename.concat dir (key ^ ".lock")
+
+let with_key_lock (t : t) (key : string) ~(shared : bool) (f : unit -> 'a) :
+    'a =
+  match t.dir with
+  | None -> f ()
+  | Some dir -> (
+      match
+        Unix.openfile (lock_path dir key) [ Unix.O_CREAT; Unix.O_RDWR ] 0o644
+      with
+      | exception Unix.Unix_error _ -> f ()
+      | fd ->
+          Fun.protect
+            ~finally:(fun () ->
+              (try Unix.lockf fd Unix.F_ULOCK 0
+               with Unix.Unix_error _ -> ());
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              (try
+                 Unix.lockf fd
+                   (if shared then Unix.F_RLOCK else Unix.F_LOCK)
+                   0
+               with Unix.Unix_error _ -> ());
+              f ()))
+
 (* Every artifact file with its mtime and size; unstattable entries (a
    concurrent trim/clear) are skipped. *)
 let art_files (dir : string) : (string * float * int) list =
@@ -349,7 +395,10 @@ let disk_bytes (t : t) : int =
     used artifacts first (mtime order — {!disk_load} touches an artifact
     on every hit, so mtime is recency of use, not of creation). Returns
     [(files_removed, bytes_freed)]. The memory tier is untouched: its
-    entries remain valid and simply re-persist on their next store. *)
+    entries remain valid and simply re-persist on their next store.
+    Zero-byte [.lock] sidecars are deliberately kept: unlinking a lock
+    file another process holds open would let a third process create a
+    fresh one and split the lock. [clear] removes them. *)
 let trim (t : t) ~(max_bytes : int) : int * int =
   match t.dir with
   | None -> (0, 0)
@@ -485,19 +534,31 @@ let compile (t : t) (rq : request) : prepared =
   match mem_lookup t key with
   | Some pr -> pr
   | None -> (
-      match disk_load t key with
-      | Some art ->
-          let pr = { pr_art = art; pr_compiled = prepare_artifact rq art } in
-          count_miss t ~disk:true;
-          mem_insert t key pr;
-          pr
+      let from_disk art =
+        let pr = { pr_art = art; pr_compiled = prepare_artifact rq art } in
+        count_miss t ~disk:true;
+        mem_insert t key pr;
+        pr
+      in
+      match with_key_lock t key ~shared:true (fun () -> disk_load t key) with
+      | Some art -> from_disk art
       | None ->
-          let art = build_artifact rq ~key in
-          let pr = { pr_art = art; pr_compiled = prepare_artifact rq art } in
-          count_miss t ~disk:false;
-          disk_store t art;
-          mem_insert t key pr;
-          pr)
+          (* Miss: take the key's lock exclusively, so concurrent builders
+             of the same key in other processes queue up behind the first.
+             Whoever waited re-probes and hits the winner's artifact
+             instead of rebuilding it. *)
+          with_key_lock t key ~shared:false (fun () ->
+              match disk_load t key with
+              | Some art -> from_disk art
+              | None ->
+                  let art = build_artifact rq ~key in
+                  let pr =
+                    { pr_art = art; pr_compiled = prepare_artifact rq art }
+                  in
+                  count_miss t ~disk:false;
+                  disk_store t art;
+                  mem_insert t key pr;
+                  pr))
 
 (** Compile a batch of requests, distinct cache misses running concurrently
     over the runtime's persistent domain pool. Results are positionally
@@ -607,7 +668,8 @@ let clear (t : t) : unit =
       if Sys.file_exists dir then
         Array.iter
           (fun f ->
-            if Filename.check_suffix f ".art" then
+            if Filename.check_suffix f ".art" || Filename.check_suffix f ".lock"
+            then
               try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
           (Sys.readdir dir)
 

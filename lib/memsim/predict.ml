@@ -61,3 +61,20 @@ let predict (plat : P.t) (inp : inputs) : float =
 (** Predicted normalized performance from the two versions' counts. *)
 let predict_np (plat : P.t) ~(with_lm : inputs) ~(without_lm : inputs) : float =
   predict plat with_lm /. predict plat without_lm
+
+(** One scored kernel variant. *)
+type ranked = {
+  rk_label : string;  (** e.g. "with_lm", "without_lm", "promoted" *)
+  rk_seconds : float;  (** predicted time; lower is better *)
+}
+
+(** Score every variant of a kernel analytically and rank them fastest
+    first (ties keep input order). This is the selection entry point of
+    the bidirectional optimizer: the autotune step can pick
+    [List.hd (rank plat variants)] instead of executing each version. *)
+let rank (plat : P.t) (variants : (string * inputs) list) : ranked list =
+  List.stable_sort
+    (fun a b -> Float.compare a.rk_seconds b.rk_seconds)
+    (List.map
+       (fun (label, inp) -> { rk_label = label; rk_seconds = predict plat inp })
+       variants)

@@ -9,7 +9,13 @@
 
     [ev_seqno] is the global completion order (1-based, monotonically
     increasing across all queues): dependency-order properties — "no
-    event fires before its wait-list" — are checked by comparing seqnos. *)
+    event fires before its wait-list" — are checked by comparing seqnos.
+
+    Each event also carries the OpenCL profiling timestamps
+    ([CL_PROFILING_COMMAND_QUEUED] / [_SUBMIT] / [_END] analogues):
+    wall-clock seconds at enqueue, at dependency resolution (when the
+    command was handed to the scheduler) and at completion. [nan] until
+    the corresponding transition has happened. *)
 
 type state = Pending | Complete
 
@@ -26,6 +32,11 @@ type t = {
   mutable ev_callbacks : (unit -> unit) list;
       (** fired (scheduler lock held) at completion; the queue layer's
           dependency-resolution hooks *)
+  mutable ev_queued : float;  (** [gettimeofday] at enqueue *)
+  mutable ev_submitted : float;
+      (** when the last dependency resolved and the command went to the
+          scheduler; [nan] while still waiting *)
+  mutable ev_completed : float;  (** [gettimeofday] at completion *)
 }
 
 let next_id = Atomic.make 0
@@ -38,11 +49,19 @@ let make () : t =
     ev_error = None;
     ev_totals = None;
     ev_callbacks = [];
+    ev_queued = Unix.gettimeofday ();
+    ev_submitted = Float.nan;
+    ev_completed = Float.nan;
   }
 
 let is_complete (ev : t) : bool = ev.ev_state = Complete
 let seqno (ev : t) : int = ev.ev_seqno
 let error (ev : t) : exn option = ev.ev_error
+
+(** Profiling timestamps (absolute seconds): enqueue, submission to the
+    scheduler, completion. [nan] for transitions that have not happened. *)
+let profile (ev : t) : float * float * float =
+  (ev.ev_queued, ev.ev_submitted, ev.ev_completed)
 
 (** The completed launch's totals.
     @raise Invalid_argument while pending, or on a marker/barrier. *)

@@ -155,6 +155,7 @@ let completion_seq = ref 0
 let complete_locked (q : t) (ev : Event.t) ~(totals : Trace.totals option)
     ~(error : exn option) : unit =
   ev.Event.ev_state <- Event.Complete;
+  ev.Event.ev_completed <- Unix.gettimeofday ();
   incr completion_seq;
   ev.Event.ev_seqno <- !completion_seq;
   ev.Event.ev_totals <- totals;
@@ -277,7 +278,15 @@ let enqueue_nd_range (q : t) (c : Interp.compiled)
         ~error:lr.Sched.l_error);
   Sched.locked (fun () ->
       q.q_pending <- q.q_pending + 1;
-      let p = { p_deps = 0; p_fire = (fun () -> Sched.submit_locked lr) } in
+      let p =
+        {
+          p_deps = 0;
+          p_fire =
+            (fun () ->
+              ev.Event.ev_submitted <- Unix.gettimeofday ();
+              Sched.submit_locked lr);
+        }
+      in
       let deps = hazard_deps_locked q ~reads:!reads ~writes:!writes ev in
       q.q_live <- ev :: q.q_live;
       resolve_deps_locked p (wait @ deps));
@@ -293,7 +302,10 @@ let enqueue_barrier ?(all = false) (q : t) ~(reads : Memory.buffer list)
       let p =
         {
           p_deps = 0;
-          p_fire = (fun () -> complete_locked q ev ~totals:None ~error:None);
+          p_fire =
+            (fun () ->
+              ev.Event.ev_submitted <- Unix.gettimeofday ();
+              complete_locked q ev ~totals:None ~error:None);
         }
       in
       (* Snapshot before [ev] joins the live set: no self-dependency. *)

@@ -207,22 +207,30 @@ let prepare_launches ?engine ~(jobs : int) ~(scale : int)
     cases
 
 (** Submit every prepared launch to one out-of-order queue and drain it.
-    Returns wall-clock seconds and the per-launch totals in submission
-    order. *)
-let run_queued ?(domains = 0) (pls : prepared_launch list) :
-    float * Trace.totals list =
+    Returns wall-clock seconds and each launch's labelled completion
+    event (carrying totals and the queued/submitted/completed profiling
+    timestamps) in submission order. *)
+let run_queued_events ?(domains = 0) (pls : prepared_launch list) :
+    float * (string * Event.t) list =
   let q = Queue.create ~domains () in
   let t0 = Unix.gettimeofday () in
   let evs =
     List.map
       (fun pl ->
-        Queue.enqueue_nd_range q pl.pl_compiled ~cfg:pl.pl_cfg
-          ~args:pl.pl_w.Kit.args ())
+        ( pl.pl_label,
+          Queue.enqueue_nd_range q pl.pl_compiled ~cfg:pl.pl_cfg
+            ~args:pl.pl_w.Kit.args () ))
       pls
   in
   Queue.finish q;
   let dt = Unix.gettimeofday () -. t0 in
-  (dt, List.map Event.totals evs)
+  (dt, evs)
+
+(** [run_queued_events] reduced to per-launch totals. *)
+let run_queued ?(domains = 0) (pls : prepared_launch list) :
+    float * Trace.totals list =
+  let dt, evs = run_queued_events ~domains pls in
+  (dt, List.map (fun (_, ev) -> Event.totals ev) evs)
 
 (** The same launch set, one serial [Runtime.launch] at a time — the
     queue's baseline and differential oracle. *)
@@ -282,6 +290,71 @@ let sanitize_run ?engine ?(scale = 4) (case : Kit.case) (v : version) :
     sz_check = w.Kit.check ();
     sz_local = w.Kit.local;
     sz_fn = fn;
+  }
+
+(* -- Promotion (the reverse transform) ---------------------------------------- *)
+
+(** Deep-copy a function through marshalling, bumping the global id
+    counters past every id in the copy so later synthesised instructions
+    cannot collide. Promotion mutates IR in place; callers usually want to
+    keep the unpromoted form too. *)
+let clone_fn (fn : Ssa.func) : Ssa.func =
+  let s = Marshal.to_string (fn : Ssa.func) [] in
+  let fn' : Ssa.func = Marshal.from_string s 0 in
+  let maxi = Ssa.fold_instrs (fun a (i : Ssa.instr) -> max a i.Ssa.iid) 0 fn' in
+  let maxb =
+    List.fold_left (fun a (b : Ssa.block) -> max a b.Ssa.bid) 0 fn'.Ssa.blocks
+  in
+  Ssa.reserve_ids (max maxi maxb);
+  fn'
+
+(** A validated promotion of one case's [Without_lm] form back to a
+    `__local`-tiled kernel. *)
+type promoted = {
+  pm_fn : Ssa.func;  (** the promoted kernel (the input is left untouched) *)
+  pm_outcome : Grover_promote.Promote.outcome;
+  pm_race_free : bool;  (** every local buffer certified [Race_free] *)
+  pm_findings : Sanitize.finding list;  (** sanitizer findings (must be []) *)
+  pm_check : (unit, string) result;  (** output vs the host reference *)
+  pm_totals : Trace.totals;
+  pm_local : int * int * int;
+}
+
+(** Run the bidirectional loop's insertion direction on [case]: take the
+    Grover-removed ([Without_lm]) kernel, promote its reused global loads
+    back into `__local` tiles under the case's real work-group geometry,
+    then validate the result end to end — static race certification, a
+    sanitized execution, and output validation against the host
+    reference. *)
+let promote_run ?engine ?(scale = 4) (case : Kit.case) : promoted =
+  let fn0, _ = compile_version case Without_lm in
+  let fn = clone_fn fn0 in
+  let w = case.Kit.mk ~scale in
+  let outcome, race_free =
+    Grover_analysis.Config.with_local (Some w.Kit.local) (fun () ->
+        let o = Grover_promote.Promote.run fn in
+        let reports, _box, _assumed = Grover_analysis.Race.analyse fn in
+        let rf =
+          List.for_all
+            (fun (r : Grover_analysis.Race.report) ->
+              r.Grover_analysis.Race.r_verdict = Grover_analysis.Race.Race_free)
+            reports
+        in
+        (o, rf))
+  in
+  let compiled = Interp.prepare ?engine fn in
+  let cfg = { Runtime.global = w.Kit.global; local = w.Kit.local; queues = 1 } in
+  let totals, findings =
+    Runtime.run_sanitized compiled ~cfg ~args:w.Kit.args ~mem:w.Kit.mem ()
+  in
+  {
+    pm_fn = fn;
+    pm_outcome = outcome;
+    pm_race_free = race_free;
+    pm_findings = findings;
+    pm_check = w.Kit.check ();
+    pm_totals = totals;
+    pm_local = w.Kit.local;
   }
 
 (** The full experiment for one (benchmark, platform) test case. *)

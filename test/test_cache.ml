@@ -351,7 +351,7 @@ let check_batch () =
 
 let entry ?(kernel = "k") ?(khash = "h0") ?(global = (64, 1, 1))
     ?(local = (16, 1, 1)) ?(version = "without_lm") ?(path = "wg-loop")
-    ?(lane_width = 8) () : Atdb.entry =
+    ?(lane_width = 8) ?(tuned_by = Atdb.tuned_by_measured) () : Atdb.entry =
   {
     Atdb.e_kernel = kernel;
     e_khash = khash;
@@ -364,6 +364,7 @@ let entry ?(kernel = "k") ?(khash = "h0") ?(global = (64, 1, 1))
     e_np = 1.25;
     e_t_with = 0.005;
     e_t_without = 0.004;
+    e_tuned_by = tuned_by;
   }
 
 let check_db_roundtrip () =
@@ -400,6 +401,55 @@ let check_db_roundtrip () =
   output_string oc "garbage line\n";
   close_out oc;
   Alcotest.(check int) "garbage line skipped" 2 (Atdb.size (Atdb.load file))
+
+(* Provenance: predictor-sourced entries survive a save/load round trip,
+   the measured/predictor split is reported, and pre-provenance "atdb1"
+   lines still parse (as measured). *)
+let check_db_provenance () =
+  let dir = fresh_dir () in
+  Unix.mkdir dir 0o755;
+  let file = Atdb.default_file ~cache_dir:dir in
+  let db = Atdb.load file in
+  Atdb.record db (entry ());
+  Atdb.record db (entry ~kernel:"p1" ~tuned_by:Atdb.tuned_by_predictor ());
+  Atdb.record db
+    (entry ~kernel:"p2" ~version:"promoted"
+       ~tuned_by:Atdb.tuned_by_predictor ());
+  let m, p = Atdb.provenance_counts db in
+  Alcotest.(check (pair int int)) "measured/predictor split" (1, 2) (m, p);
+  Atdb.save db;
+  let db2 = Atdb.load file in
+  Alcotest.(check (pair int int))
+    "split survives reload" (1, 2)
+    (Atdb.provenance_counts db2);
+  (match
+     Atdb.lookup db2 ~kernel:"p2" ~global:(64, 1, 1) ~local:(16, 1, 1) ()
+   with
+  | Some e ->
+      Alcotest.(check string) "predictor provenance kept"
+        Atdb.tuned_by_predictor e.Atdb.e_tuned_by;
+      Alcotest.(check string) "promoted version kept" "promoted"
+        e.Atdb.e_version
+  | None -> Alcotest.fail "predictor entry lost on reload");
+  (* A v1 line: 12 tab-separated fields, no provenance column. *)
+  let v1 =
+    String.concat "\t"
+      [ "atdb1"; "old"; "h1"; Atdb.host_platform; "64,1,1"; "16,1,1";
+        "without_lm"; "wg-loop"; "8"; "1.100000"; "0.005000000";
+        "0.004000000" ]
+  in
+  let oc = open_out_gen [ Open_append ] 0o644 file in
+  output_string oc (v1 ^ "\n");
+  close_out oc;
+  let db3 = Atdb.load file in
+  Alcotest.(check int) "atdb1 line parses" 4 (Atdb.size db3);
+  match
+    Atdb.lookup db3 ~kernel:"old" ~global:(64, 1, 1) ~local:(16, 1, 1) ()
+  with
+  | Some e ->
+      Alcotest.(check string) "atdb1 entries count as measured"
+        Atdb.tuned_by_measured e.Atdb.e_tuned_by
+  | None -> Alcotest.fail "atdb1 entry not loaded"
 
 let check_tuned_of_entry () =
   let t = Atdb.tuned_of_entry (entry ()) in
@@ -520,6 +570,7 @@ let suite =
     ( "cache.autotune",
       [
         Alcotest.test_case "db roundtrip" `Quick check_db_roundtrip;
+        Alcotest.test_case "db provenance" `Quick check_db_provenance;
         Alcotest.test_case "tuned_of_entry" `Quick check_tuned_of_entry;
         Alcotest.test_case "plan consults db" `Quick check_plan_consults_db;
         Alcotest.test_case "env fallbacks" `Quick check_env_fallbacks;

@@ -2,4 +2,4 @@ let () =
   Alcotest.run "grover"
     (List.concat [ Test_support.suite; Test_clc.suite; Test_ir.suite; Test_passes.suite;
       Test_pass_manager.suite; Test_ocl.suite; Test_queue.suite; Test_core.suite; Test_memsim.suite; Test_emit.suite; Test_suite.suite;
-      Test_analysis.suite; Test_cache.suite ])
+      Test_analysis.suite; Test_cache.suite; Test_promote.suite ])

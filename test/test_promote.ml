@@ -1,0 +1,228 @@
+(* Promotion (automatic __local insertion) tests: suite kernels whose
+   Grover-removed form must promote back to a race-certified, sanitizer-clean
+   tiled version with reference-correct output; kernels without reuse must be
+   refused; and the qcheck round trip — promote-lm then the Grover removal —
+   must be observationally identical to the original on random affine
+   kernels. *)
+
+open Grover_ir
+open Grover_ocl
+module H = Grover_suite.Harness
+module Kit = Grover_suite.Kit
+module Suite = Grover_suite.Suite
+module Promote = Grover_promote.Promote
+module Config = Grover_analysis.Config
+module Predict = Grover_memsim.Predict
+module P = Grover_memsim.Platform
+
+let scale = 4
+
+let by_id id =
+  match Suite.by_id id with
+  | Some c -> c
+  | None -> Alcotest.failf "unknown suite case %s" id
+
+(* -- Suite kernels promote back to validated tiled versions ------------------- *)
+
+let test_promotes id () =
+  let pm = H.promote_run ~scale (by_id id) in
+  Alcotest.(check bool)
+    (id ^ " promoted something") true
+    (pm.H.pm_outcome.Promote.promoted <> []);
+  Alcotest.(check bool) (id ^ " race-free") true pm.H.pm_race_free;
+  Alcotest.(check int) (id ^ " sanitizer findings") 0 (List.length pm.H.pm_findings);
+  (match pm.H.pm_check with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "%s (promoted): wrong output: %s" id m);
+  Alcotest.(check bool)
+    (id ^ " uses local memory again") true
+    (pm.H.pm_totals.Trace.t_local_accesses > 0);
+  Alcotest.(check bool)
+    (id ^ " has barriers again") true
+    (pm.H.pm_totals.Trace.t_barriers > 0)
+
+let test_transpose_refused id () =
+  (* Transposes have no inter-work-item reuse: every element is read by one
+     work item, so promotion must refuse rather than stage a useless tile. *)
+  let pm = H.promote_run ~scale (by_id id) in
+  Alcotest.(check (list (pair string int)))
+    (id ^ " promoted nothing") []
+    pm.H.pm_outcome.Promote.promoted;
+  Alcotest.(check bool)
+    (id ^ " gave a reason") true
+    (pm.H.pm_outcome.Promote.p_rejected <> []);
+  (match pm.H.pm_check with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "%s (unpromoted): wrong output: %s" id m)
+
+(* -- Footprint exceeding the local-size box must refuse ------------------------ *)
+
+let compile1 src =
+  match Lower.compile src with
+  | [ fn ] ->
+      Grover_passes.Pipeline.normalize fn;
+      fn
+  | _ -> Alcotest.fail "expected one kernel"
+
+(* A 16-iteration reuse loop under an 8x8 work-group: the tile footprint
+   (8x16) does not tile the box, so promotion must refuse. *)
+let oversized_src =
+  {|__kernel void k(__global float *out, __global const float *in, int W) {
+      int lx = get_local_id(0);
+      int ly = get_local_id(1);
+      int wy = get_group_id(1);
+      float acc = 0.0f;
+      for (int t = 0; t < 16; ++t)
+        acc += in[(wy * 8 + ly) * W + t];
+      out[get_global_id(1) * W + get_global_id(0) % 8] = acc + (float)lx * 0.0f;
+    }|}
+
+let test_footprint_exceeds_box () =
+  let fn = compile1 oversized_src in
+  let o = Config.with_local (Some (8, 8, 1)) (fun () -> Promote.run fn) in
+  Alcotest.(check (list (pair string int))) "promoted nothing" [] o.Promote.promoted;
+  Alcotest.(check bool)
+    "reason mentions the footprint" true
+    (List.exists
+       (fun (_, r) ->
+         let has_sub s sub =
+           let n = String.length sub in
+           let rec go i =
+             i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+           in
+           go 0
+         in
+         has_sub r "footprint" || has_sub r "work-group is larger")
+       o.Promote.p_rejected)
+
+(* -- qcheck round trip: promote then remove == original ------------------------ *)
+
+(* Random affine reuse kernels over a 16x16 grid of 8x8 groups:
+
+     acc += in[...] (styles: A-row reuse over k, B-column reuse over k)
+
+   promote-lm must stage them, and running the Grover removal on the
+   promoted kernel must yield IR observationally identical to the original:
+   bit-identical buffers and identical load/store/float/barrier totals. *)
+type rt_params = { style_a : bool; use_ly : bool; ck : int }
+
+let gen_rt =
+  let open QCheck.Gen in
+  let* style_a = bool in
+  let* use_ly = bool in
+  let* ck = oneofl [ 1; 2 ] in
+  return { style_a; use_ly; ck }
+
+let render_rt (p : rt_params) =
+  let lid = if p.use_ly then "ly" else "lx" in
+  let grp = if p.use_ly then "wy" else "wx" in
+  let idx =
+    if p.style_a then
+      (* row-major reuse: var coeffs {lid: W, k: ck} *)
+      Printf.sprintf "(%s * 8 + %s) * W + %d * k" grp lid p.ck
+    else
+      (* column-major reuse: var coeffs {k: W, lid: ck} *)
+      Printf.sprintf "k * W + %s * 8 + %d * %s" grp p.ck lid
+  in
+  Printf.sprintf
+    {|__kernel void k(__global float *out, __global const float *in, int W) {
+        int lx = get_local_id(0);
+        int ly = get_local_id(1);
+        int wx = get_group_id(0);
+        int wy = get_group_id(1);
+        float acc = 0.0f;
+        for (int k = 0; k < 8; ++k)
+          acc += in[%s] * 0.5f;
+        out[get_global_id(1) * (W / 2) + get_global_id(0)] = acc;
+      }|}
+    idx
+
+let exec_rt fn =
+  let compiled = Interp.prepare fn in
+  let mem = Memory.create () in
+  let n = 16 and w = 32 in
+  let out = Memory.alloc mem Ssa.F32 (n * w) in
+  let inp = Memory.alloc mem Ssa.F32 (n * w) in
+  Memory.fill_floats inp (fun i -> float_of_int (i mod 97) *. 0.25);
+  let totals =
+    Runtime.launch compiled
+      ~cfg:{ Runtime.global = (n, n, 1); local = (8, 8, 1); queues = 1 }
+      ~args:[ Runtime.Abuf out; Runtime.Abuf inp; Runtime.Aint w ]
+      ~mem ()
+  in
+  (Memory.to_float_array out, totals)
+
+let prop_promote_remove_roundtrip =
+  QCheck.Test.make ~name:"promote-lm then grover is observationally identity"
+    ~count:16
+    (QCheck.make ~print:render_rt gen_rt)
+    (fun params ->
+      let src = render_rt params in
+      let ref_out, ref_totals = exec_rt (compile1 src) in
+      let fn = compile1 src in
+      let po = Config.with_local (Some (8, 8, 1)) (fun () -> Promote.run fn) in
+      if po.Promote.promoted = [] then
+        QCheck.Test.fail_reportf "promotion refused: %s"
+          (String.concat "; "
+             (List.map (fun (n, r) -> n ^ ": " ^ r) po.Promote.p_rejected));
+      (* The promoted kernel must stage through local memory and still
+         compute the same buffers. *)
+      let p_out, p_totals = exec_rt fn in
+      if p_totals.Trace.t_local_accesses = 0 then
+        QCheck.Test.fail_report "promoted kernel has no local traffic";
+      if p_out <> ref_out then
+        QCheck.Test.fail_report "promoted kernel changed the output";
+      (* Now run the forward (removal) transform on the promoted kernel. *)
+      let go = Grover_core.Grover.run fn in
+      if go.Grover_core.Grover.transformed = [] then
+        QCheck.Test.fail_report "grover could not remove the promoted tile";
+      let rt_out, rt_totals = exec_rt fn in
+      rt_out = ref_out
+      && rt_totals.Trace.t_loads = ref_totals.Trace.t_loads
+      && rt_totals.Trace.t_stores = ref_totals.Trace.t_stores
+      && rt_totals.Trace.t_float_ops = ref_totals.Trace.t_float_ops
+      && rt_totals.Trace.t_barriers = ref_totals.Trace.t_barriers
+      && rt_totals.Trace.t_local_accesses = 0)
+
+(* -- Predict.rank --------------------------------------------------------------- *)
+
+let test_rank_orders_variants () =
+  let case = by_id "NVD-MT" in
+  let c = H.compare case ~platform:P.snb ~scale:8 in
+  let wg (x, y, z) = x * y * z in
+  let w = case.Kit.mk ~scale:8 in
+  let inp totals =
+    { Predict.totals; wg_size = wg w.Kit.local; vectorized = false }
+  in
+  let ranked =
+    Predict.rank P.snb
+      [ ("with_lm", inp c.H.with_lm.H.totals);
+        ("without_lm", inp c.H.without_lm.H.totals) ]
+  in
+  Alcotest.(check int) "two variants ranked" 2 (List.length ranked);
+  let sorted =
+    match ranked with
+    | [ a; b ] -> a.Predict.rk_seconds <= b.Predict.rk_seconds
+    | _ -> false
+  in
+  Alcotest.(check bool) "fastest first" true sorted;
+  (* NVD-MT is the paper's flagship removal gain: the model must rank the
+     without_lm version faster. *)
+  Alcotest.(check string)
+    "without_lm wins" "without_lm"
+    (List.hd ranked).Predict.rk_label
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let suite =
+  [ ( "promote",
+      [ Alcotest.test_case "NVD-MM-A promotes" `Quick (test_promotes "NVD-MM-A");
+        Alcotest.test_case "AMD-MM promotes" `Quick (test_promotes "AMD-MM");
+        Alcotest.test_case "NVD-MM-AB promotes" `Quick (test_promotes "NVD-MM-AB");
+        Alcotest.test_case "AMD-MT refused (no reuse)" `Quick
+          (test_transpose_refused "AMD-MT");
+        Alcotest.test_case "footprint exceeds box refused" `Quick
+          test_footprint_exceeds_box;
+        Alcotest.test_case "Predict.rank orders variants" `Quick
+          test_rank_orders_variants ] );
+    qsuite "promote-props" [ prop_promote_remove_roundtrip ] ]

@@ -124,6 +124,18 @@ let test_read_write_barriers () =
       Alcotest.(check bool) "second launch after write barrier" true
         (seq ew < seq e2);
       Alcotest.(check bool) "marker last" true (seq e2 < seq em);
+      (* Profiling timestamps: queued <= submitted <= completed on every
+         event, and a dependent command is submitted no earlier than its
+         dependency completed. *)
+      List.iter
+        (fun ev ->
+          let q, s, c = Event.profile ev in
+          Alcotest.(check bool) "queued <= submitted <= completed" true
+            (q <= s && s <= c))
+        [ e1; er; ew; e2; em ];
+      let _, s2, _ = Event.profile e2 and _, _, cw = Event.profile ew in
+      Alcotest.(check bool) "dependent submitted after dep completed" true
+        (cw <= s2);
       Array.iter
         (fun v -> Alcotest.(check (float 0.0)) "b incremented twice" 2.0 v)
         (Memory.to_float_array b))
