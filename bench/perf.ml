@@ -26,6 +26,7 @@ open Grover_ocl
 module H = Grover_suite.Harness
 module Kit = Grover_suite.Kit
 module Nvd_mt = Grover_suite.Nvd_mt
+module Nvd_mm = Grover_suite.Nvd_mm
 
 (* The suite workload builder treats [scale] as a divisor of the 256^2
    base problem, so the 512^2 benchmark size is built directly here. *)
@@ -222,6 +223,119 @@ let report_cache (cs : cache_stats) : unit =
     exit 1
   end
 
+(* -- Masked lane execution ----------------------------------------------------
+
+   The if-conversion tally and its payoff. [masked_region_count] walks the
+   whole suite (both versions) and counts the region entries whose lane
+   verdict is [Lane_masked] — divergent-but-pure diamonds that the lane
+   compiler runs under a per-lane mask instead of dropping the region to
+   the one-work-item scalar sweep. The bench *fails* if the count is zero:
+   the guard-diamond kernels (NVD-MM boundary clamp, NBody tail guard)
+   must keep qualifying, or the masked path has silently rotted back to
+   bail-on-divergence.
+
+   [masked_bench] then measures what masking buys on one upgraded kernel:
+   NVD-MM-A with_lm (whose row clamp previously forced scalar sweeps)
+   forced onto wg-vec (masked lane batches) vs forced onto wg-loop (the
+   scalar sweep those regions used to take). Both runs validate their
+   output against the host reference. *)
+
+module Regions = Grover_ir.Regions
+
+let suite_pairs () : (Kit.case * H.version) list =
+  List.concat_map
+    (fun c -> [ (c, H.With_lm); (c, H.Without_lm) ])
+    Grover_suite.Suite.all
+
+type masked_stats = {
+  mk_regions : int;  (** [Lane_masked] region entries across the suite *)
+  mk_case : string;  (** the upgraded kernel measured below *)
+  mk_lane_width : int;
+  mk_vec_wi_per_sec : float;  (** masked wg-vec throughput *)
+  mk_loop_wi_per_sec : float;  (** forced scalar-sweep throughput *)
+  mk_speedup : float;  (** masked wg-vec / scalar sweep *)
+}
+
+let masked_region_count () : int =
+  List.fold_left
+    (fun acc ((case : Kit.case), v) ->
+      let fn, _ = H.compile_version case v in
+      match Regions.form fn with
+      | Regions.Formed i ->
+          Array.fold_left
+            (fun a e ->
+              match e with Regions.Lane_masked _ -> a + 1 | _ -> a)
+            acc i.Regions.lane_entries
+      | Regions.Fallback _ -> acc)
+    0 (suite_pairs ())
+
+let masked_bench ~(quick : bool) ~(reps : int) () : masked_stats =
+  let regions = masked_region_count () in
+  if regions = 0 then begin
+    Printf.eprintf
+      "perf bench FAILED: no suite region runs masked lane batches \
+       (if-conversion of guard diamonds fell back to the scalar sweep?)\n";
+    exit 1
+  end;
+  let case = Nvd_mm.case_a in
+  let fn, _ = H.compile_version case H.With_lm in
+  let compiled = Interp.prepare ~engine:Interp.Compiled fn in
+  let scale = if quick then 4 else 1 in
+  let w = case.Kit.mk ~scale in
+  let cfg = { Runtime.global = w.Kit.global; local = w.Kit.local; queues = 1 } in
+  let gx, gy, gz = w.Kit.global in
+  let items = float_of_int (gx * gy * gz) in
+  let throughput force_path want =
+    let p = Runtime.plan compiled ~cfg ~force_path () in
+    let path = Runtime.path_name p in
+    if path <> want then begin
+      Printf.eprintf
+        "perf bench FAILED: %s forced onto %s ran %s instead (masked lane \
+         compilation lost the kernel?)\n"
+        case.Kit.id want path;
+      exit 1
+    end;
+    let one () =
+      ignore
+        (Runtime.launch compiled ~cfg ~args:w.Kit.args ~mem:w.Kit.mem
+           ~force_path ())
+    in
+    one ();
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      one ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    (match w.Kit.check () with
+    | Ok () -> ()
+    | Error m ->
+        failwith
+          (Printf.sprintf "perf bench: %s on %s produced wrong output: %s"
+             case.Kit.id want m));
+    items /. !best
+  in
+  let vec = throughput Runtime.Wg_vec "wg-vec" in
+  let loop = throughput Runtime.Wg_loop "wg-loop" in
+  {
+    mk_regions = regions;
+    mk_case = case.Kit.id;
+    mk_lane_width = Interp.lane_width_of compiled;
+    mk_vec_wi_per_sec = vec;
+    mk_loop_wi_per_sec = loop;
+    mk_speedup = vec /. loop;
+  }
+
+let report_masked (s : masked_stats) : unit =
+  Printf.printf
+    "\nmasked lane execution: %d region(s) across the suite run divergent \
+     diamonds if-converted\n\
+    \  %s with_lm, masked wg-vec (%d lanes) vs forced scalar sweep: %.0f vs \
+     %.0f wi/sec (%.2fx)\n"
+    s.mk_regions s.mk_case s.mk_lane_width s.mk_vec_wi_per_sec
+    s.mk_loop_wi_per_sec s.mk_speedup
+
 (* -- Multi-launch (out-of-order queue) throughput -----------------------------
 
    The whole suite in both versions x [jobs] independent workloads each,
@@ -262,11 +376,6 @@ let global_storages (pls : H.prepared_launch list) :
       |> List.map (fun (b : Memory.buffer) -> (b.Memory.bid, b.Memory.st))
       |> List.sort compare)
     pls
-
-let suite_pairs () : (Kit.case * H.version) list =
-  List.concat_map
-    (fun c -> [ (c, H.With_lm); (c, H.Without_lm) ])
-    Grover_suite.Suite.all
 
 let multi_launch_bench ~(quick : bool) ~(reps : int) () : ml_stats =
   let jobs = if quick then 2 else 4 in
@@ -479,6 +588,8 @@ let run ?(quick = false) ?(check_scaling = false) ?(multi_launch = false) () :
   let ov_with = overhead H.With_lm and ov_without = overhead H.Without_lm in
   let cs = cache_bench () in
   report_cache cs;
+  let mk = masked_bench ~quick ~reps () in
+  report_masked mk;
   let ml = if multi_launch then Some (multi_launch_bench ~quick ~reps ()) else None in
   Option.iter report_multi_launch ml;
   (* The predictor-agreement gate runs in every mode, quick included: if
@@ -516,6 +627,9 @@ let run ?(quick = false) ?(check_scaling = false) ?(multi_launch = false) () :
     \  \"speedup_fiberless_over_fiber\": %.2f,\n\
     \  \"sanitizer_overhead_with_lm\": %.2f,\n\
     \  \"sanitizer_overhead_without_lm\": %.2f,\n\
+    \  \"masked_regions\": %d,\n\
+    \  \"masked_case\": \"%s\",\n\
+    \  \"speedup_masked_over_scalar_sweep\": %.2f,\n\
     \  \"compile_cache\": {\n\
     \    \"requests\": %d,\n\
     \    \"distinct_keys\": %d,\n\
@@ -529,6 +643,7 @@ let run ?(quick = false) ?(check_scaling = false) ?(multi_launch = false) () :
     \    \"warm_disk_hit_rate\": %.3f\n\
     \  }"
     sp_with sp_without sp_wgvec sp_wgloop sp_fiberless ov_with ov_without
+    mk.mk_regions mk.mk_case mk.mk_speedup
     cs.cs_requests cs.cs_distinct cs.cs_cold_seq cs.cs_cold_batch
     cs.cs_warm_mem cs.cs_warm_disk
     (cs.cs_cold_seq /. cs.cs_warm_mem)

@@ -368,8 +368,11 @@ let transform_cmd =
 (* The execution path the compiled engine would pick for [fn] — the same
    policy as [Runtime.plan] with no overrides. The kernel is compiled (so
    lane-batchability reflects what the lane compiler actually accepted,
-   not just the static region verdict) but nothing is executed. *)
-let path_line (fn : Grover_ir.Ssa.func) : string =
+   not just the static region verdict) but nothing is executed. Returns
+   the path line plus one lane verdict per parallel region: the static
+   {!Regions} classification, narrowed to a scalar-sweep verdict when the
+   lane compiler rejected a segment the static analysis accepted. *)
+let path_info (fn : Grover_ir.Ssa.func) : string * string list =
   let v = Grover_ir.Regions.form fn in
   let c = Grover_ocl.Interp.prepare ~engine:Grover_ocl.Interp.Compiled fn in
   let path =
@@ -379,7 +382,25 @@ let path_line (fn : Grover_ir.Ssa.func) : string =
     else if Grover_ocl.Runtime.wg_capable c then "wg-loop"
     else "fiber"
   in
-  Printf.sprintf "%s (%s)" path (Grover_ir.Regions.describe v)
+  let regions =
+    match v with
+    | Grover_ir.Regions.Fallback _ -> []
+    | Grover_ir.Regions.Formed info ->
+        let flags = Grover_ocl.Interp.lane_entry_flags c in
+        Array.to_list
+          (Array.mapi
+             (fun e lv ->
+               let refined =
+                 match (lv, flags) with
+                 | Grover_ir.Regions.Scalar _, _ -> lv
+                 | _, Some fl when not fl.(e) ->
+                     Grover_ir.Regions.Scalar "unbatchable instruction"
+                 | _, _ -> lv
+               in
+               Grover_ir.Regions.verdict_string refined)
+             info.Grover_ir.Regions.lane_entries)
+  in
+  (Printf.sprintf "%s (%s)" path (Grover_ir.Regions.describe v), regions)
 
 let report_cmd =
   let file =
@@ -422,9 +443,9 @@ let report_cmd =
             in
             (* [Grover.run] mutates [fn] into the without_lm version, so
                the original's execution path must be derived first. *)
-            let with_lm_path = path_line fn in
+            let with_lm_path, with_lm_regions = path_info fn in
             let o = Grover_core.Grover.run fn in
-            let without_lm_path = path_line fn in
+            let without_lm_path, without_lm_regions = path_info fn in
             Printf.printf "kernel %s:\n" fn.Grover_ir.Ssa.f_name;
             List.iter
               (fun e -> print_endline (Grover_core.Report.to_string e))
@@ -433,10 +454,21 @@ let report_cmd =
               (fun (n, r) -> Printf.printf "  rejected %s: %s\n" n r)
               o.Grover_core.Grover.rejected;
             Printf.printf "  legality: %s\n" legality;
+            let print_regions version regions =
+              List.iteri
+                (fun e r ->
+                  Printf.printf "    region %d: %s\n" e r;
+                  Pass.remarkf actx ~pass:"lane-check" ~code:"GRV-LANE"
+                    "%s: region %d (%s): %s" fn.Grover_ir.Ssa.f_name e version
+                    r)
+                regions
+            in
             Printf.printf "  execution path (with local memory): %s\n"
               with_lm_path;
+            print_regions "with local memory" with_lm_regions;
             Printf.printf "  execution path (local memory disabled): %s\n"
               without_lm_path;
+            print_regions "local memory disabled" without_lm_regions;
             (match db with
             | None -> ()
             | Some db ->

@@ -63,6 +63,39 @@ for f in examples/kernels/transpose_tile.cl examples/kernels/gemm_float4.cl; do
   esac
 done
 
+echo "== masked lane execution: guard diamonds upgrade, divergent stores bail =="
+# The guarded matmul carries the SDK boundary-clamp idiom: a pure
+# divergent diamond that must be if-converted and run as a masked lane
+# batch (not dropped to the scalar sweep), keeping the kernel on wg-vec.
+out=$(dune exec bin/groverc.exe -- report examples/kernels/guarded_matmul.cl)
+case "$out" in
+  *"execution path (with local memory): wg-vec"*) ;;
+  *) echo "FAIL: guarded_matmul.cl did not plan as wg-vec"
+     echo "$out"; exit 1 ;;
+esac
+case "$out" in
+  *"lane batch (masked"*) echo "-- guarded_matmul.cl runs masked lane batches" ;;
+  *) echo "FAIL: guarded_matmul.cl reported no masked region"
+     echo "$out"; exit 1 ;;
+esac
+# Side effects are never masked: a store under divergent control must
+# keep its scalar-sweep verdict, and the bail reason must carry the
+# offending store's source location.
+out=$(dune exec bin/groverc.exe -- report examples/kernels/divergent_store.cl)
+case "$out" in
+  *"scalar sweep: divergent store at"*)
+     echo "-- divergent_store.cl bails with a located reason" ;;
+  *) echo "FAIL: divergent_store.cl lost its divergent-store bail reason"
+     echo "$out"; exit 1 ;;
+esac
+# The masked verdicts must be scriptable: the same region verdicts are
+# emitted as GRV-LANE remark diagnostics in JSON mode.
+if ! dune exec bin/groverc.exe -- report examples/kernels/guarded_matmul.cl \
+    --diag-format=json | grep -q '"code": "GRV-LANE"'; then
+  echo "FAIL: report --diag-format=json emitted no GRV-LANE region verdicts"
+  exit 1
+fi
+
 echo "== groverc --verify-each smoke (examples/kernels) =="
 for f in examples/kernels/*.cl; do
   echo "-- $f"

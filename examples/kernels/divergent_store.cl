@@ -1,0 +1,18 @@
+/* A store under divergent control: each work-item conditionally writes
+ * its own __local slot. Legal (race-free, uniform barriers) but not
+ * maskable — masking never executes side effects for inactive lanes, so
+ * the region must keep its scalar-sweep verdict, with the offending
+ * store's source location in the bail reason. check.sh gates the
+ * report verdict string. */
+__kernel void scatter_guard(__global int *out, __global const int *in,
+                            int n) {
+  __local int tmp[16];
+  int l = get_local_id(0);
+  int g = get_global_id(0);
+  int v = in[g];
+  tmp[l] = 0;
+  barrier(CLK_LOCAL_MEM_FENCE);
+  if (v > n) { tmp[l] = v; }
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[g] = tmp[l];
+}

@@ -1,0 +1,29 @@
+/* Tiled matrix multiplication with a boundary clamp on the output row —
+ * the NVIDIA-SDK guard idiom. The clamp is a divergent-but-pure diamond
+ * (both arms side-effect-free, reconverging at the immediate
+ * postdominator), so the lane compiler must if-convert it and keep the
+ * kernel on the masked wg-vec path instead of falling back to the
+ * scalar sweep. check.sh gates the report verdict. */
+#define TS 16
+__kernel void matmul(__global float *C, __global const float *A,
+                     __global const float *B, int N, int K) {
+  __local float As[TS][TS];
+  __local float Bs[TS][TS];
+  int lx = get_local_id(0);
+  int ly = get_local_id(1);
+  int gx = get_global_id(0);
+  int gy = get_global_id(1);
+  int row = gy;
+  if (row >= N) row = N - 1;
+  float acc = 0.0f;
+  for (int t = 0; t < K / TS; t++) {
+    As[ly][lx] = A[gy * K + t * TS + lx];
+    Bs[ly][lx] = B[(t * TS + ly) * N + gx];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int k = 0; k < TS; k++) {
+      acc += As[ly][k] * Bs[k][lx];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  C[row * N + gx] = acc;
+}

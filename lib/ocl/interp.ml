@@ -262,6 +262,14 @@ type lane_state = {
   lviscr : int array;  (** varying move [k], lane [l] at [k*lw + l] *)
   lvfscr : float array;
   lvbscr : rv array;
+  lpred : int array;
+      (** per-lane predicate of the masked diamond being executed: 1 =
+          the lane takes the then arm, 0 = the else arm. Written by the
+          diamond's predicate closure, immutable while the arms run
+          (arms are pure, so nothing re-enters a diamond mid-flight). *)
+  mutable lnthen : int;
+      (** lanes (of the active [nl]) whose predicate is 1 — the then
+          arm's population count; the else arm's is [nl - lnthen] *)
   llid : int array array;  (** 3 dims x [lw]: per-lane local ids *)
   lgid : int array array;  (** 3 dims x [lw]: per-lane global ids *)
   lctx : wi_ctx;
@@ -731,9 +739,41 @@ and run_tree (st : wi_state) : unit =
 type kind = KInt of int | KFloat of int | KBox of int
 
 (* Raised while lane-compiling a segment that cannot be batched (private
-   alloca, divergent branch condition); the segment stays [None] in
-   [clanes.lsegs] and every region entry reaching it runs scalar. *)
+   alloca, divergent branch condition outside a classified diamond); the
+   segment stays [None] in [clanes.lsegs] and every region entry reaching
+   it runs scalar. *)
 exception Unbatchable
+
+(* Static op cost of one instruction, (int, float, special) — mirrors the
+   per-instruction bumps of the tree engine exactly. Shared between the
+   scalar segment compiler (summed per segment, bumped per work-item) and
+   the lane compiler (masked diamond arms bump their sum once per batch,
+   multiplied by the arm's active-lane count). *)
+let op_cost (i : instr) : int * int * int =
+  match i.op with
+  | Binop (_, a, _) -> (
+      match type_of a with
+      | F32 -> (0, 1, 0)
+      | Vec (F32, n) -> (0, n, 0)
+      | Vec (_, n) -> (n, 0, 0)
+      | _ -> (1, 0, 0))
+  | Icmp _ | Cast _ -> (1, 0, 0)
+  | Fcmp _ -> (0, 1, 0)
+  | Call { callee; _ } ->
+      if List.mem callee special_fns then (0, 0, 1) else (1, 0, 0)
+  | _ -> (0, 0, 0)
+
+(* Summed static cost of a block's body — what one work-item executing
+   every instruction of the block would be charged. *)
+let block_cost (instrs : instr list) : int * int * int =
+  List.fold_left
+    (fun (ai, af, as_) (i : instr) ->
+      match i.op with
+      | Phi _ -> (ai, af, as_)
+      | _ ->
+          let ci, cf, cs = op_cost i in
+          (ai + ci, af + cf, as_ + cs))
+    (0, 0, 0) instrs
 
 (* Lane-batched compilation: the same segment layout as the scalar closure
    compiler, but each closure advances a whole batch of [lw] work-items
@@ -974,6 +1014,12 @@ let compile_lanes ~(lw : int) ~(kinds : (int, kind) Hashtbl.t)
               Some (fun ls -> as_float ls.lbenv.(b))
           | _ -> None)
       | Cint _ -> None
+  in
+  let bvar_slot (v : value) : int option =
+    match v with
+    | Vinstr i when varying v -> (
+        match kind_of i with Some (KBox s) -> Some (s * lw) | _ -> None)
+    | _ -> None
   in
   let buf_hoist (v : value) : (lane_state -> Memory.buffer) option =
     if varying v then None
@@ -1334,6 +1380,44 @@ let compile_lanes ~(lw : int) ~(kinds : (int, kind) Hashtbl.t)
                         for l = 0 to ls.nl - 1 do
                           ie.(dst + l) <- ie.(ao + l) - ie.(bo + l)
                         done)
+                | And ->
+                    lwith_int_dst i (fun dst ls ->
+                        let ie = ls.lienv in
+                        for l = 0 to ls.nl - 1 do
+                          ie.(dst + l) <- ie.(ao + l) land ie.(bo + l)
+                        done)
+                | Or ->
+                    lwith_int_dst i (fun dst ls ->
+                        let ie = ls.lienv in
+                        for l = 0 to ls.nl - 1 do
+                          ie.(dst + l) <- ie.(ao + l) lor ie.(bo + l)
+                        done)
+                | Xor ->
+                    lwith_int_dst i (fun dst ls ->
+                        let ie = ls.lienv in
+                        for l = 0 to ls.nl - 1 do
+                          ie.(dst + l) <- ie.(ao + l) lxor ie.(bo + l)
+                        done)
+                | Shl ->
+                    lwith_int_dst i (fun dst ls ->
+                        let ie = ls.lienv in
+                        for l = 0 to ls.nl - 1 do
+                          ie.(dst + l) <- ie.(ao + l) lsl (ie.(bo + l) land 63)
+                        done)
+                | Ashr ->
+                    lwith_int_dst i (fun dst ls ->
+                        let ie = ls.lienv in
+                        for l = 0 to ls.nl - 1 do
+                          ie.(dst + l) <- ie.(ao + l) asr (ie.(bo + l) land 63)
+                        done)
+                | Lshr ->
+                    let m = mask_of t in
+                    lwith_int_dst i (fun dst ls ->
+                        let ie = ls.lienv in
+                        for l = 0 to ls.nl - 1 do
+                          ie.(dst + l) <-
+                            (ie.(ao + l) land m) lsr (ie.(bo + l) land 63)
+                        done)
                 | _ ->
                     lwith_int_dst i (fun dst ls ->
                         let ie = ls.lienv in
@@ -1363,6 +1447,43 @@ let compile_lanes ~(lw : int) ~(kinds : (int, kind) Hashtbl.t)
                             for l = 0 to ls.nl - 1 do
                               ie.(dst + l) <- ie.(ao + l) - y
                             done)
+                    | And ->
+                        lwith_int_dst i (fun dst ls ->
+                            let ie = ls.lienv and y = hb ls in
+                            for l = 0 to ls.nl - 1 do
+                              ie.(dst + l) <- ie.(ao + l) land y
+                            done)
+                    | Or ->
+                        lwith_int_dst i (fun dst ls ->
+                            let ie = ls.lienv and y = hb ls in
+                            for l = 0 to ls.nl - 1 do
+                              ie.(dst + l) <- ie.(ao + l) lor y
+                            done)
+                    | Xor ->
+                        lwith_int_dst i (fun dst ls ->
+                            let ie = ls.lienv and y = hb ls in
+                            for l = 0 to ls.nl - 1 do
+                              ie.(dst + l) <- ie.(ao + l) lxor y
+                            done)
+                    | Shl ->
+                        lwith_int_dst i (fun dst ls ->
+                            let ie = ls.lienv and sh = hb ls land 63 in
+                            for l = 0 to ls.nl - 1 do
+                              ie.(dst + l) <- ie.(ao + l) lsl sh
+                            done)
+                    | Ashr ->
+                        lwith_int_dst i (fun dst ls ->
+                            let ie = ls.lienv and sh = hb ls land 63 in
+                            for l = 0 to ls.nl - 1 do
+                              ie.(dst + l) <- ie.(ao + l) asr sh
+                            done)
+                    | Lshr ->
+                        let m = mask_of t in
+                        lwith_int_dst i (fun dst ls ->
+                            let ie = ls.lienv and sh = hb ls land 63 in
+                            for l = 0 to ls.nl - 1 do
+                              ie.(dst + l) <- (ie.(ao + l) land m) lsr sh
+                            done)
                     | _ ->
                         lwith_int_dst i (fun dst ls ->
                             let ie = ls.lienv and y = hb ls in
@@ -1391,6 +1512,44 @@ let compile_lanes ~(lw : int) ~(kinds : (int, kind) Hashtbl.t)
                             let ie = ls.lienv and x = ha ls in
                             for l = 0 to ls.nl - 1 do
                               ie.(dst + l) <- x - ie.(bo + l)
+                            done)
+                    | And ->
+                        lwith_int_dst i (fun dst ls ->
+                            let ie = ls.lienv and x = ha ls in
+                            for l = 0 to ls.nl - 1 do
+                              ie.(dst + l) <- x land ie.(bo + l)
+                            done)
+                    | Or ->
+                        lwith_int_dst i (fun dst ls ->
+                            let ie = ls.lienv and x = ha ls in
+                            for l = 0 to ls.nl - 1 do
+                              ie.(dst + l) <- x lor ie.(bo + l)
+                            done)
+                    | Xor ->
+                        lwith_int_dst i (fun dst ls ->
+                            let ie = ls.lienv and x = ha ls in
+                            for l = 0 to ls.nl - 1 do
+                              ie.(dst + l) <- x lxor ie.(bo + l)
+                            done)
+                    | Shl ->
+                        lwith_int_dst i (fun dst ls ->
+                            let ie = ls.lienv and x = ha ls in
+                            for l = 0 to ls.nl - 1 do
+                              ie.(dst + l) <- x lsl (ie.(bo + l) land 63)
+                            done)
+                    | Ashr ->
+                        lwith_int_dst i (fun dst ls ->
+                            let ie = ls.lienv and x = ha ls in
+                            for l = 0 to ls.nl - 1 do
+                              ie.(dst + l) <- x asr (ie.(bo + l) land 63)
+                            done)
+                    | Lshr ->
+                        let m = mask_of t in
+                        lwith_int_dst i (fun dst ls ->
+                            let ie = ls.lienv in
+                            let x = ha ls land m in
+                            for l = 0 to ls.nl - 1 do
+                              ie.(dst + l) <- x lsr (ie.(bo + l) land 63)
                             done)
                     | _ ->
                         lwith_int_dst i (fun dst ls ->
@@ -1448,15 +1607,51 @@ let compile_lanes ~(lw : int) ~(kinds : (int, kind) Hashtbl.t)
                           fe.(dst + l) <- f x fe.(bo + l)
                         done))
             | None, None -> generic ())
-        | Vec (F32, _) ->
-            let ga = lv_vget a and gb = lv_vget b and f = float_binop_fn op in
-            lwith_box_dst i (fun dst ls ->
-                for l = 0 to ls.nl - 1 do
-                  ls.lbenv.(dst + l) <-
-                    (match (ga ls l, gb ls l) with
-                    | RVecF x, RVecF y -> RVecF (lanes_map2 f x y)
-                    | _ -> trap "binop operand mismatch")
-                done)
+        | Vec (F32, _) -> (
+            let f = float_binop_fn op in
+            let generic () =
+              let ga = lv_vget a and gb = lv_vget b in
+              lwith_box_dst i (fun dst ls ->
+                  for l = 0 to ls.nl - 1 do
+                    ls.lbenv.(dst + l) <-
+                      (match (ga ls l, gb ls l) with
+                      | RVecF x, RVecF y -> RVecF (lanes_map2 f x y)
+                      | _ -> trap "binop operand mismatch")
+                  done)
+            in
+            match (bvar_slot a, bvar_slot b) with
+            | Some ao, Some bo -> (
+                match op with
+                | Fadd ->
+                    lwith_box_dst i (fun dst ls ->
+                        let be = ls.lbenv in
+                        for l = 0 to ls.nl - 1 do
+                          be.(dst + l) <-
+                            (match (be.(ao + l), be.(bo + l)) with
+                            | RVecF x, RVecF y ->
+                                RVecF (lanes_map2 ( +. ) x y)
+                            | _ -> trap "binop operand mismatch")
+                        done)
+                | Fmul ->
+                    lwith_box_dst i (fun dst ls ->
+                        let be = ls.lbenv in
+                        for l = 0 to ls.nl - 1 do
+                          be.(dst + l) <-
+                            (match (be.(ao + l), be.(bo + l)) with
+                            | RVecF x, RVecF y ->
+                                RVecF (lanes_map2 ( *. ) x y)
+                            | _ -> trap "binop operand mismatch")
+                        done)
+                | _ ->
+                    lwith_box_dst i (fun dst ls ->
+                        let be = ls.lbenv in
+                        for l = 0 to ls.nl - 1 do
+                          be.(dst + l) <-
+                            (match (be.(ao + l), be.(bo + l)) with
+                            | RVecF x, RVecF y -> RVecF (lanes_map2 f x y)
+                            | _ -> trap "binop operand mismatch")
+                        done))
+            | _ -> generic ())
         | Vec (_, _) ->
             let ga = lv_vget a and gb = lv_vget b and f = int_binop_fn I32 op in
             lwith_box_dst i (fun dst ls ->
@@ -1502,36 +1697,118 @@ let compile_lanes ~(lw : int) ~(kinds : (int, kind) Hashtbl.t)
                       ie.(dst + l) <- (if f x ie.(bo + l) then 1 else 0)
                     done))
         | None, None -> generic ())
-    | Fcmp (c, a, b) ->
-        let ga = lv_fget a and gb = lv_fget b and f = fcmp_fn c in
-        lwith_int_dst i (fun dst ls ->
-            for l = 0 to ls.nl - 1 do
-              ls.lienv.(dst + l) <- (if f (ga ls l) (gb ls l) then 1 else 0)
-            done)
+    | Fcmp (c, a, b) -> (
+        let f = fcmp_fn c in
+        let generic () =
+          let ga = lv_fget a and gb = lv_fget b in
+          lwith_int_dst i (fun dst ls ->
+              for l = 0 to ls.nl - 1 do
+                ls.lienv.(dst + l) <- (if f (ga ls l) (gb ls l) then 1 else 0)
+              done)
+        in
+        match (fvar_slot a, fvar_slot b) with
+        | Some ao, Some bo ->
+            lwith_int_dst i (fun dst ls ->
+                let ie = ls.lienv and fe = ls.lfenv in
+                for l = 0 to ls.nl - 1 do
+                  ie.(dst + l) <- (if f fe.(ao + l) fe.(bo + l) then 1 else 0)
+                done)
+        | Some ao, None -> (
+            match fhoist b with
+            | None -> generic ()
+            | Some hb ->
+                lwith_int_dst i (fun dst ls ->
+                    let ie = ls.lienv and fe = ls.lfenv and y = hb ls in
+                    for l = 0 to ls.nl - 1 do
+                      ie.(dst + l) <- (if f fe.(ao + l) y then 1 else 0)
+                    done))
+        | None, Some bo -> (
+            match fhoist a with
+            | None -> generic ()
+            | Some ha ->
+                lwith_int_dst i (fun dst ls ->
+                    let ie = ls.lienv and fe = ls.lfenv and x = ha ls in
+                    for l = 0 to ls.nl - 1 do
+                      ie.(dst + l) <- (if f x fe.(bo + l) then 1 else 0)
+                    done))
+        | None, None -> generic ())
     | Select (c, a, b) -> (
         let gc = lv_iget c in
         match type_of a with
-        | I1 | I8 | I16 | I32 | I64 ->
-            let ga = lv_iget a and gb = lv_iget b in
-            lwith_int_dst i (fun dst ls ->
-                for l = 0 to ls.nl - 1 do
-                  ls.lienv.(dst + l) <-
-                    (if gc ls l <> 0 then ga ls l else gb ls l)
-                done)
-        | F32 ->
-            let ga = lv_fget a and gb = lv_fget b in
-            lwith_float_dst i (fun dst ls ->
-                for l = 0 to ls.nl - 1 do
-                  ls.lfenv.(dst + l) <-
-                    (if gc ls l <> 0 then ga ls l else gb ls l)
-                done)
-        | _ ->
-            let ga = lv_vget a and gb = lv_vget b in
-            lwith_box_dst i (fun dst ls ->
-                for l = 0 to ls.nl - 1 do
-                  ls.lbenv.(dst + l) <-
-                    (if gc ls l <> 0 then ga ls l else gb ls l)
-                done))
+        | I1 | I8 | I16 | I32 | I64 -> (
+            let generic () =
+              let ga = lv_iget a and gb = lv_iget b in
+              lwith_int_dst i (fun dst ls ->
+                  for l = 0 to ls.nl - 1 do
+                    ls.lienv.(dst + l) <-
+                      (if gc ls l <> 0 then ga ls l else gb ls l)
+                  done)
+            in
+            match (ivar_slot c, ivar_slot a, ivar_slot b) with
+            | Some co, Some ao, Some bo ->
+                lwith_int_dst i (fun dst ls ->
+                    let ie = ls.lienv in
+                    for l = 0 to ls.nl - 1 do
+                      ie.(dst + l) <-
+                        (if ie.(co + l) <> 0 then ie.(ao + l) else ie.(bo + l))
+                    done)
+            | Some co, _, _ -> (
+                match (ihoist a, ihoist b) with
+                | Some ha, Some hb ->
+                    lwith_int_dst i (fun dst ls ->
+                        let ie = ls.lienv in
+                        let x = ha ls and y = hb ls in
+                        for l = 0 to ls.nl - 1 do
+                          ie.(dst + l) <- (if ie.(co + l) <> 0 then x else y)
+                        done)
+                | _ -> generic ())
+            | _ -> generic ())
+        | F32 -> (
+            let generic () =
+              let ga = lv_fget a and gb = lv_fget b in
+              lwith_float_dst i (fun dst ls ->
+                  for l = 0 to ls.nl - 1 do
+                    ls.lfenv.(dst + l) <-
+                      (if gc ls l <> 0 then ga ls l else gb ls l)
+                  done)
+            in
+            match (ivar_slot c, fvar_slot a, fvar_slot b) with
+            | Some co, Some ao, Some bo ->
+                lwith_float_dst i (fun dst ls ->
+                    let ie = ls.lienv and fe = ls.lfenv in
+                    for l = 0 to ls.nl - 1 do
+                      fe.(dst + l) <-
+                        (if ie.(co + l) <> 0 then fe.(ao + l) else fe.(bo + l))
+                    done)
+            | Some co, _, _ -> (
+                match (fhoist a, fhoist b) with
+                | Some ha, Some hb ->
+                    lwith_float_dst i (fun dst ls ->
+                        let ie = ls.lienv and fe = ls.lfenv in
+                        let x = ha ls and y = hb ls in
+                        for l = 0 to ls.nl - 1 do
+                          fe.(dst + l) <- (if ie.(co + l) <> 0 then x else y)
+                        done)
+                | _ -> generic ())
+            | _ -> generic ())
+        | _ -> (
+            let generic () =
+              let ga = lv_vget a and gb = lv_vget b in
+              lwith_box_dst i (fun dst ls ->
+                  for l = 0 to ls.nl - 1 do
+                    ls.lbenv.(dst + l) <-
+                      (if gc ls l <> 0 then ga ls l else gb ls l)
+                  done)
+            in
+            match (ivar_slot c, bvar_slot a, bvar_slot b) with
+            | Some co, Some ao, Some bo ->
+                lwith_box_dst i (fun dst ls ->
+                    let ie = ls.lienv and be = ls.lbenv in
+                    for l = 0 to ls.nl - 1 do
+                      be.(dst + l) <-
+                        (if ie.(co + l) <> 0 then be.(ao + l) else be.(bo + l))
+                    done)
+            | _ -> generic ()))
     | Cast (k, v, t) -> (
         let src_t = type_of v in
         match (k, src_t) with
@@ -1782,14 +2059,25 @@ let compile_lanes ~(lw : int) ~(kinds : (int, kind) Hashtbl.t)
     | Extract (v, lane) -> (
         let gl = lv_iget lane in
         match type_of v with
-        | Vec (F32, _) ->
-            let gv = lv_vget v in
-            lwith_float_dst i (fun dst ls ->
-                for l = 0 to ls.nl - 1 do
-                  (match gv ls l with
-                  | RVecF a -> ls.lfenv.(dst + l) <- a.(gl ls l)
-                  | _ -> trap "extract from non-vector")
-                done)
+        | Vec (F32, _) -> (
+            match (bvar_slot v, ihoist lane) with
+            | Some vo, Some hl ->
+                lwith_float_dst i (fun dst ls ->
+                    let be = ls.lbenv and fe = ls.lfenv in
+                    let j = hl ls in
+                    for l = 0 to ls.nl - 1 do
+                      (match be.(vo + l) with
+                      | RVecF a -> fe.(dst + l) <- a.(j)
+                      | _ -> trap "extract from non-vector")
+                    done)
+            | _ ->
+                let gv = lv_vget v in
+                lwith_float_dst i (fun dst ls ->
+                    for l = 0 to ls.nl - 1 do
+                      (match gv ls l with
+                      | RVecF a -> ls.lfenv.(dst + l) <- a.(gl ls l)
+                      | _ -> trap "extract from non-vector")
+                    done))
         | Vec (_, _) ->
             let gv = lv_vget v in
             lwith_int_dst i (fun dst ls ->
@@ -1906,6 +2194,284 @@ let compile_lanes ~(lw : int) ~(kinds : (int, kind) Hashtbl.t)
       lv_bm_src = Array.map snd vbm;
     }
   in
+  let bare_ledge (dst : block) : ledge =
+    {
+      le_dst = Hashtbl.find bidx dst.bid;
+      lu_im_dst = [||];
+      lu_im_src = [||];
+      lu_fm_dst = [||];
+      lu_fm_src = [||];
+      lu_bm_dst = [||];
+      lu_bm_src = [||];
+      lv_im_dst = [||];
+      lv_im_src = [||];
+      lv_fm_dst = [||];
+      lv_fm_src = [||];
+      lv_bm_dst = [||];
+      lv_bm_src = [||];
+    }
+  in
+
+  (* -- Masked diamond if-conversion ---------------------------------------
+
+     A divergent [Cond_br] classified by {!Regions} as a pure diamond is
+     compiled into the branch block's own segment: a predicate closure
+     fills [lpred]/[lnthen] (charging one branch per lane, as the scalar
+     executors do at [Tcond]), each arm's body runs under its mask, phi
+     nodes at the join are written as per-lane masked merges, and the
+     terminator becomes a plain jump to the join. Pure varying
+     instructions evaluate flat over every lane — an inactive lane's
+     garbage is only ever read by the masked merge, which selects the
+     other side — while instructions whose execution is observable or can
+     fault (loads: trace/sanitizer event identity; integer division:
+     traps; vector extract/insert: data-dependent lane indices) run under
+     an explicit per-lane guard. Each arm's static cost is charged per
+     active lane and the arm is skipped outright when no lane takes it,
+     so trace totals stay bit-identical to the scalar sweep, which
+     executes an arm only for the work-items that branch into it. *)
+  let blk_of_bid : (int, block) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun ((b : block), _, _) -> Hashtbl.replace blk_of_bid b.bid b)
+    seg_descs;
+
+  (* Masked compilation of the arm instructions that must not run on
+     inactive lanes; [on] is the [lpred] value (1 = then, 0 = else) that
+     activates this arm. *)
+  let lmasked_var ~(on : int) (i : instr) : lane_state -> unit =
+    match i.op with
+    | Load { ptr; index } -> (
+        let gp = lv_bufget ptr and gi = lv_iget index in
+        let loc = i.iloc in
+        match elem_of_ptr (type_of ptr) with
+        | F32 ->
+            lwith_float_dst i (fun dst ls ->
+                let bf = ls.base_flat in
+                for l = 0 to ls.nl - 1 do
+                  if ls.lpred.(l) = on then begin
+                    let b = gp ls l and idx = gi ls l in
+                    let wi = bf + l in
+                    lane_record ls b idx ~is_write:false ~wi;
+                    lane_san ls b idx ~is_write:false ~loc ~wi;
+                    ls.lfenv.(dst + l) <- Memory.get_float b idx
+                  end
+                done)
+        | I1 | I8 | I16 | I32 | I64 ->
+            lwith_int_dst i (fun dst ls ->
+                let bf = ls.base_flat in
+                for l = 0 to ls.nl - 1 do
+                  if ls.lpred.(l) = on then begin
+                    let b = gp ls l and idx = gi ls l in
+                    let wi = bf + l in
+                    lane_record ls b idx ~is_write:false ~wi;
+                    lane_san ls b idx ~is_write:false ~loc ~wi;
+                    ls.lienv.(dst + l) <- Memory.get_int b idx
+                  end
+                done)
+        | Vec (F32, n) ->
+            lwith_box_dst i (fun dst ls ->
+                let bf = ls.base_flat in
+                for l = 0 to ls.nl - 1 do
+                  if ls.lpred.(l) = on then begin
+                    let b = gp ls l and idx = gi ls l in
+                    let wi = bf + l in
+                    lane_record ls b idx ~is_write:false ~wi;
+                    lane_san ls b idx ~is_write:false ~loc ~wi;
+                    ls.lbenv.(dst + l) <-
+                      RVecF
+                        (Array.init n (fun j -> Memory.get_lane_float b idx j))
+                  end
+                done)
+        | Vec (_, n) ->
+            lwith_box_dst i (fun dst ls ->
+                let bf = ls.base_flat in
+                for l = 0 to ls.nl - 1 do
+                  if ls.lpred.(l) = on then begin
+                    let b = gp ls l and idx = gi ls l in
+                    let wi = bf + l in
+                    lane_record ls b idx ~is_write:false ~wi;
+                    lane_san ls b idx ~is_write:false ~loc ~wi;
+                    ls.lbenv.(dst + l) <-
+                      RVecI
+                        (Array.init n (fun j -> Memory.get_lane_int b idx j))
+                  end
+                done)
+        | _ -> fun _ -> trap "load of unsupported element type"
+        | exception Invalid_argument _ ->
+            fun _ -> trap "load of unsupported element type")
+    | Binop (op, a, b) -> (
+        match type_of a with
+        | (I1 | I8 | I16 | I32 | I64) as t ->
+            let f = int_binop_fn t op in
+            let ga = lv_iget a and gb = lv_iget b in
+            lwith_int_dst i (fun dst ls ->
+                for l = 0 to ls.nl - 1 do
+                  if ls.lpred.(l) = on then
+                    ls.lienv.(dst + l) <- f (ga ls l) (gb ls l)
+                done)
+        | Vec (_, _) ->
+            let ga = lv_vget a and gb = lv_vget b and f = int_binop_fn I32 op in
+            lwith_box_dst i (fun dst ls ->
+                for l = 0 to ls.nl - 1 do
+                  if ls.lpred.(l) = on then
+                    ls.lbenv.(dst + l) <-
+                      (match (ga ls l, gb ls l) with
+                      | RVecI x, RVecI y -> RVecI (lanes_map2 f x y)
+                      | _ -> trap "binop operand mismatch")
+                done)
+        | _ -> lcompile_var i)
+    | Extract (v, lane) -> (
+        let gl = lv_iget lane in
+        match type_of v with
+        | Vec (F32, _) ->
+            let gv = lv_vget v in
+            lwith_float_dst i (fun dst ls ->
+                for l = 0 to ls.nl - 1 do
+                  if ls.lpred.(l) = on then
+                    match gv ls l with
+                    | RVecF a -> ls.lfenv.(dst + l) <- a.(gl ls l)
+                    | _ -> trap "extract from non-vector"
+                done)
+        | Vec (_, _) ->
+            let gv = lv_vget v in
+            lwith_int_dst i (fun dst ls ->
+                for l = 0 to ls.nl - 1 do
+                  if ls.lpred.(l) = on then
+                    match gv ls l with
+                    | RVecI a -> ls.lienv.(dst + l) <- a.(gl ls l)
+                    | _ -> trap "extract from non-vector"
+                done)
+        | _ -> fun _ -> trap "extract from non-vector")
+    | Insert (v, lane, s) ->
+        let gv = lv_vget v and gl = lv_iget lane and gs = lv_vget s in
+        lwith_box_dst i (fun dst ls ->
+            for l = 0 to ls.nl - 1 do
+              if ls.lpred.(l) = on then
+                match (gv ls l, gs ls l) with
+                | RVecF a, RFloat x ->
+                    let a = Array.copy a in
+                    a.(gl ls l) <- x;
+                    ls.lbenv.(dst + l) <- RVecF a
+                | RVecI a, RInt x ->
+                    let a = Array.copy a in
+                    a.(gl ls l) <- x;
+                    ls.lbenv.(dst + l) <- RVecI a
+                | _ -> trap "insert mismatch"
+            done)
+    | _ -> lcompile_var i
+  in
+  let lane_arm_instr ~(on : int) (i : instr) : lane_state -> unit =
+    match i.op with
+    | Alloca { aspace = Private; _ } -> raise Unbatchable
+    | _ ->
+        if Hashtbl.mem kinds i.iid && not (Divergence.iid_divergent dv i.iid)
+        then
+          (* uniform: computed flat once per batch — safe because the arm
+             body is skipped entirely when no lane is active, and a
+             uniform divisor is the same value the scalar sweep divides
+             by for every work-item that takes the arm *)
+          lcompile_uni i
+        else (
+          match i.op with
+          | Load _
+          | Binop ((Sdiv | Udiv | Srem | Urem), _, _)
+          | Extract _ | Insert _ ->
+              lmasked_var ~on i
+          | _ -> lcompile_var i)
+  in
+
+  (* Per-lane masked merges for the join's phis: each lane selects the
+     incoming value of the arm it took. Join phis are divergent by
+     construction (the divergence fixpoint marks every phi of a join
+     block), so the destinations are varying columns. *)
+  let masked_phi_merges (jb : block) ~(tpred : int) ~(epred : int) :
+      (lane_state -> unit) list =
+    List.filter_map
+      (fun (pi : instr) ->
+        match pi.op with
+        | Phi { incoming; _ } -> (
+            let inc bid =
+              List.find_opt (fun ((p : block), _) -> p.bid = bid) incoming
+            in
+            match (inc tpred, inc epred, kind_of pi) with
+            | _, _, None -> None
+            | Some (_, tv), Some (_, ev), Some (KInt s) ->
+                let b = s * lw in
+                let gt = lv_iget tv and ge = lv_iget ev in
+                Some
+                  (fun ls ->
+                    let ie = ls.lienv and pr = ls.lpred in
+                    for l = 0 to ls.nl - 1 do
+                      ie.(b + l) <- (if pr.(l) <> 0 then gt ls l else ge ls l)
+                    done)
+            | Some (_, tv), Some (_, ev), Some (KFloat s) ->
+                let b = s * lw in
+                let gt = lv_fget tv and ge = lv_fget ev in
+                Some
+                  (fun ls ->
+                    let fe = ls.lfenv and pr = ls.lpred in
+                    for l = 0 to ls.nl - 1 do
+                      fe.(b + l) <- (if pr.(l) <> 0 then gt ls l else ge ls l)
+                    done)
+            | Some (_, tv), Some (_, ev), Some (KBox s) ->
+                let b = s * lw in
+                let gt = lv_vget tv and ge = lv_vget ev in
+                Some
+                  (fun ls ->
+                    let be = ls.lbenv and pr = ls.lpred in
+                    for l = 0 to ls.nl - 1 do
+                      be.(b + l) <- (if pr.(l) <> 0 then gt ls l else ge ls l)
+                    done)
+            | _ ->
+                Some
+                  (fun _ -> trap "phi has no incoming for a diamond edge"))
+        | _ -> None)
+      jb.instrs
+  in
+  let compile_diamond (b : block) (c : value) (d : Regions.diamond) :
+      (lane_state -> unit) list * lterm =
+    let arm_blk = Option.map (Hashtbl.find blk_of_bid) in
+    let tb = arm_blk d.Regions.d_then and eb = arm_blk d.Regions.d_else in
+    let jb = Hashtbl.find blk_of_bid d.Regions.d_join in
+    let gc = lv_iget c in
+    let predicate ls =
+      let n = ls.nl in
+      let m = ref 0 in
+      for l = 0 to n - 1 do
+        let p = if gc ls l <> 0 then 1 else 0 in
+        ls.lpred.(l) <- p;
+        m := !m + p
+      done;
+      ls.lnthen <- !m;
+      ls.lstats.Trace.branches <- ls.lstats.Trace.branches + n
+    in
+    let arm ~(on : int) (ab : block option) : (lane_state -> unit) list =
+      match ab with
+      | None -> []
+      | Some blk ->
+          let body =
+            Array.of_list (List.map (lane_arm_instr ~on) blk.instrs)
+          in
+          let ci, cf, cs = block_cost blk.instrs in
+          [
+            (fun ls ->
+              let act = if on = 1 then ls.lnthen else ls.nl - ls.lnthen in
+              if act > 0 then begin
+                let st = ls.lstats in
+                st.Trace.int_ops <- st.Trace.int_ops + (ci * act);
+                st.Trace.float_ops <- st.Trace.float_ops + (cf * act);
+                st.Trace.special_ops <- st.Trace.special_ops + (cs * act);
+                for k = 0 to Array.length body - 1 do
+                  body.(k) ls
+                done
+              end);
+          ]
+    in
+    let tpred = Option.value d.Regions.d_then ~default:b.bid
+    and epred = Option.value d.Regions.d_else ~default:b.bid in
+    let merges = masked_phi_merges jb ~tpred ~epred in
+    ( (predicate :: arm ~on:1 tb) @ arm ~on:0 eb @ merges,
+      LTbr (bare_ledge jb) )
+  in
 
   (* Compile every segment that can be batched; [Unbatchable] leaves its
      slot [None]. *)
@@ -1930,21 +2496,24 @@ let compile_lanes ~(lw : int) ~(kinds : (int, kind) Hashtbl.t)
           then (fun _ -> trap "phi in entry block") :: lbody
           else lbody
         in
-        let lterm =
+        let extra, lterm =
           match bar with
           | Some bi ->
               let lbar = Hashtbl.find bar_index bi.iid in
-              LTbarrier { lbar; lnext = bar_entry.(lbar) }
+              ([], LTbarrier { lbar; lnext = bar_entry.(lbar) })
           | None -> (
               match b.term with
-              | Some { op = Br target; _ } -> LTbr (mk_ledge b target)
+              | Some { op = Br target; _ } -> ([], LTbr (mk_ledge b target))
               | Some { op = Cond_br (c, t, e); _ } ->
-                  if Divergence.value_divergent dv c then raise Unbatchable
-                  else LTcond (lu_iget c, mk_ledge b t, mk_ledge b e)
-              | Some { op = Ret; _ } -> LTret
-              | _ -> LTtrap "missing terminator")
+                  if Divergence.value_divergent dv c then (
+                    match Hashtbl.find_opt info.Regions.diamonds b.bid with
+                    | Some d -> compile_diamond b c d
+                    | None -> raise Unbatchable)
+                  else ([], LTcond (lu_iget c, mk_ledge b t, mk_ledge b e))
+              | Some { op = Ret; _ } -> ([], LTret)
+              | _ -> ([], LTtrap "missing terminator"))
         in
-        { lbody = Array.of_list lbody; lterm }
+        { lbody = Array.of_list (lbody @ extra); lterm }
       with
       | lseg -> lsegs.(si) <- Some lseg
       | exception Unbatchable -> ())
@@ -1976,7 +2545,9 @@ let compile_lanes ~(lw : int) ~(kinds : (int, kind) Hashtbl.t)
   let lentry =
     Array.init
       (Array.length info.Regions.lane_entries)
-      (fun e -> info.Regions.lane_entries.(e) && reachable_ok (entry_seg e))
+      (fun e ->
+        Regions.lane_ok info.Regions.lane_entries.(e)
+        && reachable_ok (entry_seg e))
   in
 
   (* Lane spill plans: same context columns as the scalar plan ([ctx_col]),
@@ -2580,23 +3151,6 @@ let compile_fn ~(lane_width : int) (fn : func) (regions : Regions.verdict) :
     }
   in
 
-  (* Static op cost of one instruction, (int, float, special) — mirrors
-     the per-instruction bumps of the tree engine exactly. *)
-  let op_cost (i : instr) : int * int * int =
-    match i.op with
-    | Binop (_, a, _) -> (
-        match type_of a with
-        | F32 -> (0, 1, 0)
-        | Vec (F32, n) -> (0, n, 0)
-        | Vec (_, n) -> (n, 0, 0)
-        | _ -> (1, 0, 0))
-    | Icmp _ | Cast _ -> (1, 0, 0)
-    | Fcmp _ -> (0, 1, 0)
-    | Call { callee; _ } ->
-        if List.mem callee special_fns then (0, 0, 1) else (1, 0, 0)
-    | _ -> (0, 0, 0)
-  in
-
   (* One block compiles to 1 + (barriers in block) segments: the body is
      cut at each barrier, non-final chunks terminate in [Tbarrier], the
      final chunk carries the block's real terminator. *)
@@ -2761,7 +3315,7 @@ let compile_fn ~(lane_width : int) (fn : func) (regions : Regions.verdict) :
             }
           in
           let lanes =
-            if Array.exists Fun.id info.lane_entries then
+            if Array.exists Regions.lane_ok info.lane_entries then
               Some
                 (compile_lanes ~lw:lane_width ~kinds ~bidx ~bar_index
                    ~bar_entry ~seg_descs ~info ~ctx_col)
@@ -3221,6 +3775,16 @@ let engine_of (c : compiled) : engine =
 let lane_width_of (c : compiled) : int =
   match c.code with Some { lanes = Some ln; _ } -> ln.lwidth | _ -> 1
 
+(** Per-region-entry lane capability as the lane compiler refined it: the
+    static {!Regions.lane_entries} verdict, narrowed by whatever the
+    compiler itself had to reject ([Unbatchable] segments). [None] when no
+    lane code exists at all (tree engine, or no statically lane-capable
+    region). *)
+let lane_entry_flags (c : compiled) : bool array option =
+  match c.code with
+  | Some { lanes = Some ln; _ } -> Some (Array.copy ln.lentry)
+  | _ -> None
+
 let make_state (c : compiled) ~(args : rv array) ~(ctx : wi_ctx)
     ~(stats : Trace.wg_stats) ~(local_bufs : (int, Memory.buffer) Hashtbl.t)
     ~(mem : Memory.t) ~(queue : int) : wi_state =
@@ -3288,6 +3852,8 @@ let make_lane_state (c : compiled) ~(ctx : wi_ctx) ~(args : rv array)
           lviscr = Array.make (max 1 (ln.lscr_vi * lw)) 0;
           lvfscr = Array.make (max 1 (ln.lscr_vf * lw)) 0.0;
           lvbscr = Array.make (max 1 (ln.lscr_vb * lw)) (RInt 0);
+          lpred = Array.make lw 0;
+          lnthen = 0;
           llid = Array.init 3 (fun _ -> Array.make lw 0);
           lgid = Array.init 3 (fun _ -> Array.make lw 0);
           lctx = ctx;

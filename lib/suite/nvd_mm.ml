@@ -7,7 +7,12 @@
     The B matrix is column-accessed with a power-of-two row stride
     (N = 1024 floats = 4 KiB), so without local staging its tile columns
     collide in the same L1 set — the cache-layout effect the paper blames
-    for the NVD-MM-B performance loss. *)
+    for the NVD-MM-B performance loss.
+
+    The output row is clamped with a boundary guard ([row >= N] never
+    fires at these launch sizes), the divergent-but-pure diamond the
+    real SDK kernels carry — it must run as a masked lane batch, not
+    force the scalar sweep. *)
 
 open Grover_ir
 open Grover_ocl
@@ -23,6 +28,8 @@ __kernel void matmul(__global float *C, __global const float *A,
   int ly = get_local_id(1);
   int gx = get_global_id(0);
   int gy = get_global_id(1);
+  int row = gy;
+  if (row >= N) row = N - 1;
   float acc = 0.0f;
   for (int t = 0; t < K / TS; t++) {
     As[ly][lx] = A[gy * K + t * TS + lx];
@@ -33,7 +40,7 @@ __kernel void matmul(__global float *C, __global const float *A,
     }
     barrier(CLK_LOCAL_MEM_FENCE);
   }
-  C[gy * N + gx] = acc;
+  C[row * N + gx] = acc;
 }
 |}
 

@@ -1,7 +1,12 @@
 (** NVD-NBody: the NVIDIA SDK all-pairs N-body kernel. Body positions are
     processed in tiles; each tile is staged into local memory and then read
     by every work-item of the group (work-group index component of the
-    global index is zero within a tile — shared data, paper Table III). *)
+    global index is zero within a tile — shared data, paper Table III).
+
+    The initial position read is guarded by a tail clamp ([me >= n]
+    never fires at these launch sizes: the global size equals [n]) — a
+    divergent-but-pure diamond that must run as a masked lane batch
+    rather than forcing the scalar sweep. *)
 
 open Grover_ir
 open Grover_ocl
@@ -14,7 +19,9 @@ __kernel void nbody(__global float4 *accel, __global const float4 *pos,
   __local float4 sh[TILE];
   int gid = get_global_id(0);
   int lx = get_local_id(0);
-  float4 my = pos[gid];
+  int me = gid;
+  if (me >= n) me = 0;
+  float4 my = pos[me];
   float ax = 0.0f;
   float ay = 0.0f;
   float az = 0.0f;

@@ -695,12 +695,213 @@ let prop_lane_width_invariant =
       let f_tot, f_bufs = run `Fibers in
       v_tot = f_tot && compare v_bufs f_bufs = 0)
 
-(* -- Region formation verdicts ------------------------------------------------ *)
+(* -- Masked lane execution (divergent diamonds) -------------------------------
+   A guarded-diamond kernel: a boundary clamp (triangle — one arm is the
+   fall-through edge) and a two-armed pure value diamond, both divergent,
+   plus a barrier so wg-vec, wg-loop and fiber all execute distinct
+   machinery. The diamonds must classify as lane-capable-with-mask and the
+   masked batch must stay bit-identical to every scalar oracle. *)
 
 let lower_one src =
   let fn = match Lower.compile src with [ f ] -> f | _ -> assert false in
   Grover_passes.Pipeline.normalize fn;
   fn
+
+let masked_diamond_source =
+  {|__kernel void k(__global float *out, __global const float *a, int n) {
+      __local float tile[64];
+      int g = get_global_id(0);
+      int l = get_local_id(0);
+      int idx = g;
+      if (idx >= n) idx = n - 1;
+      float x = a[idx];
+      float y;
+      if (x > 0.5f) { y = x * 2.0f; } else { y = x - 3.0f; }
+      tile[l] = y;
+      barrier(CLK_LOCAL_MEM_FENCE);
+      out[g] = tile[(l + 1) % get_local_size(0)] + (float)idx;
+    }|}
+
+let test_masked_diamonds_classify () =
+  let fn = lower_one masked_diamond_source in
+  match Regions.form fn with
+  | Regions.Formed i ->
+      Alcotest.(check int) "two regions" 2 i.Regions.n_regions;
+      (match i.Regions.lane_entries.(0) with
+      | Regions.Lane_masked d ->
+          Alcotest.(check int) "two masked diamonds" 2 d
+      | lv ->
+          Alcotest.failf "region 0 should be masked, got: %s"
+            (Regions.verdict_string lv));
+      (match i.Regions.lane_entries.(1) with
+      | Regions.Lane -> ()
+      | lv ->
+          Alcotest.failf "region 1 should be plain lane batch, got: %s"
+            (Regions.verdict_string lv))
+  | Regions.Fallback r -> Alcotest.failf "unexpected fallback: %s" r
+
+let test_divergent_store_still_bails () =
+  let fn =
+    lower_one
+      {|__kernel void f(__global int *out, int n) {
+          __local int tmp[8];
+          int l = get_local_id(0);
+          if (l < 4) { tmp[l] = l; }
+          barrier(CLK_LOCAL_MEM_FENCE);
+          out[get_global_id(0)] = tmp[l % 4] + n;
+        }|}
+  in
+  match Regions.form fn with
+  | Regions.Formed i -> (
+      match i.Regions.lane_entries.(0) with
+      | Regions.Scalar r ->
+          Alcotest.(check bool)
+            (Printf.sprintf "bail reason names the store: %s" r)
+            true
+            (String.length r >= 15
+            && String.sub r 0 15 = "divergent store")
+      | lv ->
+          Alcotest.failf "divergent store must stay scalar, got: %s"
+            (Regions.verdict_string lv))
+  | Regions.Fallback r -> Alcotest.failf "unexpected fallback: %s" r
+
+let run_masked_kernel ~(engine : Interp.engine) ?lane_width ~force_path ~n ~wg
+    () =
+  let fn =
+    match Lower.compile masked_diamond_source with
+    | [ f ] -> f
+    | _ -> assert false
+  in
+  Grover_passes.Pipeline.normalize fn;
+  let mem = Memory.create () in
+  let out = Memory.alloc mem Ssa.F32 n in
+  let a = Memory.alloc mem Ssa.F32 n in
+  Memory.fill_floats a (fun i -> float_of_int (i * 13 mod 17) /. 8.0);
+  let c = Interp.prepare ~engine ?lane_width fn in
+  let totals =
+    Runtime.launch c
+      ~cfg:{ Runtime.global = (n, 1, 1); local = (wg, 1, 1); queues = 1 }
+      ~args:[ Runtime.Abuf out; Runtime.Abuf a; Runtime.Aint n ]
+      ~mem ?force_path ()
+  in
+  (c, totals, snapshot_buffers mem)
+
+(* Satellite: the peeled-tail edge case. A group smaller than the chosen
+   lane width W must run as one nl-wide batch — same buffers and totals as
+   the scalar sweeps — for every wg in 1..W-1 under W in {4,8}, and the
+   kernel must actually be lane-capable (not a silent fallback). *)
+let test_masked_tail_smaller_than_width () =
+  List.iter
+    (fun w ->
+      for wg = 1 to w - 1 do
+        let n = wg * 3 in
+        let cv, v_tot, v_bufs =
+          run_masked_kernel ~engine:Interp.Compiled ~lane_width:w
+            ~force_path:(Some Runtime.Wg_vec) ~n ~wg ()
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "W=%d wg=%d: kernel is lane-capable" w wg)
+          true
+          (Runtime.wgvec_capable cv);
+        let _, l_tot, l_bufs =
+          run_masked_kernel ~engine:Interp.Compiled
+            ~force_path:(Some Runtime.Wg_loop) ~n ~wg ()
+        in
+        let _, f_tot, f_bufs =
+          run_masked_kernel ~engine:Interp.Compiled
+            ~force_path:(Some Runtime.Fiber) ~n ~wg ()
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "W=%d wg=%d: wg-vec totals = wg-loop totals" w wg)
+          true (v_tot = l_tot);
+        Alcotest.(check bool)
+          (Printf.sprintf "W=%d wg=%d: wg-vec totals = fiber totals" w wg)
+          true (v_tot = f_tot);
+        Alcotest.(check bool)
+          (Printf.sprintf "W=%d wg=%d: buffers vs wg-loop" w wg)
+          true
+          (compare v_bufs l_bufs = 0);
+        Alcotest.(check bool)
+          (Printf.sprintf "W=%d wg=%d: buffers vs fiber" w wg)
+          true
+          (compare v_bufs f_bufs = 0)
+      done)
+    [ 4; 8 ]
+
+(* Satellite: random guarded-diamond kernels. A pure two-armed diamond
+   with a random predicate and random pure arms, behind a random clamp
+   guard, at group sizes that are deliberately not multiples of W:
+   masked wg-vec must agree with the scalar wg-loop sweep and the fiber
+   scheduler bit for bit, under both engines (the tree engine has no lane
+   code, so its forced wg-vec run degrades down the ladder — the property
+   still pins all three paths to one answer). *)
+let prop_masked_diamond_agrees =
+  let pred_of = function
+    | 0 -> "x > 0.25f"
+    | 1 -> "x < 0.75f"
+    | 2 -> "g % 3 == 1"
+    | _ -> "x * x > 0.5f"
+  and then_of = function
+    | 0 -> "x * 2.0f"
+    | 1 -> "x + 1.5f"
+    | _ -> "0.5f - x"
+  and else_of = function
+    | 0 -> "x - 3.0f"
+    | 1 -> "x * x"
+    | _ -> "1.0f / (x + 2.0f)"
+  in
+  QCheck.Test.make ~name:"masked wg-vec = wg-loop = fiber on guarded diamonds"
+    ~count:15
+    QCheck.(
+      pair
+        (triple (int_range 0 3) (int_range 0 2) (int_range 0 2))
+        (triple (int_range 1 4) (int_range 1 16) (oneofl [ 4; 8 ])))
+    (fun ((p, t, e), (groups, wg, width)) ->
+      let src =
+        Printf.sprintf
+          {|__kernel void k(__global float *out, __global const float *a, int n) {
+              __local float tile[64];
+              int g = get_global_id(0);
+              int l = get_local_id(0);
+              int idx = g;
+              if (idx >= n) idx = n - 1;
+              float x = a[idx];
+              float y;
+              if (%s) { y = %s; } else { y = %s; }
+              tile[l] = y;
+              barrier(CLK_LOCAL_MEM_FENCE);
+              out[g] = tile[(l + 1) %% get_local_size(0)] + (float)idx;
+            }|}
+          (pred_of p) (then_of t) (else_of e)
+      in
+      let n = groups * wg in
+      let run engine force_path lane_width =
+        let fn =
+          match Lower.compile src with [ f ] -> f | _ -> assert false
+        in
+        Grover_passes.Pipeline.normalize fn;
+        let mem = Memory.create () in
+        let out = Memory.alloc mem Ssa.F32 n in
+        let a = Memory.alloc mem Ssa.F32 n in
+        Memory.fill_floats a (fun i -> float_of_int (i * 7 mod 13) /. 6.0);
+        let c = Interp.prepare ~engine ?lane_width fn in
+        let totals =
+          Runtime.launch c
+            ~cfg:{ Runtime.global = (n, 1, 1); local = (wg, 1, 1); queues = 1 }
+            ~args:[ Runtime.Abuf out; Runtime.Abuf a; Runtime.Aint n ]
+            ~mem ~force_path ()
+        in
+        (totals, snapshot_buffers mem)
+      in
+      List.for_all
+        (fun engine ->
+          let v = run engine Runtime.Wg_vec (Some width) in
+          let l = run engine Runtime.Wg_loop None in
+          let f = run engine Runtime.Fiber None in
+          v = l && l = f)
+        [ Interp.Compiled; Interp.Tree ])
+
+(* -- Region formation verdicts ------------------------------------------------ *)
 
 let test_regions_barrier_free () =
   let fn =
@@ -939,6 +1140,14 @@ let suite =
           test_wgloop_selected_for_suite;
         Alcotest.test_case "spill kernel forms regions" `Quick
           test_spill_kernel_forms_regions ] );
+    ( "masked-lanes",
+      [ Alcotest.test_case "guarded diamonds classify as masked" `Quick
+          test_masked_diamonds_classify;
+        Alcotest.test_case "divergent store still bails with a reason" `Quick
+          test_divergent_store_still_bails;
+        Alcotest.test_case "tail group smaller than lane width" `Quick
+          test_masked_tail_smaller_than_width;
+        QCheck_alcotest.to_alcotest prop_masked_diamond_agrees ] );
     ( "regions",
       [ Alcotest.test_case "barrier-free is trivial" `Quick
           test_regions_barrier_free;
